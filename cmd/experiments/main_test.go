@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestToyFiguresPass exercises the harness on the cheap methodology
+// figures: every check must pass and no runner may error.
+func TestToyFiguresPass(t *testing.T) {
+	failures = 0
+	for name, run := range map[string]func(string) error{
+		"fig1": fig1, "fig2": fig2, "fig3": fig3,
+	} {
+		if err := run(""); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if failures != 0 {
+		t.Fatalf("%d checks failed", failures)
+	}
+}
+
+func TestFracSeries(t *testing.T) {
+	got := fracSeries([]float64{0.1, 0.255, 1})
+	if got != "10% 26% 100%" {
+		t.Fatalf("fracSeries = %q", got)
+	}
+	if got := fracSeries(nil); got != "" {
+		t.Fatalf("empty fracSeries = %q", got)
+	}
+}
+
+func TestCheckCountsFailures(t *testing.T) {
+	// Silence check()'s stdout so the deliberate failure below does not
+	// smear a "[FAIL]" line into captured test logs.
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+	}()
+
+	before := failures
+	check("deliberate pass", true)
+	if failures != before {
+		t.Fatal("pass counted as failure")
+	}
+	check("deliberate fail", false)
+	if failures != before+1 {
+		t.Fatal("failure not counted")
+	}
+	failures = before // restore for other tests
+}

@@ -1,0 +1,105 @@
+// Command pvtdiff compares two runs of an application iteration-by-
+// iteration: it analyzes both traces with the perfvar pipeline, aligns
+// their iterations (tolerating inserted/removed ones), and reports
+// speedups and load-imbalance changes — the before/after-fix workflow.
+//
+//	pvtdiff -a before.pvt -b after.pvt
+//	pvtdiff -a before.pvt -b after.pvt -dominant timestep -top 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfvar"
+	"perfvar/internal/vis"
+)
+
+func main() {
+	var (
+		pathA    = flag.String("a", "", "baseline trace (required)")
+		pathB    = flag.String("b", "", "comparison trace (required)")
+		dominant = flag.String("dominant", "", "force this dominant function in both runs")
+		top      = flag.Int("top", 5, "show the top-N improved/regressed iterations")
+		out      = flag.String("o", "", "write a stacked comparison heatmap (shared color scale) to this PNG")
+	)
+	flag.Parse()
+	if *pathA == "" || *pathB == "" {
+		fmt.Fprintln(os.Stderr, "pvtdiff: -a and -b are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	resA := analyze(*pathA, *dominant)
+	resB := analyze(*pathB, *dominant)
+	fmt.Printf("A: %s  (%d ranks, dominant %q, %d iterations)\n",
+		*pathA, resA.Trace.NumRanks(), resA.Matrix.RegionName, resA.Matrix.Iterations())
+	fmt.Printf("B: %s  (%d ranks, dominant %q, %d iterations)\n\n",
+		*pathB, resB.Trace.NumRanks(), resB.Matrix.RegionName, resB.Matrix.Iterations())
+
+	c := perfvar.CompareRuns(resA, resB)
+	fmt.Printf("aligned iterations: %d (alignment cost %.2f)\n", c.Matched, c.AlignmentCost)
+	fmt.Printf("total SOS speedup (A/B): %.2fx", c.SpeedupTotal)
+	switch {
+	case c.SpeedupTotal > 1.05:
+		fmt.Println("  — B is faster")
+	case c.SpeedupTotal < 0.95:
+		fmt.Println("  — B is slower")
+	default:
+		fmt.Println("  — no significant change")
+	}
+	fmt.Printf("mean imbalance (max/mean): A %.3f -> B %.3f\n\n", c.MeanImbalanceA, c.MeanImbalanceB)
+
+	fmt.Println("per-iteration deltas (B/A mean SOS):")
+	shown := 0
+	for _, d := range c.Deltas {
+		if shown >= *top*2 && *top > 0 {
+			fmt.Printf("  ... %d more\n", len(c.Deltas)-shown)
+			break
+		}
+		shown++
+		switch {
+		case d.IterA == -1:
+			fmt.Printf("  B-only iteration %d (mean SOS %s)\n", d.IterB, vis.FormatDuration(d.MeanSOSB))
+		case d.IterB == -1:
+			fmt.Printf("  A-only iteration %d (mean SOS %s)\n", d.IterA, vis.FormatDuration(d.MeanSOSA))
+		default:
+			fmt.Printf("  iter %3d -> %3d: %s -> %s (ratio %.2f)\n",
+				d.IterA, d.IterB,
+				vis.FormatDuration(d.MeanSOSA), vis.FormatDuration(d.MeanSOSB), d.Ratio)
+		}
+	}
+	if best := c.MostImproved(); best.Ratio > 0 {
+		fmt.Printf("\nmost improved:  iteration %d (ratio %.2f)\n", best.IterA, best.Ratio)
+	}
+	if worst := c.MostRegressed(); worst.Ratio > 0 {
+		fmt.Printf("most regressed: iteration %d (ratio %.2f)\n", worst.IterA, worst.Ratio)
+	}
+
+	if *out != "" {
+		img := perfvar.ComparisonHeatmap(resA, resB,
+			perfvar.RenderOptions{Width: 1000, Height: 600, Labels: true})
+		if err := perfvar.SavePNG(*out, img); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ncomparison heatmap written to %s\n", *out)
+	}
+}
+
+func analyze(path, dominant string) *perfvar.Result {
+	tr, err := perfvar.LoadTrace(path)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := perfvar.Analyze(tr, perfvar.Options{DominantFunction: dominant})
+	if err != nil {
+		fatal(err)
+	}
+	return res
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pvtdiff:", err)
+	os.Exit(1)
+}

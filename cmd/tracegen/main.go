@@ -1,0 +1,123 @@
+// Command tracegen generates synthetic workload traces in the PVTR
+// archive format. The workloads model the paper's three case-study
+// applications plus the two methodology toy examples:
+//
+//	tracegen -workload cosmospecs -o cosmo.pvt
+//	tracegen -workload fd4 -ranks 64 -o fd4.pvt
+//	tracegen -workload wrf -steps 100 -o wrf.pvt
+//	tracegen -workload fig3 -o toy.pvt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfvar"
+	"perfvar/internal/trace"
+	"perfvar/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "cosmospecs", "workload: cosmospecs, fd4, wrf, leak, fig2, fig3")
+		out      = flag.String("o", "trace.pvt", "output archive path")
+		ranks    = flag.Int("ranks", 0, "override rank count (fd4 only; grid workloads use -grid)")
+		grid     = flag.Int("grid", 0, "override square grid edge (cosmospecs, wrf)")
+		steps    = flag.Int("steps", 0, "override step/iteration count")
+		seed     = flag.Int64("seed", 0, "override random seed")
+	)
+	flag.Parse()
+
+	tr, err := generate(*workload, *ranks, *grid, *steps, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	if err := perfvar.SaveTrace(*out, tr); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	first, last := tr.Span()
+	fmt.Printf("wrote %s: workload %s, %d ranks, %d events, %s of virtual time\n",
+		*out, *workload, tr.NumRanks(), tr.NumEvents(), fmtDur(last-first))
+}
+
+func generate(workload string, ranks, grid, steps int, seed int64) (*perfvar.Trace, error) {
+	switch workload {
+	case "cosmospecs":
+		cfg := perfvar.DefaultCosmoSpecs()
+		if grid > 0 {
+			cfg.GridX, cfg.GridY = grid, grid
+		}
+		if steps > 0 {
+			cfg.Steps = steps
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return perfvar.GenerateCosmoSpecs(cfg)
+	case "fd4":
+		cfg := perfvar.DefaultFD4()
+		if ranks > 0 {
+			cfg.Ranks = ranks
+			if cfg.InterruptRank >= ranks {
+				cfg.InterruptRank = ranks / 2
+			}
+		}
+		if steps > 0 {
+			cfg.Iterations = steps
+			if cfg.InterruptIteration >= steps {
+				cfg.InterruptIteration = steps / 2
+			}
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return perfvar.GenerateFD4(cfg)
+	case "wrf":
+		cfg := perfvar.DefaultWRF()
+		if grid > 0 {
+			cfg.GridX, cfg.GridY = grid, grid
+			if cfg.TrapRank >= grid*grid {
+				cfg.TrapRank = grid * grid / 2
+			}
+		}
+		if steps > 0 {
+			cfg.Steps = steps
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return perfvar.GenerateWRF(cfg)
+	case "leak":
+		cfg := perfvar.DefaultLeak()
+		if ranks > 0 {
+			cfg.Ranks = ranks
+		}
+		if steps > 0 {
+			cfg.Steps = steps
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return perfvar.GenerateLeak(cfg)
+	case "fig2":
+		return workloads.Fig2Trace(), nil
+	case "fig3":
+		return workloads.Fig3Trace(), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", workload)
+	}
+}
+
+func fmtDur(ns trace.Duration) string {
+	switch {
+	case ns >= trace.Second:
+		return fmt.Sprintf("%.2fs", float64(ns)/float64(trace.Second))
+	case ns >= trace.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(ns)/float64(trace.Millisecond))
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"testing"
+
+	"perfvar/internal/trace"
+)
+
+func TestGenerateWorkloads(t *testing.T) {
+	cases := []struct {
+		workload            string
+		ranks, grid, steps  int
+		seed                int64
+		wantRanks, minSteps int
+	}{
+		{"cosmospecs", 0, 4, 5, 7, 16, 5},
+		{"fd4", 12, 0, 4, 7, 12, 4},
+		{"wrf", 0, 4, 6, 7, 16, 6},
+		{"leak", 8, 0, 10, 7, 8, 10},
+		{"fig2", 0, 0, 0, 0, 3, 0},
+		{"fig3", 0, 0, 0, 0, 3, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.workload, func(t *testing.T) {
+			tr, err := generate(c.workload, c.ranks, c.grid, c.steps, c.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if tr.NumRanks() != c.wantRanks {
+				t.Fatalf("ranks = %d, want %d", tr.NumRanks(), c.wantRanks)
+			}
+			if tr.NumEvents() == 0 {
+				t.Fatal("empty trace")
+			}
+		})
+	}
+}
+
+func TestGenerateUnknownWorkload(t *testing.T) {
+	if _, err := generate("bogus", 0, 0, 0, 0); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestGenerateOverridesKeepFaultInRange(t *testing.T) {
+	// Shrinking FD4 below the default interrupt rank (20) must relocate
+	// the fault instead of failing.
+	tr, err := generate("fd4", 8, 0, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumRanks() != 8 {
+		t.Fatalf("ranks = %d", tr.NumRanks())
+	}
+	// Same for WRF with a tiny grid (trap rank 39 out of 4x4=16).
+	tr, err = generate("wrf", 0, 4, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumRanks() != 16 {
+		t.Fatalf("wrf ranks = %d", tr.NumRanks())
+	}
+	// FD4 with fewer iterations than the default interrupt iteration.
+	tr, err = generate("fd4", 32, 0, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumRanks() != 32 {
+		t.Fatalf("fd4 ranks = %d", tr.NumRanks())
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := []struct {
+		d    trace.Duration
+		want string
+	}{
+		{500, "500ns"},
+		{3 * trace.Millisecond, "3.0ms"},
+		{2500 * trace.Millisecond, "2.50s"},
+	}
+	for _, c := range cases {
+		if got := fmtDur(c.d); got != c.want {
+			t.Errorf("fmtDur(%d) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

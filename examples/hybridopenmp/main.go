@@ -1,0 +1,86 @@
+// Hybrid MPI+OpenMP analysis.
+//
+// The paper's SOS-time subtracts *any* synchronization — MPI waits and
+// OpenMP barriers alike. This example runs a hybrid model: each MPI rank
+// executes a fork-join OpenMP region per timestep, and on one rank the
+// thread work is badly partitioned, so its master thread idles at the
+// omp barrier. Plain inclusive times look identical everywhere (the MPI
+// allreduce equalizes ranks); the SOS analysis with OpenMP-aware sync
+// classification flags the imbalanced rank.
+//
+// Run from the repository root:
+//
+//	go run ./examples/hybridopenmp
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"perfvar"
+	"perfvar/internal/sim"
+	"perfvar/internal/trace"
+)
+
+const (
+	ranks   = 8
+	threads = 4
+	steps   = 15
+	badRank = 5
+)
+
+func main() {
+	tr, err := sim.Run(sim.Config{Name: "hybrid-openmp", Ranks: ranks, Seed: 11}, func(p *sim.Proc) {
+		step := p.Region("timestep")
+		mainR := p.Region("main")
+		p.Enter(mainR)
+		for s := 0; s < steps; s++ {
+			p.Enter(step)
+			// Per-thread work: balanced everywhere except on badRank,
+			// where one thread is overloaded — the master finishes its
+			// 2ms early and idles at the implicit barrier while the
+			// slow thread drags the region out to 6ms.
+			work := make([]trace.Duration, threads)
+			for t := range work {
+				work[t] = 2 * trace.Millisecond
+			}
+			if p.Rank() == badRank {
+				work[threads-1] = 6 * trace.Millisecond // one overloaded thread
+			}
+			p.OpenMP(work)
+			p.Allreduce(1 << 10)
+			p.Leave(step)
+		}
+		p.Leave(mainR)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := perfvar.Analyze(tr, perfvar.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Report().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nWhy rank", badRank, "does NOT show up above:")
+	fmt.Println("  its master thread computes 2ms like everyone else and then")
+	fmt.Println("  waits in omp_barrier — which SOS subtracts. The imbalance is")
+	fmt.Println("  *inside* the rank, between its threads. Check the segment")
+	fmt.Println("  breakdown of rank", badRank, "vs rank 0:")
+	for _, rank := range []perfvar.Rank{0, badRank} {
+		seg := res.Matrix.PerRank[rank][0]
+		entries, err := res.Breakdown(seg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n  rank %d, iteration 0 (inclusive %.1fms):\n", rank, float64(seg.Inclusive())/1e6)
+		for _, e := range entries {
+			fmt.Printf("    %-16s %6.1fms (%4.1f%%)\n", e.Name, float64(e.Exclusive)/1e6, e.Share*100)
+		}
+	}
+	fmt.Println("\n  The omp_barrier share is the tell: thread-level imbalance on rank", badRank)
+}

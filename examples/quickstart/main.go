@@ -1,0 +1,58 @@
+// Quickstart: the complete perfvar pipeline in one page.
+//
+// It generates a small synthetic MPI trace with a deliberate load
+// imbalance, runs the three-step analysis (dominant function → SOS-times →
+// hotspot detection), prints the report, and renders the SOS heatmap to
+// the terminal and to quickstart_sos.png.
+//
+// Run from the repository root:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"perfvar"
+)
+
+func main() {
+	// 1. Obtain a trace. Here: a 16-rank COSMO-SPECS-style run with a
+	// cloud over a few ranks. In real use you would load one instead:
+	// tr, err := perfvar.LoadTrace("run.pvt").
+	cfg := perfvar.DefaultCosmoSpecs()
+	cfg.GridX, cfg.GridY = 4, 4
+	cfg.Steps = 12
+	cfg.CloudCenterCol, cfg.CloudCenterRow = 1.4, 2.0
+	tr, err := perfvar.GenerateCosmoSpecs(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Analyze: selects the time-dominant function, cuts the run into
+	// segments, subtracts synchronization time, and ranks the outliers.
+	res, err := perfvar.Analyze(tr, perfvar.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Report.
+	if err := res.Report().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Visualize: blue = fast segments, red = slow ones. The red rows
+	// lead straight to the overloaded ranks.
+	img := res.Heatmap(perfvar.RenderOptions{
+		Width: 700, Height: 300, Labels: true,
+		Title: "SOS-TIME: " + tr.Name,
+	})
+	fmt.Println()
+	fmt.Print(perfvar.ANSI(img, 90))
+	if err := perfvar.SavePNG("quickstart_sos.png", img); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote quickstart_sos.png")
+}

@@ -1,0 +1,3 @@
+module perfvar
+
+go 1.22

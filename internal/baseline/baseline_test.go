@@ -1,0 +1,183 @@
+package baseline
+
+import (
+	"testing"
+
+	"perfvar/internal/core/segment"
+	"perfvar/internal/trace"
+	"perfvar/internal/workloads"
+)
+
+func fig3Matrix(t *testing.T) (*trace.Trace, *segment.Matrix) {
+	t.Helper()
+	tr := workloads.Fig3Trace()
+	r, _ := tr.RegionByName("a")
+	m, err := segment.Compute(tr, r.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, m
+}
+
+// TestInclusiveVsSOSCulprit reproduces the paper's Fig. 3 argument: with
+// barrier-equalized inclusive times the culprit is not separable, while
+// SOS-times point straight at the rank that computes longest.
+func TestInclusiveVsSOSCulprit(t *testing.T) {
+	_, m := fig3Matrix(t)
+	// Ground truth per iteration: argmax of Fig3CalcTimes.
+	for iter := range workloads.Fig3CalcTimes {
+		truth := trace.Rank(0)
+		best := int64(-1)
+		for rank, c := range workloads.Fig3CalcTimes[iter] {
+			if c > best {
+				best = c
+				truth = trace.Rank(rank)
+			}
+		}
+		if got := CulpritBySOS(m, iter); got != truth {
+			t.Errorf("iter %d: SOS culprit = %d, want %d", iter, got, truth)
+		}
+		// Inclusive margins are zero (all ranks leave the barrier
+		// together); SOS margins are substantial whenever the load is
+		// imbalanced.
+		if margin := CulpritMargin(m, iter, false); margin != 0 {
+			t.Errorf("iter %d: inclusive margin = %g, want 0", iter, margin)
+		}
+	}
+	if margin := CulpritMargin(m, 0, true); margin < 0.3 {
+		t.Errorf("iter 0: SOS margin = %g, want ≥ 0.3 (5 vs 3 steps)", margin)
+	}
+}
+
+func TestCulpritEdgeCases(t *testing.T) {
+	m := &segment.Matrix{PerRank: [][]segment.Segment{}}
+	if got := CulpritBySOS(m, 0); got != trace.NoRank {
+		t.Fatalf("empty culprit = %d", got)
+	}
+	if got := CulpritMargin(m, 0, true); got != 0 {
+		t.Fatalf("empty margin = %g", got)
+	}
+	// Single-rank column.
+	one := &segment.Matrix{PerRank: [][]segment.Segment{{{Rank: 0, End: 10}}}}
+	if got := CulpritMargin(one, 0, true); got != 0 {
+		t.Fatalf("single margin = %g", got)
+	}
+	// All-zero measure.
+	zero := &segment.Matrix{PerRank: [][]segment.Segment{
+		{{Rank: 0}}, {{Rank: 1}},
+	}}
+	if got := CulpritMargin(zero, 0, true); got != 0 {
+		t.Fatalf("zero margin = %g", got)
+	}
+}
+
+func TestRankProfiles(t *testing.T) {
+	tr := workloads.Fig2Trace()
+	profiles, err := RankProfiles(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 3 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	// Every rank in Fig2 runs an identical 18-step schedule.
+	for _, rp := range profiles {
+		if rp.Total != float64(18*workloads.ToyStep) {
+			t.Errorf("rank %d total = %g, want 18 steps", rp.Rank, rp.Total)
+		}
+	}
+	b, _ := tr.RegionByName("b")
+	if profiles[0].ExclusiveByRegion[b.ID] != float64(6*workloads.ToyStep) {
+		t.Errorf("b exclusive = %g, want 6 steps", profiles[0].ExclusiveByRegion[b.ID])
+	}
+	// Broken trace propagates the error.
+	bad := trace.New("bad", 1)
+	f := bad.AddRegion("f", trace.ParadigmUser, trace.RoleFunction)
+	bad.Append(0, trace.Enter(0, f))
+	if _, err := RankProfiles(bad); err == nil {
+		t.Fatal("no error for broken trace")
+	}
+}
+
+func TestSlowestByProfile(t *testing.T) {
+	tr := trace.New("p", 3)
+	f := tr.AddRegion("f", trace.ParadigmUser, trace.RoleFunction)
+	mpi := tr.AddRegion("MPI_Barrier", trace.ParadigmMPI, trace.RoleBarrier)
+	// Rank 1 computes longest; rank 2 has huge MPI time (must not count).
+	durations := []trace.Duration{100, 300, 150}
+	for rank := trace.Rank(0); rank < 3; rank++ {
+		tr.Append(rank, trace.Enter(0, f))
+		tr.Append(rank, trace.Leave(durations[rank], f))
+		tr.Append(rank, trace.Enter(durations[rank], mpi))
+		tr.Append(rank, trace.Leave(1000, mpi))
+	}
+	profiles, err := RankProfiles(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SlowestByProfile(tr, profiles); got != 1 {
+		t.Fatalf("slowest = %d, want 1", got)
+	}
+}
+
+func TestClusterRepresentatives(t *testing.T) {
+	mk := func(rank trace.Rank, vals ...float64) RankProfile {
+		return RankProfile{Rank: rank, ExclusiveByRegion: vals}
+	}
+	profiles := []RankProfile{
+		mk(0, 100, 10),
+		mk(1, 102, 11), // ~rank 0
+		mk(2, 100, 9),  // ~rank 0
+		mk(3, 500, 10), // distinct
+	}
+	reps, clusterOf := ClusterRepresentatives(profiles, 0.05)
+	if len(reps) != 2 || reps[0] != 0 || reps[1] != 3 {
+		t.Fatalf("reps = %v", reps)
+	}
+	if clusterOf[1] != 0 || clusterOf[2] != 0 || clusterOf[3] != 1 {
+		t.Fatalf("clusterOf = %v", clusterOf)
+	}
+	if !Retained(reps, 0) || Retained(reps, 1) {
+		t.Fatal("Retained broken")
+	}
+	// Tol 0 keeps only exact duplicates together.
+	reps, _ = ClusterRepresentatives(profiles, 0)
+	if len(reps) != 4 {
+		t.Fatalf("tol=0 reps = %v", reps)
+	}
+	// Zero-vector founders.
+	zs := []RankProfile{mk(0, 0, 0), mk(1, 0, 0), mk(2, 1, 0)}
+	reps, _ = ClusterRepresentatives(zs, 0.1)
+	if len(reps) != 2 {
+		t.Fatalf("zero-vector reps = %v", reps)
+	}
+}
+
+// TestRepresentativesHideTransientHotspot shows the Mohror-style
+// reduction dropping the interrupted rank: its aggregate profile is close
+// enough to its peers that it is clustered away, so the retained
+// representative streams would never show the interruption.
+func TestRepresentativesHideTransientHotspot(t *testing.T) {
+	cfg := workloads.DefaultFD4()
+	cfg.Ranks = 32
+	cfg.InterruptRank = 20
+	// A long run relative to the 40 ms interruption: the aggregate
+	// profile of rank 20 stays within the clustering tolerance of its
+	// peers, exactly the regime the paper's real (hour-scale) runs are in.
+	cfg.Iterations = 24
+	tr, err := workloads.FD4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, err := RankProfiles(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, _ := ClusterRepresentatives(profiles, 0.25)
+	if Retained(reps, trace.Rank(cfg.InterruptRank)) {
+		t.Fatalf("rank %d retained by clustering (reps=%v); the transient hotspot should be hidden", cfg.InterruptRank, reps)
+	}
+	if len(reps) >= len(profiles) {
+		t.Fatalf("clustering did not reduce: %d reps of %d ranks", len(reps), len(profiles))
+	}
+}

@@ -1,0 +1,220 @@
+// Package callstack reconstructs function invocations from enter/leave
+// event streams. It yields per-invocation records with inclusive and
+// exclusive times (the distinction of the paper's Figure 1), parent/child
+// links, and flat per-region profiles used by dominant-function selection
+// and by the profiler baseline.
+package callstack
+
+import (
+	"fmt"
+
+	"perfvar/internal/trace"
+)
+
+// NoParent marks a top-level invocation.
+const NoParent int32 = -1
+
+// Invocation is one completed region invocation on one rank.
+type Invocation struct {
+	Region trace.RegionID
+	Rank   trace.Rank
+	Enter  trace.Time
+	Leave  trace.Time
+	// Parent indexes the invocations slice of the same rank, or NoParent.
+	Parent int32
+	// Depth is the call-stack depth, 0 for top-level invocations.
+	Depth int16
+	// ChildTime is the summed inclusive time of all direct children.
+	ChildTime trace.Duration
+	// Recursive reports whether an ancestor invocation has the same region
+	// (the invocation is self-nested). Aggregations that sum inclusive
+	// times skip recursive invocations to avoid double counting.
+	Recursive bool
+}
+
+// Inclusive returns the invocation's inclusive time: the complete duration
+// from enter to leave, including sub-calls.
+func (inv *Invocation) Inclusive() trace.Duration { return inv.Leave - inv.Enter }
+
+// Exclusive returns the invocation's exclusive time: the duration spent
+// directly inside the region, excluding sub-calls.
+func (inv *Invocation) Exclusive() trace.Duration { return inv.Inclusive() - inv.ChildTime }
+
+// Replay reconstructs the invocations of one process stream, in enter
+// order. It fails on unbalanced or improperly nested enter/leave events.
+func Replay(pt *trace.ProcessTrace) ([]Invocation, error) {
+	invs := make([]Invocation, 0, len(pt.Events)/2)
+	var stack []int32 // indices into invs
+	sameRegionDepth := make(map[trace.RegionID]int)
+	for i, ev := range pt.Events {
+		switch ev.Kind {
+		case trace.KindEnter:
+			parent := NoParent
+			if len(stack) > 0 {
+				parent = stack[len(stack)-1]
+			}
+			invs = append(invs, Invocation{
+				Region:    ev.Region,
+				Rank:      pt.Proc.Rank,
+				Enter:     ev.Time,
+				Parent:    parent,
+				Depth:     int16(len(stack)),
+				Recursive: sameRegionDepth[ev.Region] > 0,
+			})
+			stack = append(stack, int32(len(invs)-1))
+			sameRegionDepth[ev.Region]++
+		case trace.KindLeave:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("callstack: rank %d event %d: leave without enter", pt.Proc.Rank, i)
+			}
+			top := stack[len(stack)-1]
+			inv := &invs[top]
+			if inv.Region != ev.Region {
+				return nil, fmt.Errorf("callstack: rank %d event %d: leave region %d while inside %d",
+					pt.Proc.Rank, i, ev.Region, inv.Region)
+			}
+			if ev.Time < inv.Enter {
+				return nil, fmt.Errorf("callstack: rank %d event %d: leave at %d before enter at %d",
+					pt.Proc.Rank, i, ev.Time, inv.Enter)
+			}
+			inv.Leave = ev.Time
+			stack = stack[:len(stack)-1]
+			sameRegionDepth[ev.Region]--
+			if inv.Parent != NoParent {
+				invs[inv.Parent].ChildTime += inv.Inclusive()
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("callstack: rank %d: %d unclosed invocations", pt.Proc.Rank, len(stack))
+	}
+	return invs, nil
+}
+
+// ReplayAll reconstructs invocations for every rank of tr. The result is
+// indexed by rank.
+func ReplayAll(tr *trace.Trace) ([][]Invocation, error) {
+	all := make([][]Invocation, tr.NumRanks())
+	for rank := range tr.Procs {
+		invs, err := Replay(&tr.Procs[rank])
+		if err != nil {
+			return nil, err
+		}
+		all[rank] = invs
+	}
+	return all, nil
+}
+
+// RegionProfile aggregates all invocations of one region.
+type RegionProfile struct {
+	Region trace.RegionID
+	// Count is the total number of invocations across all ranks.
+	Count int64
+	// SumInclusive is the summed inclusive time of all non-recursive
+	// invocations. Skipping self-nested invocations keeps the aggregate
+	// meaningful for recursive functions (each wall-clock interval is
+	// counted once).
+	SumInclusive trace.Duration
+	// SumExclusive is the summed exclusive time of all invocations.
+	SumExclusive trace.Duration
+	// MaxInclusive is the largest single inclusive time observed.
+	MaxInclusive trace.Duration
+	// MinInclusive is the smallest single inclusive time observed.
+	MinInclusive trace.Duration
+	// Ranks is the number of distinct ranks that invoked the region.
+	Ranks int
+}
+
+// Profile is a flat per-region aggregation over a whole trace — the
+// information a parallel profiler (TAU, HPCToolkit) would report.
+type Profile struct {
+	Regions []RegionProfile // indexed by RegionID
+	// TotalTime is the summed wall-clock span of all ranks (sum over ranks
+	// of last-event minus first-event time).
+	TotalTime trace.Duration
+}
+
+// BuildProfile computes the flat profile of tr from the given per-rank
+// invocations (as produced by ReplayAll).
+func BuildProfile(tr *trace.Trace, all [][]Invocation) *Profile {
+	p := &Profile{Regions: make([]RegionProfile, len(tr.Regions))}
+	for id := range p.Regions {
+		p.Regions[id].Region = trace.RegionID(id)
+		p.Regions[id].MinInclusive = -1
+	}
+	seenOnRank := make([]map[trace.RegionID]bool, tr.NumRanks())
+	for rank, invs := range all {
+		seen := make(map[trace.RegionID]bool)
+		seenOnRank[rank] = seen
+		for i := range invs {
+			inv := &invs[i]
+			rp := &p.Regions[inv.Region]
+			rp.Count++
+			if !inv.Recursive {
+				rp.SumInclusive += inv.Inclusive()
+			}
+			rp.SumExclusive += inv.Exclusive()
+			if incl := inv.Inclusive(); incl > rp.MaxInclusive {
+				rp.MaxInclusive = incl
+			}
+			if incl := inv.Inclusive(); rp.MinInclusive < 0 || incl < rp.MinInclusive {
+				rp.MinInclusive = incl
+			}
+			if !seen[inv.Region] {
+				seen[inv.Region] = true
+				rp.Ranks++
+			}
+		}
+	}
+	for id := range p.Regions {
+		if p.Regions[id].MinInclusive < 0 {
+			p.Regions[id].MinInclusive = 0
+		}
+	}
+	for rank := range tr.Procs {
+		f, l := tr.Procs[rank].Span()
+		p.TotalTime += l - f
+	}
+	return p
+}
+
+// ProfileOf is a convenience wrapper: replay all ranks and build the flat
+// profile in one step.
+func ProfileOf(tr *trace.Trace) (*Profile, error) {
+	all, err := ReplayAll(tr)
+	if err != nil {
+		return nil, err
+	}
+	return BuildProfile(tr, all), nil
+}
+
+// TimeInParadigm sums, per rank, the wall-clock time spent inside regions
+// of paradigm par (counting each interval once even when such regions
+// nest). The result is indexed by rank. This powers the "fraction of MPI"
+// statistics of the case studies.
+func TimeInParadigm(tr *trace.Trace, par trace.Paradigm) []trace.Duration {
+	out := make([]trace.Duration, tr.NumRanks())
+	for rank := range tr.Procs {
+		depth := 0
+		var start trace.Time
+		for _, ev := range tr.Procs[rank].Events {
+			switch ev.Kind {
+			case trace.KindEnter:
+				if tr.Region(ev.Region).Paradigm == par {
+					if depth == 0 {
+						start = ev.Time
+					}
+					depth++
+				}
+			case trace.KindLeave:
+				if tr.Region(ev.Region).Paradigm == par {
+					depth--
+					if depth == 0 {
+						out[rank] += ev.Time - start
+					}
+				}
+			}
+		}
+	}
+	return out
+}

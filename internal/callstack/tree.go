@@ -1,0 +1,163 @@
+package callstack
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"perfvar/internal/trace"
+)
+
+// CallTreeNode aggregates all invocations that share one call path
+// (sequence of regions from a root to this node), across all ranks — the
+// calling-context-tree view a profiler like HPCToolkit presents.
+type CallTreeNode struct {
+	Region trace.RegionID
+	Name   string
+	// Count is the number of invocations on this path.
+	Count int64
+	// Inclusive and Exclusive are summed over all invocations on this
+	// path across ranks.
+	Inclusive trace.Duration
+	Exclusive trace.Duration
+	// Children are ordered by descending inclusive time.
+	Children []*CallTreeNode
+
+	index map[trace.RegionID]*CallTreeNode
+}
+
+// CallTree is the merged calling-context tree of a trace.
+type CallTree struct {
+	// Roots holds the top-level call paths, ordered by descending
+	// inclusive time.
+	Roots []*CallTreeNode
+	// TotalInclusive is the summed inclusive time of all roots.
+	TotalInclusive trace.Duration
+
+	rootIndex map[trace.RegionID]*CallTreeNode
+}
+
+// BuildCallTree merges the invocations of every rank into one
+// calling-context tree.
+func BuildCallTree(tr *trace.Trace, all [][]Invocation) *CallTree {
+	t := &CallTree{rootIndex: make(map[trace.RegionID]*CallTreeNode)}
+	for _, invs := range all {
+		// nodeOf[i] is the tree node of invocation i (same rank).
+		nodeOf := make([]*CallTreeNode, len(invs))
+		for i := range invs {
+			inv := &invs[i]
+			var node *CallTreeNode
+			if inv.Parent == NoParent {
+				node = t.rootIndex[inv.Region]
+				if node == nil {
+					node = newNode(tr, inv.Region)
+					t.rootIndex[inv.Region] = node
+					t.Roots = append(t.Roots, node)
+				}
+			} else {
+				parent := nodeOf[inv.Parent]
+				node = parent.index[inv.Region]
+				if node == nil {
+					node = newNode(tr, inv.Region)
+					parent.index[inv.Region] = node
+					parent.Children = append(parent.Children, node)
+				}
+			}
+			node.Count++
+			node.Inclusive += inv.Inclusive()
+			node.Exclusive += inv.Exclusive()
+			nodeOf[i] = node
+		}
+	}
+	t.sortRec()
+	for _, r := range t.Roots {
+		t.TotalInclusive += r.Inclusive
+	}
+	return t
+}
+
+func newNode(tr *trace.Trace, r trace.RegionID) *CallTreeNode {
+	return &CallTreeNode{
+		Region: r,
+		Name:   tr.Region(r).Name,
+		index:  make(map[trace.RegionID]*CallTreeNode),
+	}
+}
+
+func (t *CallTree) sortRec() {
+	var rec func(nodes []*CallTreeNode)
+	rec = func(nodes []*CallTreeNode) {
+		sort.Slice(nodes, func(i, j int) bool {
+			if nodes[i].Inclusive != nodes[j].Inclusive {
+				return nodes[i].Inclusive > nodes[j].Inclusive
+			}
+			return nodes[i].Region < nodes[j].Region
+		})
+		for _, n := range nodes {
+			rec(n.Children)
+		}
+	}
+	rec(t.Roots)
+}
+
+// CallTreeOf builds the calling-context tree directly from a trace.
+func CallTreeOf(tr *trace.Trace) (*CallTree, error) {
+	all, err := ReplayAll(tr)
+	if err != nil {
+		return nil, err
+	}
+	return BuildCallTree(tr, all), nil
+}
+
+// Find returns the node at the given call path (region names from a
+// root), or nil.
+func (t *CallTree) Find(path ...string) *CallTreeNode {
+	nodes := t.Roots
+	var cur *CallTreeNode
+	for _, name := range path {
+		cur = nil
+		for _, n := range nodes {
+			if n.Name == name {
+				cur = n
+				break
+			}
+		}
+		if cur == nil {
+			return nil
+		}
+		nodes = cur.Children
+	}
+	return cur
+}
+
+// Walk visits every node in depth-first order (parents before children).
+func (t *CallTree) Walk(visit func(node *CallTreeNode, depth int)) {
+	var rec func(nodes []*CallTreeNode, depth int)
+	rec = func(nodes []*CallTreeNode, depth int) {
+		for _, n := range nodes {
+			visit(n, depth)
+			rec(n.Children, depth+1)
+		}
+	}
+	rec(t.Roots, 0)
+}
+
+// Print writes an indented text rendering of the tree to w. maxDepth < 0
+// prints everything. Shares are relative to the tree's total inclusive
+// time.
+func (t *CallTree) Print(w io.Writer, maxDepth int) error {
+	var err error
+	t.Walk(func(n *CallTreeNode, depth int) {
+		if err != nil || (maxDepth >= 0 && depth > maxDepth) {
+			return
+		}
+		share := 0.0
+		if t.TotalInclusive > 0 {
+			share = float64(n.Inclusive) / float64(t.TotalInclusive) * 100
+		}
+		_, err = fmt.Fprintf(w, "%s%-30s %10d calls  incl %12d ns (%5.1f%%)  excl %12d ns\n",
+			strings.Repeat("  ", depth), n.Name, n.Count, n.Inclusive, share, n.Exclusive)
+	})
+	return err
+}

@@ -1,0 +1,219 @@
+// Package clockfix detects and corrects clock skew between the per-rank
+// event streams of a trace.
+//
+// Trace analyses that compare timestamps across ranks — everything
+// perfvar does — silently assume a global clock. On real clusters each
+// node has its own clock, and unsynchronized clocks manifest as causality
+// violations: a message that appears to be received before it was sent.
+// The Vampir ecosystem corrects this with controlled-logical-clock
+// techniques; this package implements the first-order variant (per-rank
+// constant offsets) on top of explicit violation detection:
+//
+//  1. Match Send/Recv event pairs per (src, dst, tag) channel in FIFO
+//     order.
+//  2. Report every pair whose receive timestamp precedes its send
+//     timestamp plus the minimal network latency.
+//  3. Estimate per-rank offsets by relaxation: repeatedly shift each
+//     receiving rank forward until no constraint is violated (or the
+//     iteration cap is hit, which indicates drift that constant offsets
+//     cannot fix).
+//  4. Apply the offsets, renormalizing so the earliest event stays at its
+//     original position.
+package clockfix
+
+import (
+	"fmt"
+	"sort"
+
+	"perfvar/internal/trace"
+)
+
+// Violation is one message whose corrected receive time would precede its
+// send time plus the minimal latency.
+type Violation struct {
+	Src, Dst trace.Rank
+	Tag      int32
+	SendTime trace.Time
+	RecvTime trace.Time
+	// Deficit is how far the receive is too early:
+	// (SendTime + minLatency) − RecvTime, always > 0.
+	Deficit trace.Duration
+}
+
+// messagePair is a matched send/recv couple.
+type messagePair struct {
+	src, dst trace.Rank
+	tag      int32
+	sendTime trace.Time
+	recvTime trace.Time
+}
+
+// matchMessages pairs Send and Recv events per (src, dst, tag) channel in
+// FIFO order. Unmatched events (e.g. from truncated traces) are ignored.
+func matchMessages(tr *trace.Trace) []messagePair {
+	type key struct {
+		src, dst trace.Rank
+		tag      int32
+	}
+	sends := make(map[key][]trace.Time)
+	for rank := range tr.Procs {
+		for _, ev := range tr.Procs[rank].Events {
+			if ev.Kind == trace.KindSend {
+				k := key{src: trace.Rank(rank), dst: ev.Peer, tag: ev.Tag}
+				sends[k] = append(sends[k], ev.Time)
+			}
+		}
+	}
+	used := make(map[key]int)
+	var pairs []messagePair
+	for rank := range tr.Procs {
+		for _, ev := range tr.Procs[rank].Events {
+			if ev.Kind != trace.KindRecv {
+				continue
+			}
+			k := key{src: ev.Peer, dst: trace.Rank(rank), tag: ev.Tag}
+			idx := used[k]
+			if idx >= len(sends[k]) {
+				continue
+			}
+			used[k] = idx + 1
+			pairs = append(pairs, messagePair{
+				src: ev.Peer, dst: trace.Rank(rank), tag: ev.Tag,
+				sendTime: sends[k][idx], recvTime: ev.Time,
+			})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].sendTime != pairs[j].sendTime {
+			return pairs[i].sendTime < pairs[j].sendTime
+		}
+		if pairs[i].src != pairs[j].src {
+			return pairs[i].src < pairs[j].src
+		}
+		return pairs[i].dst < pairs[j].dst
+	})
+	return pairs
+}
+
+// Violations returns all causality violations of tr under the assumption
+// that no message can travel faster than minLatency.
+func Violations(tr *trace.Trace, minLatency trace.Duration) []Violation {
+	var out []Violation
+	for _, p := range matchMessages(tr) {
+		if deficit := p.sendTime + minLatency - p.recvTime; deficit > 0 {
+			out = append(out, Violation{
+				Src: p.src, Dst: p.dst, Tag: p.tag,
+				SendTime: p.sendTime, RecvTime: p.recvTime,
+				Deficit: deficit,
+			})
+		}
+	}
+	return out
+}
+
+// Info summarizes a correction run.
+type Info struct {
+	// Offsets is the per-rank shift that was applied (after
+	// renormalization to keep the earliest event in place).
+	Offsets []trace.Duration
+	// ViolationsBefore and ViolationsAfter count causality violations.
+	ViolationsBefore, ViolationsAfter int
+	// Iterations is the number of relaxation sweeps used.
+	Iterations int
+	// Converged reports whether all constraints were satisfied within the
+	// iteration budget. A false value indicates clock drift (rate
+	// differences) that constant offsets cannot repair.
+	Converged bool
+}
+
+// EstimateOffsets computes per-rank constant offsets such that all
+// message constraints hold: recv + off[dst] ≥ send + off[src] + lat.
+// It relaxes constraints for at most maxIter sweeps.
+func EstimateOffsets(tr *trace.Trace, minLatency trace.Duration, maxIter int) ([]trace.Duration, int, bool) {
+	pairs := matchMessages(tr)
+	offsets := make([]trace.Duration, tr.NumRanks())
+	if maxIter <= 0 {
+		maxIter = 10 * tr.NumRanks()
+	}
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		changed := false
+		for _, p := range pairs {
+			deficit := (p.sendTime + offsets[p.src] + minLatency) - (p.recvTime + offsets[p.dst])
+			if deficit > 0 {
+				offsets[p.dst] += deficit
+				changed = true
+			}
+		}
+		if !changed {
+			return offsets, iter + 1, true
+		}
+	}
+	return offsets, iter, false
+}
+
+// Apply returns a new trace with each rank's timestamps shifted by
+// offsets[rank], renormalized so the earliest event time of the result
+// equals the earliest event time of the input (archive formats require
+// non-negative times).
+func Apply(tr *trace.Trace, offsets []trace.Duration) (*trace.Trace, error) {
+	if len(offsets) != tr.NumRanks() {
+		return nil, fmt.Errorf("clockfix: %d offsets for %d ranks", len(offsets), tr.NumRanks())
+	}
+	origFirst, _ := tr.Span()
+	out := trace.New(tr.Name, tr.NumRanks())
+	out.Regions = append([]trace.Region(nil), tr.Regions...)
+	out.Metrics = append([]trace.Metric(nil), tr.Metrics...)
+
+	// Find the new minimum to renormalize.
+	newFirst := trace.Time(0)
+	any := false
+	for rank := range tr.Procs {
+		if len(tr.Procs[rank].Events) == 0 {
+			continue
+		}
+		first := tr.Procs[rank].Events[0].Time + offsets[rank]
+		if !any || first < newFirst {
+			newFirst = first
+		}
+		any = true
+	}
+	shiftBack := trace.Duration(0)
+	if any {
+		shiftBack = newFirst - origFirst
+	}
+
+	for rank := range tr.Procs {
+		out.Procs[rank].Proc = tr.Procs[rank].Proc
+		evs := make([]trace.Event, len(tr.Procs[rank].Events))
+		copy(evs, tr.Procs[rank].Events)
+		d := offsets[rank] - shiftBack
+		for i := range evs {
+			evs[i].Time += d
+		}
+		out.Procs[rank].Events = evs
+	}
+	return out, nil
+}
+
+// Correct detects skew and returns the corrected trace plus a summary.
+// The input is not modified.
+func Correct(tr *trace.Trace, minLatency trace.Duration) (*trace.Trace, Info, error) {
+	info := Info{ViolationsBefore: len(Violations(tr, minLatency))}
+	offsets, iters, converged := EstimateOffsets(tr, minLatency, 0)
+	info.Offsets = offsets
+	info.Iterations = iters
+	info.Converged = converged
+	fixed, err := Apply(tr, offsets)
+	if err != nil {
+		return nil, info, err
+	}
+	info.ViolationsAfter = len(Violations(fixed, minLatency))
+	return fixed, info, nil
+}
+
+// InjectSkew returns a copy of tr with each rank's clock shifted by
+// skew[rank] — the inverse scenario generator for tests and demos.
+func InjectSkew(tr *trace.Trace, skew []trace.Duration) (*trace.Trace, error) {
+	return Apply(tr, skew)
+}

@@ -1,0 +1,189 @@
+// Package compare relates two application runs to each other, in the
+// spirit of the alignment-based trace metrics of Weber et al. (Euro-Par
+// 2013, cited as related work [20] in the paper). Typical use: compare a
+// run before and after a fix — e.g. the static COSMO-SPECS run against
+// the dynamically balanced COSMO-SPECS+FD4 run — and quantify the change
+// per iteration rather than only in aggregate.
+//
+// Runs rarely have identical iteration counts (restarts, adaptive
+// stepping), so iterations are first aligned by a global sequence
+// alignment (Needleman-Wunsch over per-iteration mean SOS-times with a
+// relative-difference cost), then compared pairwise.
+package compare
+
+import (
+	"math"
+
+	"perfvar/internal/core/segment"
+	"perfvar/internal/stats"
+)
+
+// GapIndex marks an unaligned iteration in an alignment pair.
+const GapIndex = -1
+
+// Pair maps iteration A to iteration B (either side may be GapIndex).
+type Pair struct {
+	A, B int
+}
+
+// AlignSeries computes a global alignment of two numeric series using
+// dynamic programming. Matching cost is the relative difference
+// |a−b|/(a+b) (0 for equal values, →1 for disparate ones); gaps cost
+// gapPenalty each. It returns the aligned pairs in order and the total
+// cost (lower = more similar).
+func AlignSeries(a, b []float64, gapPenalty float64) ([]Pair, float64) {
+	n, m := len(a), len(b)
+	// dp[i][j]: minimal cost aligning a[:i] with b[:j].
+	dp := make([][]float64, n+1)
+	for i := range dp {
+		dp[i] = make([]float64, m+1)
+	}
+	for i := 1; i <= n; i++ {
+		dp[i][0] = float64(i) * gapPenalty
+	}
+	for j := 1; j <= m; j++ {
+		dp[0][j] = float64(j) * gapPenalty
+	}
+	cost := func(x, y float64) float64 {
+		s := math.Abs(x) + math.Abs(y)
+		if s == 0 {
+			return 0
+		}
+		return math.Abs(x-y) / s
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			match := dp[i-1][j-1] + cost(a[i-1], b[j-1])
+			gapA := dp[i-1][j] + gapPenalty
+			gapB := dp[i][j-1] + gapPenalty
+			dp[i][j] = math.Min(match, math.Min(gapA, gapB))
+		}
+	}
+	// Traceback.
+	var rev []Pair
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && dp[i][j] == dp[i-1][j-1]+cost(a[i-1], b[j-1]):
+			rev = append(rev, Pair{A: i - 1, B: j - 1})
+			i, j = i-1, j-1
+		case i > 0 && dp[i][j] == dp[i-1][j]+gapPenalty:
+			rev = append(rev, Pair{A: i - 1, B: GapIndex})
+			i--
+		default:
+			rev = append(rev, Pair{A: GapIndex, B: j - 1})
+			j--
+		}
+	}
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev, dp[n][m]
+}
+
+// IterationDelta compares one aligned iteration pair.
+type IterationDelta struct {
+	// IterA and IterB are the iteration indices (GapIndex if unmatched).
+	IterA, IterB int
+	// MeanSOSA/B are the mean SOS-times across ranks (ns); 0 for gaps.
+	MeanSOSA, MeanSOSB float64
+	// Ratio is MeanSOSB / MeanSOSA (1 = unchanged, < 1 = B faster);
+	// 0 when undefined.
+	Ratio float64
+	// ImbalanceA/B are the per-iteration max/mean imbalance factors.
+	ImbalanceA, ImbalanceB float64
+}
+
+// Comparison is the full two-run comparison result.
+type Comparison struct {
+	// Deltas holds one entry per aligned iteration pair (including gaps).
+	Deltas []IterationDelta
+	// Matched counts iteration pairs aligned without a gap.
+	Matched int
+	// AlignmentCost is the total alignment cost (lower = more similar
+	// runs); comparable across runs of similar length.
+	AlignmentCost float64
+	// SpeedupTotal is total SOS-time of A divided by total SOS-time of B
+	// (> 1 means B is faster overall).
+	SpeedupTotal float64
+	// MeanImbalanceA/B are the mean per-iteration imbalance factors —
+	// the headline number for "did the load balancing fix work".
+	MeanImbalanceA, MeanImbalanceB float64
+}
+
+// iterStats returns per-iteration mean SOS and imbalance of m.
+func iterStats(m *segment.Matrix) (means, imbalances []float64, total float64) {
+	iters := m.Iterations()
+	means = make([]float64, iters)
+	imbalances = make([]float64, iters)
+	for it := 0; it < iters; it++ {
+		col := m.ColumnSOS(it)
+		means[it] = stats.Mean(col)
+		imbalances[it] = stats.ImbalanceRatio(col)
+		total += stats.Sum(col)
+	}
+	return means, imbalances, total
+}
+
+// Compare aligns and compares two segment matrices (two runs of the same
+// or a modified application). A gap penalty of 0.5 works well for
+// SOS-time series; Compare uses that default.
+func Compare(a, b *segment.Matrix) *Comparison {
+	meansA, imbA, totalA := iterStats(a)
+	meansB, imbB, totalB := iterStats(b)
+	pairs, cost := AlignSeries(meansA, meansB, 0.5)
+
+	c := &Comparison{
+		AlignmentCost:  cost,
+		MeanImbalanceA: stats.Mean(imbA),
+		MeanImbalanceB: stats.Mean(imbB),
+	}
+	if totalB > 0 {
+		c.SpeedupTotal = totalA / totalB
+	}
+	for _, p := range pairs {
+		d := IterationDelta{IterA: p.A, IterB: p.B}
+		if p.A != GapIndex {
+			d.MeanSOSA = meansA[p.A]
+			d.ImbalanceA = imbA[p.A]
+		}
+		if p.B != GapIndex {
+			d.MeanSOSB = meansB[p.B]
+			d.ImbalanceB = imbB[p.B]
+		}
+		if p.A != GapIndex && p.B != GapIndex && d.MeanSOSA > 0 {
+			d.Ratio = d.MeanSOSB / d.MeanSOSA
+			c.Matched++
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	return c
+}
+
+// MostImproved returns the aligned iteration with the smallest B/A ratio
+// (the biggest win), or a zero delta if nothing matched.
+func (c *Comparison) MostImproved() IterationDelta {
+	best := IterationDelta{}
+	bestRatio := math.Inf(1)
+	for _, d := range c.Deltas {
+		if d.Ratio > 0 && d.Ratio < bestRatio {
+			bestRatio = d.Ratio
+			best = d
+		}
+	}
+	return best
+}
+
+// MostRegressed returns the aligned iteration with the largest B/A ratio
+// (the biggest loss), or a zero delta if nothing matched.
+func (c *Comparison) MostRegressed() IterationDelta {
+	best := IterationDelta{}
+	bestRatio := math.Inf(-1)
+	for _, d := range c.Deltas {
+		if d.Ratio > 0 && d.Ratio > bestRatio {
+			bestRatio = d.Ratio
+			best = d
+		}
+	}
+	return best
+}

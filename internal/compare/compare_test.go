@@ -1,0 +1,200 @@
+package compare
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"perfvar/internal/core/segment"
+	"perfvar/internal/trace"
+	"perfvar/internal/workloads"
+)
+
+func matrixFromSOS(rows [][]int64) *segment.Matrix {
+	m := &segment.Matrix{PerRank: make([][]segment.Segment, len(rows))}
+	for rank, row := range rows {
+		var t trace.Time
+		for i, v := range row {
+			m.PerRank[rank] = append(m.PerRank[rank], segment.Segment{
+				Rank: trace.Rank(rank), Index: i, Start: t, End: t + v,
+			})
+			t += v
+		}
+	}
+	return m
+}
+
+func TestAlignIdenticalSeries(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	pairs, cost := AlignSeries(a, a, 0.5)
+	if cost != 0 {
+		t.Fatalf("cost = %g", cost)
+	}
+	if len(pairs) != 4 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	for i, p := range pairs {
+		if p.A != i || p.B != i {
+			t.Fatalf("pair %d = %+v", i, p)
+		}
+	}
+}
+
+func TestAlignWithInsertion(t *testing.T) {
+	a := []float64{10, 20, 30}
+	b := []float64{10, 99, 20, 30} // one extra iteration in B
+	pairs, _ := AlignSeries(a, b, 0.2)
+	// Expect exactly one gap on the A side, aligned to B's 99.
+	gaps := 0
+	for _, p := range pairs {
+		if p.A == GapIndex {
+			gaps++
+			if b[p.B] != 99 {
+				t.Fatalf("gap aligned to b[%d]=%g", p.B, b[p.B])
+			}
+		}
+	}
+	if gaps != 1 {
+		t.Fatalf("gaps = %d, pairs = %v", gaps, pairs)
+	}
+}
+
+func TestAlignEmptySeries(t *testing.T) {
+	pairs, cost := AlignSeries(nil, []float64{1, 2}, 0.5)
+	if len(pairs) != 2 || cost != 1.0 {
+		t.Fatalf("pairs = %v cost = %g", pairs, cost)
+	}
+	pairs, cost = AlignSeries(nil, nil, 0.5)
+	if len(pairs) != 0 || cost != 0 {
+		t.Fatalf("empty alignment: %v %g", pairs, cost)
+	}
+}
+
+func TestCompareIdenticalRuns(t *testing.T) {
+	m := matrixFromSOS([][]int64{{100, 200, 300}, {110, 190, 310}})
+	c := Compare(m, m)
+	if c.SpeedupTotal != 1 {
+		t.Fatalf("speedup = %g", c.SpeedupTotal)
+	}
+	if c.Matched != 3 || c.AlignmentCost != 0 {
+		t.Fatalf("matched = %d cost = %g", c.Matched, c.AlignmentCost)
+	}
+	if math.Abs(c.MeanImbalanceA-c.MeanImbalanceB) > 1e-12 {
+		t.Fatal("imbalances differ on identical input")
+	}
+}
+
+func TestCompareFasterRun(t *testing.T) {
+	slow := matrixFromSOS([][]int64{{1000, 1000, 1000}})
+	fast := matrixFromSOS([][]int64{{500, 500, 500}})
+	c := Compare(slow, fast)
+	if c.SpeedupTotal != 2 {
+		t.Fatalf("speedup = %g, want 2", c.SpeedupTotal)
+	}
+	for _, d := range c.Deltas {
+		if d.Ratio != 0.5 {
+			t.Fatalf("delta = %+v", d)
+		}
+	}
+	best := c.MostImproved()
+	if best.Ratio != 0.5 {
+		t.Fatalf("most improved = %+v", best)
+	}
+	worst := c.MostRegressed()
+	if worst.Ratio != 0.5 {
+		t.Fatalf("most regressed = %+v", worst)
+	}
+}
+
+func TestCompareNoMatches(t *testing.T) {
+	c := Compare(matrixFromSOS([][]int64{{}}), matrixFromSOS([][]int64{{}}))
+	if c.Matched != 0 || len(c.Deltas) != 0 {
+		t.Fatalf("empty comparison: %+v", c)
+	}
+	if got := c.MostImproved(); got.Ratio != 0 {
+		t.Fatalf("MostImproved on empty: %+v", got)
+	}
+}
+
+// TestStaticVsBalanced compares the paper's case study A (static
+// COSMO-SPECS) against a dynamically balanced equivalent (FD4-style): the
+// balanced run must show a much lower mean imbalance.
+func TestStaticVsBalanced(t *testing.T) {
+	scfg := workloads.DefaultCosmoSpecs()
+	scfg.GridX, scfg.GridY, scfg.Steps = 6, 6, 8
+	scfg.CloudCenterCol, scfg.CloudCenterRow = 2.4, 3.0
+	static, err := workloads.CosmoSpecs(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcfg := workloads.DefaultFD4()
+	bcfg.Ranks = 36
+	bcfg.Iterations = 8
+	bcfg.InterruptDuration = 0 // clean balanced run
+	balanced, err := workloads.FD4(bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rs, _ := static.RegionByName("timestep")
+	ms, err := segment.Compute(static, rs.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := balanced.RegionByName("iteration")
+	mb, err := segment.Compute(balanced, rb.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := Compare(ms, mb)
+	if c.Matched == 0 {
+		t.Fatal("no iterations aligned")
+	}
+	// Imbalance factors are ≥ 1 (max/mean); compare the excess over the
+	// perfectly balanced 1.0.
+	excessA := c.MeanImbalanceA - 1
+	excessB := c.MeanImbalanceB - 1
+	if excessB >= excessA/5 {
+		t.Fatalf("balanced run imbalance excess %g not well below static %g", excessB, excessA)
+	}
+}
+
+// Property: alignment pairs are monotone (indices strictly increase on
+// both sides across pairs) and cover every index exactly once.
+func TestAlignmentMonotoneProperty(t *testing.T) {
+	f := func(la, lb uint8) bool {
+		n, m := int(la%12), int(lb%12)
+		a := make([]float64, n)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = float64((i*37)%11 + 1)
+		}
+		for j := range b {
+			b[j] = float64((j*53)%13 + 1)
+		}
+		pairs, _ := AlignSeries(a, b, 0.5)
+		seenA, seenB := -1, -1
+		countA, countB := 0, 0
+		for _, p := range pairs {
+			if p.A != GapIndex {
+				if p.A <= seenA {
+					return false
+				}
+				seenA = p.A
+				countA++
+			}
+			if p.B != GapIndex {
+				if p.B <= seenB {
+					return false
+				}
+				seenB = p.B
+				countB++
+			}
+		}
+		return countA == n && countB == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+package dominant
+
+import (
+	"errors"
+	"testing"
+
+	"perfvar/internal/trace"
+	"perfvar/internal/workloads"
+)
+
+// TestFig2Selection reproduces the paper's Figure 2: main has the highest
+// aggregated inclusive time (54 steps) but only 3 invocations and is
+// rejected; a (36 steps, 9 invocations) is the time-dominant function.
+func TestFig2Selection(t *testing.T) {
+	tr := workloads.Fig2Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Fig2 trace invalid: %v", err)
+	}
+	sel, err := Select(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Threshold != 6 {
+		t.Errorf("threshold = %d, want 2p = 6", sel.Threshold)
+	}
+	if sel.Dominant.Name != "a" {
+		t.Fatalf("dominant = %q, want a", sel.Dominant.Name)
+	}
+	if sel.Dominant.Invocations != 9 {
+		t.Errorf("a invocations = %d, want 9", sel.Dominant.Invocations)
+	}
+	if want := 36 * workloads.ToyStep; sel.Dominant.AggInclusive != want {
+		t.Errorf("a aggregated inclusive = %d, want %d (36 steps)", sel.Dominant.AggInclusive, want)
+	}
+	// main must be in the rejected list with 54 steps aggregated inclusive.
+	if len(sel.Rejected) == 0 || sel.Rejected[0].Name != "main" {
+		t.Fatalf("rejected = %+v, want main first", sel.Rejected)
+	}
+	if want := 54 * workloads.ToyStep; sel.Rejected[0].AggInclusive != want {
+		t.Errorf("main aggregated inclusive = %d, want %d (54 steps)", sel.Rejected[0].AggInclusive, want)
+	}
+	if sel.Rejected[0].Invocations != 3 {
+		t.Errorf("main invocations = %d, want 3", sel.Rejected[0].Invocations)
+	}
+}
+
+func TestFig2Ranking(t *testing.T) {
+	sel, err := Select(workloads.Fig2Trace(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eligible: a (36), b (18), c (9). i (3 invocations) and main rejected.
+	wantOrder := []string{"a", "b", "c"}
+	if len(sel.Ranking) != len(wantOrder) {
+		t.Fatalf("ranking size = %d (%+v), want %d", len(sel.Ranking), sel.Ranking, len(wantOrder))
+	}
+	for i, name := range wantOrder {
+		if sel.Ranking[i].Name != name {
+			t.Errorf("ranking[%d] = %q, want %q", i, sel.Ranking[i].Name, name)
+		}
+	}
+	// Shares must be in (0, 1] and ordered like the times.
+	for _, c := range sel.Ranking {
+		if c.Share <= 0 || c.Share > 1 {
+			t.Errorf("candidate %q share = %g out of range", c.Name, c.Share)
+		}
+	}
+}
+
+func TestFinerRefinement(t *testing.T) {
+	sel, err := Select(workloads.Fig2Trace(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a has 9 invocations; b also has 9, c has 9 — equal counts do not
+	// qualify as finer here, so build a deeper synthetic case instead.
+	tr := trace.New("deep", 2)
+	outer := tr.AddRegion("outer", trace.ParadigmUser, trace.RoleFunction)
+	inner := tr.AddRegion("inner", trace.ParadigmUser, trace.RoleFunction)
+	for rank := trace.Rank(0); rank < 2; rank++ {
+		now := trace.Time(0)
+		for i := 0; i < 4; i++ { // 8 outer invocations total
+			tr.Append(rank, trace.Enter(now, outer))
+			for j := 0; j < 3; j++ { // 24 inner invocations total
+				tr.Append(rank, trace.Enter(now, inner))
+				now += 10
+				tr.Append(rank, trace.Leave(now, inner))
+			}
+			now += 2
+			tr.Append(rank, trace.Leave(now, outer))
+		}
+	}
+	sel2, err := Select(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel2.Dominant.Name != "outer" {
+		t.Fatalf("dominant = %q, want outer", sel2.Dominant.Name)
+	}
+	finer, ok := sel2.Finer(sel2.Dominant.Region)
+	if !ok || finer.Name != "inner" {
+		t.Fatalf("Finer = %+v, %v; want inner", finer, ok)
+	}
+	if _, ok := sel2.Finer(finer.Region); ok {
+		t.Fatal("Finer(inner) should not find anything finer")
+	}
+
+	// On the Fig2 trace, Finer from a cannot improve (all peers have 9).
+	if c, ok := sel.Finer(sel.Dominant.Region); ok {
+		t.Fatalf("Fig2 Finer = %+v, want none", c)
+	}
+}
+
+func TestCandidateLookup(t *testing.T) {
+	sel, err := Select(workloads.Fig2Trace(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := sel.Candidate(sel.Dominant.Region)
+	if !ok || c.Name != "a" {
+		t.Fatalf("Candidate lookup = %+v, %v", c, ok)
+	}
+	if _, ok := sel.Candidate(trace.RegionID(999)); ok {
+		t.Fatal("lookup of unknown region succeeded")
+	}
+}
+
+func TestSyncRegionsExcludedByDefault(t *testing.T) {
+	tr := trace.New("sync", 1)
+	f := tr.AddRegion("f", trace.ParadigmUser, trace.RoleFunction)
+	mpi := tr.AddRegion("MPI_Allreduce", trace.ParadigmMPI, trace.RoleCollective)
+	now := trace.Time(0)
+	for i := 0; i < 5; i++ {
+		tr.Append(0, trace.Enter(now, f))
+		now += 1
+		tr.Append(0, trace.Leave(now, f))
+		tr.Append(0, trace.Enter(now, mpi))
+		now += 100 // MPI dwarfs user time
+		tr.Append(0, trace.Leave(now, mpi))
+	}
+	sel, err := Select(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Dominant.Name != "f" {
+		t.Fatalf("dominant = %q, want f (MPI excluded)", sel.Dominant.Name)
+	}
+	selInc, err := Select(tr, Options{IncludeSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if selInc.Dominant.Name != "MPI_Allreduce" {
+		t.Fatalf("dominant with IncludeSync = %q, want MPI_Allreduce", selInc.Dominant.Name)
+	}
+}
+
+func TestNoCandidateError(t *testing.T) {
+	tr := trace.New("flat", 4)
+	main := tr.AddRegion("main", trace.ParadigmUser, trace.RoleFunction)
+	for rank := trace.Rank(0); rank < 4; rank++ {
+		tr.Append(rank, trace.Enter(0, main))
+		tr.Append(rank, trace.Leave(100, main))
+	}
+	_, err := Select(tr, Options{})
+	if !errors.Is(err, ErrNoCandidate) {
+		t.Fatalf("err = %v, want ErrNoCandidate", err)
+	}
+}
+
+func TestThresholdOverrides(t *testing.T) {
+	tr := workloads.Fig2Trace()
+	// MinInvocations overrides: ask for ≥10 → only nothing qualifies
+	// (a, b, c have 9 each).
+	if _, err := Select(tr, Options{MinInvocations: 10}); !errors.Is(err, ErrNoCandidate) {
+		t.Fatalf("MinInvocations=10: err = %v, want ErrNoCandidate", err)
+	}
+	// Multiplier 3 → threshold 9, a still qualifies (exactly 9).
+	sel, err := Select(tr, Options{Multiplier: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Threshold != 9 || sel.Dominant.Name != "a" {
+		t.Fatalf("Multiplier=3: threshold=%d dominant=%q", sel.Threshold, sel.Dominant.Name)
+	}
+}
+
+func TestSelectPropagatesReplayError(t *testing.T) {
+	tr := trace.New("bad", 1)
+	f := tr.AddRegion("f", trace.ParadigmUser, trace.RoleFunction)
+	tr.Append(0, trace.Enter(0, f)) // never left
+	if _, err := Select(tr, Options{}); err == nil {
+		t.Fatal("no error for broken trace")
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	tr := trace.New("tie", 1)
+	a := tr.AddRegion("a", trace.ParadigmUser, trace.RoleFunction)
+	b := tr.AddRegion("b", trace.ParadigmUser, trace.RoleFunction)
+	now := trace.Time(0)
+	for i := 0; i < 3; i++ {
+		tr.Append(0, trace.Enter(now, a))
+		now += 10
+		tr.Append(0, trace.Leave(now, a))
+		tr.Append(0, trace.Enter(now, b))
+		now += 10
+		tr.Append(0, trace.Leave(now, b))
+	}
+	sel, err := Select(tr, Options{MinInvocations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Dominant.Region != a {
+		t.Fatalf("tie should break to lower RegionID, got %q", sel.Dominant.Name)
+	}
+	_ = b
+}

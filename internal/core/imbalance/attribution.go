@@ -1,0 +1,74 @@
+package imbalance
+
+import (
+	"sort"
+
+	"perfvar/internal/core/segment"
+	"perfvar/internal/trace"
+)
+
+// Attribution quantifies how much aggregate waiting a rank causes: in a
+// synchronized iteration, every other rank idles until the slowest one
+// (the iteration's culprit) arrives. Summing those gaps over the run
+// attributes the lost rank-time to the rank that caused it — the
+// quantitative backbone of statements like the paper's "the other
+// processes idle while waiting for [Process 54] to finish".
+type Attribution struct {
+	Rank trace.Rank
+	// CulpritIterations counts the iterations this rank was the slowest.
+	CulpritIterations int
+	// CausedWait is the aggregate peer wait time attributable to this
+	// rank: Σ over its culprit iterations of Σ_peers (its SOS − peer SOS).
+	CausedWait trace.Duration
+}
+
+// AttributeWait computes the per-rank wait attribution over the complete
+// iterations of m. The result is indexed by rank.
+func AttributeWait(m *segment.Matrix) []Attribution {
+	out := make([]Attribution, m.NumRanks())
+	for rank := range out {
+		out[rank].Rank = trace.Rank(rank)
+	}
+	iters := m.Iterations()
+	for it := 0; it < iters; it++ {
+		col := m.Column(it)
+		if len(col) < 2 {
+			continue
+		}
+		culprit := 0
+		for i := range col {
+			if col[i].SOS() > col[culprit].SOS() {
+				culprit = i
+			}
+		}
+		maxSOS := col[culprit].SOS()
+		var caused trace.Duration
+		for i := range col {
+			if i != culprit {
+				caused += maxSOS - col[i].SOS()
+			}
+		}
+		r := col[culprit].Rank
+		out[r].CulpritIterations++
+		out[r].CausedWait += caused
+	}
+	return out
+}
+
+// TopWaitCausers returns the ranks ordered by descending caused wait,
+// omitting ranks that caused none.
+func TopWaitCausers(attrs []Attribution) []Attribution {
+	var out []Attribution
+	for _, a := range attrs {
+		if a.CausedWait > 0 {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CausedWait != out[j].CausedWait {
+			return out[i].CausedWait > out[j].CausedWait
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}

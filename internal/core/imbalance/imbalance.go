@@ -1,0 +1,417 @@
+// Package imbalance implements step 3 of the paper's methodology: the
+// analysis of runtime variations over the SOS-time segment matrix. It
+// ranks hotspot segments (the red areas of the paper's visualizations),
+// summarizes per-rank and per-iteration behavior, and detects gradual
+// slowdown trends such as the one in the COSMO-SPECS case study.
+package imbalance
+
+import (
+	"math"
+	"sort"
+
+	"perfvar/internal/core/segment"
+	"perfvar/internal/stats"
+	"perfvar/internal/trace"
+)
+
+// Hotspot is a segment whose SOS-time deviates notably from the rest of
+// the run.
+type Hotspot struct {
+	Segment segment.Segment
+	// Score is the robust z-score of the segment's SOS-time against the
+	// distribution of all SOS-times of the matrix.
+	Score float64
+}
+
+// RankStats summarizes one rank's SOS-time behavior.
+type RankStats struct {
+	Rank     trace.Rank
+	Segments int
+	MeanSOS  float64
+	MaxSOS   float64
+	TotalSOS float64
+}
+
+// IterationStats summarizes one invocation index (iteration) across ranks.
+type IterationStats struct {
+	Index   int
+	MeanSOS float64
+	MaxSOS  float64
+	// Imbalance is max/mean SOS of the iteration (1 = perfectly balanced).
+	Imbalance float64
+	// Culprit is the rank with the highest SOS-time in the iteration.
+	Culprit trace.Rank
+}
+
+// Trend describes the evolution of per-iteration mean SOS-times over the
+// run, fitted by least squares.
+type Trend struct {
+	// Slope is in SOS nanoseconds per iteration.
+	Slope float64
+	// Intercept is the fitted mean SOS of iteration 0.
+	Intercept float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+	// Increasing reports a sustained slowdown: positive slope, a fit that
+	// explains at least half the variance, and a projected total increase
+	// of at least 10 % of the mean SOS over the run.
+	Increasing bool
+}
+
+// Options tune the analysis.
+type Options struct {
+	// ZThreshold is the robust z-score above which a segment becomes a
+	// hotspot. Zero means 3.5 (a common robust-outlier cutoff).
+	ZThreshold float64
+	// TopK caps the number of reported hotspots (highest scores first).
+	// Zero means no cap.
+	TopK int
+	// MinRelDeviation is the minimal relative excess over the median a
+	// segment needs to qualify as a hotspot, guarding against infinite
+	// robust z-scores on quantized, near-constant data (where the MAD is
+	// zero and any deviation would otherwise score +Inf). Zero means 5 %;
+	// negative disables the guard.
+	MinRelDeviation float64
+	// PerIteration scores each segment against its own iteration's
+	// distribution (column median/MAD) instead of the whole run's. Use
+	// this when the run has a global trend — e.g. a gradual slowdown —
+	// that would otherwise make every late segment a "hotspot" and mask
+	// the rank-relative outliers the analyst actually wants.
+	PerIteration bool
+}
+
+func (o Options) zThreshold() float64 {
+	if o.ZThreshold == 0 {
+		return 3.5
+	}
+	return o.ZThreshold
+}
+
+func (o Options) minRelDeviation() float64 {
+	if o.MinRelDeviation == 0 {
+		return 0.05
+	}
+	if o.MinRelDeviation < 0 {
+		return 0
+	}
+	return o.MinRelDeviation
+}
+
+// Analysis is the complete variation-analysis result for one segment
+// matrix.
+type Analysis struct {
+	Matrix *segment.Matrix
+	// Median and MAD describe the global SOS-time distribution used for
+	// hotspot scoring.
+	Median, MAD float64
+	// Hotspots are outlier segments, sorted by descending score.
+	Hotspots []Hotspot
+	// Ranks holds per-rank summaries, indexed by rank.
+	Ranks []RankStats
+	// Iterations holds per-invocation-index summaries for the first
+	// Matrix.Iterations() complete columns.
+	Iterations []IterationStats
+	// Trend is the slowdown fit over Iterations.
+	Trend Trend
+}
+
+// Analyze computes the variation analysis of m.
+func Analyze(m *segment.Matrix, opts Options) *Analysis {
+	a := &Analysis{Matrix: m}
+	all := m.SOSValues()
+	a.Median = stats.Median(all)
+	a.MAD = stats.MAD(all)
+
+	threshold := opts.zThreshold()
+	relDev := opts.minRelDeviation()
+	var colMed, colMAD []float64
+	if opts.PerIteration {
+		iters := m.Iterations()
+		colMed = make([]float64, iters)
+		colMAD = make([]float64, iters)
+		for it := 0; it < iters; it++ {
+			col := m.ColumnSOS(it)
+			colMed[it] = stats.Median(col)
+			colMAD[it] = stats.MAD(col)
+		}
+	}
+	for _, segs := range m.PerRank {
+		for i := range segs {
+			sos := float64(segs[i].SOS())
+			med, mad := a.Median, a.MAD
+			if opts.PerIteration {
+				if segs[i].Index >= len(colMed) {
+					continue // ragged tail: no column statistics
+				}
+				med, mad = colMed[segs[i].Index], colMAD[segs[i].Index]
+			}
+			z := stats.RobustZ(sos, med, mad)
+			if z > threshold && sos >= med*(1+relDev) {
+				a.Hotspots = append(a.Hotspots, Hotspot{Segment: segs[i], Score: z})
+			}
+		}
+	}
+	sort.Slice(a.Hotspots, func(i, j int) bool {
+		hi, hj := a.Hotspots[i], a.Hotspots[j]
+		if hi.Score != hj.Score {
+			return hi.Score > hj.Score
+		}
+		if si, sj := hi.Segment.SOS(), hj.Segment.SOS(); si != sj {
+			return si > sj
+		}
+		if hi.Segment.Rank != hj.Segment.Rank {
+			return hi.Segment.Rank < hj.Segment.Rank
+		}
+		return hi.Segment.Index < hj.Segment.Index
+	})
+	if opts.TopK > 0 && len(a.Hotspots) > opts.TopK {
+		a.Hotspots = a.Hotspots[:opts.TopK]
+	}
+
+	a.Ranks = make([]RankStats, m.NumRanks())
+	for rank, segs := range m.PerRank {
+		rs := RankStats{Rank: trace.Rank(rank), Segments: len(segs)}
+		for i := range segs {
+			sos := float64(segs[i].SOS())
+			rs.TotalSOS += sos
+			if sos > rs.MaxSOS {
+				rs.MaxSOS = sos
+			}
+		}
+		if len(segs) > 0 {
+			rs.MeanSOS = rs.TotalSOS / float64(len(segs))
+		}
+		a.Ranks[rank] = rs
+	}
+
+	iters := m.Iterations()
+	a.Iterations = make([]IterationStats, iters)
+	for it := 0; it < iters; it++ {
+		col := m.Column(it)
+		is := IterationStats{Index: it, Culprit: trace.NoRank}
+		vals := make([]float64, len(col))
+		for i, seg := range col {
+			sos := float64(seg.SOS())
+			vals[i] = sos
+			if sos > is.MaxSOS || is.Culprit == trace.NoRank {
+				is.MaxSOS = sos
+				is.Culprit = seg.Rank
+			}
+		}
+		is.MeanSOS = stats.Mean(vals)
+		is.Imbalance = stats.ImbalanceRatio(vals)
+		a.Iterations[it] = is
+	}
+
+	a.Trend = fitTrend(a.Iterations)
+	return a
+}
+
+func fitTrend(iters []IterationStats) Trend {
+	xs := make([]float64, len(iters))
+	ys := make([]float64, len(iters))
+	for i, is := range iters {
+		xs[i] = float64(i)
+		ys[i] = is.MeanSOS
+	}
+	slope, intercept, r2 := stats.LinearRegression(xs, ys)
+	tr := Trend{Slope: slope, Intercept: intercept, R2: r2}
+	mean := stats.Mean(ys)
+	if len(iters) >= 3 && slope > 0 && r2 >= 0.5 && mean > 0 {
+		totalIncrease := slope * float64(len(iters)-1)
+		tr.Increasing = totalIncrease >= 0.1*mean
+	}
+	return tr
+}
+
+// RankTrend is the slowdown fit of one rank's SOS-time series.
+type RankTrend struct {
+	Rank trace.Rank
+	// Slope is in SOS nanoseconds per iteration.
+	Slope float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+}
+
+// RankTrends fits a per-rank slowdown line over each rank's SOS series
+// and returns the ranks ordered by descending slope (restricted to fits
+// with r² ≥ minR2, so noise does not rank). This localizes "who is
+// getting slower": in the COSMO-SPECS case study only the cloud-owning
+// ranks have steep slopes.
+func RankTrends(m *segment.Matrix, minR2 float64) []RankTrend {
+	var out []RankTrend
+	for rank := range m.PerRank {
+		ys := m.RankSOS(trace.Rank(rank))
+		if len(ys) < 3 {
+			continue
+		}
+		xs := make([]float64, len(ys))
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		slope, _, r2 := stats.LinearRegression(xs, ys)
+		if r2 >= minR2 {
+			out = append(out, RankTrend{Rank: trace.Rank(rank), Slope: slope, R2: r2})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Slope != out[j].Slope {
+			return out[i].Slope > out[j].Slope
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// HotspotRanks returns the distinct ranks that own hotspots, ordered by
+// each rank's highest hotspot score (descending).
+func (a *Analysis) HotspotRanks() []trace.Rank {
+	best := make(map[trace.Rank]float64)
+	for _, h := range a.Hotspots {
+		if s, ok := best[h.Segment.Rank]; !ok || h.Score > s {
+			best[h.Segment.Rank] = h.Score
+		}
+	}
+	ranks := make([]trace.Rank, 0, len(best))
+	for r := range best {
+		ranks = append(ranks, r)
+	}
+	sort.Slice(ranks, func(i, j int) bool {
+		si, sj := best[ranks[i]], best[ranks[j]]
+		if si != sj {
+			return si > sj
+		}
+		return ranks[i] < ranks[j]
+	})
+	return ranks
+}
+
+// SlowestRank returns the rank with the highest total SOS-time, or NoRank
+// for an empty analysis.
+func (a *Analysis) SlowestRank() trace.Rank {
+	best := trace.NoRank
+	bestTotal := math.Inf(-1)
+	for _, rs := range a.Ranks {
+		if rs.TotalSOS > bestTotal {
+			bestTotal = rs.TotalSOS
+			best = rs.Rank
+		}
+	}
+	return best
+}
+
+// ParadigmFractionTimeline bins the whole run into bins equal-width time
+// windows and returns, per window, the fraction of aggregate rank-time
+// spent inside regions of paradigm par. This reproduces observations such
+// as "the fraction of MPI increases towards the end of the run" (paper
+// Fig. 4a).
+func ParadigmFractionTimeline(tr *trace.Trace, par trace.Paradigm, bins int) []float64 {
+	if bins <= 0 {
+		return nil
+	}
+	first, last := tr.Span()
+	out := make([]float64, bins)
+	if last <= first {
+		return out
+	}
+	span := last - first
+	inPar := make([]float64, bins)
+	addInterval := func(acc []float64, from, to trace.Time) {
+		if to <= from {
+			return
+		}
+		for b := 0; b < bins; b++ {
+			bStart := first + span*trace.Time(b)/trace.Time(bins)
+			bEnd := first + span*trace.Time(b+1)/trace.Time(bins)
+			lo, hi := from, to
+			if lo < bStart {
+				lo = bStart
+			}
+			if hi > bEnd {
+				hi = bEnd
+			}
+			if hi > lo {
+				acc[b] += float64(hi - lo)
+			}
+		}
+	}
+	for rank := range tr.Procs {
+		depth := 0
+		var start trace.Time
+		for _, ev := range tr.Procs[rank].Events {
+			switch ev.Kind {
+			case trace.KindEnter:
+				if tr.Region(ev.Region).Paradigm == par {
+					if depth == 0 {
+						start = ev.Time
+					}
+					depth++
+				}
+			case trace.KindLeave:
+				if tr.Region(ev.Region).Paradigm == par {
+					depth--
+					if depth == 0 {
+						addInterval(inPar, start, ev.Time)
+					}
+				}
+			}
+		}
+	}
+	binWidth := float64(span) / float64(bins)
+	denom := binWidth * float64(tr.NumRanks())
+	for b := range out {
+		out[b] = inPar[b] / denom
+	}
+	return out
+}
+
+// MPIFractionTimeline is ParadigmFractionTimeline for the MPI paradigm.
+func MPIFractionTimeline(tr *trace.Trace, bins int) []float64 {
+	return ParadigmFractionTimeline(tr, trace.ParadigmMPI, bins)
+}
+
+// ParadigmFractionBetween returns the fraction of aggregate rank-time in
+// the window [from, to] spent inside regions of paradigm par. Use it to
+// measure phase-local overheads, e.g. the MPI share of the iteration phase
+// excluding initialization.
+func ParadigmFractionBetween(tr *trace.Trace, par trace.Paradigm, from, to trace.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	var inPar float64
+	clip := func(a, b trace.Time) trace.Duration {
+		if a < from {
+			a = from
+		}
+		if b > to {
+			b = to
+		}
+		if b > a {
+			return b - a
+		}
+		return 0
+	}
+	for rank := range tr.Procs {
+		depth := 0
+		var start trace.Time
+		for _, ev := range tr.Procs[rank].Events {
+			switch ev.Kind {
+			case trace.KindEnter:
+				if tr.Region(ev.Region).Paradigm == par {
+					if depth == 0 {
+						start = ev.Time
+					}
+					depth++
+				}
+			case trace.KindLeave:
+				if tr.Region(ev.Region).Paradigm == par {
+					depth--
+					if depth == 0 {
+						inPar += float64(clip(start, ev.Time))
+					}
+				}
+			}
+		}
+	}
+	return inPar / (float64(to-from) * float64(tr.NumRanks()))
+}

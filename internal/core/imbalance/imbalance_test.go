@@ -1,0 +1,431 @@
+package imbalance
+
+import (
+	"math"
+	"testing"
+
+	"perfvar/internal/core/segment"
+	"perfvar/internal/trace"
+	"perfvar/internal/workloads"
+)
+
+// synthMatrix builds a matrix directly: sos[rank][iter] are SOS-times and
+// each segment's Sync is zero (End-Start = SOS).
+func synthMatrix(sos [][]int64) *segment.Matrix {
+	m := &segment.Matrix{RegionName: "a", PerRank: make([][]segment.Segment, len(sos))}
+	for rank, row := range sos {
+		var t trace.Time
+		for i, v := range row {
+			m.PerRank[rank] = append(m.PerRank[rank], segment.Segment{
+				Rank: trace.Rank(rank), Index: i, Start: t, End: t + v,
+			})
+			t += v
+		}
+	}
+	return m
+}
+
+func TestAnalyzeDetectsSingleOutlier(t *testing.T) {
+	sos := [][]int64{
+		{100, 101, 99, 100},
+		{100, 100, 100, 100},
+		{99, 100, 5000, 101}, // rank 2, iteration 2 is the hotspot
+	}
+	a := Analyze(synthMatrix(sos), Options{})
+	if len(a.Hotspots) != 1 {
+		t.Fatalf("hotspots = %+v, want exactly one", a.Hotspots)
+	}
+	h := a.Hotspots[0]
+	if h.Segment.Rank != 2 || h.Segment.Index != 2 {
+		t.Fatalf("hotspot at rank %d iter %d, want rank 2 iter 2", h.Segment.Rank, h.Segment.Index)
+	}
+	if h.Score < 3.5 {
+		t.Fatalf("score = %g, want > 3.5", h.Score)
+	}
+	ranks := a.HotspotRanks()
+	if len(ranks) != 1 || ranks[0] != 2 {
+		t.Fatalf("HotspotRanks = %v", ranks)
+	}
+	if got := a.SlowestRank(); got != 2 {
+		t.Fatalf("SlowestRank = %d", got)
+	}
+	// Iteration 2 must name rank 2 as culprit with high imbalance.
+	it := a.Iterations[2]
+	if it.Culprit != 2 || it.Imbalance < 2 {
+		t.Fatalf("iteration 2 stats: %+v", it)
+	}
+	// Other iterations are balanced.
+	if a.Iterations[0].Imbalance > 1.1 {
+		t.Fatalf("iteration 0 imbalance = %g", a.Iterations[0].Imbalance)
+	}
+}
+
+func TestAnalyzeBalancedHasNoHotspots(t *testing.T) {
+	sos := [][]int64{
+		{100, 100, 100},
+		{100, 100, 100},
+	}
+	a := Analyze(synthMatrix(sos), Options{})
+	if len(a.Hotspots) != 0 {
+		t.Fatalf("hotspots on balanced run: %+v", a.Hotspots)
+	}
+	if a.Trend.Increasing {
+		t.Fatal("balanced run reported increasing trend")
+	}
+	if a.MAD != 0 || a.Median != 100 {
+		t.Fatalf("median/MAD = %g/%g", a.Median, a.MAD)
+	}
+}
+
+func TestConstantDataWithOneDeviationUsesInfScore(t *testing.T) {
+	sos := [][]int64{
+		{100, 100, 100, 100, 100, 100, 100, 200},
+	}
+	a := Analyze(synthMatrix(sos), Options{})
+	if len(a.Hotspots) != 1 || !math.IsInf(a.Hotspots[0].Score, 1) {
+		t.Fatalf("hotspots = %+v, want one with +Inf score", a.Hotspots)
+	}
+}
+
+func TestTopKCapsHotspots(t *testing.T) {
+	sos := [][]int64{{10, 10, 10, 10, 10, 10, 1000, 2000, 3000}}
+	a := Analyze(synthMatrix(sos), Options{TopK: 2})
+	if len(a.Hotspots) != 2 {
+		t.Fatalf("TopK: %d hotspots", len(a.Hotspots))
+	}
+	if a.Hotspots[0].Segment.Index != 8 || a.Hotspots[1].Segment.Index != 7 {
+		t.Fatalf("hotspot order: %+v", a.Hotspots)
+	}
+}
+
+func TestTrendDetection(t *testing.T) {
+	// Mean SOS grows linearly from 100 to 280 — a clear slowdown.
+	var rows [][]int64
+	for rank := 0; rank < 3; rank++ {
+		var row []int64
+		for it := 0; it < 10; it++ {
+			row = append(row, int64(100+20*it))
+		}
+		rows = append(rows, row)
+	}
+	a := Analyze(synthMatrix(rows), Options{})
+	if !a.Trend.Increasing {
+		t.Fatalf("trend not detected: %+v", a.Trend)
+	}
+	if math.Abs(a.Trend.Slope-20) > 1e-9 {
+		t.Fatalf("slope = %g, want 20", a.Trend.Slope)
+	}
+	if a.Trend.R2 < 0.99 {
+		t.Fatalf("r2 = %g", a.Trend.R2)
+	}
+
+	// Decreasing run must not be flagged.
+	for rank := range rows {
+		for i, j := 0, len(rows[rank])-1; i < j; i, j = i+1, j-1 {
+			rows[rank][i], rows[rank][j] = rows[rank][j], rows[rank][i]
+		}
+	}
+	if a := Analyze(synthMatrix(rows), Options{}); a.Trend.Increasing {
+		t.Fatal("decreasing run flagged as increasing")
+	}
+}
+
+func TestRankStats(t *testing.T) {
+	sos := [][]int64{
+		{10, 20, 30},
+		{5, 5},
+	}
+	a := Analyze(synthMatrix(sos), Options{})
+	if rs := a.Ranks[0]; rs.Segments != 3 || rs.MeanSOS != 20 || rs.MaxSOS != 30 || rs.TotalSOS != 60 {
+		t.Fatalf("rank 0 stats: %+v", rs)
+	}
+	if rs := a.Ranks[1]; rs.Segments != 2 || rs.MeanSOS != 5 {
+		t.Fatalf("rank 1 stats: %+v", rs)
+	}
+	// Ragged matrix: only 2 complete iterations.
+	if len(a.Iterations) != 2 {
+		t.Fatalf("iterations = %d, want 2", len(a.Iterations))
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	a := Analyze(&segment.Matrix{PerRank: [][]segment.Segment{}}, Options{})
+	if len(a.Hotspots) != 0 || len(a.Iterations) != 0 || a.SlowestRank() != trace.NoRank {
+		t.Fatalf("empty analysis: %+v", a)
+	}
+}
+
+func TestFig3EndToEnd(t *testing.T) {
+	tr := workloads.Fig3Trace()
+	r, _ := tr.RegionByName("a")
+	m, err := segment.Compute(tr, r.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(m, Options{})
+	// Iteration 0: rank 0 computes longest (SOS 5 vs 3 vs 1).
+	if a.Iterations[0].Culprit != 0 {
+		t.Fatalf("iteration 0 culprit = %d, want 0", a.Iterations[0].Culprit)
+	}
+	if got := a.Iterations[0].Imbalance; math.Abs(got-5.0/3.0) > 1e-9 {
+		t.Fatalf("iteration 0 imbalance = %g, want 5/3", got)
+	}
+	if got := a.SlowestRank(); got != 0 {
+		t.Fatalf("slowest rank = %d, want 0", got)
+	}
+}
+
+func TestMPIFractionTimeline(t *testing.T) {
+	tr := trace.New("frac", 2)
+	calc := tr.AddRegion("calc", trace.ParadigmUser, trace.RoleFunction)
+	mpi := tr.AddRegion("MPI_Barrier", trace.ParadigmMPI, trace.RoleBarrier)
+	for rank := trace.Rank(0); rank < 2; rank++ {
+		// [0,50) calc, [50,100) MPI on both ranks.
+		tr.Append(rank, trace.Enter(0, calc))
+		tr.Append(rank, trace.Leave(50, calc))
+		tr.Append(rank, trace.Enter(50, mpi))
+		tr.Append(rank, trace.Leave(100, mpi))
+	}
+	frac := MPIFractionTimeline(tr, 2)
+	if len(frac) != 2 {
+		t.Fatalf("bins = %d", len(frac))
+	}
+	if frac[0] != 0 || frac[1] != 1 {
+		t.Fatalf("fractions = %v, want [0 1]", frac)
+	}
+	// A bin straddling the switch point.
+	frac = MPIFractionTimeline(tr, 4)
+	if frac[0] != 0 || frac[1] != 0 || frac[2] != 1 || frac[3] != 1 {
+		t.Fatalf("4-bin fractions = %v", frac)
+	}
+}
+
+func TestMPIFractionTimelineEdge(t *testing.T) {
+	if f := MPIFractionTimeline(trace.New("e", 1), 3); len(f) != 3 || f[0] != 0 {
+		t.Fatalf("empty trace fractions = %v", f)
+	}
+	if f := MPIFractionTimeline(trace.New("e", 1), 0); f != nil {
+		t.Fatalf("zero bins = %v", f)
+	}
+}
+
+func TestHotspotRanksOrdering(t *testing.T) {
+	sos := [][]int64{
+		{9, 10, 11, 10, 9, 11, 500},
+		{11, 9, 10, 11, 10, 9, 900},
+		{10, 11, 9, 10, 11, 9, 10},
+	}
+	a := Analyze(synthMatrix(sos), Options{})
+	ranks := a.HotspotRanks()
+	if len(ranks) != 2 || ranks[0] != 1 || ranks[1] != 0 {
+		t.Fatalf("HotspotRanks = %v, want [1 0]", ranks)
+	}
+}
+
+func TestAttributeWait(t *testing.T) {
+	sos := [][]int64{
+		{100, 100, 100},
+		{100, 400, 100}, // rank 1 causes iteration 1
+		{300, 100, 100}, // rank 2 causes iteration 0
+	}
+	a := AttributeWait(synthMatrix(sos))
+	// Iteration 0: culprit rank 2 (300); caused = (300-100)+(300-100)=400.
+	if a[2].CulpritIterations != 1 || a[2].CausedWait != 400 {
+		t.Fatalf("rank 2 attribution: %+v", a[2])
+	}
+	// Iteration 1: culprit rank 1 (400); caused = 300+300 = 600.
+	if a[1].CulpritIterations != 1 || a[1].CausedWait != 600 {
+		t.Fatalf("rank 1 attribution: %+v", a[1])
+	}
+	// Iteration 2: tie at 100 → first max (rank 0), caused 0.
+	if a[0].CausedWait != 0 {
+		t.Fatalf("rank 0 attribution: %+v", a[0])
+	}
+	top := TopWaitCausers(a)
+	if len(top) != 2 || top[0].Rank != 1 || top[1].Rank != 2 {
+		t.Fatalf("TopWaitCausers = %+v", top)
+	}
+}
+
+func TestAttributeWaitEdge(t *testing.T) {
+	if got := AttributeWait(&segment.Matrix{PerRank: [][]segment.Segment{}}); len(got) != 0 {
+		t.Fatalf("empty attribution: %+v", got)
+	}
+	one := synthMatrix([][]int64{{50, 60}})
+	attrs := AttributeWait(one)
+	if attrs[0].CausedWait != 0 || attrs[0].CulpritIterations != 0 {
+		t.Fatalf("single-rank attribution: %+v", attrs)
+	}
+	if got := TopWaitCausers(attrs); len(got) != 0 {
+		t.Fatalf("TopWaitCausers on single rank: %+v", got)
+	}
+}
+
+func TestAttributeWaitFig4Culprit(t *testing.T) {
+	cfg := workloads.DefaultCosmoSpecs()
+	cfg.GridX, cfg.GridY, cfg.Steps = 6, 6, 10
+	cfg.CloudCenterCol, cfg.CloudCenterRow = 2.4, 3.0
+	tr, err := workloads.CosmoSpecs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := tr.RegionByName("timestep")
+	m, err := segment.Compute(tr, r.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hottest := cfg.CloudRanks()
+	top := TopWaitCausers(AttributeWait(m))
+	if len(top) == 0 || top[0].Rank != trace.Rank(hottest) {
+		t.Fatalf("top wait causer = %+v, want rank %d", top, hottest)
+	}
+	if top[0].CulpritIterations != 10 {
+		t.Fatalf("culprit iterations = %d, want all 10", top[0].CulpritIterations)
+	}
+}
+
+func TestOptionOverrides(t *testing.T) {
+	sos := [][]int64{{100, 100, 100, 100, 100, 100, 100, 103}}
+	// Custom low threshold + disabled relative guard: the tiny deviation
+	// becomes a hotspot.
+	a := Analyze(synthMatrix(sos), Options{ZThreshold: 0.5, MinRelDeviation: -1})
+	if len(a.Hotspots) != 1 {
+		t.Fatalf("hotspots with relaxed options: %+v", a.Hotspots)
+	}
+	// Custom strict relative guard suppresses it again.
+	a = Analyze(synthMatrix(sos), Options{ZThreshold: 0.5, MinRelDeviation: 0.5})
+	if len(a.Hotspots) != 0 {
+		t.Fatalf("hotspots despite 50%% guard: %+v", a.Hotspots)
+	}
+}
+
+func TestParadigmFractionBetween(t *testing.T) {
+	tr := trace.New("win", 2)
+	calc := tr.AddRegion("calc", trace.ParadigmUser, trace.RoleFunction)
+	mpi := tr.AddRegion("MPI_Barrier", trace.ParadigmMPI, trace.RoleBarrier)
+	for rank := trace.Rank(0); rank < 2; rank++ {
+		tr.Append(rank, trace.Enter(0, calc))
+		tr.Append(rank, trace.Leave(60, calc))
+		tr.Append(rank, trace.Enter(60, mpi))
+		tr.Append(rank, trace.Leave(100, mpi))
+	}
+	// Whole run: 40% MPI.
+	if got := ParadigmFractionBetween(tr, trace.ParadigmMPI, 0, 100); got != 0.4 {
+		t.Fatalf("full fraction = %g", got)
+	}
+	// Window [60,100]: all MPI.
+	if got := ParadigmFractionBetween(tr, trace.ParadigmMPI, 60, 100); got != 1 {
+		t.Fatalf("tail fraction = %g", got)
+	}
+	// Window [0,50]: no MPI.
+	if got := ParadigmFractionBetween(tr, trace.ParadigmMPI, 0, 50); got != 0 {
+		t.Fatalf("head fraction = %g", got)
+	}
+	// Window straddling the boundary [50,70]: half MPI.
+	if got := ParadigmFractionBetween(tr, trace.ParadigmMPI, 50, 70); got != 0.5 {
+		t.Fatalf("straddle fraction = %g", got)
+	}
+	// Degenerate window.
+	if got := ParadigmFractionBetween(tr, trace.ParadigmMPI, 70, 70); got != 0 {
+		t.Fatalf("empty window fraction = %g", got)
+	}
+}
+
+func TestRankTrends(t *testing.T) {
+	// Rank 0 flat, rank 1 slows by 10/iteration, rank 2 noisy (low r²).
+	sos := [][]int64{
+		{100, 100, 100, 100, 100, 100},
+		{100, 110, 120, 130, 140, 150},
+		{100, 180, 90, 170, 95, 160},
+	}
+	trends := RankTrends(synthMatrix(sos), 0.9)
+	if len(trends) != 2 {
+		t.Fatalf("trends = %+v", trends)
+	}
+	if trends[0].Rank != 1 || math.Abs(trends[0].Slope-10) > 1e-9 {
+		t.Fatalf("top trend = %+v", trends[0])
+	}
+	if trends[1].Rank != 0 || trends[1].Slope != 0 {
+		t.Fatalf("flat trend = %+v", trends[1])
+	}
+	// Too few segments: excluded.
+	short := synthMatrix([][]int64{{5, 6}})
+	if got := RankTrends(short, 0); len(got) != 0 {
+		t.Fatalf("short-series trends = %+v", got)
+	}
+}
+
+func TestRankTrendsCosmo(t *testing.T) {
+	cfg := workloads.DefaultCosmoSpecs()
+	cfg.GridX, cfg.GridY, cfg.Steps = 6, 6, 12
+	cfg.CloudCenterCol, cfg.CloudCenterRow = 2.4, 3.0
+	tr, err := workloads.CosmoSpecs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := tr.RegionByName("timestep")
+	m, err := segment.Compute(tr, r.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trends := RankTrends(m, 0.9)
+	cloud, hottest := cfg.CloudRanks()
+	if len(trends) == 0 || trends[0].Rank != trace.Rank(hottest) {
+		t.Fatalf("steepest trend = %+v, want rank %d", trends, hottest)
+	}
+	// All steep trends belong to cloud ranks.
+	inCloud := map[int]bool{}
+	for _, c := range cloud {
+		inCloud[c] = true
+	}
+	for _, tr := range trends {
+		if tr.Slope > 50_000 && !inCloud[int(tr.Rank)] { // >50µs/iter
+			t.Fatalf("non-cloud rank %d has steep slope %g", tr.Rank, tr.Slope)
+		}
+	}
+}
+
+func TestPerIterationScoring(t *testing.T) {
+	// A strong global trend (100 → 1000) with one modest rank-relative
+	// outlier at iteration 1 (350 vs 200). Global statistics miss it —
+	// the run-wide spread swallows the deviation — while per-iteration
+	// statistics flag exactly that segment.
+	rows := make([][]int64, 4)
+	for rank := range rows {
+		for it := 0; it < 10; it++ {
+			rows[rank] = append(rows[rank], int64(100+100*it))
+		}
+	}
+	rows[2][1] += 150 // the outlier: 350 vs 200
+
+	global := Analyze(synthMatrix(rows), Options{})
+	for _, h := range global.Hotspots {
+		if h.Segment.Rank == 2 && h.Segment.Index == 1 {
+			t.Fatalf("global scoring unexpectedly found the outlier; test premise broken: %+v", global.Hotspots)
+		}
+	}
+
+	perIter := Analyze(synthMatrix(rows), Options{PerIteration: true})
+	if len(perIter.Hotspots) != 1 {
+		t.Fatalf("per-iteration hotspots = %+v, want exactly the outlier", perIter.Hotspots)
+	}
+	h := perIter.Hotspots[0]
+	if h.Segment.Rank != 2 || h.Segment.Index != 1 {
+		t.Fatalf("per-iteration hotspot at rank %d iter %d", h.Segment.Rank, h.Segment.Index)
+	}
+}
+
+func TestPerIterationRaggedTail(t *testing.T) {
+	// Rank 0 has an extra segment with no complete column: it must be
+	// skipped, not crash.
+	rows := [][]int64{
+		{100, 100, 100, 9999},
+		{100, 100, 100},
+	}
+	a := Analyze(synthMatrix(rows), Options{PerIteration: true})
+	for _, h := range a.Hotspots {
+		if h.Segment.Index >= 3 {
+			t.Fatalf("ragged-tail segment scored: %+v", h)
+		}
+	}
+}

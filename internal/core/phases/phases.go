@@ -1,0 +1,259 @@
+// Package phases classifies the segments of a run into computation
+// phases by k-means clustering over per-segment features (SOS-time and
+// synchronization fraction). This complements the hotspot analysis the
+// way the Paraver clustering extension (González et al., cited as related
+// work in the paper) complements timelines: instead of pointing at single
+// outliers it summarizes which distinct performance behaviors exist and
+// how much of the run each one covers.
+//
+// The implementation is fully deterministic: centroids are initialized by
+// farthest-point traversal from the global mean, so equal inputs always
+// produce equal clusterings.
+package phases
+
+import (
+	"math"
+
+	"perfvar/internal/core/segment"
+	"perfvar/internal/stats"
+)
+
+// Feature is the per-segment feature vector used for clustering.
+type Feature struct {
+	// SOS is the segment's synchronization-oblivious time in nanoseconds.
+	SOS float64
+	// SyncFraction is sync time / inclusive time in [0, 1].
+	SyncFraction float64
+}
+
+// Clustering is the result of phase classification.
+type Clustering struct {
+	// K is the number of clusters.
+	K int
+	// Centroids holds the cluster centers in original feature units.
+	Centroids []Feature
+	// Assign mirrors Matrix.PerRank: Assign[rank][i] is the cluster of
+	// segment i of rank.
+	Assign [][]int
+	// Sizes counts the segments per cluster.
+	Sizes []int
+	// Inertia is the summed squared normalized distance of segments to
+	// their centroids (lower = tighter clusters).
+	Inertia float64
+}
+
+// featuresOf flattens the matrix into feature vectors (rank-major) and
+// remembers the per-rank lengths.
+func featuresOf(m *segment.Matrix) []Feature {
+	out := make([]Feature, 0, m.TotalSegments())
+	for _, segs := range m.PerRank {
+		for i := range segs {
+			f := Feature{SOS: float64(segs[i].SOS())}
+			if incl := segs[i].Inclusive(); incl > 0 {
+				f.SyncFraction = float64(segs[i].Sync) / float64(incl)
+			}
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// normalizer z-scales both feature dimensions so SOS magnitude does not
+// drown the sync fraction.
+type normalizer struct {
+	meanS, stdS float64
+	meanF, stdF float64
+}
+
+func newNormalizer(fs []Feature) normalizer {
+	ss := make([]float64, len(fs))
+	ff := make([]float64, len(fs))
+	for i, f := range fs {
+		ss[i] = f.SOS
+		ff[i] = f.SyncFraction
+	}
+	n := normalizer{
+		meanS: stats.Mean(ss), stdS: stats.StdDev(ss),
+		meanF: stats.Mean(ff), stdF: stats.StdDev(ff),
+	}
+	if n.stdS == 0 {
+		n.stdS = 1
+	}
+	if n.stdF == 0 {
+		n.stdF = 1
+	}
+	return n
+}
+
+func (n normalizer) norm(f Feature) (x, y float64) {
+	return (f.SOS - n.meanS) / n.stdS, (f.SyncFraction - n.meanF) / n.stdF
+}
+
+func dist2(ax, ay, bx, by float64) float64 {
+	dx, dy := ax-bx, ay-by
+	return dx*dx + dy*dy
+}
+
+// Cluster groups the segments of m into k phases. k is clamped to
+// [1, #segments]. An empty matrix yields an empty clustering.
+func Cluster(m *segment.Matrix, k int) *Clustering {
+	fs := featuresOf(m)
+	c := &Clustering{Assign: make([][]int, len(m.PerRank))}
+	for rank, segs := range m.PerRank {
+		c.Assign[rank] = make([]int, len(segs))
+	}
+	if len(fs) == 0 {
+		return c
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(fs) {
+		k = len(fs)
+	}
+	c.K = k
+
+	n := newNormalizer(fs)
+	xs := make([]float64, len(fs))
+	ys := make([]float64, len(fs))
+	for i, f := range fs {
+		xs[i], ys[i] = n.norm(f)
+	}
+
+	// Deterministic farthest-point initialization, seeded at the point
+	// closest to the global mean (0,0 in normalized space).
+	centX := make([]float64, 0, k)
+	centY := make([]float64, 0, k)
+	first, best := 0, math.Inf(1)
+	for i := range xs {
+		if d := dist2(xs[i], ys[i], 0, 0); d < best {
+			best, first = d, i
+		}
+	}
+	centX = append(centX, xs[first])
+	centY = append(centY, ys[first])
+	for len(centX) < k {
+		far, farD := 0, -1.0
+		for i := range xs {
+			dMin := math.Inf(1)
+			for j := range centX {
+				if d := dist2(xs[i], ys[i], centX[j], centY[j]); d < dMin {
+					dMin = d
+				}
+			}
+			if dMin > farD {
+				farD, far = dMin, i
+			}
+		}
+		centX = append(centX, xs[far])
+		centY = append(centY, ys[far])
+	}
+
+	assign := make([]int, len(fs))
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for i := range xs {
+			bestC, bestD := 0, math.Inf(1)
+			for j := range centX {
+				if d := dist2(xs[i], ys[i], centX[j], centY[j]); d < bestD {
+					bestD, bestC = d, j
+				}
+			}
+			if assign[i] != bestC {
+				assign[i] = bestC
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids; empty clusters keep their position.
+		sumX := make([]float64, k)
+		sumY := make([]float64, k)
+		cnt := make([]int, k)
+		for i, a := range assign {
+			sumX[a] += xs[i]
+			sumY[a] += ys[i]
+			cnt[a]++
+		}
+		for j := 0; j < k; j++ {
+			if cnt[j] > 0 {
+				centX[j] = sumX[j] / float64(cnt[j])
+				centY[j] = sumY[j] / float64(cnt[j])
+			}
+		}
+	}
+
+	// Fill outputs.
+	c.Sizes = make([]int, k)
+	c.Centroids = make([]Feature, k)
+	sumS := make([]float64, k)
+	sumF := make([]float64, k)
+	idx := 0
+	for rank, segs := range m.PerRank {
+		for i := range segs {
+			a := assign[idx]
+			c.Assign[rank][i] = a
+			c.Sizes[a]++
+			f := fs[idx]
+			sumS[a] += f.SOS
+			sumF[a] += f.SyncFraction
+			c.Inertia += dist2(xs[idx], ys[idx], centX[a], centY[a])
+			idx++
+		}
+	}
+	for j := 0; j < k; j++ {
+		if c.Sizes[j] > 0 {
+			c.Centroids[j] = Feature{SOS: sumS[j] / float64(c.Sizes[j]), SyncFraction: sumF[j] / float64(c.Sizes[j])}
+		}
+	}
+	return c
+}
+
+// DominantCluster returns the index of the largest cluster (ties to the
+// lowest index), or -1 for an empty clustering.
+func (c *Clustering) DominantCluster() int {
+	best, bestN := -1, -1
+	for j, n := range c.Sizes {
+		if n > bestN {
+			best, bestN = j, n
+		}
+	}
+	return best
+}
+
+// SlowestCluster returns the index of the cluster with the highest
+// centroid SOS-time, or -1 for an empty clustering.
+func (c *Clustering) SlowestCluster() int {
+	best, bestV := -1, math.Inf(-1)
+	for j := range c.Centroids {
+		if c.Sizes[j] > 0 && c.Centroids[j].SOS > bestV {
+			best, bestV = j, c.Centroids[j].SOS
+		}
+	}
+	return best
+}
+
+// AutoCluster picks k in [1, maxK] by the elbow criterion (largest
+// relative inertia drop, requiring at least a 30 % improvement to accept
+// another cluster) and returns that clustering.
+func AutoCluster(m *segment.Matrix, maxK int) *Clustering {
+	if maxK < 1 {
+		maxK = 1
+	}
+	best := Cluster(m, 1)
+	prev := best
+	for k := 2; k <= maxK; k++ {
+		cur := Cluster(m, k)
+		if prev.Inertia <= 0 {
+			break
+		}
+		drop := (prev.Inertia - cur.Inertia) / prev.Inertia
+		if drop < 0.3 {
+			break
+		}
+		best = cur
+		prev = cur
+	}
+	return best
+}

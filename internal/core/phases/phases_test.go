@@ -1,0 +1,186 @@
+package phases
+
+import (
+	"testing"
+	"testing/quick"
+
+	"perfvar/internal/core/segment"
+	"perfvar/internal/trace"
+	"perfvar/internal/workloads"
+)
+
+// matrixFromSOS builds a matrix whose segments have the given SOS values
+// and zero sync time.
+func matrixFromSOS(rows [][]int64) *segment.Matrix {
+	m := &segment.Matrix{PerRank: make([][]segment.Segment, len(rows))}
+	for rank, row := range rows {
+		var t trace.Time
+		for i, v := range row {
+			m.PerRank[rank] = append(m.PerRank[rank], segment.Segment{
+				Rank: trace.Rank(rank), Index: i, Start: t, End: t + v,
+			})
+			t += v
+		}
+	}
+	return m
+}
+
+func TestTwoPhasesSeparate(t *testing.T) {
+	// Two obvious behaviors: fast (~100) and slow (~1000).
+	m := matrixFromSOS([][]int64{
+		{100, 105, 1000, 95, 990},
+		{102, 98, 1010, 100, 1005},
+	})
+	c := Cluster(m, 2)
+	if c.K != 2 {
+		t.Fatalf("K = %d", c.K)
+	}
+	slow := c.SlowestCluster()
+	fast := 1 - slow
+	if c.Sizes[slow] != 4 || c.Sizes[fast] != 6 {
+		t.Fatalf("sizes = %v (slow=%d)", c.Sizes, slow)
+	}
+	// Every ~1000 segment is in the slow cluster.
+	for rank, row := range [][]int64{{100, 105, 1000, 95, 990}, {102, 98, 1010, 100, 1005}} {
+		for i, v := range row {
+			want := fast
+			if v > 500 {
+				want = slow
+			}
+			if c.Assign[rank][i] != want {
+				t.Fatalf("rank %d seg %d (SOS %d) in cluster %d, want %d", rank, i, v, c.Assign[rank][i], want)
+			}
+		}
+	}
+	if c.DominantCluster() != fast {
+		t.Fatalf("dominant = %d, want fast %d", c.DominantCluster(), fast)
+	}
+	if c.Centroids[slow].SOS < 900 || c.Centroids[fast].SOS > 200 {
+		t.Fatalf("centroids: %+v", c.Centroids)
+	}
+}
+
+func TestClusterEdgeCases(t *testing.T) {
+	empty := Cluster(&segment.Matrix{PerRank: [][]segment.Segment{}}, 3)
+	if empty.K != 0 || empty.DominantCluster() != -1 || empty.SlowestCluster() != -1 {
+		t.Fatalf("empty clustering: %+v", empty)
+	}
+	single := Cluster(matrixFromSOS([][]int64{{42}}), 5)
+	if single.K != 1 || single.Sizes[0] != 1 {
+		t.Fatalf("single clustering: %+v", single)
+	}
+	if c := Cluster(matrixFromSOS([][]int64{{1, 2, 3}}), 0); c.K != 1 {
+		t.Fatalf("k=0 clamped to %d", c.K)
+	}
+	// Constant data: one effective phase even with k=2.
+	c := Cluster(matrixFromSOS([][]int64{{100, 100, 100, 100}}), 2)
+	total := 0
+	for _, n := range c.Sizes {
+		total += n
+	}
+	if total != 4 {
+		t.Fatalf("sizes = %v", c.Sizes)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m := matrixFromSOS([][]int64{{10, 400, 15, 390, 12, 410, 9}})
+	a := Cluster(m, 3)
+	b := Cluster(m, 3)
+	for rank := range a.Assign {
+		for i := range a.Assign[rank] {
+			if a.Assign[rank][i] != b.Assign[rank][i] {
+				t.Fatal("clustering not deterministic")
+			}
+		}
+	}
+}
+
+func TestFD4InterruptionIsolatedPhase(t *testing.T) {
+	cfg := workloads.DefaultFD4()
+	cfg.Ranks = 16
+	cfg.InterruptRank = 5
+	tr, err := workloads.FD4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := tr.RegionByName("specs_timestep")
+	m, err := segment.Compute(tr, r.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Cluster(m, 2)
+	slow := c.SlowestCluster()
+	if c.Sizes[slow] != 1 {
+		t.Fatalf("slow phase has %d segments, want exactly the interrupted one", c.Sizes[slow])
+	}
+	if got := c.Assign[cfg.InterruptRank][cfg.InterruptedSegmentIndex()]; got != slow {
+		t.Fatalf("interrupted segment in cluster %d, want %d", got, slow)
+	}
+}
+
+func TestAutoCluster(t *testing.T) {
+	// Clear two-phase structure: AutoCluster should pick k >= 2.
+	m := matrixFromSOS([][]int64{
+		{100, 100, 100, 1000, 1000, 100, 100, 1000},
+	})
+	c := AutoCluster(m, 5)
+	if c.K < 2 {
+		t.Fatalf("AutoCluster K = %d, want >= 2", c.K)
+	}
+	// Constant data: k stays 1.
+	flat := AutoCluster(matrixFromSOS([][]int64{{5, 5, 5, 5, 5}}), 5)
+	if flat.K != 1 {
+		t.Fatalf("flat AutoCluster K = %d", flat.K)
+	}
+}
+
+// Property: every segment is assigned to a valid cluster, sizes sum to
+// the segment count, and inertia stays finite and non-negative. (Strict
+// monotonicity of inertia in k is not guaranteed for k-means local
+// optima, so it is not asserted here.)
+func TestClusterInvariantsProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		row := make([]int64, len(vals))
+		for i, v := range vals {
+			row[i] = int64(v) + 1
+		}
+		m := matrixFromSOS([][]int64{row})
+		for k := 1; k <= 4 && k <= len(row); k++ {
+			c := Cluster(m, k)
+			total := 0
+			for _, n := range c.Sizes {
+				total += n
+			}
+			if total != len(row) {
+				return false
+			}
+			for _, a := range c.Assign[0] {
+				if a < 0 || a >= c.K {
+					return false
+				}
+			}
+			if c.Inertia < 0 || c.Inertia != c.Inertia { // negative or NaN
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fixed-seed check that adding a second cluster actually tightens a
+// clearly bimodal data set.
+func TestInertiaDropsOnBimodalData(t *testing.T) {
+	m := matrixFromSOS([][]int64{{100, 101, 99, 1000, 1001, 999}})
+	one := Cluster(m, 1)
+	two := Cluster(m, 2)
+	if two.Inertia >= one.Inertia/2 {
+		t.Fatalf("inertia k=2 (%g) not well below k=1 (%g)", two.Inertia, one.Inertia)
+	}
+}

@@ -1,0 +1,100 @@
+package segment
+
+// Time-based column alignment for ragged matrices. Index alignment (the
+// default) assumes every rank performs the same number of dominant-
+// function invocations — true for SPMD codes, but adaptive applications
+// (AMR, task stealing, failure recovery) produce ragged matrices where
+// iteration k of one rank overlaps iteration k+1 of another. AlignByTime
+// groups segments by wall-clock overlap instead, using the rank with the
+// most segments as the reference timeline.
+
+// AlignedColumn is one time-aligned group of segments (at most one per
+// rank; ranks with no overlapping segment are absent).
+type AlignedColumn struct {
+	// Reference is the index of the reference rank's segment that anchors
+	// this column.
+	Reference int
+	// Segments holds the aligned segments, at most one per rank.
+	Segments []Segment
+}
+
+// AlignByTime aligns the matrix's segments into columns by temporal
+// overlap with the reference rank (the one with the most segments, ties
+// to the lowest rank). Each non-reference segment joins the column whose
+// anchor it overlaps the most; segments overlapping no anchor are
+// dropped. For rectangular, synchronized matrices the result is
+// equivalent to index alignment.
+func (m *Matrix) AlignByTime() []AlignedColumn {
+	ref := -1
+	for rank, segs := range m.PerRank {
+		if ref < 0 || len(segs) > len(m.PerRank[ref]) {
+			ref = rank
+		}
+	}
+	if ref < 0 || len(m.PerRank[ref]) == 0 {
+		return nil
+	}
+	anchors := m.PerRank[ref]
+	cols := make([]AlignedColumn, len(anchors))
+	for i := range cols {
+		cols[i].Reference = i
+		cols[i].Segments = []Segment{anchors[i]}
+	}
+	type winner struct {
+		seg Segment
+		ov  int64
+	}
+	for rank, segs := range m.PerRank {
+		if rank == ref {
+			continue
+		}
+		// Best segment per column for this rank (enforces the at-most-one
+		// guarantee when several short segments overlap one anchor).
+		best := make(map[int]winner)
+		ai := 0
+		for _, seg := range segs {
+			// Advance to the first anchor that could still overlap.
+			for ai < len(anchors) && anchors[ai].End <= seg.Start {
+				ai++
+			}
+			col, colOv := -1, int64(0)
+			for j := ai; j < len(anchors) && anchors[j].Start < seg.End; j++ {
+				if ov := overlap(seg, anchors[j]); ov > colOv {
+					col, colOv = j, ov
+				}
+			}
+			if col >= 0 {
+				if w, ok := best[col]; !ok || colOv > w.ov {
+					best[col] = winner{seg: seg, ov: colOv}
+				}
+			}
+		}
+		for col, w := range best {
+			cols[col].Segments = append(cols[col].Segments, w.seg)
+		}
+	}
+	// Deterministic order within columns: by rank.
+	for i := range cols {
+		segs := cols[i].Segments
+		for a := 1; a < len(segs); a++ {
+			for b := a; b > 1 && segs[b].Rank < segs[b-1].Rank; b-- {
+				segs[b], segs[b-1] = segs[b-1], segs[b]
+			}
+		}
+	}
+	return cols
+}
+
+func overlap(a, b Segment) int64 {
+	lo, hi := a.Start, a.End
+	if b.Start > lo {
+		lo = b.Start
+	}
+	if b.End < hi {
+		hi = b.End
+	}
+	if hi > lo {
+		return hi - lo
+	}
+	return 0
+}

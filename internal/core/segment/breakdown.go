@@ -1,0 +1,87 @@
+package segment
+
+import (
+	"fmt"
+	"sort"
+
+	"perfvar/internal/trace"
+)
+
+// BreakdownEntry attributes part of a segment's wall-clock time to one
+// region (exclusive time: the interval where that region was on top of
+// the call stack).
+type BreakdownEntry struct {
+	Region trace.RegionID
+	Name   string
+	// Exclusive is the top-of-stack time of the region inside the
+	// segment.
+	Exclusive trace.Duration
+	// Share is Exclusive / segment inclusive duration.
+	Share float64
+}
+
+// Breakdown dissects one segment: for each region active inside
+// [seg.Start, seg.End] on seg.Rank it reports the exclusive time spent
+// there. The entries sum to the segment's inclusive duration and are
+// sorted by descending exclusive time. This is the paper's "focused
+// subsequent analysis" — once the SOS heatmap points at a hotspot
+// segment, Breakdown shows where inside it the time went.
+func Breakdown(tr *trace.Trace, seg Segment) ([]BreakdownEntry, error) {
+	if int(seg.Rank) < 0 || int(seg.Rank) >= tr.NumRanks() {
+		return nil, fmt.Errorf("segment: rank %d out of range", seg.Rank)
+	}
+	excl := make(map[trace.RegionID]trace.Duration)
+	var stack []trace.RegionID
+	prev := seg.Start
+	attribute := func(upTo trace.Time) {
+		a, b := prev, upTo
+		if a < seg.Start {
+			a = seg.Start
+		}
+		if b > seg.End {
+			b = seg.End
+		}
+		if b > a && len(stack) > 0 {
+			excl[stack[len(stack)-1]] += b - a
+		}
+	}
+	for _, ev := range tr.Procs[seg.Rank].Events {
+		if ev.Time > seg.End {
+			break
+		}
+		switch ev.Kind {
+		case trace.KindEnter:
+			if ev.Time >= seg.Start {
+				attribute(ev.Time)
+			}
+			stack = append(stack, ev.Region)
+			prev = ev.Time
+		case trace.KindLeave:
+			if ev.Time >= seg.Start {
+				attribute(ev.Time)
+			}
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			}
+			prev = ev.Time
+		}
+	}
+	attribute(seg.End)
+
+	out := make([]BreakdownEntry, 0, len(excl))
+	incl := seg.Inclusive()
+	for r, d := range excl {
+		e := BreakdownEntry{Region: r, Name: tr.Region(r).Name, Exclusive: d}
+		if incl > 0 {
+			e.Share = float64(d) / float64(incl)
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Exclusive != out[j].Exclusive {
+			return out[i].Exclusive > out[j].Exclusive
+		}
+		return out[i].Region < out[j].Region
+	})
+	return out, nil
+}

@@ -1,0 +1,534 @@
+package segment
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"perfvar/internal/core/dominant"
+	"perfvar/internal/trace"
+	"perfvar/internal/workloads"
+)
+
+// TestFig3SOSTimes reproduces the paper's Figure 3 exactly: segment
+// durations are equalized by the barrier (6, 3, 5 steps), while SOS-times
+// reveal the per-rank calc imbalance (first iteration: 5, 3, 1).
+func TestFig3SOSTimes(t *testing.T) {
+	tr := workloads.Fig3Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Fig3 trace invalid: %v", err)
+	}
+	sel, err := dominant.Select(tr, dominant.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Dominant.Name != "a" {
+		t.Fatalf("dominant = %q, want a", sel.Dominant.Name)
+	}
+	m, err := Compute(tr, sel.Dominant.Region, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Rectangular() || m.Iterations() != 3 || m.NumRanks() != 3 {
+		t.Fatalf("matrix shape: rect=%v iters=%d ranks=%d", m.Rectangular(), m.Iterations(), m.NumRanks())
+	}
+	durations := workloads.Fig3SegmentDurations()
+	for iter := 0; iter < 3; iter++ {
+		for rank := trace.Rank(0); rank < 3; rank++ {
+			seg := m.PerRank[rank][iter]
+			wantIncl := durations[iter] * workloads.ToyStep
+			if seg.Inclusive() != wantIncl {
+				t.Errorf("iter %d rank %d inclusive = %d, want %d", iter, rank, seg.Inclusive(), wantIncl)
+			}
+			wantSOS := workloads.Fig3CalcTimes[iter][rank] * workloads.ToyStep
+			if seg.SOS() != wantSOS {
+				t.Errorf("iter %d rank %d SOS = %d, want %d", iter, rank, seg.SOS(), wantSOS)
+			}
+		}
+	}
+	// The paper's headline numbers: first iteration SOS-times 5, 3, 1.
+	col := m.ColumnSOS(0)
+	want := []float64{5, 3, 1}
+	for i := range want {
+		if col[i] != want[i]*float64(workloads.ToyStep) {
+			t.Errorf("first-iteration SOS[%d] = %g, want %g steps", i, col[i], want[i])
+		}
+	}
+}
+
+func TestSegmentAccessors(t *testing.T) {
+	tr := workloads.Fig3Trace()
+	r, _ := tr.RegionByName("a")
+	m, err := Compute(tr, r.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TotalSegments(); got != 9 {
+		t.Fatalf("TotalSegments = %d, want 9", got)
+	}
+	if got := len(m.SOSValues()); got != 9 {
+		t.Fatalf("SOSValues len = %d", got)
+	}
+	if got := len(m.InclusiveValues()); got != 9 {
+		t.Fatalf("InclusiveValues len = %d", got)
+	}
+	if got := m.RankSOS(0); len(got) != 3 || got[0] != float64(5*workloads.ToyStep) {
+		t.Fatalf("RankSOS(0) = %v", got)
+	}
+	if got := m.Column(1); len(got) != 3 || got[2].Rank != 2 {
+		t.Fatalf("Column(1) = %+v", got)
+	}
+	if got := m.Column(99); len(got) != 0 {
+		t.Fatalf("Column(99) = %+v", got)
+	}
+}
+
+func TestClassifiers(t *testing.T) {
+	mpiRegion := trace.Region{Name: "MPI_Wait", Paradigm: trace.ParadigmMPI, Role: trace.RoleWait}
+	ompRegion := trace.Region{Name: "omp_barrier", Paradigm: trace.ParadigmOpenMP, Role: trace.RoleBarrier}
+	ioRegion := trace.Region{Name: "write", Paradigm: trace.ParadigmIO, Role: trace.RoleFileIO}
+	userRegion := trace.Region{Name: "calc", Paradigm: trace.ParadigmUser, Role: trace.RoleFunction}
+
+	if !DefaultSync.IsSync(mpiRegion) || !DefaultSync.IsSync(ompRegion) {
+		t.Error("DefaultSync must cover MPI and OpenMP")
+	}
+	if DefaultSync.IsSync(ioRegion) || DefaultSync.IsSync(userRegion) {
+		t.Error("DefaultSync must not cover IO or user regions")
+	}
+	all := ParadigmSync{MPI: true, OpenMP: true, IO: true}
+	if !all.IsSync(ioRegion) {
+		t.Error("ParadigmSync{IO:true} must cover IO")
+	}
+	var none ParadigmSync
+	if none.IsSync(mpiRegion) {
+		t.Error("zero ParadigmSync must classify nothing")
+	}
+
+	ns := NameSync{"MPI_", "omp_"}
+	if !ns.IsSync(mpiRegion) || !ns.IsSync(ompRegion) || ns.IsSync(userRegion) {
+		t.Error("NameSync prefix matching broken")
+	}
+}
+
+func TestNameSyncEquivalentToDefault(t *testing.T) {
+	tr := workloads.Fig3Trace()
+	r, _ := tr.RegionByName("a")
+	mDefault, err := Compute(tr, r.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mName, err := Compute(tr, r.ID, NameSync{"MPI"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := range mDefault.PerRank {
+		for i := range mDefault.PerRank[rank] {
+			if mDefault.PerRank[rank][i] != mName.PerRank[rank][i] {
+				t.Fatalf("rank %d seg %d differ: %+v vs %+v",
+					rank, i, mDefault.PerRank[rank][i], mName.PerRank[rank][i])
+			}
+		}
+	}
+}
+
+func TestNestedSyncCountedOnce(t *testing.T) {
+	tr := trace.New("nested", 1)
+	a := tr.AddRegion("a", trace.ParadigmUser, trace.RoleFunction)
+	red := tr.AddRegion("MPI_Reduce", trace.ParadigmMPI, trace.RoleCollective)
+	wait := tr.AddRegion("MPI_Wait", trace.ParadigmMPI, trace.RoleWait)
+	// a [0,10): MPI_Reduce [2,8) containing MPI_Wait [3,7).
+	tr.Append(0, trace.Enter(0, a))
+	tr.Append(0, trace.Enter(2, red))
+	tr.Append(0, trace.Enter(3, wait))
+	tr.Append(0, trace.Leave(7, wait))
+	tr.Append(0, trace.Leave(8, red))
+	tr.Append(0, trace.Leave(10, a))
+	m, err := Compute(tr, a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := m.PerRank[0][0]
+	if seg.Sync != 6 { // [2,8) once, not [2,8)+[3,7)
+		t.Fatalf("Sync = %d, want 6", seg.Sync)
+	}
+	if seg.SOS() != 4 {
+		t.Fatalf("SOS = %d, want 4", seg.SOS())
+	}
+}
+
+func TestSelfNestedDominantExtendsSegment(t *testing.T) {
+	tr := trace.New("selfnest", 1)
+	a := tr.AddRegion("a", trace.ParadigmUser, trace.RoleFunction)
+	mpi := tr.AddRegion("MPI_Barrier", trace.ParadigmMPI, trace.RoleBarrier)
+	// a [0,10) { a [2,6) { MPI [3,5) } }, then a [12,14).
+	tr.Append(0, trace.Enter(0, a))
+	tr.Append(0, trace.Enter(2, a))
+	tr.Append(0, trace.Enter(3, mpi))
+	tr.Append(0, trace.Leave(5, mpi))
+	tr.Append(0, trace.Leave(6, a))
+	tr.Append(0, trace.Leave(10, a))
+	tr.Append(0, trace.Enter(12, a))
+	tr.Append(0, trace.Leave(14, a))
+	m, err := Compute(tr, a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.PerRank[0]) != 2 {
+		t.Fatalf("segments = %d, want 2 (outermost only)", len(m.PerRank[0]))
+	}
+	if s := m.PerRank[0][0]; s.Start != 0 || s.End != 10 || s.Sync != 2 || s.SOS() != 8 {
+		t.Fatalf("outer segment = %+v", s)
+	}
+	if s := m.PerRank[0][1]; s.Inclusive() != 2 || s.Sync != 0 {
+		t.Fatalf("second segment = %+v", s)
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	tr := trace.New("bad", 1)
+	a := tr.AddRegion("a", trace.ParadigmUser, trace.RoleFunction)
+	if _, err := Compute(tr, trace.RegionID(42), nil); err == nil {
+		t.Fatal("undefined region accepted")
+	}
+	tr.Append(0, trace.Enter(0, a)) // unclosed
+	if _, err := Compute(tr, a, nil); err == nil {
+		t.Fatal("unclosed invocation accepted")
+	}
+	tr2 := trace.New("bad2", 1)
+	a2 := tr2.AddRegion("a", trace.ParadigmUser, trace.RoleFunction)
+	tr2.Procs[0].Events = []trace.Event{trace.Leave(1, a2)}
+	if _, err := Compute(tr2, a2, nil); err == nil {
+		t.Fatal("leave-without-enter accepted")
+	}
+}
+
+func TestOverlayMetric(t *testing.T) {
+	tr := workloads.Fig3Trace()
+	r, _ := tr.RegionByName("a")
+	m, err := Compute(tr, r.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := m.OverlayMetric(tr, "SOS-time")
+	if _, ok := tr.MetricByName("SOS-time"); !ok {
+		t.Fatal("overlay metric not defined")
+	}
+	times, values := tr.MetricSamplesRank(0, id)
+	if len(times) != 3 {
+		t.Fatalf("rank 0 overlay samples = %d, want 3", len(times))
+	}
+	if values[0] != float64(5*workloads.ToyStep) {
+		t.Fatalf("first overlay value = %g", values[0])
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace invalid after overlay: %v", err)
+	}
+}
+
+// randomSegTrace builds a random single-rank trace of nested user and sync
+// regions under repeated invocations of region "dom".
+func randomSegTrace(seed int64) (*trace.Trace, trace.RegionID) {
+	rng := rand.New(rand.NewSource(seed))
+	b := trace.NewBuilder("rnd", 1)
+	dom := b.Region("dom", trace.ParadigmUser, trace.RoleFunction)
+	user := b.Region("u", trace.ParadigmUser, trace.RoleFunction)
+	sync := b.Region("MPI_X", trace.ParadigmMPI, trace.RoleCollective)
+	now := trace.Time(0)
+	nseg := 1 + rng.Intn(8)
+	for s := 0; s < nseg; s++ {
+		now += trace.Time(rng.Intn(5))
+		b.Enter(0, now, dom)
+		var stack []trace.RegionID
+		for op := 0; op < rng.Intn(12); op++ {
+			now += trace.Time(rng.Intn(10))
+			if rng.Intn(2) == 0 || len(stack) == 0 {
+				r := user
+				if rng.Intn(2) == 0 {
+					r = sync
+				}
+				b.Enter(0, now, r)
+				stack = append(stack, r)
+			} else {
+				b.Leave(0, now, stack[len(stack)-1])
+				stack = stack[:len(stack)-1]
+			}
+		}
+		for len(stack) > 0 {
+			now += trace.Time(rng.Intn(10))
+			b.Leave(0, now, stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
+		}
+		now += trace.Time(rng.Intn(5))
+		b.Leave(0, now, dom)
+	}
+	return b.Trace(), dom
+}
+
+// Property: 0 ≤ Sync ≤ Inclusive (hence 0 ≤ SOS ≤ Inclusive), segments are
+// ordered and non-overlapping, and indices are consecutive.
+func TestSegmentInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, dom := randomSegTrace(seed)
+		m, err := Compute(tr, dom, nil)
+		if err != nil {
+			return false
+		}
+		prevEnd := trace.Time(-1)
+		for i, seg := range m.PerRank[0] {
+			if seg.Index != i {
+				return false
+			}
+			if seg.Sync < 0 || seg.Sync > seg.Inclusive() {
+				return false
+			}
+			if seg.SOS() < 0 || seg.SOS() > seg.Inclusive() {
+				return false
+			}
+			if seg.Start < prevEnd {
+				return false
+			}
+			prevEnd = seg.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a classifier that matches nothing, SOS equals inclusive
+// time; with one that matches everything, SOS is the time outside any
+// classified region.
+func TestClassifierExtremesProperty(t *testing.T) {
+	nothing := ParadigmSync{}
+	f := func(seed int64) bool {
+		tr, dom := randomSegTrace(seed)
+		m, err := Compute(tr, dom, nothing)
+		if err != nil {
+			return false
+		}
+		for _, seg := range m.PerRank[0] {
+			if seg.Sync != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdownFig3(t *testing.T) {
+	tr := workloads.Fig3Trace()
+	r, _ := tr.RegionByName("a")
+	m, err := Compute(tr, r.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 2, iteration 0: calc 1 step, MPI 5 steps, a itself 0.
+	entries, err := Breakdown(tr, m.PerRank[2][0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int64{}
+	var total int64
+	for _, e := range entries {
+		got[e.Name] = e.Exclusive / workloads.ToyStep
+		total += e.Exclusive
+	}
+	if got["MPI"] != 5 || got["calc"] != 1 {
+		t.Fatalf("breakdown = %v", got)
+	}
+	if total != m.PerRank[2][0].Inclusive() {
+		t.Fatalf("breakdown total %d != inclusive %d", total, m.PerRank[2][0].Inclusive())
+	}
+	// Sorted descending: MPI first.
+	if entries[0].Name != "MPI" {
+		t.Fatalf("order: %+v", entries)
+	}
+	if entries[0].Share <= entries[1].Share {
+		t.Fatalf("shares: %+v", entries)
+	}
+}
+
+func TestBreakdownErrors(t *testing.T) {
+	tr := workloads.Fig3Trace()
+	if _, err := Breakdown(tr, Segment{Rank: 99}); err == nil {
+		t.Fatal("bad rank accepted")
+	}
+}
+
+// Property: breakdown entries always sum to the segment's inclusive time.
+func TestBreakdownSumsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, dom := randomSegTrace(seed)
+		m, err := Compute(tr, dom, nil)
+		if err != nil {
+			return false
+		}
+		for _, seg := range m.PerRank[0] {
+			entries, err := Breakdown(tr, seg)
+			if err != nil {
+				return false
+			}
+			var total trace.Duration
+			for _, e := range entries {
+				if e.Exclusive < 0 {
+					return false
+				}
+				total += e.Exclusive
+			}
+			if total != seg.Inclusive() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlignByTimeRectangular(t *testing.T) {
+	// On the synchronized Fig3 matrix, time alignment equals index
+	// alignment.
+	tr := workloads.Fig3Trace()
+	r, _ := tr.RegionByName("a")
+	m, err := Compute(tr, r.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := m.AlignByTime()
+	if len(cols) != 3 {
+		t.Fatalf("columns = %d, want 3", len(cols))
+	}
+	for i, col := range cols {
+		if len(col.Segments) != 3 {
+			t.Fatalf("column %d has %d segments", i, len(col.Segments))
+		}
+		for _, seg := range col.Segments {
+			if seg.Index != i {
+				t.Fatalf("column %d contains segment index %d", i, seg.Index)
+			}
+		}
+	}
+}
+
+func TestAlignByTimeRagged(t *testing.T) {
+	// Rank 0 (reference): segments [0,10) [10,20) [20,30).
+	// Rank 1: one long segment [2,19) spanning anchors 0 and 1 (more
+	// overlap with anchor 0: 8 vs 9)... overlap with [0,10) is 8, with
+	// [10,20) is 9 → joins column 1; plus [22,28) joins column 2.
+	m := &Matrix{PerRank: [][]Segment{
+		{
+			{Rank: 0, Index: 0, Start: 0, End: 10},
+			{Rank: 0, Index: 1, Start: 10, End: 20},
+			{Rank: 0, Index: 2, Start: 20, End: 30},
+		},
+		{
+			{Rank: 1, Index: 0, Start: 2, End: 19},
+			{Rank: 1, Index: 1, Start: 22, End: 28},
+		},
+	}}
+	cols := m.AlignByTime()
+	if len(cols) != 3 {
+		t.Fatalf("columns = %d", len(cols))
+	}
+	if len(cols[0].Segments) != 1 {
+		t.Fatalf("column 0: %+v", cols[0])
+	}
+	if len(cols[1].Segments) != 2 || cols[1].Segments[1].Rank != 1 {
+		t.Fatalf("column 1: %+v", cols[1])
+	}
+	if len(cols[2].Segments) != 2 || cols[2].Segments[1].Index != 1 {
+		t.Fatalf("column 2: %+v", cols[2])
+	}
+}
+
+func TestAlignByTimeEdge(t *testing.T) {
+	if cols := (&Matrix{}).AlignByTime(); cols != nil {
+		t.Fatalf("empty matrix columns: %+v", cols)
+	}
+	empty := &Matrix{PerRank: [][]Segment{{}, {}}}
+	if cols := empty.AlignByTime(); cols != nil {
+		t.Fatalf("no-segment columns: %+v", cols)
+	}
+	// Non-overlapping segment is dropped.
+	m := &Matrix{PerRank: [][]Segment{
+		{{Rank: 0, Start: 0, End: 10}},
+		{{Rank: 1, Start: 50, End: 60}},
+	}}
+	cols := m.AlignByTime()
+	if len(cols) != 1 || len(cols[0].Segments) != 1 {
+		t.Fatalf("columns: %+v", cols)
+	}
+}
+
+// Property: every aligned segment overlaps its column's anchor, and no
+// rank appears twice in a column.
+func TestAlignByTimeInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, dom := randomSegTrace(seed)
+		m, err := Compute(tr, dom, nil)
+		if err != nil {
+			return false
+		}
+		cols := m.AlignByTime()
+		for _, col := range cols {
+			if len(col.Segments) == 0 {
+				return false
+			}
+			anchor := col.Segments[0]
+			seen := map[trace.Rank]bool{}
+			for _, seg := range col.Segments {
+				if seen[seg.Rank] && seg != anchor {
+					return false
+				}
+				seen[seg.Rank] = true
+				if seg != anchor && overlap(seg, anchor) == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlignByTimeOnePerRank(t *testing.T) {
+	// Two short rank-1 segments inside one anchor: only the bigger one is
+	// kept, honoring the at-most-one-per-rank guarantee. Rank 0 has the
+	// most segments and therefore anchors the columns.
+	m := &Matrix{PerRank: [][]Segment{
+		{
+			{Rank: 0, Index: 0, Start: 0, End: 10},
+			{Rank: 0, Index: 1, Start: 10, End: 20},
+			{Rank: 0, Index: 2, Start: 20, End: 30},
+		},
+		{
+			{Rank: 1, Index: 0, Start: 1, End: 3},
+			{Rank: 1, Index: 1, Start: 4, End: 9},
+			{Rank: 1, Index: 2, Start: 11, End: 19},
+		},
+	}}
+	cols := m.AlignByTime()
+	if len(cols) != 3 {
+		t.Fatalf("columns: %+v", cols)
+	}
+	if len(cols[0].Segments) != 2 {
+		t.Fatalf("column 0: %+v", cols[0])
+	}
+	kept := cols[0].Segments[1]
+	if kept.Rank != 1 || kept.Index != 1 {
+		t.Fatalf("kept segment: %+v (want the larger overlap)", kept)
+	}
+	if len(cols[1].Segments) != 2 || cols[1].Segments[1].Index != 2 {
+		t.Fatalf("column 1: %+v", cols[1])
+	}
+	if len(cols[2].Segments) != 1 {
+		t.Fatalf("column 2: %+v", cols[2])
+	}
+}

@@ -1,0 +1,86 @@
+// Package metric extracts and evaluates counter time-series from traces.
+// It supports the root-cause validation steps of the paper's case studies:
+// computing per-segment deltas of accumulated hardware counters (low
+// PAPI_TOT_CYC during an OS interruption, Fig. 5) and correlating
+// per-rank counter rates with SOS-times (FP-exception microtraps, Fig. 6).
+package metric
+
+import (
+	"fmt"
+	"sort"
+
+	"perfvar/internal/core/segment"
+	"perfvar/internal/trace"
+)
+
+// Series is one rank's samples of one metric, time-sorted.
+type Series struct {
+	Times  []trace.Time
+	Values []float64
+}
+
+// SeriesOf extracts the samples of metric id on rank from tr.
+func SeriesOf(tr *trace.Trace, rank trace.Rank, id trace.MetricID) Series {
+	times, values := tr.MetricSamplesRank(rank, id)
+	return Series{Times: times, Values: values}
+}
+
+// Len returns the number of samples.
+func (s Series) Len() int { return len(s.Times) }
+
+// ValueAt returns the most recent sample value at or before t. Before the
+// first sample it returns 0 (counters start at zero).
+func (s Series) ValueAt(t trace.Time) float64 {
+	// First index with Times[i] > t.
+	i := sort.Search(len(s.Times), func(i int) bool { return s.Times[i] > t })
+	if i == 0 {
+		return 0
+	}
+	return s.Values[i-1]
+}
+
+// DeltaIn returns the growth of an accumulated counter over [start, end]:
+// ValueAt(end) − ValueAt(start).
+func (s Series) DeltaIn(start, end trace.Time) float64 {
+	return s.ValueAt(end) - s.ValueAt(start)
+}
+
+// Last returns the final sample value, or 0 for an empty series.
+func (s Series) Last() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return s.Values[len(s.Values)-1]
+}
+
+// SegmentDeltas computes, for every segment of m, the delta of the
+// accumulated metric id across the segment. The result is shaped like
+// m.PerRank. Counter samples must bracket the segments (the simulator
+// samples at region boundaries); values between samples are held constant.
+func SegmentDeltas(tr *trace.Trace, m *segment.Matrix, id trace.MetricID) ([][]float64, error) {
+	if id < 0 || int(id) >= len(tr.Metrics) {
+		return nil, fmt.Errorf("metric: metric %d not defined", id)
+	}
+	if tr.Metrics[id].Mode != trace.MetricAccumulated {
+		return nil, fmt.Errorf("metric: %q is not an accumulated metric", tr.Metrics[id].Name)
+	}
+	out := make([][]float64, len(m.PerRank))
+	for rank, segs := range m.PerRank {
+		s := SeriesOf(tr, trace.Rank(rank), id)
+		row := make([]float64, len(segs))
+		for i := range segs {
+			row[i] = s.DeltaIn(segs[i].Start, segs[i].End)
+		}
+		out[rank] = row
+	}
+	return out, nil
+}
+
+// RankTotals returns each rank's final accumulated value of metric id.
+func RankTotals(tr *trace.Trace, id trace.MetricID) []float64 {
+	out := make([]float64, tr.NumRanks())
+	for rank := range tr.Procs {
+		out[rank] = SeriesOf(tr, trace.Rank(rank), id).Last()
+	}
+	return out
+}

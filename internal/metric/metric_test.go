@@ -1,0 +1,111 @@
+package metric
+
+import (
+	"testing"
+
+	"perfvar/internal/core/segment"
+	"perfvar/internal/trace"
+)
+
+func counterTrace() (*trace.Trace, trace.MetricID, trace.RegionID) {
+	tr := trace.New("m", 2)
+	cyc := tr.AddMetric("PAPI_TOT_CYC", "cycles", trace.MetricAccumulated)
+	a := tr.AddRegion("a", trace.ParadigmUser, trace.RoleFunction)
+	for rank := trace.Rank(0); rank < 2; rank++ {
+		base := float64(rank) * 1000
+		tr.Append(rank, trace.Sample(0, cyc, base))
+		tr.Append(rank, trace.Enter(10, a))
+		tr.Append(rank, trace.Sample(10, cyc, base+100))
+		tr.Append(rank, trace.Leave(20, a))
+		tr.Append(rank, trace.Sample(20, cyc, base+300))
+		tr.Append(rank, trace.Enter(30, a))
+		tr.Append(rank, trace.Sample(30, cyc, base+300))
+		tr.Append(rank, trace.Leave(40, a))
+		tr.Append(rank, trace.Sample(40, cyc, base+350))
+	}
+	return tr, cyc, a
+}
+
+func TestSeriesValueAt(t *testing.T) {
+	tr, cyc, _ := counterTrace()
+	s := SeriesOf(tr, 0, cyc)
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	cases := []struct {
+		t    trace.Time
+		want float64
+	}{
+		{-5, 0},   // before first sample
+		{0, 0},    // exactly at first sample
+		{5, 0},    // between samples: hold
+		{10, 100}, // at sample
+		{15, 100},
+		{25, 300},
+		{40, 350},
+		{99, 350}, // after last sample
+	}
+	for _, c := range cases {
+		if got := s.ValueAt(c.t); got != c.want {
+			t.Errorf("ValueAt(%d) = %g, want %g", c.t, got, c.want)
+		}
+	}
+}
+
+func TestSeriesDeltaAndLast(t *testing.T) {
+	tr, cyc, _ := counterTrace()
+	s := SeriesOf(tr, 1, cyc)
+	if got := s.DeltaIn(10, 20); got != 200 {
+		t.Fatalf("DeltaIn(10,20) = %g, want 200", got)
+	}
+	if got := s.DeltaIn(30, 40); got != 50 {
+		t.Fatalf("DeltaIn(30,40) = %g, want 50", got)
+	}
+	if got := s.Last(); got != 1350 {
+		t.Fatalf("Last = %g", got)
+	}
+	if got := (Series{}).Last(); got != 0 {
+		t.Fatalf("empty Last = %g", got)
+	}
+}
+
+func TestSegmentDeltas(t *testing.T) {
+	tr, cyc, a := counterTrace()
+	m, err := segment.Compute(tr, a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := SegmentDeltas(tr, m, cyc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Segment 1 [10,20): 300-100 = 200; segment 2 [30,40): 350-300 = 50.
+	for rank := 0; rank < 2; rank++ {
+		if deltas[rank][0] != 200 || deltas[rank][1] != 50 {
+			t.Fatalf("rank %d deltas = %v", rank, deltas[rank])
+		}
+	}
+}
+
+func TestSegmentDeltasErrors(t *testing.T) {
+	tr, _, a := counterTrace()
+	m, err := segment.Compute(tr, a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SegmentDeltas(tr, m, trace.MetricID(9)); err == nil {
+		t.Fatal("undefined metric accepted")
+	}
+	abs := tr.AddMetric("mem", "bytes", trace.MetricAbsolute)
+	if _, err := SegmentDeltas(tr, m, abs); err == nil {
+		t.Fatal("absolute metric accepted")
+	}
+}
+
+func TestRankTotals(t *testing.T) {
+	tr, cyc, _ := counterTrace()
+	totals := RankTotals(tr, cyc)
+	if totals[0] != 350 || totals[1] != 1350 {
+		t.Fatalf("totals = %v", totals)
+	}
+}

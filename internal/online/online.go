@@ -1,0 +1,303 @@
+// Package online implements in-situ performance-variation detection: the
+// streaming counterpart of the offline pipeline. The paper notes that
+// "in-situ analysis while the target application is still running is
+// feasible as well", but its measurement suite lacked the workflow; this
+// package provides it.
+//
+// An Analyzer consumes events rank-by-rank as they are produced (each
+// rank's stream must be fed in time order, ranks may interleave
+// arbitrarily — the same guarantee a per-node measurement daemon has). It
+// maintains the segment state machine of the dominant function per rank,
+// finishes segments incrementally, keeps a bounded deterministic
+// reservoir of SOS-times for robust statistics, and raises an Alert the
+// moment a completed segment deviates — while the application would still
+// be running, instead of after trace collection.
+package online
+
+import (
+	"fmt"
+
+	"perfvar/internal/core/segment"
+	"perfvar/internal/stats"
+	"perfvar/internal/trace"
+)
+
+// Alert is one hotspot detected during the run.
+type Alert struct {
+	Segment segment.Segment
+	// Score is the robust z-score against the statistics known at
+	// detection time (not the final statistics, unlike offline analysis).
+	Score float64
+	// SeenSegments is how many segments had completed when the alert was
+	// raised.
+	SeenSegments int
+}
+
+// Options tune the online detector.
+type Options struct {
+	// ZThreshold is the robust z-score cutoff (default 3.5).
+	ZThreshold float64
+	// MinRelDeviation is the minimal relative excess over the running
+	// median (default 5 %, negative disables), mirroring the offline
+	// analysis.
+	MinRelDeviation float64
+	// Warmup is the number of segments to observe before alerting
+	// (default 32): the estimator needs a baseline first.
+	Warmup int
+	// ReservoirSize bounds the memory of the statistics estimator
+	// (default 1024 samples).
+	ReservoirSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.ZThreshold == 0 {
+		o.ZThreshold = 3.5
+	}
+	if o.MinRelDeviation == 0 {
+		o.MinRelDeviation = 0.05
+	}
+	if o.MinRelDeviation < 0 {
+		o.MinRelDeviation = 0
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 32
+	}
+	if o.ReservoirSize == 0 {
+		o.ReservoirSize = 1024
+	}
+	return o
+}
+
+// rankState is the per-rank segment state machine (the incremental
+// version of segment.computeRank).
+type rankState struct {
+	domDepth  int
+	syncDepth int
+	syncStart trace.Time
+	cur       segment.Segment
+	count     int
+	lastTime  trace.Time
+	started   bool
+}
+
+// Analyzer is the streaming detector. Not safe for concurrent use; a
+// daemon feeding multiple ranks serializes through it (events are tiny).
+type Analyzer struct {
+	opts     Options
+	region   trace.RegionID
+	regions  []trace.Region
+	cls      segment.SyncClassifier
+	ranks    []rankState
+	resv     []float64
+	seen     int
+	rngState uint64
+	alerts   []Alert
+
+	// Cached robust statistics, refreshed lazily: recomputing the median
+	// and MAD of the reservoir on every completion would dominate the
+	// per-event cost; the baseline moves slowly, so a periodic refresh is
+	// statistically equivalent.
+	cachedMed, cachedMAD float64
+	statsAt              int
+}
+
+// New builds an analyzer for nranks ranks that segments at the given
+// dominant region. The region table supplies paradigm/role information
+// for the classifier (nil classifier means segment.DefaultSync). The
+// dominant function is typically known from a previous run or from a
+// short profiling prefix.
+func New(nranks int, regions []trace.Region, dominant trace.RegionID, cls segment.SyncClassifier, opts Options) (*Analyzer, error) {
+	if nranks <= 0 {
+		return nil, fmt.Errorf("online: nranks = %d", nranks)
+	}
+	if dominant < 0 || int(dominant) >= len(regions) {
+		return nil, fmt.Errorf("online: dominant region %d undefined", dominant)
+	}
+	if cls == nil {
+		cls = segment.DefaultSync
+	}
+	return &Analyzer{
+		opts:     opts.withDefaults(),
+		region:   dominant,
+		regions:  regions,
+		cls:      cls,
+		ranks:    make([]rankState, nranks),
+		rngState: 0x9e3779b97f4a7c15,
+	}, nil
+}
+
+// Feed consumes one event of rank. Events of the same rank must arrive in
+// time order. It returns an alert if this event completed a deviating
+// segment, or nil.
+func (a *Analyzer) Feed(rank trace.Rank, ev trace.Event) (*Alert, error) {
+	if int(rank) < 0 || int(rank) >= len(a.ranks) {
+		return nil, fmt.Errorf("online: rank %d out of range", rank)
+	}
+	rs := &a.ranks[rank]
+	if rs.started && ev.Time < rs.lastTime {
+		return nil, fmt.Errorf("online: rank %d: event at %d before %d", rank, ev.Time, rs.lastTime)
+	}
+	rs.started = true
+	rs.lastTime = ev.Time
+
+	switch ev.Kind {
+	case trace.KindEnter:
+		if !validRegion(a.regions, ev.Region) {
+			return nil, fmt.Errorf("online: rank %d: undefined region %d", rank, ev.Region)
+		}
+		if ev.Region == a.region {
+			if rs.domDepth == 0 {
+				rs.cur = segment.Segment{Rank: rank, Index: rs.count, Start: ev.Time}
+			}
+			rs.domDepth++
+		}
+		if rs.domDepth > 0 && a.cls.IsSync(a.regions[ev.Region]) {
+			if rs.syncDepth == 0 {
+				rs.syncStart = ev.Time
+			}
+			rs.syncDepth++
+		}
+	case trace.KindLeave:
+		if !validRegion(a.regions, ev.Region) {
+			return nil, fmt.Errorf("online: rank %d: undefined region %d", rank, ev.Region)
+		}
+		if rs.domDepth > 0 && a.cls.IsSync(a.regions[ev.Region]) {
+			rs.syncDepth--
+			if rs.syncDepth == 0 {
+				rs.cur.Sync += ev.Time - rs.syncStart
+			}
+			if rs.syncDepth < 0 {
+				return nil, fmt.Errorf("online: rank %d: unbalanced sync nesting", rank)
+			}
+		}
+		if ev.Region == a.region {
+			rs.domDepth--
+			if rs.domDepth < 0 {
+				return nil, fmt.Errorf("online: rank %d: leave of dominant region without enter", rank)
+			}
+			if rs.domDepth == 0 {
+				rs.cur.End = ev.Time
+				rs.count++
+				return a.complete(rs.cur), nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+func validRegion(regions []trace.Region, id trace.RegionID) bool {
+	return id >= 0 && int(id) < len(regions)
+}
+
+// nextRand is a deterministic xorshift64* step for reservoir sampling.
+func (a *Analyzer) nextRand() uint64 {
+	x := a.rngState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	a.rngState = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// complete registers a finished segment and scores it.
+func (a *Analyzer) complete(seg segment.Segment) *Alert {
+	sos := float64(seg.SOS())
+	a.seen++
+
+	var alert *Alert
+	if a.seen > a.opts.Warmup && len(a.resv) >= 2 {
+		// Refresh the cached statistics at most every 16 completions.
+		if a.statsAt == 0 || a.seen-a.statsAt >= 16 {
+			a.cachedMed = stats.Median(a.resv)
+			a.cachedMAD = stats.MAD(a.resv)
+			a.statsAt = a.seen
+		}
+		z := stats.RobustZ(sos, a.cachedMed, a.cachedMAD)
+		if z > a.opts.ZThreshold && sos >= a.cachedMed*(1+a.opts.MinRelDeviation) {
+			alert = &Alert{Segment: seg, Score: z, SeenSegments: a.seen}
+			a.alerts = append(a.alerts, *alert)
+		}
+	}
+
+	// Reservoir update (Vitter's algorithm R, deterministic PRNG).
+	if len(a.resv) < a.opts.ReservoirSize {
+		a.resv = append(a.resv, sos)
+	} else if j := a.nextRand() % uint64(a.seen); int(j) < len(a.resv) {
+		a.resv[j] = sos
+	}
+	return alert
+}
+
+// FeedTrace replays a recorded trace through the analyzer in global time
+// order (k-way heap merge of the rank streams), simulating the in-situ
+// data flow. It returns all alerts raised.
+func (a *Analyzer) FeedTrace(tr *trace.Trace) ([]Alert, error) {
+	type cursor struct {
+		rank trace.Rank
+		idx  int
+		t    trace.Time
+	}
+	// Binary min-heap over (time, rank).
+	heap := make([]cursor, 0, tr.NumRanks())
+	less := func(x, y cursor) bool {
+		if x.t != y.t {
+			return x.t < y.t
+		}
+		return x.rank < y.rank
+	}
+	up := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !less(heap[i], heap[p]) {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(heap) && less(heap[l], heap[m]) {
+				m = l
+			}
+			if r < len(heap) && less(heap[r], heap[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+	}
+	for rank := range tr.Procs {
+		if len(tr.Procs[rank].Events) > 0 {
+			heap = append(heap, cursor{rank: trace.Rank(rank), t: tr.Procs[rank].Events[0].Time})
+			up(len(heap) - 1)
+		}
+	}
+	for len(heap) > 0 {
+		cur := heap[0]
+		ev := tr.Procs[cur.rank].Events[cur.idx]
+		if _, err := a.Feed(cur.rank, ev); err != nil {
+			return nil, err
+		}
+		if next := cur.idx + 1; next < len(tr.Procs[cur.rank].Events) {
+			heap[0] = cursor{rank: cur.rank, idx: next, t: tr.Procs[cur.rank].Events[next].Time}
+			down(0)
+		} else {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+			down(0)
+		}
+	}
+	return a.alerts, nil
+}
+
+// Alerts returns every alert raised so far.
+func (a *Analyzer) Alerts() []Alert { return a.alerts }
+
+// SeenSegments returns the number of completed segments observed.
+func (a *Analyzer) SeenSegments() int { return a.seen }

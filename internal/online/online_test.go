@@ -1,0 +1,266 @@
+package online
+
+import (
+	"testing"
+
+	"perfvar/internal/core/imbalance"
+	"perfvar/internal/core/segment"
+	"perfvar/internal/trace"
+	"perfvar/internal/workloads"
+)
+
+func fd4Fixture(t *testing.T) (*trace.Trace, workloads.FD4Config, trace.RegionID) {
+	t.Helper()
+	cfg := workloads.DefaultFD4()
+	cfg.Ranks = 24
+	cfg.Iterations = 10
+	cfg.InterruptRank = 7
+	cfg.InterruptIteration = 6
+	tr, err := workloads.FD4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := tr.RegionByName("iteration")
+	if !ok {
+		t.Fatal("iteration region missing")
+	}
+	return tr, cfg, r.ID
+}
+
+func TestOnlineDetectsInterruption(t *testing.T) {
+	tr, cfg, dom := fd4Fixture(t)
+	a, err := New(tr.NumRanks(), tr.Regions, dom, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts, err := a.FeedTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) == 0 {
+		t.Fatal("no alerts for interrupted run")
+	}
+	found := false
+	for _, al := range alerts {
+		if al.Segment.Rank == trace.Rank(cfg.InterruptRank) && al.Segment.Index == cfg.InterruptIteration {
+			found = true
+			// The alert fires long before the run ends.
+			if al.SeenSegments >= a.SeenSegments() {
+				t.Errorf("alert only at the very end: seen %d of %d", al.SeenSegments, a.SeenSegments())
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("interrupted segment not alerted: %+v", alerts)
+	}
+	if a.SeenSegments() != cfg.Ranks*cfg.Iterations {
+		t.Fatalf("seen %d segments, want %d", a.SeenSegments(), cfg.Ranks*cfg.Iterations)
+	}
+}
+
+func TestOnlineQuietOnBalancedRun(t *testing.T) {
+	cfg := workloads.DefaultFD4()
+	cfg.Ranks = 16
+	cfg.Iterations = 8
+	cfg.InterruptRank = 3
+	cfg.InterruptDuration = 0 // clean run
+	tr, err := workloads.FD4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := tr.RegionByName("iteration")
+	a, err := New(tr.NumRanks(), tr.Regions, r.ID, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts, err := a.FeedTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 0 {
+		t.Fatalf("alerts on balanced run: %+v", alerts)
+	}
+}
+
+func TestOnlineMatchesOfflineSegments(t *testing.T) {
+	// The streaming state machine must produce exactly the offline
+	// segment matrix (same starts, ends, sync times).
+	tr, _, dom := fd4Fixture(t)
+	m, err := segment.Compute(tr, dom, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(tr.NumRanks(), tr.Regions, dom, nil, Options{Warmup: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []segment.Segment
+	idx := make([]int, tr.NumRanks())
+	for {
+		bestRank := -1
+		var bestTime trace.Time
+		for rank := range tr.Procs {
+			if idx[rank] >= len(tr.Procs[rank].Events) {
+				continue
+			}
+			ts := tr.Procs[rank].Events[idx[rank]].Time
+			if bestRank < 0 || ts < bestTime {
+				bestRank, bestTime = rank, ts
+			}
+		}
+		if bestRank < 0 {
+			break
+		}
+		ev := tr.Procs[bestRank].Events[idx[bestRank]]
+		idx[bestRank]++
+		// Track completions via the per-rank count rather than alerts.
+		before := a.SeenSegments()
+		if _, err := a.Feed(trace.Rank(bestRank), ev); err != nil {
+			t.Fatal(err)
+		}
+		if a.SeenSegments() > before {
+			rs := a.ranks[bestRank]
+			got = append(got, rs.cur)
+		}
+	}
+	if len(got) != m.TotalSegments() {
+		t.Fatalf("streamed %d segments, offline %d", len(got), m.TotalSegments())
+	}
+	for _, seg := range got {
+		want := m.PerRank[seg.Rank][seg.Index]
+		if seg != want {
+			t.Fatalf("segment mismatch: streamed %+v offline %+v", seg, want)
+		}
+	}
+}
+
+func TestOnlineAgreesWithOfflineHotspot(t *testing.T) {
+	tr, cfg, dom := fd4Fixture(t)
+	m, err := segment.Compute(tr, dom, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := imbalance.Analyze(m, imbalance.Options{})
+	a, err := New(tr.NumRanks(), tr.Regions, dom, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts, err := a.FeedTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The offline top hotspot must be among the online alerts.
+	top := off.Hotspots[0].Segment
+	found := false
+	for _, al := range alerts {
+		if al.Segment.Rank == top.Rank && al.Segment.Index == top.Index {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("offline top hotspot (rank %d idx %d) missed online", top.Rank, top.Index)
+	}
+	_ = cfg
+}
+
+func TestOnlineErrors(t *testing.T) {
+	regions := []trace.Region{{ID: 0, Name: "f", Paradigm: trace.ParadigmUser}}
+	if _, err := New(0, regions, 0, nil, Options{}); err == nil {
+		t.Error("nranks=0 accepted")
+	}
+	if _, err := New(2, regions, 5, nil, Options{}); err == nil {
+		t.Error("undefined dominant accepted")
+	}
+	a, err := New(1, regions, 0, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Feed(9, trace.Enter(0, 0)); err == nil {
+		t.Error("bad rank accepted")
+	}
+	if _, err := a.Feed(0, trace.Enter(5, 3)); err == nil {
+		t.Error("undefined region accepted")
+	}
+	if _, err := a.Feed(0, trace.Enter(5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Feed(0, trace.Enter(2, 0)); err == nil {
+		t.Error("time travel accepted")
+	}
+	if _, err := a.Feed(0, trace.Leave(6, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Extra leave of the dominant region.
+	if _, err := a.Feed(0, trace.Leave(7, 0)); err == nil {
+		t.Error("unbalanced leave accepted")
+	}
+}
+
+func TestOnlineWarmupSuppressesEarlyAlerts(t *testing.T) {
+	// Two ranks, the very first segment is huge: without warmup it would
+	// alert; with warmup it must not (no baseline yet).
+	regions := []trace.Region{{ID: 0, Name: "f", Paradigm: trace.ParadigmUser}}
+	a, err := New(1, regions, 0, nil, Options{Warmup: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := trace.Time(0)
+	feedSegment := func(d trace.Duration) *Alert {
+		if _, err := a.Feed(0, trace.Enter(now, 0)); err != nil {
+			t.Fatal(err)
+		}
+		now += d
+		var alert *Alert
+		alert, err = a.Feed(0, trace.Leave(now, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return alert
+	}
+	if al := feedSegment(1_000_000_000); al != nil {
+		t.Fatal("alert during warmup")
+	}
+	for i := 0; i < 15; i++ {
+		if al := feedSegment(1000); al != nil {
+			t.Fatalf("alert for normal segment %d", i)
+		}
+	}
+	if al := feedSegment(1_000_000); al == nil {
+		t.Fatal("post-warmup outlier not alerted")
+	}
+}
+
+func TestReservoirReplacement(t *testing.T) {
+	// A tiny reservoir forces algorithm-R replacements; detection must
+	// still work afterwards.
+	regions := []trace.Region{{ID: 0, Name: "f", Paradigm: trace.ParadigmUser}}
+	a, err := New(1, regions, 0, nil, Options{Warmup: 4, ReservoirSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := trace.Time(0)
+	var last *Alert
+	for i := 0; i < 200; i++ {
+		d := trace.Duration(1000 + i%7)
+		if i == 150 {
+			d = 1_000_000
+		}
+		if _, err := a.Feed(0, trace.Enter(now, 0)); err != nil {
+			t.Fatal(err)
+		}
+		now += d
+		al, err := a.Feed(0, trace.Leave(now, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if al != nil {
+			last = al
+		}
+	}
+	if last == nil || last.SeenSegments != 151 {
+		t.Fatalf("outlier not detected after reservoir churn: %+v", last)
+	}
+	if len(a.Alerts()) == 0 || a.Alerts()[0].Segment.Index != 150 {
+		t.Fatalf("Alerts() = %+v", a.Alerts())
+	}
+}

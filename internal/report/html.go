@@ -1,0 +1,113 @@
+package report
+
+import (
+	"bytes"
+	"encoding/base64"
+	"fmt"
+	"html/template"
+	"image"
+	"io"
+
+	"perfvar/internal/vis"
+)
+
+// htmlTemplate renders the report as a single self-contained page: the
+// summary table, hotspot list, and the SOS heatmap embedded as a data URI
+// so the file needs no side-car assets.
+var htmlTemplate = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>perfvar: {{.Trace}}</title>
+<style>
+ body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 70rem; color: #202024; }
+ h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+ table { border-collapse: collapse; }
+ td, th { border: 1px solid #d8d5d0; padding: 0.3rem 0.7rem; text-align: left; }
+ th { background: #f2f0eb; }
+ .hot { color: #c62e22; font-weight: 600; }
+ img { max-width: 100%; border: 1px solid #d8d5d0; margin-top: 0.5rem; }
+ .trend { background: #fff4ec; border-left: 4px solid #e8751a; padding: 0.5rem 1rem; }
+</style>
+</head>
+<body>
+<h1>perfvar analysis: {{.Trace}}</h1>
+<table>
+<tr><th>ranks</th><td>{{.Ranks}}</td></tr>
+<tr><th>events</th><td>{{.Events}}</td></tr>
+<tr><th>dominant function</th><td><b>{{.Dominant}}</b> ({{.DomCount}} invocations, {{.DomShare}} of run)</td></tr>
+<tr><th>SOS median / MAD</th><td>{{.Median}} / {{.MAD}}</td></tr>
+</table>
+{{if .TrendLine}}<p class="trend">{{.TrendLine}}</p>{{end}}
+<h2>SOS-time heatmap</h2>
+<p>blue = fast segments, red = slow; rows are ranks, x is run time.</p>
+<img alt="SOS heatmap" src="data:image/png;base64,{{.HeatmapB64}}">
+<h2>Hotspots</h2>
+{{if .Hotspots}}
+<table>
+<tr><th>#</th><th>rank</th><th>iteration</th><th>SOS-time</th><th>score</th></tr>
+{{range .Hotspots}}<tr><td>{{.N}}</td><td class="hot">{{.Rank}}</td><td>{{.Iteration}}</td><td>{{.SOS}}</td><td>{{.Score}}</td></tr>
+{{end}}</table>
+{{else}}<p>No hotspots — the run is balanced.</p>{{end}}
+</body>
+</html>
+`))
+
+type htmlHotspot struct {
+	N         int
+	Rank      int32
+	Iteration int
+	SOS       string
+	Score     string
+}
+
+type htmlData struct {
+	Trace      string
+	Ranks      int
+	Events     int
+	Dominant   string
+	DomCount   int64
+	DomShare   string
+	Median     string
+	MAD        string
+	TrendLine  string
+	HeatmapB64 string
+	Hotspots   []htmlHotspot
+}
+
+// WriteHTML renders a self-contained HTML report with the given heatmap
+// image embedded as a PNG data URI.
+func (r *Report) WriteHTML(w io.Writer, heatmap image.Image) error {
+	var png bytes.Buffer
+	if err := vis.WritePNG(&png, heatmap); err != nil {
+		return err
+	}
+	d := htmlData{
+		Trace:      r.TraceName,
+		Ranks:      r.Ranks,
+		Events:     r.Events,
+		Dominant:   r.Selection.Dominant.Name,
+		DomCount:   r.Selection.Dominant.Invocations,
+		DomShare:   fmt.Sprintf("%.1f%%", r.Selection.Dominant.Share*100),
+		Median:     vis.FormatDuration(r.Analysis.Median),
+		MAD:        vis.FormatDuration(r.Analysis.MAD),
+		HeatmapB64: base64.StdEncoding.EncodeToString(png.Bytes()),
+	}
+	if r.Analysis.Trend.Increasing {
+		d.TrendLine = fmt.Sprintf("Trend: the run slows down over time (+%s per iteration, r²=%.2f).",
+			vis.FormatDuration(r.Analysis.Trend.Slope), r.Analysis.Trend.R2)
+	}
+	for i, h := range r.Analysis.Hotspots {
+		if i >= 20 {
+			break
+		}
+		d.Hotspots = append(d.Hotspots, htmlHotspot{
+			N:         i + 1,
+			Rank:      int32(h.Segment.Rank),
+			Iteration: h.Segment.Index,
+			SOS:       vis.FormatDuration(float64(h.Segment.SOS())),
+			Score:     fmt.Sprintf("%.1f", h.Score),
+		})
+	}
+	return htmlTemplate.Execute(w, d)
+}

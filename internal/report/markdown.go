@@ -1,0 +1,62 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"perfvar/internal/core/phases"
+	"perfvar/internal/vis"
+)
+
+// WriteMarkdown renders the report as a Markdown document (for CI
+// artifacts, issue trackers, and docs).
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# perfvar analysis: %s\n\n", r.TraceName)
+	fmt.Fprintf(&b, "- ranks: **%d**, events: **%d**\n", r.Ranks, r.Events)
+	d := r.Selection.Dominant
+	fmt.Fprintf(&b, "- time-dominant function: **%s** (%d invocations, %s aggregated inclusive, %.1f%% of run)\n",
+		d.Name, d.Invocations, vis.FormatDuration(float64(d.AggInclusive)), d.Share*100)
+	a := r.Analysis
+	fmt.Fprintf(&b, "- SOS-time distribution: median %s, MAD %s\n",
+		vis.FormatDuration(a.Median), vis.FormatDuration(a.MAD))
+	if a.Trend.Increasing {
+		fmt.Fprintf(&b, "- **trend: the run slows down** (+%s per iteration, r²=%.2f)\n",
+			vis.FormatDuration(a.Trend.Slope), a.Trend.R2)
+	}
+	b.WriteString("\n## Hotspots\n\n")
+	if len(a.Hotspots) == 0 {
+		b.WriteString("No hotspots — the run is balanced.\n")
+	} else {
+		b.WriteString("| # | rank | iteration | SOS-time | score |\n")
+		b.WriteString("|---|------|-----------|----------|-------|\n")
+		for i, h := range a.Hotspots[:min(len(a.Hotspots), 15)] {
+			fmt.Fprintf(&b, "| %d | %d | %d | %s | %.1f |\n",
+				i+1, h.Segment.Rank, h.Segment.Index,
+				vis.FormatDuration(float64(h.Segment.SOS())), h.Score)
+		}
+	}
+	if n := len(r.MPIFraction); n > 1 {
+		fmt.Fprintf(&b, "\n## MPI fraction\n\nfirst bin %.0f%% → last bin %.0f%%\n",
+			r.MPIFraction[0]*100, r.MPIFraction[n-1]*100)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WritePhases appends a phase-classification section (from Clustering) in
+// the same plain-text style as WriteText.
+func WritePhases(w io.Writer, c *phases.Clustering) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Computation phases (k=%d):\n", c.K)
+	for j := range c.Centroids {
+		if c.Sizes[j] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  phase %d: %6d segments, mean SOS %s, sync fraction %.0f%%\n",
+			j, c.Sizes[j], vis.FormatDuration(c.Centroids[j].SOS), c.Centroids[j].SyncFraction*100)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

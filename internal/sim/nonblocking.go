@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"fmt"
+
+	"perfvar/internal/trace"
+)
+
+// Request is a handle for a non-blocking communication operation, to be
+// completed with Wait or Waitall. Requests are rank-local and must be
+// completed on the rank that created them.
+type Request struct {
+	owner *Proc
+	// recv-specific state
+	isRecv bool
+	key    msgKey
+	msg    message
+	done   bool
+}
+
+// pendingIrecv tracks posted-but-unmatched non-blocking receives per
+// message key, in post order.
+type pendingIrecvs map[msgKey][]*Request
+
+// Isend starts a non-blocking send of bytes to rank dst. The message is
+// eager: it is injected into the network immediately and the returned
+// request completes instantly at the next Wait. The sender pays only the
+// send overhead.
+func (p *Proc) Isend(dst int, tag int32, bytes int64) *Request {
+	if dst < 0 || dst >= p.NumRanks() {
+		panic(fmt.Sprintf("sim: rank %d: Isend to invalid rank %d", p.rank, dst))
+	}
+	net := p.eng.cfg.Network
+	r := p.mpiRegion("MPI_Isend", trace.RolePointToPoint)
+	p.Enter(r)
+	p.eng.b.Send(p.rank, p.now, trace.Rank(dst), tag, bytes)
+	arrival := p.arrivalTime(dst, bytes)
+	p.now += net.SendOverhead
+	p.Leave(r)
+	p.eng.deliver(msgKey{src: p.rank, dst: trace.Rank(dst), tag: tag},
+		message{arrival: arrival, bytes: bytes})
+	return &Request{owner: p, done: true}
+}
+
+// Irecv posts a non-blocking receive for a message with the given tag
+// from rank src. The receive completes at Wait/Waitall time.
+func (p *Proc) Irecv(src int, tag int32) *Request {
+	if src < 0 || src >= p.NumRanks() {
+		panic(fmt.Sprintf("sim: rank %d: Irecv from invalid rank %d", p.rank, src))
+	}
+	net := p.eng.cfg.Network
+	r := p.mpiRegion("MPI_Irecv", trace.RolePointToPoint)
+	p.Enter(r)
+	p.now += net.RecvOverhead / 2
+	p.Leave(r)
+
+	key := msgKey{src: trace.Rank(src), dst: p.rank, tag: tag}
+	req := &Request{owner: p, isRecv: true, key: key}
+	if q := p.eng.queues[key]; len(q) > 0 {
+		req.msg = q[0]
+		req.done = true
+		if len(q) == 1 {
+			delete(p.eng.queues, key)
+		} else {
+			p.eng.queues[key] = q[1:]
+		}
+	} else {
+		p.eng.pending[key] = append(p.eng.pending[key], req)
+	}
+	return req
+}
+
+// Wait blocks until req completes (MPI_Wait). For receive requests it
+// returns the message payload size; for send requests it returns 0.
+func (p *Proc) Wait(req *Request) int64 {
+	if req.owner != p {
+		panic(fmt.Sprintf("sim: rank %d: Wait on request owned by rank %d", p.rank, req.owner.rank))
+	}
+	r := p.mpiRegion("MPI_Wait", trace.RoleWait)
+	p.Enter(r)
+	bytes := p.completeRequest(req)
+	p.Leave(r)
+	return bytes
+}
+
+// Waitall blocks until every request completes (MPI_Waitall).
+func (p *Proc) Waitall(reqs []*Request) {
+	r := p.mpiRegion("MPI_Waitall", trace.RoleWait)
+	p.Enter(r)
+	for _, req := range reqs {
+		if req.owner != p {
+			panic(fmt.Sprintf("sim: rank %d: Waitall on request owned by rank %d", p.rank, req.owner.rank))
+		}
+		p.completeRequest(req)
+	}
+	p.Leave(r)
+}
+
+// completeRequest finishes one request inside an already-entered wait
+// region and returns the payload size for receives.
+func (p *Proc) completeRequest(req *Request) int64 {
+	if !req.isRecv {
+		// Eager send: already complete; waiting costs nothing extra.
+		return 0
+	}
+	if !req.done {
+		// Park until a matching send fulfills this request.
+		if p.eng.recvWaiters[req.key] != nil {
+			p.eng.fail(fmt.Errorf("sim: rank %d: Wait while another rank blocks on %v", p.rank, req.key))
+			p.park(stateWaitingRecv)
+		}
+		req.waiterPark(p)
+	}
+	if req.msg.arrival > p.now {
+		p.now = req.msg.arrival
+	}
+	p.now += p.eng.cfg.Network.RecvOverhead
+	p.eng.b.Recv(p.rank, p.now, req.key.src, req.key.tag, req.msg.bytes)
+	return req.msg.bytes
+}
+
+// waiterPark registers p as the blocked waiter for req and parks until the
+// engine wakes it with the fulfilled message.
+func (req *Request) waiterPark(p *Proc) {
+	p.eng.reqWaiters[req] = p
+	p.park(stateWaitingRecv)
+	delete(p.eng.reqWaiters, req)
+}
+
+// deliver routes a message to, in priority order: a blocked Recv, the
+// oldest pending Irecv, or the eager buffer.
+func (eng *engine) deliver(key msgKey, msg message) {
+	if waiter := eng.recvWaiters[key]; waiter != nil {
+		delete(eng.recvWaiters, key)
+		waiter.wakeMsg = msg
+		waiter.state = stateReady
+		return
+	}
+	if reqs := eng.pending[key]; len(reqs) > 0 {
+		req := reqs[0]
+		if len(reqs) == 1 {
+			delete(eng.pending, key)
+		} else {
+			eng.pending[key] = reqs[1:]
+		}
+		req.msg = msg
+		req.done = true
+		if waiter := eng.reqWaiters[req]; waiter != nil {
+			waiter.state = stateReady
+		}
+		return
+	}
+	eng.queues[key] = append(eng.queues[key], msg)
+}
+
+// OpenMP models a fork-join parallel region on this rank: work[i] is the
+// compute time of thread i (thread 0 is the traced master). The region
+// emits an omp_parallel function around the master's work plus an
+// omp_barrier covering the time the master waits for the slowest thread —
+// synchronization the SOS analysis subtracts, exactly like MPI waits.
+func (p *Proc) OpenMP(work []trace.Duration) {
+	if len(work) == 0 {
+		return
+	}
+	par := p.eng.b.Region("omp_parallel", trace.ParadigmOpenMP, trace.RoleFunction)
+	bar := p.eng.b.Region("omp_barrier", trace.ParadigmOpenMP, trace.RoleBarrier)
+	maxWork := work[0]
+	for _, w := range work[1:] {
+		if w > maxWork {
+			maxWork = w
+		}
+	}
+	p.Enter(par)
+	p.Compute(work[0])
+	p.Enter(bar)
+	if wait := maxWork - work[0]; wait > 0 {
+		p.Interrupt(wait) // master idles; cycles belong to the other threads
+	}
+	p.Leave(bar)
+	p.Leave(par)
+}

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"perfvar/internal/trace"
+)
+
+func TestIsendIrecvWaitall(t *testing.T) {
+	tr := mustRun(t, Config{Ranks: 2}, func(p *Proc) {
+		other := 1 - p.Rank()
+		sends := []*Request{p.Isend(other, 1, 100), p.Isend(other, 2, 200)}
+		recvs := []*Request{p.Irecv(other, 1), p.Irecv(other, 2)}
+		p.Compute(1 * trace.Millisecond)
+		p.Waitall(append(sends, recvs...))
+	})
+	for rank := 0; rank < 2; rank++ {
+		var sends, recvs int
+		for _, ev := range tr.Procs[rank].Events {
+			switch ev.Kind {
+			case trace.KindSend:
+				sends++
+			case trace.KindRecv:
+				recvs++
+			}
+		}
+		if sends != 2 || recvs != 2 {
+			t.Fatalf("rank %d: %d sends, %d recvs", rank, sends, recvs)
+		}
+	}
+	for _, name := range []string{"MPI_Isend", "MPI_Irecv", "MPI_Waitall"} {
+		if _, ok := tr.RegionByName(name); !ok {
+			t.Errorf("region %s missing", name)
+		}
+	}
+}
+
+func TestWaitReturnsPayload(t *testing.T) {
+	mustRun(t, Config{Ranks: 2}, func(p *Proc) {
+		if p.Rank() == 0 {
+			req := p.Isend(1, 5, 777)
+			if got := p.Wait(req); got != 0 {
+				panic("send Wait should return 0")
+			}
+		} else {
+			req := p.Irecv(0, 5)
+			if got := p.Wait(req); got != 777 {
+				panic("recv Wait returned wrong size")
+			}
+		}
+	})
+}
+
+func TestIrecvPostedBeforeSend(t *testing.T) {
+	// The receiver posts early, computes, and only blocks in MPI_Wait.
+	// Wait time must land in the MPI_Wait region, not in Irecv.
+	tr := mustRun(t, Config{Ranks: 2}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Compute(20 * trace.Millisecond)
+			p.Send(1, 1, 64)
+		} else {
+			req := p.Irecv(0, 1)
+			p.Compute(1 * trace.Millisecond)
+			p.Wait(req)
+		}
+	})
+	wait, ok := tr.RegionByName("MPI_Wait")
+	if !ok {
+		t.Fatal("MPI_Wait missing")
+	}
+	var dur trace.Duration
+	for _, ev := range tr.Procs[1].Events {
+		if ev.Region != wait.ID {
+			continue
+		}
+		if ev.Kind == trace.KindEnter {
+			dur -= ev.Time
+		} else if ev.Kind == trace.KindLeave {
+			dur += ev.Time
+		}
+	}
+	if dur < 18*trace.Millisecond {
+		t.Fatalf("MPI_Wait duration = %v, want ≈19ms of waiting", dur)
+	}
+}
+
+func TestIrecvAfterMessageArrived(t *testing.T) {
+	// Message sits in the eager buffer; Irecv+Wait completes immediately.
+	tr := mustRun(t, Config{Ranks: 2}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 1, 64)
+		} else {
+			p.Compute(20 * trace.Millisecond)
+			req := p.Irecv(0, 1)
+			before := p.Now()
+			p.Wait(req)
+			if p.Now()-before > trace.Millisecond {
+				panic("Wait on buffered message took too long")
+			}
+		}
+	})
+	_ = tr
+}
+
+func TestMixedBlockingAndNonblocking(t *testing.T) {
+	// Blocking Send must fulfill pending Irecvs (both go through deliver).
+	mustRun(t, Config{Ranks: 2}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Compute(5 * trace.Millisecond)
+			p.Send(1, 3, 42)
+		} else {
+			req := p.Irecv(0, 3)
+			if got := p.Wait(req); got != 42 {
+				panic("pending Irecv not fulfilled by blocking Send")
+			}
+		}
+	})
+}
+
+func TestWaitOnForeignRequestPanics(t *testing.T) {
+	_, err := Run(Config{Ranks: 2}, func(p *Proc) {
+		req := p.Isend((p.Rank()+1)%2, 1, 1)
+		if p.Rank() == 0 {
+			// Smuggle the request to the other rank via a closure is not
+			// possible here; simulate misuse by forging ownership.
+			req.owner = p.eng.procs[1]
+			p.Wait(req)
+		}
+		_ = req
+	})
+	if err == nil || !strings.Contains(err.Error(), "owned by") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIsendInvalidRank(t *testing.T) {
+	if _, err := Run(Config{Ranks: 1}, func(p *Proc) { p.Isend(3, 0, 1) }); err == nil {
+		t.Fatal("Isend to invalid rank accepted")
+	}
+	if _, err := Run(Config{Ranks: 1}, func(p *Proc) { p.Irecv(-2, 0) }); err == nil {
+		t.Fatal("Irecv from invalid rank accepted")
+	}
+}
+
+func TestWaitDeadlockDetected(t *testing.T) {
+	_, err := Run(Config{Ranks: 2}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Wait(p.Irecv(1, 9)) // never sent
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOpenMPRegion(t *testing.T) {
+	tr := mustRun(t, Config{Ranks: 1}, func(p *Proc) {
+		p.Call("step", func() {
+			// Master thread does 2ms, slowest thread 8ms.
+			p.OpenMP([]trace.Duration{2 * trace.Millisecond, 8 * trace.Millisecond, 5 * trace.Millisecond})
+		})
+	})
+	par, ok := tr.RegionByName("omp_parallel")
+	if !ok || tr.Region(par.ID).Paradigm != trace.ParadigmOpenMP {
+		t.Fatal("omp_parallel missing or wrong paradigm")
+	}
+	bar, ok := tr.RegionByName("omp_barrier")
+	if !ok || bar.Role != trace.RoleBarrier {
+		t.Fatal("omp_barrier missing or wrong role")
+	}
+	// Barrier duration = max - master = 6ms.
+	var parDur, barDur trace.Duration
+	for _, ev := range tr.Procs[0].Events {
+		var d *trace.Duration
+		switch ev.Region {
+		case par.ID:
+			d = &parDur
+		case bar.ID:
+			d = &barDur
+		default:
+			continue
+		}
+		if ev.Kind == trace.KindEnter {
+			*d -= ev.Time
+		} else if ev.Kind == trace.KindLeave {
+			*d += ev.Time
+		}
+	}
+	if parDur != 8*trace.Millisecond {
+		t.Fatalf("omp_parallel duration = %v, want 8ms", parDur)
+	}
+	if barDur != 6*trace.Millisecond {
+		t.Fatalf("omp_barrier duration = %v, want 6ms", barDur)
+	}
+}
+
+func TestOpenMPEmptyAndBalanced(t *testing.T) {
+	mustRun(t, Config{Ranks: 1}, func(p *Proc) {
+		p.OpenMP(nil) // no-op
+		p.OpenMP([]trace.Duration{3 * trace.Millisecond, 3 * trace.Millisecond})
+	})
+}
+
+// Property: a ring exchange implemented with Isend/Irecv/Waitall
+// terminates, validates, and delivers every payload.
+func TestNonblockingRingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		const ranks = 5
+		tr, err := Run(Config{Ranks: ranks, Seed: seed}, func(p *Proc) {
+			right := (p.Rank() + 1) % ranks
+			left := (p.Rank() + ranks - 1) % ranks
+			for step := 0; step < 3; step++ {
+				p.Compute(trace.Duration(p.Rng().Intn(1_000_000)))
+				reqs := []*Request{
+					p.Isend(right, int32(step), int64(100+p.Rank())),
+					p.Irecv(left, int32(step)),
+				}
+				p.Waitall(reqs)
+			}
+		})
+		if err != nil {
+			return false
+		}
+		if tr.Validate() != nil {
+			return false
+		}
+		// Every rank must have 3 sends and 3 recvs with correct peers.
+		for rank := 0; rank < ranks; rank++ {
+			recvs := 0
+			for _, ev := range tr.Procs[rank].Events {
+				if ev.Kind == trace.KindRecv {
+					recvs++
+					if int(ev.Peer) != (rank+ranks-1)%ranks {
+						return false
+					}
+					if ev.Bytes != int64(100+(rank+ranks-1)%ranks) {
+						return false
+					}
+				}
+			}
+			if recvs != 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,348 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"perfvar/internal/trace"
+)
+
+// Counter is a simulated hardware counter. Counters accumulate
+// monotonically; Sample emits their current values into the trace.
+type Counter struct {
+	id    trace.MetricID
+	name  string
+	value float64
+}
+
+// Name returns the counter's metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Value returns the counter's current accumulated value.
+func (c *Counter) Value() float64 { return c.value }
+
+// Add increases the counter by delta (which must be non-negative).
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		panic(fmt.Sprintf("sim: counter %q decremented by %g", c.name, delta))
+	}
+	c.value += delta
+}
+
+// Proc is the per-rank handle a Program uses to act on the simulation.
+// All methods must be called from the Program goroutine only.
+type Proc struct {
+	eng    *engine
+	rank   trace.Rank
+	now    trace.Time
+	state  procState
+	resume chan resumeMsg
+	rng    *rand.Rand
+
+	counters  []*Counter
+	stack     []trace.RegionID
+	ipcFactor float64
+
+	// set by the engine side while the proc is parked
+	wakeTime trace.Time
+	wakeMsg  message
+}
+
+// Rank returns the process rank (0-based).
+func (p *Proc) Rank() int { return int(p.rank) }
+
+// NumRanks returns the total number of ranks in the run.
+func (p *Proc) NumRanks() int { return len(p.eng.procs) }
+
+// Now returns the rank's current virtual time.
+func (p *Proc) Now() trace.Time { return p.now }
+
+// Rng returns the rank-local deterministic PRNG (seeded Seed+rank).
+func (p *Proc) Rng() *rand.Rand { return p.rng }
+
+// Region defines (or looks up) a user-code region.
+func (p *Proc) Region(name string) trace.RegionID {
+	return p.eng.b.Region(name, trace.ParadigmUser, trace.RoleFunction)
+}
+
+// RegionAs defines (or looks up) a region with explicit paradigm and role,
+// for modeling I/O phases or library internals.
+func (p *Proc) RegionAs(name string, par trace.Paradigm, role trace.RegionRole) trace.RegionID {
+	return p.eng.b.Region(name, par, role)
+}
+
+// Enter records entering region r now.
+func (p *Proc) Enter(r trace.RegionID) {
+	p.eng.b.Enter(p.rank, p.now, r)
+	p.stack = append(p.stack, r)
+}
+
+// Leave records leaving the innermost region, which must be r.
+func (p *Proc) Leave(r trace.RegionID) {
+	if len(p.stack) == 0 || p.stack[len(p.stack)-1] != r {
+		panic(fmt.Sprintf("sim: rank %d: unbalanced Leave", p.rank))
+	}
+	p.stack = p.stack[:len(p.stack)-1]
+	p.eng.b.Leave(p.rank, p.now, r)
+}
+
+// Call runs f inside region name.
+func (p *Proc) Call(name string, f func()) {
+	r := p.Region(name)
+	p.Enter(r)
+	f()
+	p.Leave(r)
+}
+
+// Compute advances the rank's clock by d of CPU work, crediting the cycle
+// counter at the core frequency and the instruction counter at the
+// effective IPC (BaseIPC scaled by the rank's SetIPCFactor).
+func (p *Proc) Compute(d trace.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: rank %d: negative compute %d", p.rank, d))
+	}
+	p.now += d
+	cycles := float64(d) * p.eng.cfg.Clock.CyclesPerNS
+	p.counters[0].Add(cycles)
+	p.counters[1].Add(cycles * p.eng.cfg.Clock.BaseIPC * p.ipcFactor)
+}
+
+// SetIPCFactor scales the rank's effective instructions-per-cycle rate
+// (1 = nominal). Stalled code — FP-exception microtraps, cache thrash —
+// retires fewer instructions per cycle; lowering the factor makes that
+// visible in the PAPI_TOT_INS/PAPI_TOT_CYC ratio.
+func (p *Proc) SetIPCFactor(f float64) {
+	if f < 0 {
+		panic(fmt.Sprintf("sim: rank %d: negative IPC factor %g", p.rank, f))
+	}
+	p.ipcFactor = f
+}
+
+// Instructions returns the rank's instruction counter.
+func (p *Proc) Instructions() *Counter { return p.counters[1] }
+
+// Interrupt advances the rank's clock by d without crediting CPU cycles,
+// modeling OS noise: the process was descheduled (paper Fig. 5's root
+// cause). The wall-clock gap with no cycle progress is exactly what the
+// case study's PAPI_TOT_CYC inspection reveals.
+func (p *Proc) Interrupt(d trace.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: rank %d: negative interrupt %d", p.rank, d))
+	}
+	p.now += d
+}
+
+// NewCounter registers an additional accumulating counter (for example a
+// floating-point-exception counter). Counters with the same name share the
+// metric definition but remain per-rank.
+func (p *Proc) NewCounter(name, unit string) *Counter {
+	id := p.eng.b.Metric(name, unit, trace.MetricAccumulated)
+	c := &Counter{id: id, name: name}
+	p.counters = append(p.counters, c)
+	return c
+}
+
+// Cycles returns the rank's cycle counter.
+func (p *Proc) Cycles() *Counter { return p.counters[0] }
+
+// SampleCounters emits the current value of every registered counter of
+// this rank at the current time.
+func (p *Proc) SampleCounters() {
+	for _, c := range p.counters {
+		p.eng.b.Sample(p.rank, p.now, c.id, c.value)
+	}
+}
+
+// mpiRegion returns the region ID for an MPI operation name.
+func (p *Proc) mpiRegion(name string, role trace.RegionRole) trace.RegionID {
+	return p.eng.b.Region(name, trace.ParadigmMPI, role)
+}
+
+// park hands control back to the engine and blocks until resumed. It
+// panics with errAborted when the run is being torn down.
+func (p *Proc) park(s procState) {
+	p.state = s
+	p.eng.yieldCh <- p
+	msg := <-p.resume
+	if msg.abort {
+		panic(errAborted)
+	}
+}
+
+// arrivalTime computes when a message sent now reaches dst: base latency
+// plus bandwidth-limited transfer plus topology hop latency.
+func (p *Proc) arrivalTime(dst int, bytes int64) trace.Time {
+	net := p.eng.cfg.Network
+	arrival := p.now + net.Latency + net.transferTime(bytes)
+	if topo := p.eng.cfg.Topology; topo != nil {
+		arrival += net.HopLatency * trace.Duration(topo.Hops(p.Rank(), dst))
+	}
+	return arrival
+}
+
+// Send transmits bytes to rank dst with the given tag. The send is eager:
+// the sender only pays the send overhead; the message arrives at the
+// destination after the network latency and transfer time.
+func (p *Proc) Send(dst int, tag int32, bytes int64) {
+	if dst < 0 || dst >= p.NumRanks() {
+		panic(fmt.Sprintf("sim: rank %d: Send to invalid rank %d", p.rank, dst))
+	}
+	net := p.eng.cfg.Network
+	r := p.mpiRegion("MPI_Send", trace.RolePointToPoint)
+	p.Enter(r)
+	p.eng.b.Send(p.rank, p.now, trace.Rank(dst), tag, bytes)
+	arrival := p.arrivalTime(dst, bytes)
+	p.now += net.SendOverhead
+	p.Leave(r)
+
+	p.eng.deliver(msgKey{src: p.rank, dst: trace.Rank(dst), tag: tag},
+		message{arrival: arrival, bytes: bytes})
+}
+
+// Recv blocks until a message with the given tag from rank src arrives and
+// returns its payload size. Completion time is max(posted, arrival) plus
+// the receive overhead.
+func (p *Proc) Recv(src int, tag int32) int64 {
+	if src < 0 || src >= p.NumRanks() {
+		panic(fmt.Sprintf("sim: rank %d: Recv from invalid rank %d", p.rank, src))
+	}
+	net := p.eng.cfg.Network
+	r := p.mpiRegion("MPI_Recv", trace.RolePointToPoint)
+	p.Enter(r)
+
+	key := msgKey{src: trace.Rank(src), dst: p.rank, tag: tag}
+	var msg message
+	if q := p.eng.queues[key]; len(q) > 0 {
+		msg = q[0]
+		if len(q) == 1 {
+			delete(p.eng.queues, key)
+		} else {
+			p.eng.queues[key] = q[1:]
+		}
+	} else {
+		if other := p.eng.recvWaiters[key]; other != nil {
+			p.eng.fail(fmt.Errorf("sim: ranks %d and %d both posted Recv for %v", other.rank, p.rank, key))
+			p.park(stateWaitingRecv) // unreachable resume; abort will unwind
+		}
+		p.eng.recvWaiters[key] = p
+		p.park(stateWaitingRecv)
+		msg = p.wakeMsg
+	}
+	if msg.arrival > p.now {
+		p.now = msg.arrival
+	}
+	p.now += net.RecvOverhead
+	p.eng.b.Recv(p.rank, p.now, trace.Rank(src), tag, msg.bytes)
+	p.Leave(r)
+	return msg.bytes
+}
+
+// collective runs a world collective: all ranks must call the same op (in
+// the same order), everyone leaves at max(arrival) + cost(op, bytes).
+func (p *Proc) collective(op string, role trace.RegionRole, bytes int64) {
+	eng := p.eng
+	r := p.mpiRegion(op, role)
+	p.Enter(r)
+
+	if len(eng.collArrivals) == 0 {
+		eng.collOp = op
+		eng.collBytes = bytes
+	} else if eng.collOp != op {
+		eng.fail(fmt.Errorf("sim: collective mismatch: rank %d called %q while ranks are in %q",
+			p.rank, op, eng.collOp))
+		p.park(stateWaitingColl)
+	} else if bytes > eng.collBytes {
+		eng.collBytes = bytes
+	}
+	eng.collArrivals = append(eng.collArrivals, p)
+
+	if len(eng.collArrivals) == len(eng.procs) {
+		release := trace.Time(0)
+		for _, q := range eng.collArrivals {
+			if q.now > release {
+				release = q.now
+			}
+		}
+		release += eng.collectiveCost(eng.collBytes)
+		for _, q := range eng.collArrivals {
+			q.wakeTime = release
+			if q != p {
+				q.state = stateReady
+			}
+		}
+		eng.collArrivals = nil
+		// The last arriver parks as ready so the engine resumes it at the
+		// release time like everyone else.
+		p.park(stateReady)
+	} else {
+		p.park(stateWaitingColl)
+	}
+	p.now = p.wakeTime
+	p.Leave(r)
+}
+
+func (eng *engine) collectiveCost(bytes int64) trace.Duration {
+	stages := trace.Duration(0)
+	for n := len(eng.procs); n > 1; n = (n + 1) / 2 {
+		stages++
+	}
+	return eng.cfg.Network.CollectiveBase*stages + eng.cfg.Network.transferTime(bytes)
+}
+
+// Barrier synchronizes all ranks (MPI_Barrier).
+func (p *Proc) Barrier() { p.collective("MPI_Barrier", trace.RoleBarrier, 0) }
+
+// Allreduce synchronizes all ranks and reduces bytes of payload
+// (MPI_Allreduce).
+func (p *Proc) Allreduce(bytes int64) { p.collective("MPI_Allreduce", trace.RoleCollective, bytes) }
+
+// Reduce synchronizes all ranks and reduces bytes of payload (MPI_Reduce).
+func (p *Proc) Reduce(bytes int64) { p.collective("MPI_Reduce", trace.RoleCollective, bytes) }
+
+// Alltoall synchronizes all ranks exchanging bytes of payload each
+// (MPI_Alltoall).
+func (p *Proc) Alltoall(bytes int64) { p.collective("MPI_Alltoall", trace.RoleCollective, bytes) }
+
+// Bcast broadcasts bytes from the root to all ranks (MPI_Bcast). Like all
+// simulated collectives it releases every rank at max(arrival)+cost; the
+// tree-stage cost model already reflects the log-depth dissemination.
+func (p *Proc) Bcast(bytes int64) { p.collective("MPI_Bcast", trace.RoleCollective, bytes) }
+
+// Allgather gathers bytes from every rank at every rank (MPI_Allgather).
+// The payload cost scales with the total gathered volume.
+func (p *Proc) Allgather(bytes int64) {
+	p.collective("MPI_Allgather", trace.RoleCollective, bytes*int64(p.NumRanks()))
+}
+
+// Gather collects bytes from every rank at a root (MPI_Gather).
+func (p *Proc) Gather(bytes int64) { p.collective("MPI_Gather", trace.RoleCollective, bytes) }
+
+// Scatter distributes bytes from a root to every rank (MPI_Scatter).
+func (p *Proc) Scatter(bytes int64) { p.collective("MPI_Scatter", trace.RoleCollective, bytes) }
+
+// run is the rank goroutine body.
+func (p *Proc) run(prog Program) {
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); !ok || err != errAborted {
+				p.eng.fail(fmt.Errorf("sim: rank %d panicked: %v", p.rank, r))
+			}
+		}
+		p.state = stateDone
+		p.eng.yieldCh <- p
+	}()
+	init := p.mpiRegion("MPI_Init", trace.RoleInitFinalize)
+	p.Enter(init)
+	p.Compute(10 * trace.Microsecond)
+	p.Leave(init)
+
+	prog(p)
+
+	fin := p.mpiRegion("MPI_Finalize", trace.RoleInitFinalize)
+	p.Enter(fin)
+	p.Compute(10 * trace.Microsecond)
+	p.Leave(fin)
+	if len(p.stack) != 0 {
+		p.eng.fail(fmt.Errorf("sim: rank %d finished with %d open regions", p.rank, len(p.stack)))
+	}
+}

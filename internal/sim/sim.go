@@ -1,0 +1,323 @@
+// Package sim is a deterministic, conservative discrete-event simulator
+// for SPMD message-passing programs. It stands in for the real HPC runs
+// the paper measured: workload models (internal/workloads) execute on
+// simulated ranks, and the simulator emits event traces whose structure —
+// call nesting, message events, counter samples, and crucially the wait
+// time that accumulates at synchronization points when ranks arrive
+// skewed — matches what Score-P/VampirTrace would record on a cluster.
+//
+// Each rank runs as a goroutine driven by a sequential engine: exactly one
+// rank executes at a time, and the engine always resumes the runnable rank
+// with the smallest local virtual clock. Collectives complete at
+// max(arrival)+cost; point-to-point receives complete at max(posted,
+// arrival). Virtual time is int64 nanoseconds and no wall-clock or global
+// PRNG state is read, so a given (Config, Program) pair always produces a
+// bit-identical trace.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"perfvar/internal/trace"
+)
+
+// NetworkModel holds the point-to-point and collective cost parameters.
+type NetworkModel struct {
+	// Latency is the base one-way message latency.
+	Latency trace.Duration
+	// BytesPerNS is the link bandwidth; zero means infinite bandwidth.
+	BytesPerNS float64
+	// SendOverhead is the CPU time a sender spends per Send call.
+	SendOverhead trace.Duration
+	// RecvOverhead is the CPU time a receiver spends per completed Recv.
+	RecvOverhead trace.Duration
+	// CollectiveBase is the per-stage cost of a collective; the total
+	// cost is CollectiveBase·⌈log2(p)⌉ plus the payload transfer time.
+	CollectiveBase trace.Duration
+	// HopLatency is the extra per-hop latency applied when the Config
+	// carries a Topology (zero = distance-oblivious network).
+	HopLatency trace.Duration
+}
+
+// Topology maps rank pairs to network hop distances, adding
+// HopLatency·Hops(src,dst) to point-to-point messages. A nil topology
+// models a single full-bisection switch.
+type Topology interface {
+	Hops(a, b int) int
+}
+
+// GridTopology arranges ranks row-major on an X×Y mesh; the hop distance
+// is the Manhattan distance between the endpoints' grid cells.
+type GridTopology struct {
+	X, Y int
+}
+
+// Hops implements Topology.
+func (g GridTopology) Hops(a, b int) int {
+	if g.X <= 0 {
+		return 0
+	}
+	ra, ca := a/g.X, a%g.X
+	rb, cb := b/g.X, b%g.X
+	dr, dc := ra-rb, ca-cb
+	if dr < 0 {
+		dr = -dr
+	}
+	if dc < 0 {
+		dc = -dc
+	}
+	return dr + dc
+}
+
+// DefaultNetwork models a commodity cluster interconnect: 1 µs latency,
+// 10 GB/s bandwidth.
+func DefaultNetwork() NetworkModel {
+	return NetworkModel{
+		Latency:        1 * trace.Microsecond,
+		BytesPerNS:     10.0, // 10 GB/s
+		SendOverhead:   200 * trace.Nanosecond,
+		RecvOverhead:   200 * trace.Nanosecond,
+		CollectiveBase: 2 * trace.Microsecond,
+	}
+}
+
+func (n NetworkModel) transferTime(bytes int64) trace.Duration {
+	if n.BytesPerNS <= 0 || bytes <= 0 {
+		return 0
+	}
+	return trace.Duration(float64(bytes) / n.BytesPerNS)
+}
+
+// ClockModel maps compute time to hardware-counter increments.
+type ClockModel struct {
+	// CyclesPerNS is the core frequency in cycles per nanosecond (GHz).
+	CyclesPerNS float64
+	// BaseIPC is the instructions-per-cycle rate of unimpeded compute;
+	// per-rank efficiency factors (Proc.SetIPCFactor) scale it down, e.g.
+	// for code stalled by FP-exception microtraps.
+	BaseIPC float64
+}
+
+// DefaultClock models a 2.5 GHz core retiring 1.5 instructions/cycle.
+func DefaultClock() ClockModel { return ClockModel{CyclesPerNS: 2.5, BaseIPC: 1.5} }
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Name labels the produced trace.
+	Name string
+	// Ranks is the number of simulated processing elements.
+	Ranks int
+	// Seed seeds the per-rank PRNGs (rank r uses Seed + r).
+	Seed int64
+	// Network and Clock default to DefaultNetwork/DefaultClock when zero.
+	Network NetworkModel
+	Clock   ClockModel
+	// Topology optionally adds distance-dependent latency to
+	// point-to-point messages (see NetworkModel.HopLatency).
+	Topology Topology
+}
+
+// Program is the SPMD body executed by every rank.
+type Program func(p *Proc)
+
+// CycleCounterName is the simulated equivalent of PAPI_TOT_CYC: total CPU
+// cycles assigned to the process. Compute advances it; Interrupt (OS
+// noise) does not, which is how the paper's Fig. 5 root cause — a low
+// cycle count during a long invocation — becomes observable.
+const CycleCounterName = "PAPI_TOT_CYC"
+
+// InstructionCounterName is the simulated equivalent of PAPI_TOT_INS.
+// Together with the cycle counter it yields IPC, whose per-rank drop is
+// another root-cause signal for microarchitectural stalls.
+const InstructionCounterName = "PAPI_TOT_INS"
+
+type procState uint8
+
+const (
+	stateNew procState = iota
+	stateReady
+	stateRunning
+	stateWaitingColl
+	stateWaitingRecv
+	stateDone
+)
+
+type msgKey struct {
+	src, dst trace.Rank
+	tag      int32
+}
+
+type message struct {
+	arrival trace.Time
+	bytes   int64
+}
+
+type resumeMsg struct {
+	abort bool
+}
+
+var errAborted = errors.New("sim: run aborted")
+
+// Engine coordinates the simulated ranks. Create one per Run; it is not
+// reusable.
+type engine struct {
+	cfg     Config
+	b       *trace.Builder
+	procs   []*Proc
+	yieldCh chan *Proc
+
+	queues      map[msgKey][]message
+	recvWaiters map[msgKey]*Proc
+	pending     pendingIrecvs
+	reqWaiters  map[*Request]*Proc
+
+	collOp       string
+	collBytes    int64
+	collArrivals []*Proc
+
+	failure error
+}
+
+// Run executes prog on cfg.Ranks simulated ranks and returns the recorded
+// trace. It returns an error for invalid configurations, deadlocks,
+// mismatched collectives, or a panicking program.
+func Run(cfg Config, prog Program) (*trace.Trace, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("sim: Ranks = %d, need > 0", cfg.Ranks)
+	}
+	if prog == nil {
+		return nil, errors.New("sim: nil program")
+	}
+	if cfg.Network == (NetworkModel{}) {
+		cfg.Network = DefaultNetwork()
+	}
+	if cfg.Clock == (ClockModel{}) {
+		cfg.Clock = DefaultClock()
+	}
+	if cfg.Name == "" {
+		cfg.Name = "sim"
+	}
+
+	eng := &engine{
+		cfg:         cfg,
+		b:           trace.NewBuilder(cfg.Name, cfg.Ranks),
+		yieldCh:     make(chan *Proc),
+		queues:      make(map[msgKey][]message),
+		recvWaiters: make(map[msgKey]*Proc),
+		pending:     make(pendingIrecvs),
+		reqWaiters:  make(map[*Request]*Proc),
+	}
+	cycID := eng.b.Metric(CycleCounterName, "cycles", trace.MetricAccumulated)
+	insID := eng.b.Metric(InstructionCounterName, "instructions", trace.MetricAccumulated)
+	eng.procs = make([]*Proc, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		p := &Proc{
+			eng:       eng,
+			rank:      trace.Rank(r),
+			state:     stateNew,
+			resume:    make(chan resumeMsg),
+			rng:       rand.New(rand.NewSource(cfg.Seed + int64(r))),
+			ipcFactor: 1,
+		}
+		p.counters = []*Counter{
+			{id: cycID, name: CycleCounterName},
+			{id: insID, name: InstructionCounterName},
+		}
+		eng.procs[r] = p
+	}
+
+	if err := eng.loop(prog); err != nil {
+		return nil, err
+	}
+	return eng.b.Trace(), nil
+}
+
+func (eng *engine) loop(prog Program) error {
+	for {
+		p := eng.pick()
+		if p == nil {
+			if eng.failure != nil {
+				eng.abortAll()
+				return eng.failure
+			}
+			if eng.allDone() {
+				return nil
+			}
+			eng.failure = eng.deadlockError()
+			eng.abortAll()
+			return eng.failure
+		}
+		if p.state == stateNew {
+			p.state = stateRunning
+			go p.run(prog)
+		} else {
+			p.state = stateRunning
+			p.resume <- resumeMsg{}
+		}
+		<-eng.yieldCh
+		if eng.failure != nil {
+			eng.abortAll()
+			return eng.failure
+		}
+	}
+}
+
+// pick returns the runnable proc with the smallest local time (ties to the
+// lowest rank), or nil.
+func (eng *engine) pick() *Proc {
+	var best *Proc
+	for _, p := range eng.procs {
+		if p.state != stateReady && p.state != stateNew {
+			continue
+		}
+		if best == nil || p.now < best.now {
+			best = p
+		}
+	}
+	return best
+}
+
+func (eng *engine) allDone() bool {
+	for _, p := range eng.procs {
+		if p.state != stateDone {
+			return false
+		}
+	}
+	return true
+}
+
+func (eng *engine) deadlockError() error {
+	waiting := 0
+	detail := ""
+	for _, p := range eng.procs {
+		switch p.state {
+		case stateWaitingColl:
+			waiting++
+			detail = fmt.Sprintf("rank %d in collective %q", p.rank, eng.collOp)
+		case stateWaitingRecv:
+			waiting++
+			detail = fmt.Sprintf("rank %d in blocking recv", p.rank)
+		}
+	}
+	return fmt.Errorf("sim: deadlock: %d ranks blocked (%s)", waiting, detail)
+}
+
+// abortAll unblocks every parked goroutine so they can unwind.
+func (eng *engine) abortAll() {
+	for _, p := range eng.procs {
+		if p.state == stateDone || p.state == stateNew {
+			continue
+		}
+		p.state = stateRunning
+		p.resume <- resumeMsg{abort: true}
+		<-eng.yieldCh
+	}
+}
+
+func (eng *engine) fail(err error) {
+	if eng.failure == nil {
+		eng.failure = err
+	}
+}

@@ -1,0 +1,235 @@
+// Package stats provides the small set of numeric routines the perfvar
+// analyses need: moments, order statistics, robust z-scores, linear
+// regression, and Pearson correlation. All functions are allocation-light
+// and treat empty inputs as zero rather than panicking, so analysis code
+// can compose them without per-call-site guards.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the smallest and largest value of xs, or (0, 0) for an
+// empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Median returns the median of xs, or 0 for an empty slice. The input is
+// not modified.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+// The input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MAD returns the median absolute deviation of xs around its median.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Median(xs)
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - m)
+	}
+	return Median(devs)
+}
+
+// RobustZ returns the robust z-score of x against the distribution
+// described by median med and median absolute deviation mad:
+//
+//	z = 0.6745 · (x − med) / mad
+//
+// The 0.6745 factor makes the score comparable to a standard z-score for
+// normally distributed data. If mad is zero (constant data), RobustZ falls
+// back to 0 when x equals med and ±Inf otherwise, so genuinely deviating
+// points still rank above everything else.
+func RobustZ(x, med, mad float64) float64 {
+	if mad == 0 {
+		switch {
+		case x == med:
+			return 0
+		case x > med:
+			return math.Inf(1)
+		default:
+			return math.Inf(-1)
+		}
+	}
+	return 0.6745 * (x - med) / mad
+}
+
+// LinearRegression fits y = slope·x + intercept by least squares and
+// returns the fit together with the coefficient of determination r².
+// Fewer than two points, or constant xs, yield a zero slope with intercept
+// Mean(ys) and r² = 0.
+func LinearRegression(xs, ys []float64) (slope, intercept, r2 float64) {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	if n < 2 {
+		return 0, Mean(ys), 0
+	}
+	mx := Mean(xs[:n])
+	my := Mean(ys[:n])
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, my, 0
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		// ys constant: the fit is exact.
+		return slope, intercept, 1
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return slope, intercept, r2
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired
+// samples. It returns 0 when either side is constant or when fewer than
+// two pairs are available.
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	if n < 2 {
+		return 0
+	}
+	mx := Mean(xs[:n])
+	my := Mean(ys[:n])
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Histogram bins xs into n equal-width buckets spanning [lo, hi] and
+// returns the per-bucket counts. Values outside the range are clamped to
+// the first or last bucket. n must be positive.
+func Histogram(xs []float64, lo, hi float64, n int) []int {
+	counts := make([]int, n)
+	if hi <= lo {
+		counts[0] = len(xs)
+		return counts
+	}
+	width := (hi - lo) / float64(n)
+	for _, x := range xs {
+		i := int((x - lo) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		counts[i]++
+	}
+	return counts
+}
+
+// ImbalanceRatio returns max/mean of xs — the classic load-imbalance
+// factor (1 = perfectly balanced). It returns 1 for empty or all-zero
+// input.
+func ImbalanceRatio(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 1
+	}
+	_, hi := MinMax(xs)
+	return hi / m
+}

@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %g, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("Variance = %g, want 4", v)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Fatalf("StdDev = %g, want 2", s)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("empty/single-sample edge cases")
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = (%g,%g)", lo, hi)
+	}
+	if lo, hi := MinMax(nil); lo != 0 || hi != 0 {
+		t.Fatalf("MinMax(nil) = (%g,%g)", lo, hi)
+	}
+	if s := Sum([]float64{1, 2, 3}); s != 6 {
+		t.Fatalf("Sum = %g", s)
+	}
+}
+
+func TestMedianPercentile(t *testing.T) {
+	if m := Median([]float64{5, 1, 3}); m != 3 {
+		t.Fatalf("odd Median = %g", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("even Median = %g", m)
+	}
+	if m := Median(nil); m != 0 {
+		t.Fatalf("Median(nil) = %g", m)
+	}
+	xs := []float64{1, 2, 3, 4, 5}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("P0 = %g", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Fatalf("P100 = %g", p)
+	}
+	if p := Percentile(xs, 25); p != 2 {
+		t.Fatalf("P25 = %g", p)
+	}
+	if p := Percentile(xs, 110); p != 5 {
+		t.Fatalf("P110 = %g", p)
+	}
+	if p := Percentile(xs, -10); p != 1 {
+		t.Fatalf("P-10 = %g", p)
+	}
+	// Percentile must not modify its input.
+	in := []float64{9, 1, 5}
+	Percentile(in, 50)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestMADAndRobustZ(t *testing.T) {
+	xs := []float64{1, 1, 2, 2, 4, 6, 9}
+	if m := MAD(xs); m != 1 {
+		t.Fatalf("MAD = %g, want 1", m)
+	}
+	if z := RobustZ(9, 2, 1); !almostEqual(z, 0.6745*7, 1e-12) {
+		t.Fatalf("RobustZ = %g", z)
+	}
+	if z := RobustZ(5, 5, 0); z != 0 {
+		t.Fatalf("RobustZ constant same = %g", z)
+	}
+	if z := RobustZ(6, 5, 0); !math.IsInf(z, 1) {
+		t.Fatalf("RobustZ constant above = %g", z)
+	}
+	if z := RobustZ(4, 5, 0); !math.IsInf(z, -1) {
+		t.Fatalf("RobustZ constant below = %g", z)
+	}
+	if MAD(nil) != 0 {
+		t.Fatal("MAD(nil) != 0")
+	}
+}
+
+func TestLinearRegressionExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, r2 := LinearRegression(xs, ys)
+	if !almostEqual(slope, 2, 1e-12) || !almostEqual(intercept, 1, 1e-12) || !almostEqual(r2, 1, 1e-12) {
+		t.Fatalf("fit = (%g, %g, %g)", slope, intercept, r2)
+	}
+}
+
+func TestLinearRegressionEdge(t *testing.T) {
+	if s, i, r := LinearRegression(nil, nil); s != 0 || i != 0 || r != 0 {
+		t.Fatalf("empty fit = (%g,%g,%g)", s, i, r)
+	}
+	// Constant xs.
+	if s, _, r := LinearRegression([]float64{2, 2, 2}, []float64{1, 2, 3}); s != 0 || r != 0 {
+		t.Fatalf("constant-x fit = (%g,%g)", s, r)
+	}
+	// Constant ys: exact fit.
+	s, i, r := LinearRegression([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if s != 0 || i != 5 || r != 1 {
+		t.Fatalf("constant-y fit = (%g,%g,%g)", s, i, r)
+	}
+	// Length mismatch uses the shorter prefix.
+	s, _, _ = LinearRegression([]float64{0, 1, 2, 3}, []float64{0, 2})
+	if !almostEqual(s, 2, 1e-12) {
+		t.Fatalf("prefix fit slope = %g", s)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if r := Pearson(xs, []float64{2, 4, 6, 8}); !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("perfect positive r = %g", r)
+	}
+	if r := Pearson(xs, []float64{8, 6, 4, 2}); !almostEqual(r, -1, 1e-12) {
+		t.Fatalf("perfect negative r = %g", r)
+	}
+	if r := Pearson(xs, []float64{5, 5, 5, 5}); r != 0 {
+		t.Fatalf("constant r = %g", r)
+	}
+	if r := Pearson([]float64{1}, []float64{2}); r != 0 {
+		t.Fatalf("single-pair r = %g", r)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0, 0.5, 1, 1.5, 2, 5, -3}, 0, 2, 4)
+	// buckets: [0,0.5) [0.5,1) [1,1.5) [1.5,2]; clamped: 5->last, -3->first
+	want := []int{2, 1, 1, 3}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("Histogram = %v, want %v", h, want)
+		}
+	}
+	h = Histogram([]float64{1, 2}, 3, 3, 2)
+	if h[0] != 2 || h[1] != 0 {
+		t.Fatalf("degenerate range Histogram = %v", h)
+	}
+}
+
+func TestImbalanceRatio(t *testing.T) {
+	if r := ImbalanceRatio([]float64{1, 1, 1, 1}); r != 1 {
+		t.Fatalf("balanced ratio = %g", r)
+	}
+	if r := ImbalanceRatio([]float64{1, 1, 1, 5}); r != 2.5 {
+		t.Fatalf("imbalanced ratio = %g", r)
+	}
+	if r := ImbalanceRatio(nil); r != 1 {
+		t.Fatalf("empty ratio = %g", r)
+	}
+	if r := ImbalanceRatio([]float64{0, 0}); r != 1 {
+		t.Fatalf("zero ratio = %g", r)
+	}
+}
+
+// Property: Percentile is monotone in p and bounded by MinMax.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		lo, hi := MinMax(xs)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := Percentile(xs, p)
+			if v < prev || v < lo || v > hi {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Pearson(xs, a·xs+b) = ±1 for a ≠ 0.
+func TestPearsonAffineProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*100 + float64(i) // ensure non-constant
+		}
+		a := rng.Float64()*10 + 0.1
+		if rng.Intn(2) == 0 {
+			a = -a
+		}
+		b := rng.NormFloat64() * 50
+		ys := make([]float64, n)
+		for i := range ys {
+			ys[i] = a*xs[i] + b
+		}
+		r := Pearson(xs, ys)
+		want := 1.0
+		if a < 0 {
+			want = -1
+		}
+		return almostEqual(r, want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Mean lies within [min, max] and variance is non-negative.
+func TestMomentBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		finite := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				finite = append(finite, x)
+			}
+		}
+		if len(finite) == 0 {
+			return true
+		}
+		lo, hi := MinMax(finite)
+		m := Mean(finite)
+		return m >= lo-1e-6 && m <= hi+1e-6 && Variance(finite) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

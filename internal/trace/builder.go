@@ -1,0 +1,106 @@
+package trace
+
+import "fmt"
+
+// Builder incrementally constructs a Trace. It deduplicates region and
+// metric definitions by name and offers per-rank cursors that enforce
+// non-decreasing timestamps at build time, failing fast instead of
+// producing a trace that Validate would later reject.
+type Builder struct {
+	tr      *Trace
+	regions map[string]RegionID
+	metrics map[string]MetricID
+	last    []Time
+	depth   []int
+}
+
+// NewBuilder returns a builder for a trace named name with nranks ranks.
+func NewBuilder(name string, nranks int) *Builder {
+	return &Builder{
+		tr:      New(name, nranks),
+		regions: make(map[string]RegionID),
+		metrics: make(map[string]MetricID),
+		last:    make([]Time, nranks),
+		depth:   make([]int, nranks),
+	}
+}
+
+// Region returns the ID for the named region, defining it on first use.
+// Later calls with the same name ignore paradigm and role.
+func (b *Builder) Region(name string, p Paradigm, role RegionRole) RegionID {
+	if id, ok := b.regions[name]; ok {
+		return id
+	}
+	id := b.tr.AddRegion(name, p, role)
+	b.regions[name] = id
+	return id
+}
+
+// Metric returns the ID for the named metric, defining it on first use.
+func (b *Builder) Metric(name, unit string, mode MetricMode) MetricID {
+	if id, ok := b.metrics[name]; ok {
+		return id
+	}
+	id := b.tr.AddMetric(name, unit, mode)
+	b.metrics[name] = id
+	return id
+}
+
+func (b *Builder) stamp(rank Rank, t Time) {
+	if t < b.last[rank] {
+		panic(fmt.Sprintf("trace.Builder: rank %d timestamp %d before %d", rank, t, b.last[rank]))
+	}
+	b.last[rank] = t
+}
+
+// Enter records entering region r on rank at time t.
+func (b *Builder) Enter(rank Rank, t Time, r RegionID) {
+	b.stamp(rank, t)
+	b.depth[rank]++
+	b.tr.Append(rank, Enter(t, r))
+}
+
+// Leave records leaving region r on rank at time t.
+func (b *Builder) Leave(rank Rank, t Time, r RegionID) {
+	b.stamp(rank, t)
+	b.depth[rank]--
+	b.tr.Append(rank, Leave(t, r))
+}
+
+// Sample records a metric sample on rank at time t.
+func (b *Builder) Sample(rank Rank, t Time, m MetricID, v float64) {
+	b.stamp(rank, t)
+	b.tr.Append(rank, Sample(t, m, v))
+}
+
+// Send records a message-send event on rank at time t.
+func (b *Builder) Send(rank Rank, t Time, to Rank, tag int32, bytes int64) {
+	b.stamp(rank, t)
+	b.tr.Append(rank, Send(t, to, tag, bytes))
+}
+
+// Recv records a message-receive event on rank at time t.
+func (b *Builder) Recv(rank Rank, t Time, from Rank, tag int32, bytes int64) {
+	b.stamp(rank, t)
+	b.tr.Append(rank, Recv(t, from, tag, bytes))
+}
+
+// Depth returns the current enter/leave nesting depth of rank.
+func (b *Builder) Depth(rank Rank) int { return b.depth[rank] }
+
+// Now returns the most recent timestamp recorded for rank.
+func (b *Builder) Now(rank Rank) Time { return b.last[rank] }
+
+// Trace finalizes and returns the built trace. The builder must not be
+// used afterwards. It panics if any rank has unbalanced enter/leave pairs,
+// mirroring Validate's invariant at the earliest possible point.
+func (b *Builder) Trace() *Trace {
+	for rank, d := range b.depth {
+		if d != 0 {
+			panic(fmt.Sprintf("trace.Builder: rank %d finishes with depth %d", rank, d))
+		}
+	}
+	tr := b.tr
+	b.tr = nil
+	return tr
+}

@@ -1,0 +1,66 @@
+package trace
+
+import "testing"
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder("demo", 2)
+	f := b.Region("f", ParadigmUser, RoleFunction)
+	again := b.Region("f", ParadigmMPI, RoleBarrier) // dedup: attrs ignored
+	if f != again {
+		t.Fatalf("Region dedup: %d != %d", f, again)
+	}
+	m := b.Metric("cyc", "cycles", MetricAccumulated)
+	if m2 := b.Metric("cyc", "x", MetricAbsolute); m2 != m {
+		t.Fatalf("Metric dedup: %d != %d", m2, m)
+	}
+
+	b.Enter(0, 0, f)
+	if d := b.Depth(0); d != 1 {
+		t.Fatalf("Depth = %d, want 1", d)
+	}
+	b.Sample(0, 5, m, 1.5)
+	b.Send(0, 6, 1, 3, 100)
+	b.Leave(0, 10, f)
+	b.Enter(1, 2, f)
+	b.Recv(1, 4, 0, 3, 100)
+	b.Leave(1, 9, f)
+	if now := b.Now(0); now != 10 {
+		t.Fatalf("Now(0) = %d, want 10", now)
+	}
+
+	tr := b.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("built trace invalid: %v", err)
+	}
+	if tr.NumEvents() != 7 {
+		t.Fatalf("NumEvents = %d, want 7", tr.NumEvents())
+	}
+	r := tr.Region(f)
+	if r.Paradigm != ParadigmUser || r.Role != RoleFunction {
+		t.Fatalf("first definition should win: %+v", r)
+	}
+}
+
+func TestBuilderPanicsOnTimeTravel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for decreasing timestamp")
+		}
+	}()
+	b := NewBuilder("demo", 1)
+	f := b.Region("f", ParadigmUser, RoleFunction)
+	b.Enter(0, 10, f)
+	b.Leave(0, 5, f)
+}
+
+func TestBuilderPanicsOnUnbalancedFinish(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unbalanced enter")
+		}
+	}()
+	b := NewBuilder("demo", 1)
+	f := b.Region("f", ParadigmUser, RoleFunction)
+	b.Enter(0, 0, f)
+	b.Trace()
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"math"
+)
+
+// Shared event codec used by the single-file (PVTR) and directory (PVTA/
+// PVTE) archive formats: one byte of kind, a delta-encoded timestamp, and
+// kind-specific varint payloads.
+
+type eventEncoder struct {
+	bw      *bufio.Writer
+	prev    Time
+	scratch [binary.MaxVarintLen64]byte
+}
+
+func newEventEncoder(bw *bufio.Writer) *eventEncoder { return &eventEncoder{bw: bw} }
+
+func (e *eventEncoder) putUvarint(v uint64) {
+	n := binary.PutUvarint(e.scratch[:], v)
+	e.bw.Write(e.scratch[:n])
+}
+
+func (e *eventEncoder) putVarint(v int64) {
+	n := binary.PutVarint(e.scratch[:], v)
+	e.bw.Write(e.scratch[:n])
+}
+
+// encode appends one event. Timestamps must be non-decreasing.
+func (e *eventEncoder) encode(ev Event) error {
+	if ev.Time < e.prev {
+		return formatf("unsorted event stream (%d < %d)", ev.Time, e.prev)
+	}
+	e.bw.WriteByte(byte(ev.Kind))
+	e.putUvarint(uint64(ev.Time - e.prev))
+	e.prev = ev.Time
+	switch ev.Kind {
+	case KindEnter, KindLeave:
+		e.putUvarint(uint64(ev.Region))
+	case KindMetric:
+		e.putUvarint(uint64(ev.Metric))
+		binary.Write(e.bw, binary.LittleEndian, math.Float64bits(ev.Value))
+	case KindSend, KindRecv:
+		e.putUvarint(uint64(ev.Peer))
+		e.putVarint(int64(ev.Tag))
+		e.putUvarint(uint64(ev.Bytes))
+	default:
+		return formatf("unknown event kind %d", ev.Kind)
+	}
+	return nil
+}
+
+type eventDecoder struct {
+	br *bufio.Reader
+	t  Time
+	// reference bounds for validation
+	nregions, nmetrics, nprocs uint64
+}
+
+func newEventDecoder(br *bufio.Reader, nregions, nmetrics, nprocs uint64) *eventDecoder {
+	return &eventDecoder{br: br, nregions: nregions, nmetrics: nmetrics, nprocs: nprocs}
+}
+
+// decode reads one event.
+func (d *eventDecoder) decode() (Event, error) {
+	kb, err := d.br.ReadByte()
+	if err != nil {
+		return Event{}, formatf("event kind: %v", err)
+	}
+	dt, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return Event{}, formatf("event time: %v", err)
+	}
+	d.t += Time(dt)
+	ev := Event{Time: d.t, Kind: EventKind(kb), Region: NoRegion, Metric: NoMetric, Peer: NoRank}
+	switch ev.Kind {
+	case KindEnter, KindLeave:
+		reg, err := binary.ReadUvarint(d.br)
+		if err != nil || reg >= d.nregions {
+			return Event{}, formatf("event region: n=%d err=%v", reg, err)
+		}
+		ev.Region = RegionID(reg)
+	case KindMetric:
+		mid, err := binary.ReadUvarint(d.br)
+		if err != nil || mid >= d.nmetrics {
+			return Event{}, formatf("event metric: n=%d err=%v", mid, err)
+		}
+		ev.Metric = MetricID(mid)
+		var bits uint64
+		if err := binary.Read(d.br, binary.LittleEndian, &bits); err != nil {
+			return Event{}, formatf("event value: %v", err)
+		}
+		ev.Value = math.Float64frombits(bits)
+	case KindSend, KindRecv:
+		peer, err := binary.ReadUvarint(d.br)
+		if err != nil || peer >= d.nprocs {
+			return Event{}, formatf("event peer: n=%d err=%v", peer, err)
+		}
+		ev.Peer = Rank(peer)
+		tag, err := binary.ReadVarint(d.br)
+		if err != nil {
+			return Event{}, formatf("event tag: %v", err)
+		}
+		ev.Tag = int32(tag)
+		nbytes, err := binary.ReadUvarint(d.br)
+		if err != nil {
+			return Event{}, formatf("event bytes: %v", err)
+		}
+		ev.Bytes = int64(nbytes)
+	default:
+		return Event{}, formatf("unknown event kind %d", kb)
+	}
+	return ev, nil
+}

@@ -1,0 +1,13 @@
+// Package trace defines the event-trace data model used throughout perfvar.
+//
+// A trace is the moral equivalent of an OTF2/VampirTrace archive: a set of
+// global definitions (regions, metrics, processes) plus one time-sorted
+// event stream per processing element. Events record region enter/leave,
+// point-to-point messages, and hardware-counter samples with virtual-time
+// timestamps in nanoseconds.
+//
+// The package also implements a compact binary archive format (magic
+// "PVTR") with varint/delta encoding so traces can be written by
+// cmd/tracegen and analyzed later by cmd/varan, mirroring the measure-then-
+// analyze workflow of Score-P and Vampir described in the paper.
+package trace

@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary archive format ("PVTR", version 1):
+//
+//	magic "PVTR" | uint32 version
+//	string name
+//	uvarint #regions  { string name | byte paradigm | byte role }...
+//	uvarint #metrics  { string name | string unit | byte mode }...
+//	uvarint #procs    { string name }...
+//	per proc: uvarint #events, then events with delta-encoded timestamps:
+//	  byte kind | uvarint Δtime | kind-specific payload
+//	magic "ENDT"
+//
+// Strings are uvarint length + raw bytes. Timestamps are deltas against the
+// previous event of the same stream, so long iterative traces compress to a
+// few bytes per event.
+
+const (
+	formatMagic   = "PVTR"
+	formatEnd     = "ENDT"
+	formatVersion = 1
+
+	// Hard caps guard the reader against corrupt or hostile inputs.
+	maxDefs      = 1 << 20
+	maxEvents    = 1 << 33
+	maxStringLen = 1 << 16
+)
+
+// ErrFormat wraps all archive decoding failures.
+var ErrFormat = errors.New("trace: bad archive")
+
+func formatf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrFormat, fmt.Sprintf(format, args...))
+}
+
+// Write encodes tr to w in the PVTR binary format.
+func Write(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var scratch [binary.MaxVarintLen64]byte
+
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		bw.Write(scratch[:n])
+	}
+	putString := func(s string) {
+		putUvarint(uint64(len(s)))
+		bw.WriteString(s)
+	}
+
+	bw.WriteString(formatMagic)
+	binary.Write(bw, binary.LittleEndian, uint32(formatVersion))
+	putString(tr.Name)
+
+	putUvarint(uint64(len(tr.Regions)))
+	for _, r := range tr.Regions {
+		putString(r.Name)
+		bw.WriteByte(byte(r.Paradigm))
+		bw.WriteByte(byte(r.Role))
+	}
+	putUvarint(uint64(len(tr.Metrics)))
+	for _, m := range tr.Metrics {
+		putString(m.Name)
+		putString(m.Unit)
+		bw.WriteByte(byte(m.Mode))
+	}
+	putUvarint(uint64(len(tr.Procs)))
+	for i := range tr.Procs {
+		putString(tr.Procs[i].Proc.Name)
+	}
+
+	for i := range tr.Procs {
+		evs := tr.Procs[i].Events
+		putUvarint(uint64(len(evs)))
+		enc := newEventEncoder(bw)
+		for _, ev := range evs {
+			if err := enc.encode(ev); err != nil {
+				return formatf("rank %d: %v", i, err)
+			}
+		}
+	}
+	bw.WriteString(formatEnd)
+	return bw.Flush()
+}
+
+// Read decodes a PVTR archive from r.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+	readString := func() (string, error) {
+		n, err := readUvarint()
+		if err != nil {
+			return "", err
+		}
+		if n > maxStringLen {
+			return "", formatf("string length %d exceeds limit", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, formatf("reading magic: %v", err)
+	}
+	if string(magic[:]) != formatMagic {
+		return nil, formatf("magic %q, want %q", magic[:], formatMagic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, formatf("reading version: %v", err)
+	}
+	if version != formatVersion {
+		return nil, formatf("version %d, want %d", version, formatVersion)
+	}
+
+	name, err := readString()
+	if err != nil {
+		return nil, formatf("reading name: %v", err)
+	}
+
+	nregions, err := readUvarint()
+	if err != nil || nregions > maxDefs {
+		return nil, formatf("region count: n=%d err=%v", nregions, err)
+	}
+	var regions []Region
+	if nregions > 0 {
+		regions = make([]Region, nregions)
+	}
+	for i := range regions {
+		rname, err := readString()
+		if err != nil {
+			return nil, formatf("region %d name: %v", i, err)
+		}
+		pb, err := br.ReadByte()
+		if err != nil {
+			return nil, formatf("region %d paradigm: %v", i, err)
+		}
+		rb, err := br.ReadByte()
+		if err != nil {
+			return nil, formatf("region %d role: %v", i, err)
+		}
+		regions[i] = Region{ID: RegionID(i), Name: rname, Paradigm: Paradigm(pb), Role: RegionRole(rb)}
+	}
+
+	nmetrics, err := readUvarint()
+	if err != nil || nmetrics > maxDefs {
+		return nil, formatf("metric count: n=%d err=%v", nmetrics, err)
+	}
+	var metrics []Metric
+	if nmetrics > 0 {
+		metrics = make([]Metric, nmetrics)
+	}
+	for i := range metrics {
+		mname, err := readString()
+		if err != nil {
+			return nil, formatf("metric %d name: %v", i, err)
+		}
+		unit, err := readString()
+		if err != nil {
+			return nil, formatf("metric %d unit: %v", i, err)
+		}
+		mb, err := br.ReadByte()
+		if err != nil {
+			return nil, formatf("metric %d mode: %v", i, err)
+		}
+		metrics[i] = Metric{ID: MetricID(i), Name: mname, Unit: unit, Mode: MetricMode(mb)}
+	}
+
+	nprocs, err := readUvarint()
+	if err != nil || nprocs > maxDefs {
+		return nil, formatf("proc count: n=%d err=%v", nprocs, err)
+	}
+	tr := New(name, int(nprocs))
+	tr.Regions = regions
+	tr.Metrics = metrics
+	for i := 0; i < int(nprocs); i++ {
+		pname, err := readString()
+		if err != nil {
+			return nil, formatf("proc %d name: %v", i, err)
+		}
+		tr.Procs[i].Proc.Name = pname
+	}
+
+	for rank := 0; rank < int(nprocs); rank++ {
+		nev, err := readUvarint()
+		if err != nil || nev > maxEvents {
+			return nil, formatf("rank %d event count: n=%d err=%v", rank, nev, err)
+		}
+		evs := make([]Event, 0, nev)
+		dec := newEventDecoder(br, nregions, nmetrics, nprocs)
+		for i := uint64(0); i < nev; i++ {
+			ev, err := dec.decode()
+			if err != nil {
+				return nil, formatf("rank %d event %d: %v", rank, i, err)
+			}
+			evs = append(evs, ev)
+		}
+		tr.Procs[rank].Events = evs
+	}
+
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, formatf("reading end marker: %v", err)
+	}
+	if string(magic[:]) != formatEnd {
+		return nil, formatf("end marker %q, want %q", magic[:], formatEnd)
+	}
+	return tr, nil
+}
+
+// WriteFile writes tr to path in the PVTR binary format.
+func WriteFile(path string, tr *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a PVTR archive from path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

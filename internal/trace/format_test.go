@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, tr *Trace) *Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return got
+}
+
+func tracesEqual(a, b *Trace) bool {
+	if a.Name != b.Name ||
+		!reflect.DeepEqual(a.Regions, b.Regions) ||
+		!reflect.DeepEqual(a.Metrics, b.Metrics) ||
+		len(a.Procs) != len(b.Procs) {
+		return false
+	}
+	for i := range a.Procs {
+		if a.Procs[i].Proc != b.Procs[i].Proc {
+			return false
+		}
+		ae, be := a.Procs[i].Events, b.Procs[i].Events
+		if len(ae) != len(be) {
+			return false
+		}
+		for j := range ae {
+			if ae[j] != be[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRoundTripSmall(t *testing.T) {
+	tr := validTwoRankTrace()
+	got := roundTrip(t, tr)
+	if !tracesEqual(tr, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	tr := New("", 0)
+	got := roundTrip(t, tr)
+	if got.Name != "" || got.NumRanks() != 0 {
+		t.Fatalf("empty round trip: %+v", got)
+	}
+}
+
+// randomTrace builds a structurally valid pseudo-random trace from a seed.
+func randomTrace(seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	nranks := 1 + rng.Intn(4)
+	b := NewBuilder("rnd", nranks)
+	var regions []RegionID
+	for i := 0; i < 1+rng.Intn(5); i++ {
+		p := Paradigm(rng.Intn(5))
+		regions = append(regions, b.Region(string(rune('a'+i)), p, RegionRole(rng.Intn(8))))
+	}
+	var metrics []MetricID
+	for i := 0; i < rng.Intn(3); i++ {
+		metrics = append(metrics, b.Metric(string(rune('m'+i)), "1", MetricMode(rng.Intn(2))))
+	}
+	for rank := Rank(0); rank < Rank(nranks); rank++ {
+		now := Time(rng.Intn(10))
+		var stack []RegionID
+		for step := 0; step < 5+rng.Intn(40); step++ {
+			now += Time(rng.Intn(1000))
+			switch op := rng.Intn(5); {
+			case op == 0 || len(stack) == 0:
+				r := regions[rng.Intn(len(regions))]
+				b.Enter(rank, now, r)
+				stack = append(stack, r)
+			case op == 1:
+				b.Leave(rank, now, stack[len(stack)-1])
+				stack = stack[:len(stack)-1]
+			case op == 2 && len(metrics) > 0:
+				b.Sample(rank, now, metrics[rng.Intn(len(metrics))], rng.Float64()*1e9)
+			case op == 3:
+				b.Send(rank, now, Rank(rng.Intn(nranks)), int32(rng.Intn(100)-50), int64(rng.Intn(1<<20)))
+			default:
+				b.Recv(rank, now, Rank(rng.Intn(nranks)), int32(rng.Intn(100)-50), int64(rng.Intn(1<<20)))
+			}
+		}
+		for len(stack) > 0 {
+			now += Time(rng.Intn(1000))
+			b.Leave(rank, now, stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return b.Trace()
+}
+
+// Property: Write∘Read is the identity on valid traces.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := randomTrace(seed)
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Logf("seed %d: Write: %v", seed, err)
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Logf("seed %d: Read: %v", seed, err)
+			return false
+		}
+		return tracesEqual(tr, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random traces built via Builder always validate.
+func TestBuilderProducesValidTracesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := randomTrace(seed)
+		// Accumulated metrics may legitimately decrease in the random
+		// generator, so only check when validation complains about
+		// something else.
+		err := tr.Validate()
+		return err == nil || errors.Is(err, ErrInvalid)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsCorruptInput(t *testing.T) {
+	tr := validTwoRankTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", append([]byte("NOPE"), good[4:]...)},
+		{"bad version", append(append([]byte{}, good[:4]...), 9, 0, 0, 0)},
+		{"truncated", good[:len(good)-6]},
+		{"missing end marker", good[:len(good)-4]},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Read(bytes.NewReader(c.data))
+			if err == nil {
+				t.Fatal("Read succeeded on corrupt input")
+			}
+			if !errors.Is(err, ErrFormat) {
+				t.Fatalf("error %v is not ErrFormat", err)
+			}
+		})
+	}
+}
+
+func TestReadRejectsTruncationEverywhere(t *testing.T) {
+	tr := validTwoRankTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	// Every strict prefix must fail (the end marker catches short reads).
+	for n := 0; n < len(good); n += 3 {
+		if _, err := Read(bytes.NewReader(good[:n])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded successfully", n, len(good))
+		}
+	}
+}
+
+func TestWriteRejectsUnsortedStream(t *testing.T) {
+	tr := New("x", 1)
+	r := tr.AddRegion("f", ParadigmUser, RoleFunction)
+	tr.Procs[0].Events = []Event{Enter(10, r), Leave(5, r)}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err == nil {
+		t.Fatal("Write accepted unsorted stream")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.pvt")
+	tr := validTwoRankTrace()
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !tracesEqual(tr, got) {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.pvt")); err == nil {
+		t.Fatal("ReadFile on missing path succeeded")
+	}
+}

@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+)
+
+// ErrStopStream can be returned by a StreamFunc to end the stream early
+// without error: Stream returns the header and a nil error.
+var ErrStopStream = errors.New("trace: stop streaming")
+
+// Header is the definition part of an archive, delivered to streaming
+// consumers before any event.
+type Header struct {
+	Name    string
+	Regions []Region
+	Metrics []Metric
+	Procs   []Process
+}
+
+// StreamFunc receives one event at a time during streaming reads. Events
+// arrive rank-major (all of rank 0, then rank 1, ...) in per-rank time
+// order. Returning a non-nil error aborts the stream.
+type StreamFunc func(rank Rank, ev Event) error
+
+// Stream decodes a binary PVTR archive from r without materializing the
+// event slices: definitions are parsed into a Header, then fn is invoked
+// per event. Memory use is O(definitions), independent of trace length —
+// the reader for traces that do not fit in RAM.
+func Stream(r io.Reader, fn StreamFunc) (*Header, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+	readString := func() (string, error) {
+		n, err := readUvarint()
+		if err != nil {
+			return "", err
+		}
+		if n > maxStringLen {
+			return "", formatf("string length %d exceeds limit", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, formatf("reading magic: %v", err)
+	}
+	if string(magic[:]) != formatMagic {
+		return nil, formatf("magic %q, want %q", magic[:], formatMagic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, formatf("reading version: %v", err)
+	}
+	if version != formatVersion {
+		return nil, formatf("version %d, want %d", version, formatVersion)
+	}
+
+	h := &Header{}
+	var err error
+	if h.Name, err = readString(); err != nil {
+		return nil, formatf("reading name: %v", err)
+	}
+
+	nregions, err := readUvarint()
+	if err != nil || nregions > maxDefs {
+		return nil, formatf("region count: n=%d err=%v", nregions, err)
+	}
+	for i := uint64(0); i < nregions; i++ {
+		name, err := readString()
+		if err != nil {
+			return nil, formatf("region %d name: %v", i, err)
+		}
+		pb, err := br.ReadByte()
+		if err != nil {
+			return nil, formatf("region %d paradigm: %v", i, err)
+		}
+		rb, err := br.ReadByte()
+		if err != nil {
+			return nil, formatf("region %d role: %v", i, err)
+		}
+		h.Regions = append(h.Regions, Region{ID: RegionID(i), Name: name, Paradigm: Paradigm(pb), Role: RegionRole(rb)})
+	}
+	nmetrics, err := readUvarint()
+	if err != nil || nmetrics > maxDefs {
+		return nil, formatf("metric count: n=%d err=%v", nmetrics, err)
+	}
+	for i := uint64(0); i < nmetrics; i++ {
+		name, err := readString()
+		if err != nil {
+			return nil, formatf("metric %d name: %v", i, err)
+		}
+		unit, err := readString()
+		if err != nil {
+			return nil, formatf("metric %d unit: %v", i, err)
+		}
+		mb, err := br.ReadByte()
+		if err != nil {
+			return nil, formatf("metric %d mode: %v", i, err)
+		}
+		h.Metrics = append(h.Metrics, Metric{ID: MetricID(i), Name: name, Unit: unit, Mode: MetricMode(mb)})
+	}
+	nprocs, err := readUvarint()
+	if err != nil || nprocs > maxDefs {
+		return nil, formatf("proc count: n=%d err=%v", nprocs, err)
+	}
+	for i := uint64(0); i < nprocs; i++ {
+		name, err := readString()
+		if err != nil {
+			return nil, formatf("proc %d name: %v", i, err)
+		}
+		h.Procs = append(h.Procs, Process{Rank: Rank(i), Name: name})
+	}
+
+	for rank := uint64(0); rank < nprocs; rank++ {
+		nev, err := readUvarint()
+		if err != nil || nev > maxEvents {
+			return nil, formatf("rank %d event count: n=%d err=%v", rank, nev, err)
+		}
+		dec := newEventDecoder(br, nregions, nmetrics, nprocs)
+		for i := uint64(0); i < nev; i++ {
+			ev, err := dec.decode()
+			if err != nil {
+				return nil, formatf("rank %d event %d: %v", rank, i, err)
+			}
+			if err := fn(Rank(rank), ev); err != nil {
+				if errors.Is(err, ErrStopStream) {
+					return h, nil
+				}
+				return h, err
+			}
+		}
+	}
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, formatf("reading end marker: %v", err)
+	}
+	if string(magic[:]) != formatEnd {
+		return nil, formatf("end marker %q, want %q", magic[:], formatEnd)
+	}
+	return h, nil
+}
+
+// StreamFile streams the archive at path through fn.
+func StreamFile(path string, fn StreamFunc) (*Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Stream(f, fn)
+}
+
+// ReadHeaderFile reads only the definitions of the archive at path — the
+// cheap first step before setting up streaming consumers.
+func ReadHeaderFile(path string) (*Header, error) {
+	return StreamFile(path, func(Rank, Event) error { return ErrStopStream })
+}

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamMatchesRead(t *testing.T) {
+	tr := validTwoRankTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var streamed []Event
+	var ranks []Rank
+	h, err := Stream(bytes.NewReader(buf.Bytes()), func(rank Rank, ev Event) error {
+		ranks = append(ranks, rank)
+		streamed = append(streamed, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name != tr.Name || len(h.Regions) != len(tr.Regions) ||
+		len(h.Metrics) != len(tr.Metrics) || len(h.Procs) != len(tr.Procs) {
+		t.Fatalf("header: %+v", h)
+	}
+	// Rank-major order matches the materialized trace.
+	i := 0
+	for rank := range tr.Procs {
+		for _, want := range tr.Procs[rank].Events {
+			if ranks[i] != Rank(rank) || streamed[i] != want {
+				t.Fatalf("event %d: got rank %d %+v, want rank %d %+v",
+					i, ranks[i], streamed[i], rank, want)
+			}
+			i++
+		}
+	}
+	if i != len(streamed) {
+		t.Fatalf("streamed %d events, want %d", len(streamed), i)
+	}
+}
+
+func TestStreamCallbackAbort(t *testing.T) {
+	tr := validTwoRankTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	n := 0
+	_, err := Stream(bytes.NewReader(buf.Bytes()), func(Rank, Event) error {
+		n++
+		if n == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("callback ran %d times after abort", n)
+	}
+}
+
+func TestStreamRejectsCorruptInput(t *testing.T) {
+	tr := validTwoRankTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	nop := func(Rank, Event) error { return nil }
+	if _, err := Stream(bytes.NewReader(nil), nop); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Stream(bytes.NewReader(good[:len(good)-5]), nop); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+	bad := append([]byte("XXXX"), good[4:]...)
+	if _, err := Stream(bytes.NewReader(bad), nop); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestStreamFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.pvt")
+	tr := validTwoRankTrace()
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	h, err := StreamFile(path, func(Rank, Event) error { count++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != tr.NumEvents() || h.Name != tr.Name {
+		t.Fatalf("streamed %d events, header %+v", count, h)
+	}
+	if _, err := StreamFile(filepath.Join(t.TempDir(), "nope"), nil); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// Property: streaming delivers exactly the events Read materializes, in
+// rank-major per-rank order, for random traces.
+func TestStreamEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := randomTrace(seed)
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		perRank := make([]int, tr.NumRanks())
+		total := 0
+		mismatch := false
+		_, err := Stream(bytes.NewReader(buf.Bytes()), func(rank Rank, ev Event) error {
+			i := perRank[rank]
+			if i >= len(tr.Procs[rank].Events) || tr.Procs[rank].Events[i] != ev {
+				mismatch = true
+			}
+			perRank[rank]++
+			total++
+			return nil
+		})
+		return err == nil && !mismatch && total == tr.NumEvents()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadHeaderFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.pvt")
+	tr := validTwoRankTrace()
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadHeaderFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name != tr.Name || len(h.Regions) != len(tr.Regions) || len(h.Procs) != 2 {
+		t.Fatalf("header: %+v", h)
+	}
+	if _, err := ReadHeaderFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestWriteFileErrors(t *testing.T) {
+	tr := validTwoRankTrace()
+	bad := filepath.Join(t.TempDir(), "nodir", "x.pvt")
+	if err := WriteFile(bad, tr); err == nil {
+		t.Fatal("WriteFile into missing dir succeeded")
+	}
+	if err := WriteTextFile(bad, tr); err == nil {
+		t.Fatal("WriteTextFile into missing dir succeeded")
+	}
+	// An unsorted stream makes Write fail after Create succeeds.
+	tr2 := New("x", 1)
+	r := tr2.AddRegion("f", ParadigmUser, RoleFunction)
+	tr2.Procs[0].Events = []Event{Enter(10, r), Leave(5, r)}
+	if err := WriteFile(filepath.Join(t.TempDir(), "u.pvt"), tr2); err == nil {
+		t.Fatal("WriteFile accepted unsorted stream")
+	}
+}

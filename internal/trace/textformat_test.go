@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func textRoundTrip(t *testing.T, tr *Trace) *Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatalf("ReadText: %v\n%s", err, buf.String())
+	}
+	return got
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := validTwoRankTrace()
+	got := textRoundTrip(t, tr)
+	if !tracesEqual(tr, got) {
+		t.Fatalf("text round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestTextRoundTripQuoting(t *testing.T) {
+	tr := New("name with \"quotes\" and\ttabs", 1)
+	r := tr.AddRegion("weird \"region\" name", ParadigmUser, RoleFunction)
+	tr.AddMetric("metric \\ backslash", "unit x", MetricAbsolute)
+	tr.Procs[0].Proc.Name = "proc \"zero\""
+	tr.Append(0, Enter(0, r))
+	tr.Append(0, Leave(10, r))
+	got := textRoundTrip(t, tr)
+	if !tracesEqual(tr, got) {
+		t.Fatal("quoted-name round trip mismatch")
+	}
+}
+
+func TestTextRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := randomTrace(seed)
+		var buf bytes.Buffer
+		if err := WriteText(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadText(&buf)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return tracesEqual(tr, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextFormatReadable(t *testing.T) {
+	tr := validTwoRankTrace()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"pvtt 1", `name "app"`, `region 0 "main" user function`,
+		`metric 0 "PAPI_TOT_CYC" "cycles" accumulated`,
+		"e 0 0 enter 0", "end",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTextParserComments(t *testing.T) {
+	in := `pvtt 1
+# a comment
+name "x"
+
+region 0 "f" user function
+proc 0 "P0"
+e 0 5 enter 0
+# another comment
+e 0 9 leave 0
+end
+`
+	tr, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumEvents() != 2 || tr.Name != "x" {
+		t.Fatalf("parsed: %+v", tr)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextParserErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"bad magic", "nope 1\nend\n"},
+		{"bad version", "pvtt 9\nend\n"},
+		{"missing end", "pvtt 1\nname \"x\"\n"},
+		{"unknown directive", "pvtt 1\nbogus\nend\n"},
+		{"non-dense region IDs", "pvtt 1\nregion 5 \"f\" user function\nend\n"},
+		{"bad paradigm", "pvtt 1\nregion 0 \"f\" quantum function\nend\n"},
+		{"bad role", "pvtt 1\nregion 0 \"f\" user dance\nend\n"},
+		{"bad metric mode", "pvtt 1\nmetric 0 \"m\" \"u\" sideways\nend\n"},
+		{"event before procs", "pvtt 1\nregion 0 \"f\" user function\ne 0 1 enter 0\nend\n"},
+		{"bad event rank", "pvtt 1\nregion 0 \"f\" user function\nproc 0 \"P\"\ne 7 1 enter 0\nend\n"},
+		{"bad region ref", "pvtt 1\nregion 0 \"f\" user function\nproc 0 \"P\"\ne 0 1 enter 4\nend\n"},
+		{"bad timestamp", "pvtt 1\nregion 0 \"f\" user function\nproc 0 \"P\"\ne 0 xx enter 0\nend\n"},
+		{"bad metric ref", "pvtt 1\nproc 0 \"P\"\ne 0 1 metric 0 5\nend\n"},
+		{"bad peer", "pvtt 1\nproc 0 \"P\"\ne 0 1 send 4 0 1\nend\n"},
+		{"unknown event kind", "pvtt 1\nproc 0 \"P\"\ne 0 1 jump 0\nend\n"},
+		{"unterminated string", "pvtt 1\nname \"x\nend\n"},
+		{"short event", "pvtt 1\nproc 0 \"P\"\ne 0 1\nend\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadText(strings.NewReader(c.in)); err == nil {
+				t.Fatalf("parser accepted %q", c.in)
+			}
+		})
+	}
+}
+
+func TestTextFileAndAutoDetect(t *testing.T) {
+	dir := t.TempDir()
+	tr := validTwoRankTrace()
+
+	textPath := filepath.Join(dir, "t.pvtt")
+	if err := WriteTextFile(textPath, tr); err != nil {
+		t.Fatal(err)
+	}
+	binPath := filepath.Join(dir, "t.pvt")
+	if err := WriteFile(binPath, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	fromText, err := ReadAnyFile(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := ReadAnyFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tracesEqual(fromText, fromBin) {
+		t.Fatal("auto-detected reads differ")
+	}
+	if _, err := ReadTextFile(binPath); err == nil {
+		t.Fatal("text reader accepted binary file")
+	}
+
+	garbage := filepath.Join(dir, "g.bin")
+	if err := writeBytes(garbage, []byte("GARBAGE")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAnyFile(garbage); err == nil {
+		t.Fatal("auto-detect accepted garbage")
+	}
+	if _, err := ReadAnyFile(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("auto-detect accepted missing file")
+	}
+	if _, err := ReadTextFile(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("ReadTextFile accepted missing file")
+	}
+}
+
+func writeBytes(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}

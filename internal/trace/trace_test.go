@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestNewTrace(t *testing.T) {
+	tr := New("app", 4)
+	if got := tr.NumRanks(); got != 4 {
+		t.Fatalf("NumRanks = %d, want 4", got)
+	}
+	if tr.Name != "app" {
+		t.Fatalf("Name = %q, want app", tr.Name)
+	}
+	for i, pt := range tr.Procs {
+		if pt.Proc.Rank != Rank(i) {
+			t.Errorf("proc %d rank = %d", i, pt.Proc.Rank)
+		}
+		if pt.Proc.Name == "" {
+			t.Errorf("proc %d has empty name", i)
+		}
+	}
+	if n := tr.NumEvents(); n != 0 {
+		t.Fatalf("NumEvents = %d, want 0", n)
+	}
+}
+
+func TestAddAndLookupDefinitions(t *testing.T) {
+	tr := New("app", 1)
+	a := tr.AddRegion("a", ParadigmUser, RoleFunction)
+	mpi := tr.AddRegion("MPI_Barrier", ParadigmMPI, RoleBarrier)
+	if a == mpi {
+		t.Fatalf("distinct regions share ID %d", a)
+	}
+	r, ok := tr.RegionByName("MPI_Barrier")
+	if !ok || r.ID != mpi || r.Paradigm != ParadigmMPI || r.Role != RoleBarrier {
+		t.Fatalf("RegionByName(MPI_Barrier) = %+v, %v", r, ok)
+	}
+	if _, ok := tr.RegionByName("nope"); ok {
+		t.Fatal("RegionByName(nope) found a region")
+	}
+	if !tr.ValidRegion(a) || tr.ValidRegion(NoRegion) || tr.ValidRegion(RegionID(99)) {
+		t.Fatal("ValidRegion misclassifies IDs")
+	}
+
+	cyc := tr.AddMetric("PAPI_TOT_CYC", "cycles", MetricAccumulated)
+	m, ok := tr.MetricByName("PAPI_TOT_CYC")
+	if !ok || m.ID != cyc || m.Mode != MetricAccumulated {
+		t.Fatalf("MetricByName = %+v, %v", m, ok)
+	}
+	if _, ok := tr.MetricByName("nope"); ok {
+		t.Fatal("MetricByName(nope) found a metric")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	tr := New("app", 3)
+	r := tr.AddRegion("f", ParadigmUser, RoleFunction)
+	if f, l := tr.Span(); f != 0 || l != 0 {
+		t.Fatalf("empty Span = (%d,%d)", f, l)
+	}
+	tr.Append(1, Enter(10, r))
+	tr.Append(1, Leave(50, r))
+	tr.Append(2, Enter(5, r))
+	tr.Append(2, Leave(20, r))
+	f, l := tr.Span()
+	if f != 5 || l != 50 {
+		t.Fatalf("Span = (%d,%d), want (5,50)", f, l)
+	}
+	pf, pl := tr.Procs[1].Span()
+	if pf != 10 || pl != 50 {
+		t.Fatalf("rank 1 Span = (%d,%d), want (10,50)", pf, pl)
+	}
+	if n := tr.NumEvents(); n != 4 {
+		t.Fatalf("NumEvents = %d, want 4", n)
+	}
+}
+
+func TestSortEvents(t *testing.T) {
+	tr := New("app", 1)
+	r := tr.AddRegion("f", ParadigmUser, RoleFunction)
+	tr.Procs[0].Events = []Event{Leave(30, r), Enter(10, r), Sample(20, NoMetric, 1)}
+	tr.SortEvents()
+	times := []Time{10, 20, 30}
+	for i, ev := range tr.Procs[0].Events {
+		if ev.Time != times[i] {
+			t.Fatalf("event %d time = %d, want %d", i, ev.Time, times[i])
+		}
+	}
+}
+
+func TestMetricSamplesRank(t *testing.T) {
+	tr := New("app", 2)
+	m := tr.AddMetric("c", "1", MetricAccumulated)
+	other := tr.AddMetric("d", "1", MetricAbsolute)
+	tr.Append(0, Sample(1, m, 10))
+	tr.Append(0, Sample(2, other, 99))
+	tr.Append(0, Sample(3, m, 20))
+	times, values := tr.MetricSamplesRank(0, m)
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v", times)
+	}
+	if values[0] != 10 || values[1] != 20 {
+		t.Fatalf("values = %v", values)
+	}
+	if ts, _ := tr.MetricSamplesRank(1, m); len(ts) != 0 {
+		t.Fatalf("rank 1 has %d samples, want 0", len(ts))
+	}
+}
+
+func TestEventConstructors(t *testing.T) {
+	if ev := Enter(7, 3); ev.Kind != KindEnter || ev.Time != 7 || ev.Region != 3 {
+		t.Fatalf("Enter = %+v", ev)
+	}
+	if ev := Leave(8, 3); ev.Kind != KindLeave || ev.Time != 8 {
+		t.Fatalf("Leave = %+v", ev)
+	}
+	if ev := Sample(9, 1, 2.5); ev.Kind != KindMetric || ev.Value != 2.5 || ev.Metric != 1 {
+		t.Fatalf("Sample = %+v", ev)
+	}
+	if ev := Send(10, 4, 7, 128); ev.Kind != KindSend || ev.Peer != 4 || ev.Tag != 7 || ev.Bytes != 128 {
+		t.Fatalf("Send = %+v", ev)
+	}
+	if ev := Recv(11, 5, 7, 128); ev.Kind != KindRecv || ev.Peer != 5 {
+		t.Fatalf("Recv = %+v", ev)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{ParadigmUser.String(), "user"},
+		{ParadigmMPI.String(), "mpi"},
+		{ParadigmOpenMP.String(), "openmp"},
+		{ParadigmIO.String(), "io"},
+		{ParadigmSystem.String(), "system"},
+		{Paradigm(77).String(), "paradigm(77)"},
+		{RoleFunction.String(), "function"},
+		{RoleBarrier.String(), "barrier"},
+		{RoleCollective.String(), "collective"},
+		{RolePointToPoint.String(), "p2p"},
+		{RoleWait.String(), "wait"},
+		{RoleLoop.String(), "loop"},
+		{RoleFileIO.String(), "io"},
+		{RoleInitFinalize.String(), "init"},
+		{RegionRole(77).String(), "role(77)"},
+		{KindEnter.String(), "enter"},
+		{KindLeave.String(), "leave"},
+		{KindSend.String(), "send"},
+		{KindRecv.String(), "recv"},
+		{KindMetric.String(), "metric"},
+		{EventKind(77).String(), "kind(77)"},
+		{MetricAccumulated.String(), "accumulated"},
+		{MetricAbsolute.String(), "absolute"},
+		{MetricMode(77).String(), "mode(77)"},
+	}
+	for i, c := range cases {
+		if c.got != c.want {
+			t.Errorf("case %d: got %q, want %q", i, c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package trace
+
+import "fmt"
+
+// This file implements trace reduction: extracting time windows and rank
+// subsets. The paper's second case study relies on exactly this workflow —
+// "the analyst used a second measurement run to only record slow
+// iterations; for normal iterations the analyst discarded the tracing
+// data". Window lets the analyst do that after the fact on a full trace.
+
+// Window returns a new trace containing only the events of [from, to].
+// Regions that are active across a window edge are clipped: enters are
+// synthesized at from (outermost first) and leaves at to (innermost
+// first), so the result is balanced and analyzable like a regular trace.
+// Metric samples outside the window are dropped except for one synthetic
+// sample at from per metric, carrying the last value seen before the
+// window (so accumulated-counter deltas stay correct).
+func (tr *Trace) Window(from, to Time) *Trace {
+	out := New(tr.Name, tr.NumRanks())
+	out.Regions = append([]Region(nil), tr.Regions...)
+	out.Metrics = append([]Metric(nil), tr.Metrics...)
+	if to < from {
+		from, to = to, from
+	}
+	for rank := range tr.Procs {
+		out.Procs[rank].Proc = tr.Procs[rank].Proc
+		out.Procs[rank].Events = windowRank(tr.Procs[rank].Events, from, to)
+	}
+	return out
+}
+
+func windowRank(events []Event, from, to Time) []Event {
+	var (
+		out      []Event
+		stack    []RegionID
+		lastVal  = map[MetricID]float64{}
+		seenVal  = map[MetricID]bool{}
+		started  bool
+		emitOpen = func() {
+			// Synthesize enters for regions already open at the window
+			// start, plus carry-in metric samples.
+			for _, r := range stack {
+				out = append(out, Enter(from, r))
+			}
+			for id, v := range lastVal {
+				out = append(out, Sample(from, id, v))
+			}
+			started = true
+		}
+	)
+	for _, ev := range events {
+		if ev.Time > to {
+			break
+		}
+		if ev.Time < from {
+			switch ev.Kind {
+			case KindEnter:
+				stack = append(stack, ev.Region)
+			case KindLeave:
+				if len(stack) > 0 {
+					stack = stack[:len(stack)-1]
+				}
+			case KindMetric:
+				lastVal[ev.Metric] = ev.Value
+			}
+			continue
+		}
+		if !started {
+			emitOpen()
+		}
+		switch ev.Kind {
+		case KindEnter:
+			stack = append(stack, ev.Region)
+		case KindLeave:
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			}
+		case KindMetric:
+			seenVal[ev.Metric] = true
+		}
+		out = append(out, ev)
+	}
+	if !started && len(stack)+len(lastVal) > 0 {
+		// Nothing inside the window, but regions span across it.
+		emitOpen()
+	}
+	// Close regions still open at the window end, innermost first.
+	for i := len(stack) - 1; i >= 0; i-- {
+		out = append(out, Leave(to, stack[i]))
+	}
+	// The synthetic carry-in samples must sort before real events at the
+	// same timestamp with smaller times already ensured (from ≤ all).
+	_ = seenVal
+	return out
+}
+
+// FilterRanks returns a new trace containing only the given ranks, in the
+// given order, renumbered densely. Send/Recv events whose peer is not in
+// the subset are dropped (their partner's stream is gone); peers inside
+// the subset are remapped to the new numbering.
+func (tr *Trace) FilterRanks(ranks []Rank) *Trace {
+	out := New(tr.Name, len(ranks))
+	out.Regions = append([]Region(nil), tr.Regions...)
+	out.Metrics = append([]Metric(nil), tr.Metrics...)
+	remap := make(map[Rank]Rank, len(ranks))
+	for i, r := range ranks {
+		remap[r] = Rank(i)
+	}
+	for i, r := range ranks {
+		src := &tr.Procs[r]
+		dst := &out.Procs[i]
+		dst.Proc = Process{Rank: Rank(i), Name: src.Proc.Name}
+		for _, ev := range src.Events {
+			if ev.Kind == KindSend || ev.Kind == KindRecv {
+				newPeer, ok := remap[ev.Peer]
+				if !ok {
+					continue
+				}
+				ev.Peer = newPeer
+			}
+			dst.Events = append(dst.Events, ev)
+		}
+	}
+	return out
+}
+
+// Concat appends b's run after a's on a shared timeline: b's events are
+// shifted so its first event starts gap nanoseconds after a's last event.
+// Definitions are merged by name (a's IDs are kept; b's regions/metrics
+// are remapped, new ones appended). Both traces must have the same rank
+// count. Use it to stitch multi-phase measurement sessions — e.g. a
+// profiling prefix plus the instrumented production phase — into one
+// analyzable trace.
+func Concat(a, b *Trace, gap Duration) (*Trace, error) {
+	if a.NumRanks() != b.NumRanks() {
+		return nil, fmt.Errorf("trace: Concat rank mismatch: %d vs %d", a.NumRanks(), b.NumRanks())
+	}
+	out := New(a.Name, a.NumRanks())
+	out.Regions = append([]Region(nil), a.Regions...)
+	out.Metrics = append([]Metric(nil), a.Metrics...)
+	for rank := range a.Procs {
+		out.Procs[rank].Proc = a.Procs[rank].Proc
+		out.Procs[rank].Events = append([]Event(nil), a.Procs[rank].Events...)
+	}
+
+	regionMap := make(map[RegionID]RegionID, len(b.Regions))
+	for _, r := range b.Regions {
+		if existing, ok := out.RegionByName(r.Name); ok {
+			regionMap[r.ID] = existing.ID
+		} else {
+			regionMap[r.ID] = out.AddRegion(r.Name, r.Paradigm, r.Role)
+		}
+	}
+	metricMap := make(map[MetricID]MetricID, len(b.Metrics))
+	for _, m := range b.Metrics {
+		if existing, ok := out.MetricByName(m.Name); ok {
+			metricMap[m.ID] = existing.ID
+		} else {
+			metricMap[m.ID] = out.AddMetric(m.Name, m.Unit, m.Mode)
+		}
+	}
+
+	// Accumulated counters restart at each measurement session; rebase
+	// b's values by the last value a recorded per (rank, metric) so the
+	// merged series stays monotone.
+	base := make([]map[MetricID]float64, a.NumRanks())
+	for rank := range a.Procs {
+		base[rank] = make(map[MetricID]float64)
+		for _, ev := range a.Procs[rank].Events {
+			if ev.Kind == KindMetric && out.Metrics[ev.Metric].Mode == MetricAccumulated {
+				base[rank][ev.Metric] = ev.Value
+			}
+		}
+	}
+
+	_, aLast := a.Span()
+	bFirst, _ := b.Span()
+	shift := aLast + gap - bFirst
+	for rank := range b.Procs {
+		for _, ev := range b.Procs[rank].Events {
+			ev.Time += shift
+			switch ev.Kind {
+			case KindEnter, KindLeave:
+				ev.Region = regionMap[ev.Region]
+			case KindMetric:
+				ev.Metric = metricMap[ev.Metric]
+				if out.Metrics[ev.Metric].Mode == MetricAccumulated {
+					ev.Value += base[rank][ev.Metric]
+				}
+			}
+			out.Procs[rank].Events = append(out.Procs[rank].Events, ev)
+		}
+	}
+	return out, nil
+}
+
+// SlowestIterationsWindow is a convenience for the paper's "record only
+// slow iterations" workflow: given the segment boundaries of the k
+// slowest iterations (start and end times), it returns the sub-trace
+// covering their union span.
+func (tr *Trace) SlowestIterationsWindow(starts, ends []Time) *Trace {
+	if len(starts) == 0 || len(ends) == 0 {
+		// No selection: an empty trace with the same definitions.
+		out := New(tr.Name, tr.NumRanks())
+		out.Regions = append([]Region(nil), tr.Regions...)
+		out.Metrics = append([]Metric(nil), tr.Metrics...)
+		for rank := range tr.Procs {
+			out.Procs[rank].Proc = tr.Procs[rank].Proc
+		}
+		return out
+	}
+	from, to := starts[0], ends[0]
+	for _, s := range starts[1:] {
+		if s < from {
+			from = s
+		}
+	}
+	for _, e := range ends[1:] {
+		if e > to {
+			to = e
+		}
+	}
+	return tr.Window(from, to)
+}

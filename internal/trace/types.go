@@ -1,0 +1,227 @@
+package trace
+
+import "fmt"
+
+// Time is a virtual-time timestamp in nanoseconds since the start of the
+// measured run. All perfvar components use int64 nanoseconds so analyses
+// are exact and deterministic.
+type Time = int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = int64
+
+// Timestamp granularity helpers.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// RegionID identifies a code region (function, loop body, MPI call) in the
+// trace definitions. IDs are dense indices into Trace.Regions.
+type RegionID int32
+
+// NoRegion marks the absence of a region reference.
+const NoRegion RegionID = -1
+
+// MetricID identifies a metric (hardware counter) definition. IDs are dense
+// indices into Trace.Metrics.
+type MetricID int32
+
+// NoMetric marks the absence of a metric reference.
+const NoMetric MetricID = -1
+
+// Rank identifies a processing element (MPI rank). Ranks are dense indices
+// into Trace.Procs.
+type Rank int32
+
+// NoRank marks the absence of a peer rank (for example on metric events).
+const NoRank Rank = -1
+
+// Paradigm classifies the programming model a region belongs to. The
+// paradigm drives the default synchronization classifier: MPI and OpenMP
+// synchronization regions are subtracted when computing SOS-times.
+type Paradigm uint8
+
+// Paradigm values.
+const (
+	ParadigmUser   Paradigm = iota // application code
+	ParadigmMPI                    // MPI communication or synchronization
+	ParadigmOpenMP                 // OpenMP runtime (e.g. omp barrier)
+	ParadigmIO                     // file input/output
+	ParadigmSystem                 // measurement system / runtime internals
+)
+
+// String returns the lower-case paradigm name.
+func (p Paradigm) String() string {
+	switch p {
+	case ParadigmUser:
+		return "user"
+	case ParadigmMPI:
+		return "mpi"
+	case ParadigmOpenMP:
+		return "openmp"
+	case ParadigmIO:
+		return "io"
+	case ParadigmSystem:
+		return "system"
+	}
+	return fmt.Sprintf("paradigm(%d)", uint8(p))
+}
+
+// RegionRole refines a region's purpose within its paradigm. Roles allow
+// analyses to distinguish, for example, an MPI barrier from an MPI
+// point-to-point call without parsing region names.
+type RegionRole uint8
+
+// RegionRole values.
+const (
+	RoleFunction     RegionRole = iota // plain function or subroutine
+	RoleLoop                           // instrumented loop body
+	RoleBarrier                        // barrier synchronization
+	RoleCollective                     // collective communication (reduce, bcast, ...)
+	RolePointToPoint                   // point-to-point send/recv
+	RoleWait                           // completion wait (MPI_Wait et al.)
+	RoleFileIO                         // file I/O operation
+	RoleInitFinalize                   // init/finalize bracket (MPI_Init, MPI_Finalize)
+)
+
+// String returns the lower-case role name.
+func (r RegionRole) String() string {
+	switch r {
+	case RoleFunction:
+		return "function"
+	case RoleLoop:
+		return "loop"
+	case RoleBarrier:
+		return "barrier"
+	case RoleCollective:
+		return "collective"
+	case RolePointToPoint:
+		return "p2p"
+	case RoleWait:
+		return "wait"
+	case RoleFileIO:
+		return "io"
+	case RoleInitFinalize:
+		return "init"
+	}
+	return fmt.Sprintf("role(%d)", uint8(r))
+}
+
+// Region is a code-region definition.
+type Region struct {
+	ID       RegionID
+	Name     string
+	Paradigm Paradigm
+	Role     RegionRole
+}
+
+// MetricMode describes how metric samples evolve over time.
+type MetricMode uint8
+
+// MetricMode values.
+const (
+	// MetricAccumulated samples report a monotonically non-decreasing
+	// running total (the usual hardware-counter semantics, e.g.
+	// PAPI_TOT_CYC). Per-interval consumption is the difference of the
+	// bracketing samples.
+	MetricAccumulated MetricMode = iota
+	// MetricAbsolute samples report an instantaneous value (e.g. memory
+	// usage, or the SOS-time overlay metric produced by the analysis).
+	MetricAbsolute
+)
+
+// String returns the lower-case mode name.
+func (m MetricMode) String() string {
+	switch m {
+	case MetricAccumulated:
+		return "accumulated"
+	case MetricAbsolute:
+		return "absolute"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Metric is a metric (counter) definition.
+type Metric struct {
+	ID   MetricID
+	Name string
+	Unit string
+	Mode MetricMode
+}
+
+// Process describes one processing element of the parallel run.
+type Process struct {
+	Rank Rank
+	Name string
+}
+
+// EventKind discriminates the event union.
+type EventKind uint8
+
+// EventKind values.
+const (
+	KindEnter  EventKind = iota // region entry; Region is set
+	KindLeave                   // region exit; Region is set
+	KindSend                    // message send; Peer, Tag, Bytes are set
+	KindRecv                    // message receive; Peer, Tag, Bytes are set
+	KindMetric                  // counter sample; Metric, Value are set
+)
+
+// String returns the lower-case kind name.
+func (k EventKind) String() string {
+	switch k {
+	case KindEnter:
+		return "enter"
+	case KindLeave:
+		return "leave"
+	case KindSend:
+		return "send"
+	case KindRecv:
+		return "recv"
+	case KindMetric:
+		return "metric"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one timestamped record of a process-local event stream. Which
+// fields are meaningful depends on Kind; unused fields hold zero values.
+type Event struct {
+	Time   Time
+	Kind   EventKind
+	Region RegionID // Enter/Leave
+	Metric MetricID // Metric
+	Value  float64  // Metric
+	Peer   Rank     // Send/Recv: the other endpoint
+	Tag    int32    // Send/Recv
+	Bytes  int64    // Send/Recv: payload size
+}
+
+// Enter constructs an enter event. Unused fields hold the No* sentinels so
+// constructed events compare equal to decoded ones.
+func Enter(t Time, r RegionID) Event {
+	return Event{Time: t, Kind: KindEnter, Region: r, Metric: NoMetric, Peer: NoRank}
+}
+
+// Leave constructs a leave event.
+func Leave(t Time, r RegionID) Event {
+	return Event{Time: t, Kind: KindLeave, Region: r, Metric: NoMetric, Peer: NoRank}
+}
+
+// Sample constructs a metric-sample event.
+func Sample(t Time, m MetricID, v float64) Event {
+	return Event{Time: t, Kind: KindMetric, Metric: m, Value: v, Region: NoRegion, Peer: NoRank}
+}
+
+// Send constructs a message-send event.
+func Send(t Time, to Rank, tag int32, bytes int64) Event {
+	return Event{Time: t, Kind: KindSend, Peer: to, Tag: tag, Bytes: bytes, Region: NoRegion, Metric: NoMetric}
+}
+
+// Recv constructs a message-receive event.
+func Recv(t Time, from Rank, tag int32, bytes int64) Event {
+	return Event{Time: t, Kind: KindRecv, Peer: from, Tag: tag, Bytes: bytes, Region: NoRegion, Metric: NoMetric}
+}

@@ -1,0 +1,148 @@
+// Package vis renders perfvar analyses the way the paper's Vampir
+// integration does: process/time timeline views colored by active
+// function, and metric heatmap overlays where blue (cold) encodes short
+// SOS-times and red (hot) encodes long ones. Images are rasterized into
+// image.RGBA and can be encoded as PNG, SVG, or 24-bit ANSI for the
+// terminal.
+package vis
+
+import (
+	"image/color"
+	"math"
+
+	"perfvar/internal/stats"
+)
+
+// ColorMap interpolates colors over [0, 1].
+type ColorMap struct {
+	// Name identifies the map in legends.
+	Name string
+	// Stops are the gradient control points, evenly spaced over [0, 1].
+	Stops []color.RGBA
+}
+
+// At returns the interpolated color for v clamped to [0, 1].
+func (m ColorMap) At(v float64) color.RGBA {
+	if len(m.Stops) == 0 {
+		return color.RGBA{A: 0xff}
+	}
+	if len(m.Stops) == 1 {
+		return m.Stops[0]
+	}
+	if math.IsNaN(v) || v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	pos := v * float64(len(m.Stops)-1)
+	i := int(pos)
+	if i >= len(m.Stops)-1 {
+		return m.Stops[len(m.Stops)-1]
+	}
+	f := pos - float64(i)
+	a, b := m.Stops[i], m.Stops[i+1]
+	lerp := func(x, y uint8) uint8 { return uint8(float64(x) + f*(float64(y)-float64(x)) + 0.5) }
+	return color.RGBA{
+		R: lerp(a.R, b.R),
+		G: lerp(a.G, b.G),
+		B: lerp(a.B, b.B),
+		A: 0xff,
+	}
+}
+
+// CoolWarm is the paper's metric scale: blue (cold, short durations) over
+// white to red (hot, long durations).
+func CoolWarm() ColorMap {
+	return ColorMap{
+		Name: "coolwarm",
+		Stops: []color.RGBA{
+			{R: 0x31, G: 0x62, B: 0xc4, A: 0xff}, // blue
+			{R: 0x8f, G: 0xb2, B: 0xe3, A: 0xff},
+			{R: 0xf2, G: 0xf0, B: 0xeb, A: 0xff}, // near white
+			{R: 0xee, G: 0x9a, B: 0x76, A: 0xff},
+			{R: 0xc6, G: 0x2e, B: 0x22, A: 0xff}, // red
+		},
+	}
+}
+
+// Heat is a black-red-yellow-white intensity scale for counter overlays.
+func Heat() ColorMap {
+	return ColorMap{
+		Name: "heat",
+		Stops: []color.RGBA{
+			{R: 0x10, G: 0x10, B: 0x18, A: 0xff},
+			{R: 0x8a, G: 0x1c, B: 0x12, A: 0xff},
+			{R: 0xe3, G: 0x61, B: 0x1a, A: 0xff},
+			{R: 0xf8, G: 0xc0, B: 0x4c, A: 0xff},
+			{R: 0xff, G: 0xfb, B: 0xe6, A: 0xff},
+		},
+	}
+}
+
+// Normalizer maps raw metric values to [0, 1] for a ColorMap.
+type Normalizer struct {
+	Lo, Hi float64
+}
+
+// LinearNormalizer spans the full [min, max] range of values.
+func LinearNormalizer(values []float64) Normalizer {
+	lo, hi := stats.MinMax(values)
+	return Normalizer{Lo: lo, Hi: hi}
+}
+
+// RobustNormalizer spans the [p5, p95] percentile range, so a single
+// extreme outlier does not wash out the rest of the scale. Values outside
+// the range clamp to 0 or 1. When the percentile range is degenerate
+// (sparse data where most values are identical), it falls back to the
+// full linear range so the remaining variation stays visible.
+func RobustNormalizer(values []float64) Normalizer {
+	n := Normalizer{
+		Lo: stats.Percentile(values, 5),
+		Hi: stats.Percentile(values, 95),
+	}
+	if n.Hi <= n.Lo {
+		return LinearNormalizer(values)
+	}
+	return n
+}
+
+// Norm maps v into [0, 1], clamping. A degenerate range maps everything
+// to 0.
+func (n Normalizer) Norm(v float64) float64 {
+	if n.Hi <= n.Lo {
+		return 0
+	}
+	x := (v - n.Lo) / (n.Hi - n.Lo)
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Categorical palette used for user regions in timeline views. MPI is
+// always red (matching the paper's figures), I/O is dark gray, OpenMP is
+// orange; user regions cycle through the remaining palette.
+var (
+	ColorMPI        = color.RGBA{R: 0xcc, G: 0x23, B: 0x1e, A: 0xff}
+	ColorOpenMP     = color.RGBA{R: 0xe8, G: 0x8f, B: 0x2a, A: 0xff}
+	ColorIO         = color.RGBA{R: 0x55, G: 0x52, B: 0x50, A: 0xff}
+	ColorSystem     = color.RGBA{R: 0x9a, G: 0x97, B: 0x94, A: 0xff}
+	ColorBackground = color.RGBA{R: 0xff, G: 0xff, B: 0xff, A: 0xff}
+	ColorGrid       = color.RGBA{R: 0xd8, G: 0xd5, B: 0xd0, A: 0xff}
+	ColorText       = color.RGBA{R: 0x20, G: 0x20, B: 0x24, A: 0xff}
+
+	userPalette = []color.RGBA{
+		{R: 0x7b, G: 0x3f, B: 0x9e, A: 0xff}, // purple (SPECS in the paper)
+		{R: 0x2e, G: 0x8b, B: 0x3a, A: 0xff}, // green (COSMO)
+		{R: 0xe6, G: 0xc8, B: 0x22, A: 0xff}, // yellow (coupling)
+		{R: 0x2a, G: 0x6f, B: 0xb8, A: 0xff}, // blue (dyn core)
+		{R: 0x8b, G: 0x5a, B: 0x2b, A: 0xff}, // brown (physics)
+		{R: 0x1f, G: 0xa8, B: 0x9e, A: 0xff}, // teal
+		{R: 0xd4, G: 0x5d, B: 0xa1, A: 0xff}, // pink
+		{R: 0x6e, G: 0x6e, B: 0x23, A: 0xff}, // olive
+	}
+)

@@ -1,0 +1,122 @@
+package vis
+
+import (
+	"bufio"
+	"fmt"
+	"image"
+	"image/png"
+	"io"
+	"os"
+	"strings"
+)
+
+// WritePNG encodes img as PNG to w.
+func WritePNG(w io.Writer, img image.Image) error {
+	return png.Encode(w, img)
+}
+
+// SavePNG writes img as a PNG file at path.
+func SavePNG(path string, img image.Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WritePNG(f, img); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteSVG encodes img as an SVG document of run-length-merged row rects.
+// The output is resolution-identical to the raster image but scales
+// losslessly in viewers.
+func WriteSVG(w io.Writer, img *image.RGBA) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	b := img.Bounds()
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" shape-rendering="crispEdges">`+"\n",
+		b.Dx(), b.Dy())
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		x := b.Min.X
+		for x < b.Max.X {
+			c := img.RGBAAt(x, y)
+			x2 := x + 1
+			for x2 < b.Max.X && img.RGBAAt(x2, y) == c {
+				x2++
+			}
+			if c != ColorBackground {
+				fmt.Fprintf(bw, `<rect x="%d" y="%d" width="%d" height="1" fill="#%02x%02x%02x"/>`+"\n",
+					x-b.Min.X, y-b.Min.Y, x2-x, c.R, c.G, c.B)
+			}
+			x = x2
+		}
+	}
+	fmt.Fprintln(bw, "</svg>")
+	return bw.Flush()
+}
+
+// SaveSVG writes img as an SVG file at path.
+func SaveSVG(path string, img *image.RGBA) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteSVG(f, img); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ANSI renders img as 24-bit-color terminal output, two vertical pixels
+// per character cell using the upper-half-block glyph. cols limits the
+// output width in characters (the image is downsampled by integer
+// factors); cols <= 0 uses 100.
+func ANSI(img *image.RGBA, cols int) string {
+	if cols <= 0 {
+		cols = 100
+	}
+	b := img.Bounds()
+	if b.Empty() {
+		return ""
+	}
+	// Integer downsampling factors.
+	fx := (b.Dx() + cols - 1) / cols
+	if fx < 1 {
+		fx = 1
+	}
+	fy := fx // keep aspect; each text row covers 2*fy pixel rows
+	outW := (b.Dx() + fx - 1) / fx
+	outH := (b.Dy() + 2*fy - 1) / (2 * fy)
+
+	avg := func(x0, y0, w, h int) (r, g, bl int) {
+		var rs, gs, bs, n int
+		for y := y0; y < y0+h && y < b.Max.Y; y++ {
+			for x := x0; x < x0+w && x < b.Max.X; x++ {
+				c := img.RGBAAt(x, y)
+				rs += int(c.R)
+				gs += int(c.G)
+				bs += int(c.B)
+				n++
+			}
+		}
+		if n == 0 {
+			return 255, 255, 255
+		}
+		return rs / n, gs / n, bs / n
+	}
+
+	var sb strings.Builder
+	for row := 0; row < outH; row++ {
+		for col := 0; col < outW; col++ {
+			x0 := b.Min.X + col*fx
+			yTop := b.Min.Y + row*2*fy
+			yBot := yTop + fy
+			tr, tg, tb := avg(x0, yTop, fx, fy)
+			br, bg, bb := avg(x0, yBot, fx, fy)
+			fmt.Fprintf(&sb, "\x1b[38;2;%d;%d;%dm\x1b[48;2;%d;%d;%dm▀", tr, tg, tb, br, bg, bb)
+		}
+		sb.WriteString("\x1b[0m\n")
+	}
+	return sb.String()
+}

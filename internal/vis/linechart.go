@@ -1,0 +1,128 @@
+package vis
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+
+	"perfvar/internal/stats"
+)
+
+// LineChart renders one or more numeric series as polylines over a shared
+// x axis (series index → x, value → y). It is used for trend views such
+// as the MPI-fraction-over-time curve of the COSMO-SPECS case study.
+// Series are colored from the categorical palette in order. yLo/yHi of
+// zero auto-scale to the data range.
+func LineChart(series [][]float64, yLo, yHi float64, opts RenderOptions) *Image {
+	o := opts.withDefaults()
+	img := newCanvas(o)
+	l := makeLayout(o, false)
+	if o.Labels && o.Title != "" {
+		DrawText(img, l.plot.Min.X, 3, o.Title, ColorText)
+	}
+	maxLen := 0
+	var all []float64
+	for _, s := range series {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+		all = append(all, s...)
+	}
+	if maxLen < 2 {
+		return img
+	}
+	if yLo == 0 && yHi == 0 {
+		yLo, yHi = stats.MinMax(all)
+	}
+	if yHi <= yLo {
+		yHi = yLo + 1
+	}
+
+	// Light horizontal grid at quarters.
+	for q := 0; q <= 4; q++ {
+		y := l.plot.Max.Y - 1 - q*(l.plot.Dy()-2)/4
+		for x := l.plot.Min.X; x < l.plot.Max.X; x++ {
+			setPixel(img, x, y, ColorGrid)
+		}
+	}
+
+	toXY := func(i int, v float64) (int, int) {
+		x := l.plot.Min.X + i*(l.plot.Dx()-1)/(maxLen-1)
+		frac := (v - yLo) / (yHi - yLo)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		y := l.plot.Max.Y - 1 - int(frac*float64(l.plot.Dy()-2))
+		return x, y
+	}
+
+	for si, s := range series {
+		col := userPalette[si%len(userPalette)]
+		for i := 1; i < len(s); i++ {
+			x0, y0 := toXY(i-1, s[i-1])
+			x1, y1 := toXY(i, s[i])
+			drawLine(img, x0, y0, x1, y1, col)
+		}
+		// Emphasize data points.
+		for i, v := range s {
+			x, y := toXY(i, v)
+			fill(img, image.Rect(x-1, y-1, x+2, y+2), col)
+		}
+	}
+	if o.Labels {
+		lo := FormatDuration(yLo)
+		hi := FormatDuration(yHi)
+		if yHi <= 1.5 { // fractions, not durations
+			lo = formatPct(yLo)
+			hi = formatPct(yHi)
+		}
+		DrawText(img, 2, l.plot.Min.Y, hi, ColorText)
+		DrawText(img, 2, l.plot.Max.Y-glyphH, lo, ColorText)
+	}
+	return img
+}
+
+func formatPct(v float64) string {
+	return fmt.Sprintf("%.0f%%", v*100)
+}
+
+// drawLine rasterizes a line segment with the integer Bresenham
+// algorithm.
+func drawLine(img *Image, x0, y0, x1, y1 int, c color.RGBA) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx := 1
+	if x0 > x1 {
+		sx = -1
+	}
+	sy := 1
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		setPixel(img, x0, y0, c)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

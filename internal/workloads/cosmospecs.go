@@ -1,0 +1,201 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"perfvar/internal/sim"
+	"perfvar/internal/trace"
+)
+
+// CosmoSpecsConfig parameterizes the COSMO-SPECS model of the paper's
+// first case study (Fig. 4): a coupled weather code with a static 2-D
+// domain decomposition where the SPECS cloud-microphysics cost depends on
+// the local cloud mass. A cloud sits over a handful of center ranks and
+// grows over the run, producing a worsening load imbalance that shows up
+// as an increasing MPI fraction in the timeline and as high SOS-times on
+// exactly the cloud-owning ranks.
+type CosmoSpecsConfig struct {
+	// GridX and GridY define the process grid; rank r owns cell
+	// (row r/GridX, col r%GridX). The paper uses 100 ranks (10×10).
+	GridX, GridY int
+	// Steps is the number of coupled timesteps.
+	Steps int
+	// Seed drives the per-rank compute-time jitter.
+	Seed int64
+
+	// BaseCosmo is the per-step cost of the COSMO dynamics (uniform).
+	BaseCosmo trace.Duration
+	// BaseSpecs is the cloud-free per-step cost of SPECS microphysics.
+	BaseSpecs trace.Duration
+	// CloudCost scales the extra SPECS cost per unit of local cloud mass.
+	CloudCost trace.Duration
+	// CloudBase is the initial cloud amplitude and CloudGrowth its linear
+	// growth rate per step: amplitude(t) = CloudBase + CloudGrowth·t. A
+	// small base with steady growth reproduces the paper's Fig. 4(a):
+	// modest MPI share early, MPI dominating towards the end.
+	CloudBase   float64
+	CloudGrowth float64
+	// CloudCenterCol/Row place the cloud (grid-cell coordinates). The
+	// defaults put it so that on a 10×10 grid exactly ranks 44, 45, 54,
+	// 55, 64, and 65 carry cloud mass, with rank 54 carrying the most —
+	// the set the paper's Fig. 4(b) highlights.
+	CloudCenterCol, CloudCenterRow float64
+	// CloudSigmaCol/Row are the Gaussian widths of the cloud.
+	CloudSigmaCol, CloudSigmaRow float64
+	// CloudCutoff truncates the Gaussian: cells whose density is below
+	// the cutoff hold no cloud particles at all (clouds have boundaries).
+	CloudCutoff float64
+	// Jitter is the relative compute-time noise (e.g. 0.02 = ±2 %).
+	Jitter float64
+	// HaloBytes is the per-neighbor halo-exchange payload.
+	HaloBytes int64
+}
+
+// DefaultCosmoSpecs returns the paper-scale configuration: 100 ranks,
+// 60 timesteps.
+func DefaultCosmoSpecs() CosmoSpecsConfig {
+	return CosmoSpecsConfig{
+		GridX: 10, GridY: 10,
+		Steps:          60,
+		Seed:           1,
+		BaseCosmo:      500 * trace.Microsecond,
+		BaseSpecs:      2 * trace.Millisecond,
+		CloudCost:      3 * trace.Millisecond,
+		CloudBase:      0.2,
+		CloudGrowth:    0.18,
+		CloudCenterCol: 4.4, CloudCenterRow: 5.0,
+		CloudSigmaCol: 0.6, CloudSigmaRow: 1.0,
+		CloudCutoff: 0.2,
+		Jitter:      0.02,
+		HaloBytes:   32 << 10,
+	}
+}
+
+// CloudMass returns the (truncated) cloud density of the cell owned by
+// rank at the given step's amplitude factor.
+func (c CosmoSpecsConfig) CloudMass(rank, step int) float64 {
+	row := float64(rank / c.GridX)
+	col := float64(rank % c.GridX)
+	dc := col - c.CloudCenterCol
+	dr := row - c.CloudCenterRow
+	g := math.Exp(-(dc*dc/(2*c.CloudSigmaCol*c.CloudSigmaCol) +
+		dr*dr/(2*c.CloudSigmaRow*c.CloudSigmaRow)))
+	if g <= c.CloudCutoff {
+		return 0
+	}
+	amp := c.CloudBase + c.CloudGrowth*float64(step)
+	return (g - c.CloudCutoff) * amp
+}
+
+// CloudRanks returns the ranks with non-zero cloud mass (the expected
+// hotspot set) and the rank with the highest mass.
+func (c CosmoSpecsConfig) CloudRanks() (ranks []int, hottest int) {
+	best := -1.0
+	for r := 0; r < c.GridX*c.GridY; r++ {
+		m := c.CloudMass(r, 0)
+		if m > 0 {
+			ranks = append(ranks, r)
+			if m > best {
+				best = m
+				hottest = r
+			}
+		}
+	}
+	return ranks, hottest
+}
+
+func (c CosmoSpecsConfig) validate() error {
+	if c.GridX <= 0 || c.GridY <= 0 {
+		return fmt.Errorf("workloads: invalid grid %dx%d", c.GridX, c.GridY)
+	}
+	if c.Steps <= 0 {
+		return fmt.Errorf("workloads: Steps = %d, need > 0", c.Steps)
+	}
+	return nil
+}
+
+// jitter scales d by a uniform factor in [1-j, 1+j].
+func jitter(p *sim.Proc, d trace.Duration, j float64) trace.Duration {
+	if j <= 0 || d <= 0 {
+		return d
+	}
+	f := 1 + j*(2*p.Rng().Float64()-1)
+	return trace.Duration(float64(d) * f)
+}
+
+// haloExchange swaps bytes with the four grid neighbors (edge ranks have
+// fewer; neighbors beyond the rank count — a partial last grid row — are
+// skipped on both sides, keeping the pattern symmetric). It uses the
+// usual non-blocking pattern: post all Isend/Irecv, then complete them in
+// one MPI_Waitall — the wait time the SOS analysis subtracts.
+func haloExchange(p *sim.Proc, gridX, gridY int, tag int32, bytes int64) {
+	rank := p.Rank()
+	row, col := rank/gridX, rank%gridX
+	var neighbors []int
+	add := func(n int) {
+		if n < p.NumRanks() {
+			neighbors = append(neighbors, n)
+		}
+	}
+	if row > 0 {
+		add(rank - gridX)
+	}
+	if row < gridY-1 {
+		add(rank + gridX)
+	}
+	if col > 0 {
+		add(rank - 1)
+	}
+	if col < gridX-1 {
+		add(rank + 1)
+	}
+	reqs := make([]*sim.Request, 0, 2*len(neighbors))
+	for _, n := range neighbors {
+		reqs = append(reqs, p.Isend(n, tag, bytes))
+	}
+	for _, n := range neighbors {
+		reqs = append(reqs, p.Irecv(n, tag))
+	}
+	p.Waitall(reqs)
+}
+
+// CosmoSpecs runs the COSMO-SPECS model and returns its trace.
+func CosmoSpecs(cfg CosmoSpecsConfig) (*trace.Trace, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ranks := cfg.GridX * cfg.GridY
+	return sim.Run(sim.Config{Name: "cosmo-specs", Ranks: ranks, Seed: cfg.Seed}, func(p *sim.Proc) {
+		mainR := p.Region("main")
+		stepR := p.Region("timestep")
+		cosmoR := p.Region("cosmo_dynamics")
+		specsR := p.Region("specs_microphysics")
+		couplR := p.Region("coupling")
+
+		p.Enter(mainR)
+		for step := 0; step < cfg.Steps; step++ {
+			p.Enter(stepR)
+
+			p.Enter(cosmoR)
+			p.Compute(jitter(p, cfg.BaseCosmo, cfg.Jitter))
+			haloExchange(p, cfg.GridX, cfg.GridY, int32(step), cfg.HaloBytes)
+			p.Leave(cosmoR)
+
+			p.Enter(couplR)
+			p.Compute(jitter(p, cfg.BaseCosmo/4, cfg.Jitter))
+			p.Allreduce(1 << 10)
+			p.Leave(couplR)
+
+			p.Enter(specsR)
+			cost := float64(cfg.BaseSpecs) + float64(cfg.CloudCost)*cfg.CloudMass(p.Rank(), step)
+			p.Compute(jitter(p, trace.Duration(cost), cfg.Jitter))
+			p.Leave(specsR)
+
+			p.Barrier()
+			p.SampleCounters()
+			p.Leave(stepR)
+		}
+		p.Leave(mainR)
+	})
+}

@@ -1,0 +1,142 @@
+package workloads
+
+import (
+	"fmt"
+
+	"perfvar/internal/sim"
+	"perfvar/internal/trace"
+)
+
+// FD4Config parameterizes the COSMO-SPECS+FD4 model of the paper's second
+// case study (Fig. 5): the same coupled weather code, but with FD4-style
+// dynamic load balancing that spreads the cloud workload evenly across
+// ranks. The remaining performance problem is a single OS interruption of
+// one rank during one SPECS sub-timestep: wall-clock time passes while no
+// CPU cycles are assigned, so exactly one invocation runs long with a low
+// PAPI_TOT_CYC delta — the paper's root cause.
+type FD4Config struct {
+	// Ranks is the number of processes (the paper uses 200).
+	Ranks int
+	// Iterations is the number of coupled model iterations.
+	Iterations int
+	// SubSteps is the number of SPECS sub-timesteps per iteration (SPECS
+	// sub-cycles within each coupled step); these are the finer segments
+	// of Fig. 5(c).
+	SubSteps int
+	// Seed drives the per-rank compute jitter.
+	Seed int64
+
+	// SpecsCost is the dynamically balanced per-sub-step SPECS cost.
+	SpecsCost trace.Duration
+	// CosmoCost is the per-iteration COSMO dynamics cost.
+	CosmoCost trace.Duration
+	// BalanceCost is the per-iteration FD4 load-balancing overhead.
+	BalanceCost trace.Duration
+	// ResidualImbalance is the relative load spread FD4 cannot remove
+	// (e.g. 0.03 = ±3 %).
+	ResidualImbalance float64
+
+	// InterruptRank, InterruptIteration, and InterruptSubStep locate the
+	// injected OS interruption (the paper observed rank 20).
+	InterruptRank      int
+	InterruptIteration int
+	InterruptSubStep   int
+	// InterruptDuration is how long the OS deschedules the rank.
+	InterruptDuration trace.Duration
+
+	// HaloBytes is the per-neighbor halo payload of the sub-steps.
+	HaloBytes int64
+}
+
+// DefaultFD4 returns the paper-scale configuration: 200 ranks, an
+// interruption of rank 20.
+func DefaultFD4() FD4Config {
+	return FD4Config{
+		Ranks:              200,
+		Iterations:         8,
+		SubSteps:           6,
+		Seed:               2,
+		SpecsCost:          2 * trace.Millisecond,
+		CosmoCost:          500 * trace.Microsecond,
+		BalanceCost:        200 * trace.Microsecond,
+		ResidualImbalance:  0.03,
+		InterruptRank:      20,
+		InterruptIteration: 5,
+		InterruptSubStep:   3,
+		InterruptDuration:  40 * trace.Millisecond,
+		HaloBytes:          16 << 10,
+	}
+}
+
+func (c FD4Config) validate() error {
+	if c.Ranks <= 0 {
+		return fmt.Errorf("workloads: Ranks = %d, need > 0", c.Ranks)
+	}
+	if c.Iterations <= 0 || c.SubSteps <= 0 {
+		return fmt.Errorf("workloads: need positive Iterations (%d) and SubSteps (%d)", c.Iterations, c.SubSteps)
+	}
+	if c.InterruptRank >= c.Ranks {
+		return fmt.Errorf("workloads: InterruptRank %d out of range", c.InterruptRank)
+	}
+	return nil
+}
+
+// InterruptedSegmentIndex returns the flat sub-step index (for the fine
+// segmentation) at which the interruption occurs.
+func (c FD4Config) InterruptedSegmentIndex() int {
+	return c.InterruptIteration*c.SubSteps + c.InterruptSubStep
+}
+
+// FD4 runs the COSMO-SPECS+FD4 model and returns its trace.
+func FD4(cfg FD4Config) (*trace.Trace, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	// Lay the ranks out on a pseudo-grid for halo exchanges.
+	gridX := 1
+	for gridX*gridX < cfg.Ranks {
+		gridX++
+	}
+	gridY := (cfg.Ranks + gridX - 1) / gridX
+
+	return sim.Run(sim.Config{Name: "cosmo-specs-fd4", Ranks: cfg.Ranks, Seed: cfg.Seed}, func(p *sim.Proc) {
+		mainR := p.Region("main")
+		iterR := p.Region("iteration")
+		cosmoR := p.Region("cosmo_dynamics")
+		specsR := p.Region("specs_timestep")
+		balR := p.Region("fd4_balance")
+
+		p.Enter(mainR)
+		for iter := 0; iter < cfg.Iterations; iter++ {
+			p.Enter(iterR)
+
+			p.Enter(cosmoR)
+			p.Compute(jitter(p, cfg.CosmoCost, cfg.ResidualImbalance))
+			p.Leave(cosmoR)
+
+			for sub := 0; sub < cfg.SubSteps; sub++ {
+				p.Enter(specsR)
+				p.Compute(jitter(p, cfg.SpecsCost, cfg.ResidualImbalance))
+				if p.Rank() == cfg.InterruptRank &&
+					iter == cfg.InterruptIteration && sub == cfg.InterruptSubStep {
+					// The OS deschedules this process mid-invocation:
+					// wall time passes, cycles do not.
+					p.Interrupt(cfg.InterruptDuration)
+				}
+				haloExchange(p, gridX, gridY, int32(iter*cfg.SubSteps+sub), cfg.HaloBytes)
+				p.SampleCounters()
+				p.Leave(specsR)
+			}
+
+			p.Enter(balR)
+			p.Compute(jitter(p, cfg.BalanceCost, cfg.ResidualImbalance))
+			p.Alltoall(4 << 10)
+			p.Leave(balR)
+
+			p.Barrier()
+			p.SampleCounters()
+			p.Leave(iterR)
+		}
+		p.Leave(mainR)
+	})
+}

@@ -1,0 +1,67 @@
+package workloads
+
+import (
+	"fmt"
+
+	"perfvar/internal/sim"
+	"perfvar/internal/trace"
+)
+
+// LeakConfig parameterizes a gradual-slowdown run: every rank's iteration
+// cost grows over time (the signature of a memory leak, growing working
+// set, or deepening adaptive mesh). Unlike the case studies there is no
+// culprit rank — the whole application drifts. This exercises the trend
+// detector: per-iteration imbalance stays near 1 while the mean SOS-time
+// climbs, matching the paper's observation that "if an application runs
+// gradually slower, the inclusive time of a good dominant function will
+// usually increase as well".
+type LeakConfig struct {
+	Ranks int
+	Steps int
+	Seed  int64
+	// BaseCost is the iteration-0 compute cost per rank.
+	BaseCost trace.Duration
+	// GrowthPerStep is the relative cost increase per step (e.g. 0.02 =
+	// +2 % per iteration, linear).
+	GrowthPerStep float64
+	// Jitter is the relative compute noise.
+	Jitter float64
+}
+
+// DefaultLeak returns a 32-rank, 40-step run that slows down by 2 % of
+// the base cost per iteration (+80 % by the end).
+func DefaultLeak() LeakConfig {
+	return LeakConfig{
+		Ranks:         32,
+		Steps:         40,
+		Seed:          4,
+		BaseCost:      2 * trace.Millisecond,
+		GrowthPerStep: 0.02,
+		Jitter:        0.01,
+	}
+}
+
+// Leak runs the gradual-slowdown model and returns its trace.
+func Leak(cfg LeakConfig) (*trace.Trace, error) {
+	if cfg.Ranks <= 0 || cfg.Steps <= 0 {
+		return nil, fmt.Errorf("workloads: Leak needs positive Ranks (%d) and Steps (%d)", cfg.Ranks, cfg.Steps)
+	}
+	return sim.Run(sim.Config{Name: "leak", Ranks: cfg.Ranks, Seed: cfg.Seed}, func(p *sim.Proc) {
+		mainR := p.Region("main")
+		stepR := p.Region("timestep")
+		solveR := p.Region("solve")
+
+		p.Enter(mainR)
+		for step := 0; step < cfg.Steps; step++ {
+			p.Enter(stepR)
+			p.Enter(solveR)
+			cost := float64(cfg.BaseCost) * (1 + cfg.GrowthPerStep*float64(step))
+			p.Compute(jitter(p, trace.Duration(cost), cfg.Jitter))
+			p.Leave(solveR)
+			p.Allreduce(1 << 10)
+			p.SampleCounters()
+			p.Leave(stepR)
+		}
+		p.Leave(mainR)
+	})
+}

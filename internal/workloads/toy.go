@@ -1,0 +1,121 @@
+// Package workloads generates synthetic traces that reproduce the
+// application behaviors studied in the paper: the methodology toy examples
+// (Figures 2 and 3) and the three case-study applications COSMO-SPECS
+// (Fig. 4), COSMO-SPECS+FD4 (Fig. 5), and WRF (Fig. 6).
+//
+// The toy traces are hand-built with exact timestamps from the paper's
+// figures; the case studies are produced by running application models on
+// the discrete-event MPI simulator in internal/sim.
+package workloads
+
+import "perfvar/internal/trace"
+
+// Toy time unit: the paper's figures use abstract integer time steps; one
+// step is mapped to one millisecond of virtual time.
+const ToyStep = trace.Millisecond
+
+// Fig2Trace reproduces the dominant-function example of the paper's
+// Figure 2: three processes running main, i, a, b, and c such that
+//
+//   - main has the highest aggregated inclusive time (54 steps) but only
+//     3 invocations (one per process), failing the 2p = 6 threshold, and
+//   - a has the second-highest aggregated inclusive time (36 steps) with
+//     9 invocations, making it the time-dominant function.
+//
+// Layout per process (time steps):
+//
+//	main [0,18); i [0,2); a [2,6) [6,10) [10,14); each a: b first 2 steps,
+//	c next 1 step; main tail [14,18) is exclusive main time.
+func Fig2Trace() *trace.Trace {
+	b := trace.NewBuilder("fig2-toy", 3)
+	main := b.Region("main", trace.ParadigmUser, trace.RoleFunction)
+	ri := b.Region("i", trace.ParadigmUser, trace.RoleFunction)
+	ra := b.Region("a", trace.ParadigmUser, trace.RoleFunction)
+	rb := b.Region("b", trace.ParadigmUser, trace.RoleFunction)
+	rc := b.Region("c", trace.ParadigmUser, trace.RoleFunction)
+
+	at := func(step int64) trace.Time { return trace.Time(step) * ToyStep }
+	for rank := trace.Rank(0); rank < 3; rank++ {
+		b.Enter(rank, at(0), main)
+		b.Enter(rank, at(0), ri)
+		b.Leave(rank, at(2), ri)
+		for k := int64(0); k < 3; k++ {
+			start := 2 + 4*k
+			b.Enter(rank, at(start), ra)
+			b.Enter(rank, at(start), rb)
+			b.Leave(rank, at(start+2), rb)
+			b.Enter(rank, at(start+2), rc)
+			b.Leave(rank, at(start+3), rc)
+			b.Leave(rank, at(start+4), ra)
+		}
+		b.Leave(rank, at(18), main)
+	}
+	return b.Trace()
+}
+
+// Fig3CalcTimes holds the per-iteration, per-rank calc durations (in toy
+// steps) of the paper's Figure 3 example. Iteration 0 matches the figure
+// exactly: calc times 5, 3, 1 on ranks 0, 1, 2 give SOS-times 5, 3, 1
+// while all segment durations equal 6. The middle iteration has duration 3
+// ("twice as fast as the first") and balanced SOS-times.
+var Fig3CalcTimes = [3][3]int64{
+	{5, 3, 1}, // iteration 0: duration 6, SOS 5/3/1
+	{2, 2, 2}, // iteration 1: duration 3, SOS 2/2/2
+	{4, 2, 1}, // iteration 2: duration 5, SOS 4/2/1
+}
+
+// Fig3Trace reproduces the SOS-time example of the paper's Figure 3:
+// three processes iterating function a, where each invocation runs calc
+// and then blocks in an MPI barrier until the slowest rank arrives. The
+// inclusive durations of a are therefore equal across ranks (6, 3, 5 steps
+// per iteration) and only the SOS-times reveal which rank computes longer.
+func Fig3Trace() *trace.Trace {
+	b := trace.NewBuilder("fig3-toy", 3)
+	main := b.Region("main", trace.ParadigmUser, trace.RoleFunction)
+	ra := b.Region("a", trace.ParadigmUser, trace.RoleFunction)
+	calc := b.Region("calc", trace.ParadigmUser, trace.RoleFunction)
+	mpi := b.Region("MPI", trace.ParadigmMPI, trace.RoleBarrier)
+
+	at := func(step int64) trace.Time { return trace.Time(step) * ToyStep }
+	for rank := trace.Rank(0); rank < 3; rank++ {
+		b.Enter(rank, at(0), main)
+		start := int64(0)
+		for iter := 0; iter < len(Fig3CalcTimes); iter++ {
+			calcT := Fig3CalcTimes[iter][rank]
+			// The barrier releases everyone when the slowest rank arrives,
+			// one step after its calc ends.
+			maxCalc := int64(0)
+			for _, c := range Fig3CalcTimes[iter] {
+				if c > maxCalc {
+					maxCalc = c
+				}
+			}
+			end := start + maxCalc + 1
+			b.Enter(rank, at(start), ra)
+			b.Enter(rank, at(start), calc)
+			b.Leave(rank, at(start+calcT), calc)
+			b.Enter(rank, at(start+calcT), mpi)
+			b.Leave(rank, at(end), mpi)
+			b.Leave(rank, at(end), ra)
+			start = end
+		}
+		b.Leave(rank, at(start), main)
+	}
+	return b.Trace()
+}
+
+// Fig3SegmentDurations returns the expected inclusive segment durations
+// (steps) per iteration in the Figure 3 example: 6, 3, 5.
+func Fig3SegmentDurations() []int64 {
+	out := make([]int64, len(Fig3CalcTimes))
+	for i, row := range Fig3CalcTimes {
+		maxCalc := int64(0)
+		for _, c := range row {
+			if c > maxCalc {
+				maxCalc = c
+			}
+		}
+		out[i] = maxCalc + 1
+	}
+	return out
+}

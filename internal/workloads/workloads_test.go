@@ -1,0 +1,400 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"perfvar/internal/core/dominant"
+	"perfvar/internal/core/imbalance"
+	"perfvar/internal/core/segment"
+	"perfvar/internal/metric"
+	"perfvar/internal/sim"
+	"perfvar/internal/stats"
+	"perfvar/internal/trace"
+)
+
+func TestToyTracesValidate(t *testing.T) {
+	if err := Fig2Trace().Validate(); err != nil {
+		t.Errorf("Fig2: %v", err)
+	}
+	if err := Fig3Trace().Validate(); err != nil {
+		t.Errorf("Fig3: %v", err)
+	}
+	if got := Fig3SegmentDurations(); !reflect.DeepEqual(got, []int64{6, 3, 5}) {
+		t.Errorf("Fig3 durations = %v, want [6 3 5]", got)
+	}
+}
+
+// TestCosmoSpecsFig4 verifies the paper's first case study at full scale:
+// 100 ranks, growing cloud. The hotspot set must be exactly ranks
+// {44,45,54,55,64,65} with rank 54 hottest, segment durations must grow
+// over the run, and the MPI fraction must increase towards the end.
+func TestCosmoSpecsFig4(t *testing.T) {
+	cfg := DefaultCosmoSpecs()
+	cloud, hottest := cfg.CloudRanks()
+	if want := []int{44, 45, 54, 55, 64, 65}; !reflect.DeepEqual(cloud, want) {
+		t.Fatalf("configured cloud ranks = %v, want %v", cloud, want)
+	}
+	if hottest != 54 {
+		t.Fatalf("configured hottest rank = %d, want 54", hottest)
+	}
+
+	tr, err := CosmoSpecs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumRanks() != 100 {
+		t.Fatalf("ranks = %d", tr.NumRanks())
+	}
+
+	sel, err := dominant.Select(tr, dominant.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Dominant.Name != "timestep" {
+		t.Fatalf("dominant = %q, want timestep", sel.Dominant.Name)
+	}
+
+	m, err := segment.Compute(tr, sel.Dominant.Region, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Rectangular() || m.Iterations() != cfg.Steps {
+		t.Fatalf("matrix: rect=%v iters=%d", m.Rectangular(), m.Iterations())
+	}
+
+	a := imbalance.Analyze(m, imbalance.Options{})
+	hotRanks := a.HotspotRanks()
+	gotSet := map[int]bool{}
+	for _, r := range hotRanks {
+		gotSet[int(r)] = true
+	}
+	wantSet := map[int]bool{44: true, 45: true, 54: true, 55: true, 64: true, 65: true}
+	if !reflect.DeepEqual(gotSet, wantSet) {
+		t.Errorf("hotspot ranks = %v, want the cloud set %v", hotRanks, wantSet)
+	}
+	if len(hotRanks) == 0 || hotRanks[0] != 54 {
+		t.Errorf("highest-scoring rank = %v, want 54 first", hotRanks)
+	}
+	if got := a.SlowestRank(); got != 54 {
+		t.Errorf("slowest rank = %d, want 54", got)
+	}
+
+	// "Gradually increased durations towards the end of the run": the mean
+	// inclusive segment duration of late iterations exceeds early ones,
+	// and the SOS trend is increasing.
+	if !a.Trend.Increasing {
+		t.Errorf("SOS trend not increasing: %+v", a.Trend)
+	}
+	firstCol := m.Column(0)
+	lastCol := m.Column(cfg.Steps - 1)
+	var firstMean, lastMean float64
+	for i := range firstCol {
+		firstMean += float64(firstCol[i].Inclusive())
+		lastMean += float64(lastCol[i].Inclusive())
+	}
+	if lastMean <= firstMean*2 {
+		t.Errorf("segment durations did not grow: first %g last %g", firstMean, lastMean)
+	}
+
+	// MPI fraction rises over the run (paper Fig. 4a).
+	frac := imbalance.MPIFractionTimeline(tr, 10)
+	slope, _, r2 := stats.LinearRegression(
+		[]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, frac)
+	if slope <= 0 || r2 < 0.5 {
+		t.Errorf("MPI fraction not increasing: %v (slope %g, r2 %g)", frac, slope, r2)
+	}
+	if frac[len(frac)-1] <= frac[0] {
+		t.Errorf("MPI fraction last (%g) not above first (%g)", frac[len(frac)-1], frac[0])
+	}
+}
+
+// TestFD4Fig5 verifies the second case study at full scale: 200 ranks with
+// dynamic load balancing and a single OS interruption of rank 20. The
+// coarse segmentation flags rank 20 in the interrupted iteration; refining
+// to the SPECS sub-steps isolates the single bad invocation, whose cycle
+// delta is far below its wall-clock share.
+func TestFD4Fig5(t *testing.T) {
+	cfg := DefaultFD4()
+	tr, err := FD4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	sel, err := dominant.Select(tr, dominant.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coarse pass: the iteration function dominates.
+	if sel.Dominant.Name != "iteration" {
+		t.Fatalf("dominant = %q, want iteration", sel.Dominant.Name)
+	}
+	coarse, err := segment.Compute(tr, sel.Dominant.Region, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := imbalance.Analyze(coarse, imbalance.Options{})
+	if len(ca.Hotspots) == 0 {
+		t.Fatal("coarse analysis found no hotspots")
+	}
+	top := ca.Hotspots[0].Segment
+	if top.Rank != trace.Rank(cfg.InterruptRank) || top.Index != cfg.InterruptIteration {
+		t.Fatalf("coarse hotspot at rank %d iter %d, want rank %d iter %d",
+			top.Rank, top.Index, cfg.InterruptRank, cfg.InterruptIteration)
+	}
+
+	// Fine pass (paper Fig. 5c): refine the segmentation to a function
+	// with more invocations.
+	finer, ok := sel.Finer(sel.Dominant.Region)
+	if !ok || finer.Name != "specs_timestep" {
+		t.Fatalf("Finer = %+v, %v; want specs_timestep", finer, ok)
+	}
+	fine, err := segment.Compute(tr, finer.Region, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := imbalance.Analyze(fine, imbalance.Options{})
+	if len(fa.Hotspots) == 0 {
+		t.Fatal("fine analysis found no hotspots")
+	}
+	ftop := fa.Hotspots[0].Segment
+	if ftop.Rank != trace.Rank(cfg.InterruptRank) || ftop.Index != cfg.InterruptedSegmentIndex() {
+		t.Fatalf("fine hotspot at rank %d index %d, want rank %d index %d",
+			ftop.Rank, ftop.Index, cfg.InterruptRank, cfg.InterruptedSegmentIndex())
+	}
+	// Exactly one fine segment should stand far out: the top hotspot's SOS
+	// dwarfs any runner-up.
+	if len(fa.Hotspots) > 1 && float64(ftop.SOS()) < 3*float64(fa.Hotspots[1].Segment.SOS()) {
+		t.Errorf("interrupted segment not isolated: top %d, next %d",
+			ftop.SOS(), fa.Hotspots[1].Segment.SOS())
+	}
+
+	// Root-cause validation (PAPI_TOT_CYC): the interrupted invocation has
+	// a much lower cycles-per-wallclock ratio than its peers.
+	cyc, ok := tr.MetricByName(sim.CycleCounterName)
+	if !ok {
+		t.Fatal("cycle counter missing")
+	}
+	deltas, err := metric.SegmentDeltas(tr, fine, cyc.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badDelta := deltas[cfg.InterruptRank][cfg.InterruptedSegmentIndex()]
+	badWall := float64(ftop.Inclusive())
+	badRatio := badDelta / badWall
+	var peerRatios []float64
+	for rank := range deltas {
+		for i, d := range deltas[rank] {
+			if rank == cfg.InterruptRank && i == cfg.InterruptedSegmentIndex() {
+				continue
+			}
+			seg := fine.PerRank[rank][i]
+			if w := float64(seg.Inclusive()); w > 0 {
+				peerRatios = append(peerRatios, d/w)
+			}
+		}
+	}
+	if med := stats.Median(peerRatios); badRatio > med/2 {
+		t.Errorf("interrupted segment cycle ratio %g not clearly below peer median %g", badRatio, med)
+	}
+}
+
+// TestWRFFig6 verifies the third case study at full scale: 64 ranks, rank
+// 39 trapped by FP exceptions. Rank 39 dominates the hotspots, the
+// per-rank SOS means correlate with the microtrap counter, the MPI
+// fraction in the iteration phase is noticeable (paper: ≈25 %), and the
+// init phase takes ≈11 s.
+func TestWRFFig6(t *testing.T) {
+	cfg := DefaultWRF()
+	tr, err := WRF(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	sel, err := dominant.Select(tr, dominant.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Dominant.Name != "wrf_timestep" {
+		t.Fatalf("dominant = %q, want wrf_timestep", sel.Dominant.Name)
+	}
+	m, err := segment.Compute(tr, sel.Dominant.Region, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := imbalance.Analyze(m, imbalance.Options{})
+	hot := a.HotspotRanks()
+	if len(hot) == 0 || hot[0] != trace.Rank(cfg.TrapRank) {
+		t.Fatalf("hotspot ranks = %v, want rank %d first", hot, cfg.TrapRank)
+	}
+	if got := a.SlowestRank(); got != trace.Rank(cfg.TrapRank) {
+		t.Fatalf("slowest rank = %d, want %d", got, cfg.TrapRank)
+	}
+
+	// Counter correlation (paper Fig. 6c): per-rank mean SOS vs microtrap
+	// totals correlate almost perfectly.
+	traps, ok := tr.MetricByName(MicrotrapCounterName)
+	if !ok {
+		t.Fatal("microtrap counter missing")
+	}
+	totals := metric.RankTotals(tr, traps.ID)
+	meanSOS := make([]float64, tr.NumRanks())
+	for rank := range meanSOS {
+		meanSOS[rank] = a.Ranks[rank].MeanSOS
+	}
+	if r := stats.Pearson(meanSOS, totals); r < 0.9 {
+		t.Errorf("Pearson(SOS, microtraps) = %g, want > 0.9", r)
+	}
+
+	// Init phase ≈ 11 s (rank 0 pays 2 s compute + 9 s I/O).
+	initRegion, _ := tr.RegionByName("wrf_init")
+	var initDur trace.Duration
+	for _, ev := range tr.Procs[0].Events {
+		if ev.Region != initRegion.ID {
+			continue
+		}
+		if ev.Kind == trace.KindEnter {
+			initDur -= ev.Time
+		} else if ev.Kind == trace.KindLeave {
+			initDur += ev.Time
+		}
+	}
+	if initDur < 10*trace.Second || initDur > 13*trace.Second {
+		t.Errorf("init phase = %v ns, want ≈11 s", initDur)
+	}
+
+	// MPI fraction during the iteration phase is noticeable (paper ~25 %).
+	// Measure from the end of initialization (latest wrf_init leave) to
+	// the end of the run, which isolates the timestep phase.
+	var initEnd trace.Time
+	for rank := range tr.Procs {
+		for _, ev := range tr.Procs[rank].Events {
+			if ev.Kind == trace.KindLeave && ev.Region == initRegion.ID && ev.Time > initEnd {
+				initEnd = ev.Time
+			}
+		}
+	}
+	_, last := tr.Span()
+	meanFrac := imbalance.ParadigmFractionBetween(tr, trace.ParadigmMPI, initEnd, last)
+	if meanFrac < 0.10 || meanFrac > 0.45 {
+		t.Errorf("steady-state MPI fraction = %g, want ≈0.25", meanFrac)
+	}
+}
+
+func TestWorkloadConfigValidation(t *testing.T) {
+	if _, err := CosmoSpecs(CosmoSpecsConfig{}); err == nil {
+		t.Error("zero CosmoSpecsConfig accepted")
+	}
+	bad := DefaultCosmoSpecs()
+	bad.Steps = 0
+	if _, err := CosmoSpecs(bad); err == nil {
+		t.Error("Steps=0 accepted")
+	}
+	if _, err := FD4(FD4Config{}); err == nil {
+		t.Error("zero FD4Config accepted")
+	}
+	badFD4 := DefaultFD4()
+	badFD4.InterruptRank = 10_000
+	if _, err := FD4(badFD4); err == nil {
+		t.Error("out-of-range InterruptRank accepted")
+	}
+	badFD4 = DefaultFD4()
+	badFD4.SubSteps = 0
+	if _, err := FD4(badFD4); err == nil {
+		t.Error("SubSteps=0 accepted")
+	}
+	if _, err := WRF(WRFConfig{}); err == nil {
+		t.Error("zero WRFConfig accepted")
+	}
+	badWRF := DefaultWRF()
+	badWRF.TrapRank = 64
+	if _, err := WRF(badWRF); err == nil {
+		t.Error("out-of-range TrapRank accepted")
+	}
+	badWRF = DefaultWRF()
+	badWRF.Steps = 0
+	if _, err := WRF(badWRF); err == nil {
+		t.Error("Steps=0 accepted")
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	small := DefaultCosmoSpecs()
+	small.GridX, small.GridY, small.Steps = 4, 4, 6
+	a, err := CosmoSpecs(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CosmoSpecs(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("CosmoSpecs not deterministic")
+	}
+}
+
+func TestCloudMassGrowsOverTime(t *testing.T) {
+	cfg := DefaultCosmoSpecs()
+	if cfg.CloudMass(54, 10) <= cfg.CloudMass(54, 0) {
+		t.Fatal("cloud mass does not grow")
+	}
+	if cfg.CloudMass(0, 0) != 0 {
+		t.Fatal("corner rank has cloud mass")
+	}
+}
+
+// TestLeakTrend verifies the gradual-slowdown workload: the trend
+// detector fires, per-iteration imbalance stays near 1 (no culprit rank),
+// and the last iterations are much slower than the first.
+func TestLeakTrend(t *testing.T) {
+	cfg := DefaultLeak()
+	tr, err := Leak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := dominant.Select(tr, dominant.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Dominant.Name != "timestep" {
+		t.Fatalf("dominant = %q", sel.Dominant.Name)
+	}
+	m, err := segment.Compute(tr, sel.Dominant.Region, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := imbalance.Analyze(m, imbalance.Options{})
+	if !a.Trend.Increasing {
+		t.Fatalf("trend not detected: %+v", a.Trend)
+	}
+	// No per-iteration culprit: imbalance stays close to 1 everywhere.
+	for _, it := range a.Iterations {
+		if it.Imbalance > 1.1 {
+			t.Fatalf("iteration %d imbalance = %g (leak should be uniform)", it.Index, it.Imbalance)
+		}
+	}
+	first := a.Iterations[0].MeanSOS
+	last := a.Iterations[len(a.Iterations)-1].MeanSOS
+	if last < first*1.6 {
+		t.Fatalf("slowdown too small: %g -> %g", first, last)
+	}
+}
+
+func TestLeakConfigValidation(t *testing.T) {
+	if _, err := Leak(LeakConfig{}); err == nil {
+		t.Fatal("zero LeakConfig accepted")
+	}
+}

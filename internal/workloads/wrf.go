@@ -1,0 +1,150 @@
+package workloads
+
+import (
+	"fmt"
+
+	"perfvar/internal/sim"
+	"perfvar/internal/trace"
+)
+
+// MicrotrapCounterName is the simulated equivalent of the PAPI native
+// counter the paper uses to validate the WRF root cause.
+const MicrotrapCounterName = "FR_FPU_EXCEPTIONS_SSE_MICROTRAPS"
+
+// WRFConfig parameterizes the WRF 12km-CONUS model of the paper's third
+// case study (Fig. 6): an init/IO phase followed by timesteps that run the
+// dynamical core and the physical parameterizations. One rank suffers
+// floating-point-exception microtraps that slow its physics computation;
+// its SOS-times are persistently high and correlate with the
+// FR_FPU_EXCEPTIONS_SSE_MICROTRAPS counter.
+type WRFConfig struct {
+	// GridX and GridY define the process grid (the paper uses 64 ranks).
+	GridX, GridY int
+	// Steps is the number of model timesteps.
+	Steps int
+	// Seed drives the per-rank compute jitter.
+	Seed int64
+
+	// InitCompute is the per-rank model-initialization cost.
+	InitCompute trace.Duration
+	// InitIO is the additional input-reading cost paid by rank 0 during
+	// initialization (the paper reports ~11 s of init and I/O).
+	InitIO trace.Duration
+
+	// DynCost is the per-step dynamical-core cost (density, temperature,
+	// pressure, winds).
+	DynCost trace.Duration
+	// PhysCost is the per-step physics cost (clouds, rain, radiation).
+	PhysCost trace.Duration
+	// Jitter is the relative compute noise.
+	Jitter float64
+	// HaloBytes is the per-neighbor halo payload.
+	HaloBytes int64
+
+	// TrapRank is the rank suffering FP-exception microtraps.
+	TrapRank int
+	// TrapRatePerStep is the number of microtraps TrapRank takes per
+	// step; other ranks take a negligible baseline (1/1000 of it).
+	TrapRatePerStep float64
+	// TrapPenalty is the relative physics slowdown of TrapRank
+	// (e.g. 0.6 = 60 % slower physics).
+	TrapPenalty float64
+}
+
+// DefaultWRF returns the paper-scale configuration: 64 ranks, rank 39
+// trapped, ≈11 s of init+IO, and an MPI fraction around 25 % during the
+// iteration phase.
+func DefaultWRF() WRFConfig {
+	return WRFConfig{
+		GridX: 8, GridY: 8,
+		Steps:           50,
+		Seed:            3,
+		InitCompute:     2 * trace.Second,
+		InitIO:          9 * trace.Second,
+		DynCost:         2 * trace.Millisecond,
+		PhysCost:        4 * trace.Millisecond,
+		Jitter:          0.03,
+		HaloBytes:       64 << 10,
+		TrapRank:        39,
+		TrapRatePerStep: 50_000,
+		TrapPenalty:     0.6,
+	}
+}
+
+func (c WRFConfig) validate() error {
+	if c.GridX <= 0 || c.GridY <= 0 {
+		return fmt.Errorf("workloads: invalid grid %dx%d", c.GridX, c.GridY)
+	}
+	if c.Steps <= 0 {
+		return fmt.Errorf("workloads: Steps = %d, need > 0", c.Steps)
+	}
+	if c.TrapRank >= c.GridX*c.GridY {
+		return fmt.Errorf("workloads: TrapRank %d out of range", c.TrapRank)
+	}
+	return nil
+}
+
+// WRF runs the WRF model and returns its trace.
+func WRF(cfg WRFConfig) (*trace.Trace, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ranks := cfg.GridX * cfg.GridY
+	return sim.Run(sim.Config{Name: "wrf-conus12", Ranks: ranks, Seed: cfg.Seed}, func(p *sim.Proc) {
+		mainR := p.Region("main")
+		initR := p.Region("wrf_init")
+		ioR := p.RegionAs("wrf_io_read", trace.ParadigmIO, trace.RoleFileIO)
+		stepR := p.Region("wrf_timestep")
+		dynR := p.Region("dyn_core")
+		physR := p.Region("physics")
+
+		traps := p.NewCounter(MicrotrapCounterName, "events")
+		if p.Rank() == cfg.TrapRank {
+			// Microtraps stall the pipeline: the same work retires fewer
+			// instructions per cycle, visible in PAPI_TOT_INS/PAPI_TOT_CYC.
+			p.SetIPCFactor(1 / (1 + cfg.TrapPenalty))
+		}
+
+		p.Enter(mainR)
+
+		// Model initialization and input I/O (~11 s on rank 0, the paper's
+		// "early parts of the run").
+		p.Enter(initR)
+		p.Compute(jitter(p, cfg.InitCompute, cfg.Jitter))
+		if p.Rank() == 0 {
+			p.Enter(ioR)
+			p.Compute(cfg.InitIO)
+			p.Leave(ioR)
+		}
+		p.Barrier()
+		p.Leave(initR)
+		p.SampleCounters()
+
+		for step := 0; step < cfg.Steps; step++ {
+			p.Enter(stepR)
+
+			p.Enter(dynR)
+			p.Compute(jitter(p, cfg.DynCost, cfg.Jitter))
+			haloExchange(p, cfg.GridX, cfg.GridY, int32(step), cfg.HaloBytes)
+			p.Leave(dynR)
+
+			p.Enter(physR)
+			phys := cfg.PhysCost
+			if p.Rank() == cfg.TrapRank {
+				// FP exceptions trap to microcode: the same physics takes
+				// (1+penalty)× as long and the trap counter races up.
+				phys = trace.Duration(float64(phys) * (1 + cfg.TrapPenalty))
+				traps.Add(cfg.TrapRatePerStep)
+			} else {
+				traps.Add(cfg.TrapRatePerStep / 1000)
+			}
+			p.Compute(jitter(p, phys, cfg.Jitter))
+			p.Leave(physR)
+
+			p.Allreduce(2 << 10)
+			p.SampleCounters()
+			p.Leave(stepR)
+		}
+		p.Leave(mainR)
+	})
+}

@@ -1,0 +1,471 @@
+// Package perfvar detects and visualizes performance variations in traces
+// of parallel applications, reproducing the methodology of Weber et al.,
+// "Detection and Visualization of Performance Variations to Guide
+// Identification of Application Bottlenecks" (ICPP 2016).
+//
+// The pipeline has three steps:
+//
+//  1. identify the time-dominant function (highest aggregated inclusive
+//     time among functions invoked ≥ 2p times on p ranks),
+//  2. cut the run into segments at its invocations and compute each
+//     segment's synchronization-oblivious segment time (SOS-time:
+//     inclusive duration minus MPI/OpenMP synchronization time), and
+//  3. visualize the SOS-times as a blue-to-red heatmap over ranks × time
+//     and rank the outliers, guiding the analyst to the bottleneck.
+//
+// The one-call entry point:
+//
+//	tr, _ := perfvar.LoadTrace("run.pvt")
+//	res, _ := perfvar.Analyze(tr, perfvar.Options{})
+//	res.Report().WriteText(os.Stdout)
+//	perfvar.SavePNG("sos.png", res.Heatmap(perfvar.RenderOptions{Labels: true}))
+//
+// Synthetic workloads equivalent to the paper's three case studies are
+// available via GenerateCosmoSpecs, GenerateFD4, and GenerateWRF.
+package perfvar
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"perfvar/internal/callstack"
+	"perfvar/internal/clockfix"
+	"perfvar/internal/compare"
+	"perfvar/internal/core/dominant"
+	"perfvar/internal/core/imbalance"
+	"perfvar/internal/core/phases"
+	"perfvar/internal/core/segment"
+	"perfvar/internal/online"
+	"perfvar/internal/report"
+	"perfvar/internal/trace"
+	"perfvar/internal/vis"
+	"perfvar/internal/workloads"
+)
+
+// Re-exported core types. The aliases expose the full APIs of the
+// underlying packages through the perfvar façade.
+type (
+	// Trace is a measurement data set: definitions plus per-rank event
+	// streams.
+	Trace = trace.Trace
+	// Rank identifies a processing element.
+	Rank = trace.Rank
+	// Selection is the result of dominant-function identification.
+	Selection = dominant.Selection
+	// Candidate describes one dominant-function candidate.
+	Candidate = dominant.Candidate
+	// Matrix holds the per-rank, per-invocation segments with SOS-times.
+	Matrix = segment.Matrix
+	// Segment is a single dominant-function invocation.
+	Segment = segment.Segment
+	// Analysis is the hotspot/trend analysis over a segment matrix.
+	Analysis = imbalance.Analysis
+	// Hotspot is an outlier segment.
+	Hotspot = imbalance.Hotspot
+	// RenderOptions control the visualization rasterizer.
+	RenderOptions = vis.RenderOptions
+	// Image is a rendered view (alias for image.RGBA).
+	Image = vis.Image
+	// Report is the text/JSON reporting facade.
+	Report = report.Report
+
+	// Clustering is a phase classification of a run's segments.
+	Clustering = phases.Clustering
+	// Comparison relates two runs iteration-by-iteration.
+	Comparison = compare.Comparison
+	// ClockInfo summarizes a clock-skew correction.
+	ClockInfo = clockfix.Info
+	// BreakdownEntry attributes part of a segment to one region.
+	BreakdownEntry = segment.BreakdownEntry
+	// CallTree is the merged calling-context tree of a trace.
+	CallTree = callstack.CallTree
+	// Region, RegionID, and Event expose the trace data model for
+	// instrumentation and streaming consumers.
+	Region   = trace.Region
+	RegionID = trace.RegionID
+	Event    = trace.Event
+	// TraceHeader carries an archive's definitions during streaming reads.
+	TraceHeader = trace.Header
+
+	// OnlineAnalyzer detects hotspots in-situ, while events stream in.
+	OnlineAnalyzer = online.Analyzer
+	// OnlineAlert is one hotspot raised by the online analyzer.
+	OnlineAlert = online.Alert
+	// OnlineOptions tune the online detector.
+	OnlineOptions = online.Options
+
+	// CosmoSpecsConfig parameterizes the Fig. 4 case-study workload.
+	CosmoSpecsConfig = workloads.CosmoSpecsConfig
+	// FD4Config parameterizes the Fig. 5 case-study workload.
+	FD4Config = workloads.FD4Config
+	// WRFConfig parameterizes the Fig. 6 case-study workload.
+	WRFConfig = workloads.WRFConfig
+	// LeakConfig parameterizes the gradual-slowdown workload.
+	LeakConfig = workloads.LeakConfig
+)
+
+// Builder constructs traces event-by-event — the instrumentation entry
+// point for applications that produce their own measurement data instead
+// of using the bundled workloads or archive files.
+type Builder = trace.Builder
+
+// NewTraceBuilder returns a builder for a trace named name with nranks
+// processing elements.
+func NewTraceBuilder(name string, nranks int) *Builder {
+	return trace.NewBuilder(name, nranks)
+}
+
+// Re-exported definition attributes for Builder users.
+const (
+	ParadigmUser   = trace.ParadigmUser
+	ParadigmMPI    = trace.ParadigmMPI
+	ParadigmOpenMP = trace.ParadigmOpenMP
+	ParadigmIO     = trace.ParadigmIO
+
+	RoleFunction     = trace.RoleFunction
+	RoleLoop         = trace.RoleLoop
+	RoleBarrier      = trace.RoleBarrier
+	RoleCollective   = trace.RoleCollective
+	RolePointToPoint = trace.RolePointToPoint
+	RoleWait         = trace.RoleWait
+	RoleFileIO       = trace.RoleFileIO
+
+	MetricAccumulated = trace.MetricAccumulated
+	MetricAbsolute    = trace.MetricAbsolute
+
+	Nanosecond  = trace.Nanosecond
+	Microsecond = trace.Microsecond
+	Millisecond = trace.Millisecond
+	Second      = trace.Second
+)
+
+// Options configure the Analyze pipeline. The zero value reproduces the
+// paper's defaults.
+type Options struct {
+	// DominantFunction forces segmentation at the named function instead
+	// of the automatically selected one (the paper's manual refinement,
+	// Fig. 5c). Empty means automatic selection.
+	DominantFunction string
+	// Multiplier scales the dominant-function invocation threshold
+	// (default 2: a candidate needs ≥ 2p invocations on p ranks).
+	Multiplier int
+	// SyncPrefixes, when non-empty, classifies synchronization by region
+	// name prefix instead of by paradigm.
+	SyncPrefixes []string
+	// ZThreshold is the robust z-score hotspot cutoff (default 3.5).
+	ZThreshold float64
+	// TopK caps the reported hotspots (0 = all).
+	TopK int
+	// MPIFractionBins sets the resolution of the MPI-share timeline
+	// attached to reports (default 20; negative disables).
+	MPIFractionBins int
+	// PerIteration scores each segment against its own iteration's
+	// distribution instead of the whole run's — use when a global trend
+	// (gradual slowdown) would mask rank-relative outliers.
+	PerIteration bool
+}
+
+// Result is the complete outcome of one analysis run.
+type Result struct {
+	Trace     *Trace
+	Selection Selection
+	Matrix    *Matrix
+	Analysis  *Analysis
+	// MPIFraction is the binned MPI-time share over the run.
+	MPIFraction []float64
+}
+
+// Analyze runs the full three-step pipeline on tr.
+func Analyze(tr *Trace, opts Options) (*Result, error) {
+	sel, err := dominant.Select(tr, dominant.Options{Multiplier: opts.Multiplier})
+	if err != nil {
+		return nil, err
+	}
+	region := sel.Dominant.Region
+	if opts.DominantFunction != "" {
+		r, ok := tr.RegionByName(opts.DominantFunction)
+		if !ok {
+			return nil, fmt.Errorf("perfvar: region %q not found in trace", opts.DominantFunction)
+		}
+		region = r.ID
+	}
+	var cls segment.SyncClassifier
+	if len(opts.SyncPrefixes) > 0 {
+		cls = segment.NameSync(opts.SyncPrefixes)
+	}
+	m, err := segment.Compute(tr, region, cls)
+	if err != nil {
+		return nil, err
+	}
+	a := imbalance.Analyze(m, imbalance.Options{
+		ZThreshold:   opts.ZThreshold,
+		TopK:         opts.TopK,
+		PerIteration: opts.PerIteration,
+	})
+
+	bins := opts.MPIFractionBins
+	if bins == 0 {
+		bins = 20
+	}
+	var frac []float64
+	if bins > 0 {
+		frac = imbalance.MPIFractionTimeline(tr, bins)
+	}
+	return &Result{Trace: tr, Selection: sel, Matrix: m, Analysis: a, MPIFraction: frac}, nil
+}
+
+// Refine re-runs segmentation and analysis at a finer granularity: the
+// highest-ranked candidate with more invocations than the current
+// dominant function (paper Fig. 5c). It returns an error when no finer
+// candidate exists.
+func (r *Result) Refine(opts Options) (*Result, error) {
+	finer, ok := r.Selection.Finer(r.Matrix.Region)
+	if !ok {
+		return nil, fmt.Errorf("perfvar: no finer segmentation candidate than %q", r.Matrix.RegionName)
+	}
+	opts.DominantFunction = finer.Name
+	return Analyze(r.Trace, opts)
+}
+
+// Report builds the text/JSON report for the result.
+func (r *Result) Report() *Report {
+	return report.New(r.Trace, r.Selection, r.Analysis, r.MPIFraction)
+}
+
+// SlowestIterationsTrace extracts the sub-trace covering the k slowest
+// iterations (by maximum SOS-time across ranks) — the paper's workflow of
+// keeping only the interesting iterations for focused analysis. The
+// result is a balanced, analyzable trace.
+func (r *Result) SlowestIterationsTrace(k int) *Trace {
+	iters := append([]imbalance.IterationStats(nil), r.Analysis.Iterations...)
+	sort.Slice(iters, func(i, j int) bool { return iters[i].MaxSOS > iters[j].MaxSOS })
+	if k > len(iters) {
+		k = len(iters)
+	}
+	var starts, ends []trace.Time
+	for _, is := range iters[:k] {
+		for _, seg := range r.Matrix.Column(is.Index) {
+			starts = append(starts, seg.Start)
+			ends = append(ends, seg.End)
+		}
+	}
+	return r.Trace.SlowestIterationsWindow(starts, ends)
+}
+
+// Heatmap renders the SOS-time heatmap (the paper's core visualization).
+func (r *Result) Heatmap(opts RenderOptions) *vis.Image {
+	return vis.SOSHeatmap(r.Trace, r.Matrix, opts)
+}
+
+// HeatmapByIndex renders the SOS heatmap in invocation-index space:
+// every iteration gets equal width, keeping late (stretched) iterations
+// comparable to early ones.
+func (r *Result) HeatmapByIndex(opts RenderOptions) *vis.Image {
+	return vis.SOSHeatmapByIndex(r.Matrix, opts)
+}
+
+// Histogram renders the distribution of the result's SOS-times.
+func (r *Result) Histogram(bins int, opts RenderOptions) *vis.Image {
+	return vis.SOSHistogram(r.Matrix, bins, opts)
+}
+
+// Phases clusters the result's segments into k computation phases
+// (k ≤ 0 chooses k automatically by the elbow criterion, up to 6).
+func (r *Result) Phases(k int) *Clustering {
+	if k <= 0 {
+		return phases.AutoCluster(r.Matrix, 6)
+	}
+	return phases.Cluster(r.Matrix, k)
+}
+
+// Breakdown dissects one segment into per-region exclusive times — the
+// focused follow-up once a hotspot is identified.
+func (r *Result) Breakdown(seg Segment) ([]BreakdownEntry, error) {
+	return segment.Breakdown(r.Trace, seg)
+}
+
+// WaitAttribution is a per-rank summary of caused peer wait time.
+type WaitAttribution = imbalance.Attribution
+
+// WaitCausers returns the ranks ordered by how much aggregate peer wait
+// time they caused (the slowest rank of each iteration is charged with
+// everyone else's idle gap).
+func (r *Result) WaitCausers() []WaitAttribution {
+	return imbalance.TopWaitCausers(imbalance.AttributeWait(r.Matrix))
+}
+
+// RankTrend is one rank's slowdown fit.
+type RankTrend = imbalance.RankTrend
+
+// RankTrends returns the per-rank slowdown fits (slope of SOS over
+// iterations), steepest first, restricted to fits with r² ≥ minR2.
+func (r *Result) RankTrends(minR2 float64) []RankTrend {
+	return imbalance.RankTrends(r.Matrix, minR2)
+}
+
+// CompareRuns aligns two analyses iteration-by-iteration and quantifies
+// speedups and imbalance changes (before/after-fix comparisons).
+func CompareRuns(a, b *Result) *Comparison {
+	return compare.Compare(a.Matrix, b.Matrix)
+}
+
+// ComparisonHeatmap renders two runs' SOS heatmaps stacked with a shared
+// color scale (run A on top).
+func ComparisonHeatmap(a, b *Result, opts RenderOptions) *Image {
+	return vis.ComparisonHeatmap(a.Trace, a.Matrix, b.Trace, b.Matrix, opts)
+}
+
+// CorrectClocks detects causality violations (messages received before
+// they were sent) and returns a skew-corrected copy of tr. minLatency is
+// the assumed minimal network latency in nanoseconds.
+func CorrectClocks(tr *Trace, minLatency int64) (*Trace, ClockInfo, error) {
+	return clockfix.Correct(tr, minLatency)
+}
+
+// BuildCallTree returns the merged calling-context tree of tr — the
+// profiler-style drill-down companion to the timeline views.
+func BuildCallTree(tr *Trace) (*CallTree, error) {
+	return callstack.CallTreeOf(tr)
+}
+
+// FunctionSummary renders the per-region exclusive-time bar chart
+// (Vampir's function summary view).
+func FunctionSummary(tr *Trace, topN int, opts RenderOptions) *vis.Image {
+	return vis.FunctionSummary(tr, topN, opts)
+}
+
+// Timeline renders the classic function-colored timeline view of the
+// trace.
+func Timeline(tr *Trace, opts RenderOptions) *vis.Image {
+	return vis.Timeline(tr, opts)
+}
+
+// CounterHeatmap renders a counter metric as a rank × time heatmap (the
+// paper's Fig. 6c view). The metric is looked up by name.
+func CounterHeatmap(tr *Trace, metricName string, opts RenderOptions) (*vis.Image, error) {
+	m, ok := tr.MetricByName(metricName)
+	if !ok {
+		return nil, fmt.Errorf("perfvar: metric %q not found in trace", metricName)
+	}
+	return vis.CounterHeatmap(tr, m.ID, opts), nil
+}
+
+// LoadTrace reads a trace archive from path and validates it. Regular
+// files may be binary PVTR or text pvtt (auto-detected by magic bytes);
+// a directory is read as a multi-file archive (anchor + per-rank files).
+func LoadTrace(path string) (*Trace, error) {
+	var tr *Trace
+	var err error
+	if fi, statErr := os.Stat(path); statErr == nil && fi.IsDir() {
+		tr, err = trace.ReadDir(path)
+	} else {
+		tr, err = trace.ReadAnyFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// SaveTraceDir writes tr as a multi-file directory archive (one anchor
+// file plus one event file per rank — the layout parallel measurement
+// systems produce).
+func SaveTraceDir(dir string, tr *Trace) error { return trace.WriteDir(dir, tr) }
+
+// ConcatTraces stitches two measurement sessions of the same application
+// into one trace: b's events follow a's after gap nanoseconds,
+// definitions are merged by name, and accumulated counters are rebased so
+// they stay monotone.
+func ConcatTraces(a, b *Trace, gap int64) (*Trace, error) { return trace.Concat(a, b, gap) }
+
+// SaveTrace writes tr to path; a ".pvtt" extension selects the text
+// format, everything else the binary PVTR format.
+func SaveTrace(path string, tr *Trace) error {
+	if strings.HasSuffix(path, ".pvtt") {
+		return trace.WriteTextFile(path, tr)
+	}
+	return trace.WriteFile(path, tr)
+}
+
+// SavePNG writes a rendered image as a PNG file.
+func SavePNG(path string, img *vis.Image) error { return vis.SavePNG(path, img) }
+
+// SaveSVG writes a rendered image as an SVG file.
+func SaveSVG(path string, img *vis.Image) error { return vis.SaveSVG(path, img) }
+
+// ANSI renders an image for a truecolor terminal, cols characters wide.
+func ANSI(img *vis.Image, cols int) string { return vis.ANSI(img, cols) }
+
+// NewOnlineAnalyzer builds an in-situ hotspot detector: events are fed as
+// they occur (per rank in time order) and alerts fire the moment a
+// completed dominant-function invocation deviates — no trace file needed.
+// The dominant function is named explicitly (typically known from a
+// previous run or a short profiling prefix).
+func NewOnlineAnalyzer(nranks int, regions []Region, dominantName string, opts OnlineOptions) (*OnlineAnalyzer, error) {
+	dom := trace.NoRegion
+	for _, r := range regions {
+		if r.Name == dominantName {
+			dom = r.ID
+			break
+		}
+	}
+	if dom == trace.NoRegion {
+		return nil, fmt.Errorf("perfvar: region %q not among the definitions", dominantName)
+	}
+	return online.New(nranks, regions, dom, nil, opts)
+}
+
+// StreamTrace reads the archive at path event-by-event without
+// materializing it, invoking fn per event (rank-major). It returns the
+// archive's definitions. Returning ErrStopStream from fn ends the stream
+// early without error.
+func StreamTrace(path string, fn func(rank Rank, ev Event) error) (*TraceHeader, error) {
+	return trace.StreamFile(path, fn)
+}
+
+// ErrStopStream lets a StreamTrace callback stop the stream early.
+var ErrStopStream = trace.ErrStopStream
+
+// ReadTraceHeader reads only an archive's definitions — the cheap setup
+// step before streaming.
+func ReadTraceHeader(path string) (*TraceHeader, error) {
+	return trace.ReadHeaderFile(path)
+}
+
+// GenerateCosmoSpecs produces a trace of the COSMO-SPECS load-imbalance
+// case study (paper Fig. 4). Use DefaultCosmoSpecs for the paper-scale
+// parameters.
+func GenerateCosmoSpecs(cfg CosmoSpecsConfig) (*Trace, error) { return workloads.CosmoSpecs(cfg) }
+
+// GenerateFD4 produces a trace of the COSMO-SPECS+FD4 process-interruption
+// case study (paper Fig. 5).
+func GenerateFD4(cfg FD4Config) (*Trace, error) { return workloads.FD4(cfg) }
+
+// GenerateWRF produces a trace of the WRF floating-point-exception case
+// study (paper Fig. 6).
+func GenerateWRF(cfg WRFConfig) (*Trace, error) { return workloads.WRF(cfg) }
+
+// GenerateLeak produces a trace of the gradual-slowdown scenario (no
+// culprit rank, growing per-iteration cost) that exercises the trend
+// detector.
+func GenerateLeak(cfg LeakConfig) (*Trace, error) { return workloads.Leak(cfg) }
+
+// DefaultLeak returns the default gradual-slowdown configuration.
+func DefaultLeak() LeakConfig { return workloads.DefaultLeak() }
+
+// DefaultCosmoSpecs returns the paper-scale COSMO-SPECS configuration
+// (100 ranks, 60 steps, growing cloud over ranks 44-65).
+func DefaultCosmoSpecs() CosmoSpecsConfig { return workloads.DefaultCosmoSpecs() }
+
+// DefaultFD4 returns the paper-scale COSMO-SPECS+FD4 configuration
+// (200 ranks, OS interruption of rank 20).
+func DefaultFD4() FD4Config { return workloads.DefaultFD4() }
+
+// DefaultWRF returns the paper-scale WRF configuration (64 ranks, FP
+// exceptions on rank 39).
+func DefaultWRF() WRFConfig { return workloads.DefaultWRF() }
