@@ -22,6 +22,7 @@ import (
 	"perfvar/internal/core/dominant"
 	"perfvar/internal/core/imbalance"
 	"perfvar/internal/core/segment"
+	"perfvar/internal/lint"
 	"perfvar/internal/metric"
 	"perfvar/internal/online"
 	"perfvar/internal/sim"
@@ -94,6 +95,19 @@ func check(name string, ok bool) {
 		failures++
 	}
 	fmt.Printf("  [%s] %s\n", status, name)
+}
+
+// lintClean gates every generated case-study trace on the static
+// analyzers before the pipeline consumes it: a seeded workload that
+// trips an error-severity lint finding would silently corrupt the
+// figures downstream.
+func lintClean(tr *perfvar.Trace) {
+	res := lint.Run(tr, lint.Options{})
+	if res.HasErrors() {
+		res.WriteText(os.Stdout, 5)
+	}
+	check(fmt.Sprintf("trace %q lints clean (%d analyzers, no error-severity findings)",
+		tr.Name, len(res.Analyzers)), !res.HasErrors())
 }
 
 // fig1 reproduces Figure 1: inclusive vs. exclusive time of an invocation.
@@ -193,6 +207,7 @@ func fig4(outDir string) error {
 	if err != nil {
 		return err
 	}
+	lintClean(tr)
 	res, err := perfvar.Analyze(tr, perfvar.Options{})
 	if err != nil {
 		return err
@@ -245,6 +260,7 @@ func fig5(outDir string) error {
 	if err != nil {
 		return err
 	}
+	lintClean(tr)
 	res, err := perfvar.Analyze(tr, perfvar.Options{})
 	if err != nil {
 		return err
@@ -300,6 +316,7 @@ func fig6(outDir string) error {
 	if err != nil {
 		return err
 	}
+	lintClean(tr)
 	res, err := perfvar.Analyze(tr, perfvar.Options{})
 	if err != nil {
 		return err

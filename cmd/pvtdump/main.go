@@ -7,6 +7,11 @@
 //	pvtdump -trace run.pvt -events -rank 3 -max 50
 //	pvtdump -trace run.pvt -calltree -depth 3
 //	pvtdump -trace run.pvt -clockcheck
+//	pvtdump -trace run.pvt -lint
+//
+// Archives are loaded without validation so that damaged traces can be
+// inspected; -lint appends the full static-analysis report (see
+// cmd/pvtlint) to the dump.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"perfvar"
 	"perfvar/internal/callstack"
 	"perfvar/internal/clockfix"
+	"perfvar/internal/lint"
 	"perfvar/internal/trace"
 	"perfvar/internal/vis"
 )
@@ -31,7 +37,8 @@ func main() {
 		calltree   = flag.Bool("calltree", false, "print the calling-context tree")
 		depth      = flag.Int("depth", 3, "depth cap for -calltree (-1 = all)")
 		clockcheck = flag.Bool("clockcheck", false, "check for clock-skew causality violations")
-		minLatency = flag.Int64("minlatency", 1000, "assumed minimal network latency in ns for -clockcheck")
+		minLatency = flag.Int64("minlatency", 1000, "assumed minimal network latency in ns for -clockcheck and -lint")
+		runLint    = flag.Bool("lint", false, "append the static-analysis report (all analyzers)")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -39,9 +46,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	tr, err := perfvar.LoadTrace(*tracePath)
+	tr, err := loadRaw(*tracePath)
 	if err != nil {
 		fatal(err)
+	}
+	if !*runLint {
+		if verr := tr.Validate(); verr != nil {
+			fmt.Fprintf(os.Stderr, "pvtdump: warning: trace fails validation (%v); run with -lint for the full diagnosis\n", verr)
+		}
 	}
 
 	first, last := tr.Span()
@@ -101,6 +113,26 @@ func main() {
 			fmt.Println("  hint: run the analysis on a corrected trace (perfvar.CorrectClocks)")
 		}
 	}
+
+	if *runLint {
+		fmt.Println()
+		res := lint.Run(tr, lint.Options{MinLatency: *minLatency})
+		if err := res.WriteText(os.Stdout, 20); err != nil {
+			fatal(err)
+		}
+		if res.HasErrors() {
+			os.Exit(1)
+		}
+	}
+}
+
+// loadRaw reads an archive without validating it, so damaged traces can
+// be inspected and diagnosed.
+func loadRaw(path string) (*perfvar.Trace, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return trace.ReadDir(path)
+	}
+	return trace.ReadAnyFile(path)
 }
 
 func printEvent(tr *perfvar.Trace, ev trace.Event) {

@@ -1,0 +1,133 @@
+// Command pvtlint statically analyzes PVTR/pvtt trace archives for
+// structural violations and semantic oddities that would silently break
+// the perfvar pipeline, reporting every finding (not just the first).
+//
+//	pvtlint run.pvt                     # text report, all analyzers
+//	pvtlint -severity warning run.pvt   # hide info-level findings
+//	pvtlint -json run.pvt               # machine-readable report
+//	pvtlint -analyzers nesting,msgmatch run.pvt
+//	pvtlint -fix fixed.pvt broken.pvt   # write a mechanically repaired copy
+//	pvtlint -list                       # analyzer catalog
+//
+// The exit status is 0 when no error-severity findings exist, 1 when at
+// least one does, and 2 on usage or read failures. Unlike the analysis
+// commands, pvtlint loads archives without validation — diagnosing
+// invalid traces is its purpose.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"perfvar/internal/lint"
+	"perfvar/internal/trace"
+)
+
+func main() {
+	var (
+		severity  = flag.String("severity", "info", "minimum severity to report: info, warning, error")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+		fixPath   = flag.String("fix", "", "write a mechanically repaired copy of the (single) input trace to this path")
+		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		minLat    = flag.Int64("minlatency", int64(lint.DefaultMinLatency), "assumed minimal network latency in ns for clock checks")
+		maxPer    = flag.Int("max", 20, "findings printed per analyzer in text mode (0 = all)")
+		list      = flag.Bool("list", false, "print the analyzer catalog and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		printCatalog()
+		return
+	}
+	paths := flag.Args()
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "pvtlint: no trace archives given")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *fixPath != "" && len(paths) != 1 {
+		fmt.Fprintln(os.Stderr, "pvtlint: -fix requires exactly one input trace")
+		os.Exit(2)
+	}
+
+	opts := lint.Options{MinLatency: *minLat}
+	if sev, ok := lint.ParseSeverity(*severity); ok {
+		opts.MinSeverity = sev
+	} else {
+		fmt.Fprintf(os.Stderr, "pvtlint: unknown severity %q\n", *severity)
+		os.Exit(2)
+	}
+	if *analyzers != "" {
+		for _, name := range strings.Split(*analyzers, ",") {
+			a, ok := lint.Lookup(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "pvtlint: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			opts.Analyzers = append(opts.Analyzers, a)
+		}
+	}
+
+	errorsFound := false
+	for _, path := range paths {
+		tr, err := loadRaw(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pvtlint:", err)
+			os.Exit(2)
+		}
+		res := lint.Run(tr, opts)
+		if res.HasErrors() {
+			errorsFound = true
+		}
+		if *jsonOut {
+			if err := res.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "pvtlint:", err)
+				os.Exit(2)
+			}
+		} else {
+			if len(paths) > 1 {
+				fmt.Printf("== %s\n", path)
+			}
+			if err := res.WriteText(os.Stdout, *maxPer); err != nil {
+				fmt.Fprintln(os.Stderr, "pvtlint:", err)
+				os.Exit(2)
+			}
+		}
+		if *fixPath != "" {
+			fixed, rep := lint.Fix(tr, *minLat)
+			if err := saveTrace(*fixPath, fixed); err != nil {
+				fmt.Fprintln(os.Stderr, "pvtlint:", err)
+				os.Exit(2)
+			}
+			fmt.Printf("fix: wrote %s (dropped %d events, synthesized %d leaves, clamped %d sizes, clock offsets applied: %v)\n",
+				*fixPath, rep.DroppedEvents, rep.SynthesizedLeaves, rep.ClampedSizes, rep.ClockApplied)
+		}
+	}
+	if errorsFound {
+		os.Exit(1)
+	}
+}
+
+// loadRaw reads an archive without validating it.
+func loadRaw(path string) (*trace.Trace, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return trace.ReadDir(path)
+	}
+	return trace.ReadAnyFile(path)
+}
+
+func saveTrace(path string, tr *trace.Trace) error {
+	if strings.HasSuffix(path, ".pvtt") {
+		return trace.WriteTextFile(path, tr)
+	}
+	return trace.WriteFile(path, tr)
+}
+
+func printCatalog() {
+	fmt.Println("registered analyzers:")
+	for _, a := range lint.All() {
+		fmt.Printf("  %-12s %-8s %s\n", a.Name(), a.Severity(), a.Doc())
+	}
+}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"perfvar/internal/trace"
+)
+
+// corruptTrace seeds one defect per analyzer into the clean trace, so a
+// single run must surface findings from every registered analyzer tier.
+func corruptTrace() *trace.Trace {
+	tr := cleanTrace()
+	evs0 := tr.Procs[0].Events
+	// nesting: backward timestamp + mismatched leave.
+	evs0[2].Time = 1
+	i := findEvent(tr, 0, func(ev trace.Event) bool { return ev.Kind == trace.KindLeave })
+	evs0[i].Region = 0
+	// metricmode: undefined metric reference.
+	j := findEvent(tr, 1, func(ev trace.Event) bool { return ev.Kind == trace.KindMetric })
+	tr.Procs[1].Events[j].Metric = 42
+	// msgmatch: undefined peer + negative size.
+	k := findEvent(tr, 1, func(ev trace.Event) bool { return ev.Kind == trace.KindSend })
+	tr.Procs[1].Events[k].Peer = 99
+	tr.Procs[1].Events[k+1].Bytes = -8
+	return tr
+}
+
+func TestFixProducesLintCleanTrace(t *testing.T) {
+	tr := corruptTrace()
+
+	before := Run(tr, Options{})
+	if !before.HasErrors() {
+		t.Fatal("corrupted trace has no error-severity findings")
+	}
+	hit := map[string]bool{}
+	for _, d := range before.Diagnostics {
+		hit[d.Analyzer] = true
+	}
+	for _, want := range []string{"nesting", "metricmode", "msgmatch"} {
+		if !hit[want] {
+			t.Errorf("analyzer %q reported nothing on the corrupted trace", want)
+		}
+	}
+	if len(before.Diagnostics) < 4 {
+		t.Fatalf("expected several diagnostics in one run, got %d", len(before.Diagnostics))
+	}
+
+	fixed, rep := Fix(tr, 0)
+	if !rep.Changed() {
+		t.Fatal("FixReport claims nothing changed")
+	}
+	if rep.DroppedEvents == 0 || rep.SynthesizedLeaves == 0 || rep.ClampedSizes == 0 {
+		t.Fatalf("unexpected fix report: %+v", rep)
+	}
+
+	after := Run(fixed, Options{})
+	if after.HasErrors() {
+		var buf bytes.Buffer
+		after.WriteText(&buf, 0)
+		t.Fatalf("fixed trace still has error-severity findings:\n%s", buf.String())
+	}
+	if err := fixed.Validate(); err != nil {
+		t.Fatalf("fixed trace fails Validate: %v", err)
+	}
+	// The input must not have been modified.
+	if !Run(tr, Options{}).HasErrors() {
+		t.Fatal("Fix modified its input trace")
+	}
+}
+
+func TestFixRepairsClockSkew(t *testing.T) {
+	tr := trace.New("skewed", 2)
+	f := tr.AddRegion("f", trace.ParadigmUser, trace.RoleFunction)
+	tr.Append(0, trace.Enter(0, f))
+	tr.Append(0, trace.Send(1_000_000, 1, 1, 8))
+	tr.Append(0, trace.Leave(2_000_000, f))
+	tr.Append(1, trace.Enter(0, f))
+	tr.Append(1, trace.Recv(1_000_100, 0, 1, 8))
+	tr.Append(1, trace.Leave(2_000_000, f))
+
+	fixed, rep := Fix(tr, 0)
+	if !rep.ClockApplied {
+		t.Fatalf("clock offsets not applied: %+v", rep)
+	}
+	res := Run(fixed, Options{})
+	for _, d := range res.Diagnostics {
+		if d.Code == "causality-violation" {
+			t.Fatalf("causality violation survived Fix: %s", d.Message)
+		}
+	}
+}
+
+func TestFixOnCleanTraceIsIdentityish(t *testing.T) {
+	tr := cleanTrace()
+	fixed, rep := Fix(tr, 0)
+	if rep.Changed() {
+		t.Fatalf("Fix changed a clean trace: %+v", rep)
+	}
+	if fixed.NumEvents() != tr.NumEvents() {
+		t.Fatalf("event count changed: %d -> %d", tr.NumEvents(), fixed.NumEvents())
+	}
+}
+
+// TestCorruptedTraceJSONReport is the acceptance flow: lint a corrupted
+// trace, emit JSON, parse it back, and check the shape a CI consumer
+// relies on.
+func TestCorruptedTraceJSONReport(t *testing.T) {
+	res := Run(corruptTrace(), Options{})
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Trace       string `json:"trace"`
+		Analyzers   []string
+		Diagnostics []struct {
+			Analyzer string `json:"analyzer"`
+			Code     string `json:"code"`
+			Severity string `json:"severity"`
+			Message  string `json:"message"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("JSON report not parseable: %v\n%s", err, buf.String())
+	}
+	if report.Trace != "clean" {
+		t.Fatalf("trace name = %q", report.Trace)
+	}
+	if len(report.Analyzers) < 8 {
+		t.Fatalf("report lists %d analyzers, want >= 8", len(report.Analyzers))
+	}
+	if len(report.Diagnostics) != len(res.Diagnostics) {
+		t.Fatalf("diagnostics lost in JSON: %d != %d", len(report.Diagnostics), len(res.Diagnostics))
+	}
+	for _, d := range report.Diagnostics {
+		if d.Analyzer == "" || d.Code == "" || d.Severity == "" || d.Message == "" {
+			t.Fatalf("incomplete diagnostic in JSON: %+v", d)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"bytes"
+	"testing"
+
+	"perfvar/internal/trace"
+)
+
+// FuzzLint asserts the runner and the fix engine never panic on
+// arbitrary decoded traces, and that Fix's contract holds universally:
+// whatever the decoder accepts, the fixed trace passes Validate and has
+// no error-severity findings. Run with `go test -fuzz=FuzzLint
+// ./internal/lint` for active fuzzing; plain `go test` replays the
+// seeds.
+func FuzzLint(f *testing.F) {
+	encode := func(tr *trace.Trace) []byte {
+		var buf bytes.Buffer
+		if err := trace.Write(&buf, tr); err != nil {
+			return nil
+		}
+		return buf.Bytes()
+	}
+	if seed := encode(cleanTrace()); seed != nil {
+		f.Add(seed)
+		f.Add(seed[:len(seed)/2])
+		mutated := append([]byte(nil), seed...)
+		for i := 8; i < len(mutated); i += 11 {
+			mutated[i] ^= 0xff
+		}
+		f.Add(mutated)
+	}
+	// A sorted-but-broken trace (the writer rejects unsorted streams):
+	// mismatched nesting, bad peer, negative size.
+	broken := trace.New("broken", 2)
+	fn := broken.AddRegion("f", trace.ParadigmUser, trace.RoleFunction)
+	g := broken.AddRegion("g", trace.ParadigmUser, trace.RoleFunction)
+	broken.Append(0, trace.Enter(0, fn))
+	broken.Append(0, trace.Enter(10, g))
+	broken.Append(0, trace.Leave(20, fn)) // g still open
+	broken.Append(0, trace.Send(30, 7, 1, -4))
+	broken.Append(1, trace.Enter(0, fn))
+	if seed := encode(broken); seed != nil {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("PVTR"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := trace.Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		res := Run(tr, Options{})
+		for _, d := range res.Diagnostics {
+			if d.Analyzer == "" || d.Message == "" {
+				t.Fatalf("malformed diagnostic: %+v", d)
+			}
+		}
+		fixed, _ := Fix(tr, 0)
+		if err := fixed.Validate(); err != nil {
+			t.Fatalf("fixed trace fails Validate: %v", err)
+		}
+		if after := Run(fixed, Options{MinSeverity: SeverityError}); after.HasErrors() {
+			var buf bytes.Buffer
+			after.WriteText(&buf, 0)
+			t.Fatalf("fixed trace still has error-severity findings:\n%s", buf.String())
+		}
+	})
+}

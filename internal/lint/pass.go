@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"perfvar/internal/callstack"
+	"perfvar/internal/core/dominant"
+	"perfvar/internal/core/segment"
+	"perfvar/internal/trace"
+)
+
+func sprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+func sortSlice[T any](s []T, less func(a, b T) bool) {
+	sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+}
+
+// Pass connects one analyzer run to the trace under analysis and to the
+// facts shared by all analyzers of the same lint run. Reporting is
+// goroutine-safe, so analyzers may fan work out across ranks.
+type Pass struct {
+	// Trace is the trace under analysis. Analyzers must not mutate it.
+	Trace *trace.Trace
+
+	analyzer Analyzer
+	facts    *facts
+
+	mu    sync.Mutex
+	diags []Diagnostic
+}
+
+// Report records one finding. Empty Analyzer and zero Severity fields
+// are filled from the reporting analyzer.
+func (p *Pass) Report(d Diagnostic) {
+	if d.Analyzer == "" {
+		d.Analyzer = p.analyzer.Name()
+	}
+	p.mu.Lock()
+	p.diags = append(p.diags, d)
+	p.mu.Unlock()
+}
+
+// Reportf records one finding from its parts. Pass event -1 when the
+// finding is not tied to a single event and rank -1 for trace-global
+// findings.
+func (p *Pass) Reportf(sev Severity, code string, rank trace.Rank, event int, t trace.Time, format string, args ...any) {
+	p.Report(Diagnostic{
+		Code: code, Severity: sev, Rank: rank, Event: event, Time: t,
+		Message: sprintf(format, args...),
+	})
+}
+
+// MinLatency returns the assumed minimal network latency used by
+// message-causality checks.
+func (p *Pass) MinLatency() trace.Duration { return p.facts.minLatency }
+
+// Structural returns all structural violations of one rank (the
+// trace.CheckRank facts, computed once per run for all ranks in
+// parallel).
+func (p *Pass) Structural(rank trace.Rank) []trace.Issue {
+	p.facts.structuralOnce.Do(p.facts.computeStructural)
+	return p.facts.structural[rank]
+}
+
+// StructurallyBroken reports whether any rank has a nesting/ordering
+// violation that makes call-tree replays unreliable. Semantic analyzers
+// use it to skip work that the nesting analyzer already explains.
+func (p *Pass) StructurallyBroken() bool {
+	p.facts.structuralOnce.Do(p.facts.computeStructural)
+	for _, issues := range p.facts.structural {
+		for _, is := range issues {
+			if isNestingCode(is.Code) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Invocations returns the completed call invocations of one rank (the
+// callstack.Replay facts), or an error when the rank's stream is not
+// properly nested.
+func (p *Pass) Invocations(rank trace.Rank) ([]callstack.Invocation, error) {
+	p.facts.invocationsOnce.Do(p.facts.computeInvocations)
+	return p.facts.invocations[rank], p.facts.invocationErr[rank]
+}
+
+// Messages returns the FIFO-matched send/recv pairs plus the events that
+// found no partner.
+func (p *Pass) Messages() *Messages {
+	p.facts.messagesOnce.Do(p.facts.computeMessages)
+	return &p.facts.messages
+}
+
+// Dominant returns the dominant-function selection of the trace. The
+// error is dominant.ErrNoCandidate when no function clears the 2p
+// threshold, or a replay error for broken traces.
+func (p *Pass) Dominant() (dominant.Selection, error) {
+	p.facts.dominantOnce.Do(p.facts.computeDominant)
+	return p.facts.dominantSel, p.facts.dominantErr
+}
+
+// Segments returns the segment matrix cut at the dominant function, or
+// an error when no dominant function exists.
+func (p *Pass) Segments() (*segment.Matrix, error) {
+	p.facts.segmentsOnce.Do(p.facts.computeSegments)
+	return p.facts.segments, p.facts.segmentsErr
+}
+
+// MsgRef locates one send or recv event.
+type MsgRef struct {
+	Rank  trace.Rank
+	Event int
+	Time  trace.Time
+	Peer  trace.Rank
+	Tag   int32
+	Bytes int64
+}
+
+// MsgPair is a FIFO-matched send/recv couple.
+type MsgPair struct {
+	Send, Recv MsgRef
+}
+
+// Messages holds the message-matching facts of a trace. Events whose
+// peer rank is undefined are excluded (the structural checks report
+// them).
+type Messages struct {
+	Pairs          []MsgPair
+	UnmatchedSends []MsgRef
+	UnmatchedRecvs []MsgRef
+}
+
+// facts holds the lazily-computed shared state of one lint run.
+type facts struct {
+	tr         *trace.Trace
+	minLatency trace.Duration
+
+	structuralOnce sync.Once
+	structural     [][]trace.Issue
+
+	invocationsOnce sync.Once
+	invocations     [][]callstack.Invocation
+	invocationErr   []error
+
+	messagesOnce sync.Once
+	messages     Messages
+
+	dominantOnce sync.Once
+	dominantSel  dominant.Selection
+	dominantErr  error
+
+	segmentsOnce sync.Once
+	segments     *segment.Matrix
+	segmentsErr  error
+}
+
+// forEachRank runs fn for every rank, fanning out across CPUs.
+func forEachRank(n int, fn func(rank trace.Rank)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for r := 0; r < n; r++ {
+			fn(trace.Rank(r))
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan trace.Rank, n)
+	for r := 0; r < n; r++ {
+		next <- trace.Rank(r)
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for r := range next {
+				fn(r)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func (f *facts) computeStructural() {
+	f.structural = make([][]trace.Issue, f.tr.NumRanks())
+	forEachRank(f.tr.NumRanks(), func(rank trace.Rank) {
+		f.structural[rank] = f.tr.CheckRank(rank)
+	})
+}
+
+func (f *facts) computeInvocations() {
+	f.invocations = make([][]callstack.Invocation, f.tr.NumRanks())
+	f.invocationErr = make([]error, f.tr.NumRanks())
+	forEachRank(f.tr.NumRanks(), func(rank trace.Rank) {
+		f.invocations[rank], f.invocationErr[rank] = callstack.Replay(&f.tr.Procs[rank])
+	})
+}
+
+func (f *facts) computeMessages() {
+	type channel struct {
+		src, dst trace.Rank
+		tag      int32
+	}
+	tr := f.tr
+	sends := make(map[channel][]MsgRef)
+	for rank := range tr.Procs {
+		for i, ev := range tr.Procs[rank].Events {
+			if ev.Kind != trace.KindSend || ev.Peer < 0 || int(ev.Peer) >= len(tr.Procs) {
+				continue
+			}
+			k := channel{src: trace.Rank(rank), dst: ev.Peer, tag: ev.Tag}
+			sends[k] = append(sends[k], MsgRef{
+				Rank: trace.Rank(rank), Event: i, Time: ev.Time,
+				Peer: ev.Peer, Tag: ev.Tag, Bytes: ev.Bytes,
+			})
+		}
+	}
+	used := make(map[channel]int)
+	for rank := range tr.Procs {
+		for i, ev := range tr.Procs[rank].Events {
+			if ev.Kind != trace.KindRecv || ev.Peer < 0 || int(ev.Peer) >= len(tr.Procs) {
+				continue
+			}
+			recv := MsgRef{
+				Rank: trace.Rank(rank), Event: i, Time: ev.Time,
+				Peer: ev.Peer, Tag: ev.Tag, Bytes: ev.Bytes,
+			}
+			k := channel{src: ev.Peer, dst: trace.Rank(rank), tag: ev.Tag}
+			idx := used[k]
+			if idx >= len(sends[k]) {
+				f.messages.UnmatchedRecvs = append(f.messages.UnmatchedRecvs, recv)
+				continue
+			}
+			used[k] = idx + 1
+			f.messages.Pairs = append(f.messages.Pairs, MsgPair{Send: sends[k][idx], Recv: recv})
+		}
+	}
+	for k, refs := range sends {
+		for _, ref := range refs[used[k]:] {
+			f.messages.UnmatchedSends = append(f.messages.UnmatchedSends, ref)
+		}
+	}
+	sortRefs := func(refs []MsgRef) {
+		sortSlice(refs, func(a, b MsgRef) bool {
+			if a.Rank != b.Rank {
+				return a.Rank < b.Rank
+			}
+			return a.Event < b.Event
+		})
+	}
+	sortRefs(f.messages.UnmatchedSends)
+	sortRefs(f.messages.UnmatchedRecvs)
+	sortSlice(f.messages.Pairs, func(a, b MsgPair) bool {
+		if a.Recv.Rank != b.Recv.Rank {
+			return a.Recv.Rank < b.Recv.Rank
+		}
+		return a.Recv.Event < b.Recv.Event
+	})
+}
+
+func (f *facts) computeDominant() {
+	f.dominantSel, f.dominantErr = dominant.Select(f.tr, dominant.Options{})
+}
+
+func (f *facts) computeSegments() {
+	sel, err := f.Dominant()
+	if err != nil {
+		f.segmentsErr = err
+		return
+	}
+	f.segments, f.segmentsErr = segment.Compute(f.tr, sel.Dominant.Region, nil)
+}
+
+// Dominant is the non-Pass entry used by computeSegments.
+func (f *facts) Dominant() (dominant.Selection, error) {
+	f.dominantOnce.Do(f.computeDominant)
+	return f.dominantSel, f.dominantErr
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry holds all known analyzers. The built-in catalog is
+// registered at init time; external packages may Register more.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Analyzer{}
+)
+
+// Register adds an analyzer to the registry. It panics on duplicate
+// names — analyzer names are part of the diagnostic format.
+func Register(a Analyzer) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[a.Name()]; dup {
+		panic(fmt.Sprintf("lint: duplicate analyzer %q", a.Name()))
+	}
+	registry[a.Name()] = a
+}
+
+// Lookup returns the registered analyzer with the given name.
+func Lookup(name string) (Analyzer, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	a, ok := registry[name]
+	return a, ok
+}
+
+// All returns every registered analyzer, sorted by name.
+func All() []Analyzer {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Analyzer, 0, len(registry))
+	for _, a := range registry {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+func init() {
+	Register(nestingAnalyzer{})
+	Register(metricmodeAnalyzer{})
+	Register(msgmatchAnalyzer{})
+	Register(clockskewAnalyzer{})
+	Register(dominanceAnalyzer{})
+	Register(zerosegAnalyzer{})
+	Register(syncdepthAnalyzer{})
+	Register(idlerankAnalyzer{})
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"sync"
+
+	"perfvar/internal/trace"
+)
+
+// DefaultMinLatency is the assumed minimal network latency for
+// message-causality checks when Options.MinLatency is zero (1 µs, the
+// same default cmd/pvtdump -clockcheck uses).
+const DefaultMinLatency = trace.Microsecond
+
+// Options configure one lint run.
+type Options struct {
+	// Analyzers selects the analyzers to run; nil runs all registered
+	// ones.
+	Analyzers []Analyzer
+	// MinSeverity drops diagnostics below the threshold from the result.
+	MinSeverity Severity
+	// MinLatency is the assumed minimal network latency for the
+	// clockskew analyzer; zero means DefaultMinLatency.
+	MinLatency trace.Duration
+}
+
+// Run executes the analyzers over tr and collects every diagnostic.
+// Analyzers run concurrently and share one lazily-computed fact set;
+// per-rank facts are additionally computed in parallel across ranks.
+func Run(tr *trace.Trace, opts Options) *Result {
+	analyzers := opts.Analyzers
+	if analyzers == nil {
+		analyzers = All()
+	}
+	minLatency := opts.MinLatency
+	if minLatency <= 0 {
+		minLatency = DefaultMinLatency
+	}
+	shared := &facts{tr: tr, minLatency: minLatency}
+	res := &Result{TraceName: tr.Name}
+
+	passes := make([]*Pass, len(analyzers))
+	var wg sync.WaitGroup
+	wg.Add(len(analyzers))
+	for i, a := range analyzers {
+		p := &Pass{Trace: tr, analyzer: a, facts: shared}
+		passes[i] = p
+		res.Analyzers = append(res.Analyzers, a.Name())
+		go func(a Analyzer, p *Pass) {
+			defer wg.Done()
+			if err := a.Run(p); err != nil {
+				p.Report(Diagnostic{
+					Code: "analyzer-error", Severity: SeverityError, Rank: -1, Event: -1,
+					Message: sprintf("analyzer failed: %v", err),
+				})
+			}
+		}(a, p)
+	}
+	wg.Wait()
+
+	for _, p := range passes {
+		for _, d := range p.diags {
+			if d.Severity >= opts.MinSeverity {
+				res.Diagnostics = append(res.Diagnostics, d)
+			}
+		}
+	}
+	sortNames(res.Analyzers)
+	res.sortDiagnostics()
+	return res
+}
+
+func sortNames(names []string) {
+	sortSlice(names, func(a, b string) bool { return a < b })
+}

@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"errors"
+	"sort"
+
+	"perfvar/internal/clockfix"
+	"perfvar/internal/core/dominant"
+	"perfvar/internal/trace"
+)
+
+// The semantic tier checks properties that are legal per the format but
+// make the paper's pipeline produce misleading results: skewed clocks,
+// no eligible dominant function, degenerate regions, inconsistent
+// collective usage, and near-idle ranks.
+
+// maxPerFinding caps repetitive per-event reports of one kind so a
+// badly skewed trace does not drown the report; a summary line carries
+// the total.
+const maxPerFinding = 50
+
+// clockskewAnalyzer detects cross-rank clock skew via message-causality
+// violations, reusing the internal/clockfix heuristics.
+type clockskewAnalyzer struct{}
+
+func (clockskewAnalyzer) Name() string { return "clockskew" }
+func (clockskewAnalyzer) Doc() string {
+	return "messages must not be received before their send time plus the minimal network latency; violations indicate per-rank clock offsets (repairable) or rate drift (not repairable by constant offsets)"
+}
+func (clockskewAnalyzer) Severity() Severity { return SeverityWarning }
+func (clockskewAnalyzer) Run(p *Pass) error {
+	viols := clockfix.Violations(p.Trace, p.MinLatency())
+	for i, v := range viols {
+		if i >= maxPerFinding {
+			p.Reportf(SeverityWarning, "causality-violation", -1, -1, 0,
+				"%d more causality violations not listed", len(viols)-i)
+			break
+		}
+		p.Report(Diagnostic{
+			Code: "causality-violation", Severity: SeverityWarning,
+			Rank: v.Dst, Event: -1, Time: v.RecvTime,
+			Message: sprintf("message from rank %d (tag %d) received %d ns before it could arrive (sent %d, min latency %d)",
+				v.Src, v.Tag, v.Deficit, v.SendTime, p.MinLatency()),
+			SuggestedFix: "shift per-rank clocks (pvtlint -fix or perfvar.CorrectClocks)",
+			Fixable:      true,
+		})
+	}
+	if len(viols) == 0 {
+		return nil
+	}
+	_, iters, converged := clockfix.EstimateOffsets(p.Trace, p.MinLatency(), 0)
+	if !converged {
+		p.Reportf(SeverityWarning, "clock-drift", -1, -1, 0,
+			"per-rank offset relaxation did not converge after %d sweeps: clock rate drift that constant offsets cannot repair", iters)
+	}
+	return nil
+}
+
+// dominanceAnalyzer checks the paper's precondition: some function must
+// clear the 2p-invocation threshold, and its per-rank segment counts
+// should be comparable — otherwise the segment matrix is not a
+// meaningful rank × iteration grid.
+type dominanceAnalyzer struct{}
+
+func (dominanceAnalyzer) Name() string { return "dominance" }
+func (dominanceAnalyzer) Doc() string {
+	return "a time-dominant function invoked at least 2p times must exist and should yield similar segment counts on every rank; without it the SOS-time analysis has nothing to segment"
+}
+func (dominanceAnalyzer) Severity() Severity { return SeverityWarning }
+func (dominanceAnalyzer) Run(p *Pass) error {
+	if p.StructurallyBroken() {
+		return nil // nesting analyzer explains why replays fail
+	}
+	sel, err := p.Dominant()
+	if err != nil {
+		if errors.Is(err, dominant.ErrNoCandidate) {
+			p.Report(Diagnostic{
+				Code: "no-dominant", Severity: SeverityWarning, Rank: -1, Event: -1,
+				Message: sprintf("no function clears the invocation threshold (need ≥ %d invocations over %d ranks): the run cannot be segmented",
+					sel.Threshold, p.Trace.NumRanks()),
+				SuggestedFix: "segment on an explicit region (Options.Region) or lower the threshold (Options.MinInvocations)",
+			})
+		}
+		return nil
+	}
+	m, err := p.Segments()
+	if err != nil {
+		return nil
+	}
+	minRank, maxRank := trace.Rank(0), trace.Rank(0)
+	for rank := range m.PerRank {
+		if len(m.PerRank[rank]) < len(m.PerRank[minRank]) {
+			minRank = trace.Rank(rank)
+		}
+		if len(m.PerRank[rank]) > len(m.PerRank[maxRank]) {
+			maxRank = trace.Rank(rank)
+		}
+	}
+	minN, maxN := len(m.PerRank[minRank]), len(m.PerRank[maxRank])
+	if maxN > 2*minN && maxN-minN > 2 {
+		p.Reportf(SeverityWarning, "segment-count-divergence", -1, -1, 0,
+			"segment counts of dominant function %q diverge wildly across ranks: rank %d has %d, rank %d has %d",
+			sel.Dominant.Name, minRank, minN, maxRank, maxN)
+	}
+	return nil
+}
+
+// zerosegAnalyzer flags zero-duration invocations: legal, but they
+// produce empty segments and hint at too-coarse timestamps or collapsed
+// instrumentation.
+type zerosegAnalyzer struct{}
+
+func (zerosegAnalyzer) Name() string { return "zeroseg" }
+func (zerosegAnalyzer) Doc() string {
+	return "invocations whose enter and leave share a timestamp carry no duration information; many of them suggest too-coarse clock resolution"
+}
+func (zerosegAnalyzer) Severity() Severity { return SeverityInfo }
+func (zerosegAnalyzer) Run(p *Pass) error {
+	tr := p.Trace
+	for rank := 0; rank < tr.NumRanks(); rank++ {
+		invs, err := p.Invocations(trace.Rank(rank))
+		if err != nil {
+			continue // nesting analyzer explains why
+		}
+		type zinfo struct {
+			count int
+			first trace.Time
+		}
+		zeros := map[trace.RegionID]*zinfo{}
+		for i := range invs {
+			if invs[i].Inclusive() != 0 {
+				continue
+			}
+			z := zeros[invs[i].Region]
+			if z == nil {
+				z = &zinfo{first: invs[i].Enter}
+				zeros[invs[i].Region] = z
+			}
+			z.count++
+		}
+		ids := make([]trace.RegionID, 0, len(zeros))
+		for id := range zeros {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			z := zeros[id]
+			p.Reportf(SeverityInfo, "zero-duration", trace.Rank(rank), -1, z.first,
+				"%d zero-duration invocation(s) of %q", z.count, tr.Region(id).Name)
+		}
+	}
+	return nil
+}
+
+// syncdepthAnalyzer checks that collective synchronization regions are
+// entered at a consistent call-stack depth across ranks: SPMD codes call
+// the same barrier from the same place, and depth divergence usually
+// means ranks took different code paths into a collective — a deadlock
+// or mismatched-collective smell.
+type syncdepthAnalyzer struct{}
+
+func (syncdepthAnalyzer) Name() string { return "syncdepth" }
+func (syncdepthAnalyzer) Doc() string {
+	return "barrier/collective regions should be entered at the same call-stack depth on every rank; divergence means ranks reached the collective through different code paths"
+}
+func (syncdepthAnalyzer) Severity() Severity { return SeverityWarning }
+func (syncdepthAnalyzer) Run(p *Pass) error {
+	tr := p.Trace
+	type depthInfo struct {
+		depth int16
+		rank  trace.Rank
+	}
+	depths := map[trace.RegionID][]depthInfo{} // distinct depths, first rank each
+	for rank := 0; rank < tr.NumRanks(); rank++ {
+		invs, err := p.Invocations(trace.Rank(rank))
+		if err != nil {
+			continue
+		}
+		for i := range invs {
+			if !tr.ValidRegion(invs[i].Region) {
+				continue
+			}
+			role := tr.Region(invs[i].Region).Role
+			if role != trace.RoleBarrier && role != trace.RoleCollective {
+				continue
+			}
+			seen := depths[invs[i].Region]
+			known := false
+			for _, d := range seen {
+				if d.depth == invs[i].Depth {
+					known = true
+					break
+				}
+			}
+			if !known {
+				depths[invs[i].Region] = append(seen, depthInfo{invs[i].Depth, trace.Rank(rank)})
+			}
+		}
+	}
+	ids := make([]trace.RegionID, 0, len(depths))
+	for id := range depths {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		seen := depths[id]
+		if len(seen) < 2 {
+			continue
+		}
+		p.Reportf(SeverityWarning, "inconsistent-sync-depth", -1, -1, 0,
+			"collective %q entered at inconsistent stack depths (%d on rank %d vs %d on rank %d)",
+			tr.Region(id).Name, seen[0].depth, seen[0].rank, seen[1].depth, seen[1].rank)
+	}
+	return nil
+}
+
+// idlerankAnalyzer flags ranks whose event density is near zero relative
+// to their peers: dead ranks record (almost) nothing and silently shrink
+// every cross-rank statistic.
+type idlerankAnalyzer struct{}
+
+func (idlerankAnalyzer) Name() string { return "idlerank" }
+func (idlerankAnalyzer) Doc() string {
+	return "each rank should record a comparable number of events; a near-empty stream usually means a dead or uninstrumented process"
+}
+func (idlerankAnalyzer) Severity() Severity { return SeverityWarning }
+func (idlerankAnalyzer) Run(p *Pass) error {
+	tr := p.Trace
+	if tr.NumRanks() < 2 {
+		return nil
+	}
+	counts := make([]int, tr.NumRanks())
+	sorted := make([]int, tr.NumRanks())
+	for rank := range tr.Procs {
+		counts[rank] = len(tr.Procs[rank].Events)
+		sorted[rank] = counts[rank]
+	}
+	sort.Ints(sorted)
+	median := sorted[len(sorted)/2]
+	if median < 20 {
+		return nil // too small a trace to call any rank idle
+	}
+	threshold := median / 10
+	if threshold < 2 {
+		threshold = 2
+	}
+	for rank, n := range counts {
+		if n < threshold {
+			p.Reportf(SeverityWarning, "idle-rank", trace.Rank(rank), -1, 0,
+				"rank records only %d events (median across ranks: %d): near-zero event density", n, median)
+		}
+	}
+	return nil
+}

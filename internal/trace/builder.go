@@ -11,7 +11,7 @@ type Builder struct {
 	regions map[string]RegionID
 	metrics map[string]MetricID
 	last    []Time
-	depth   []int
+	stacks  [][]RegionID
 }
 
 // NewBuilder returns a builder for a trace named name with nranks ranks.
@@ -21,7 +21,7 @@ func NewBuilder(name string, nranks int) *Builder {
 		regions: make(map[string]RegionID),
 		metrics: make(map[string]MetricID),
 		last:    make([]Time, nranks),
-		depth:   make([]int, nranks),
+		stacks:  make([][]RegionID, nranks),
 	}
 }
 
@@ -56,15 +56,34 @@ func (b *Builder) stamp(rank Rank, t Time) {
 // Enter records entering region r on rank at time t.
 func (b *Builder) Enter(rank Rank, t Time, r RegionID) {
 	b.stamp(rank, t)
-	b.depth[rank]++
+	b.stacks[rank] = append(b.stacks[rank], r)
 	b.tr.Append(rank, Enter(t, r))
 }
 
-// Leave records leaving region r on rank at time t.
+// Leave records leaving region r on rank at time t. Like stamp, it fails
+// fast: r must match the innermost open region, so the builder can never
+// produce a trace that Validate (or the lint nesting analyzer) rejects
+// for improper nesting.
 func (b *Builder) Leave(rank Rank, t Time, r RegionID) {
 	b.stamp(rank, t)
-	b.depth[rank]--
+	st := b.stacks[rank]
+	if len(st) == 0 {
+		panic(fmt.Sprintf("trace.Builder: rank %d leave %s with no open region",
+			rank, b.regionName(r)))
+	}
+	if top := st[len(st)-1]; top != r {
+		panic(fmt.Sprintf("trace.Builder: rank %d leave %s while inside %s",
+			rank, b.regionName(r), b.regionName(top)))
+	}
+	b.stacks[rank] = st[:len(st)-1]
 	b.tr.Append(rank, Leave(t, r))
+}
+
+func (b *Builder) regionName(r RegionID) string {
+	if b.tr.ValidRegion(r) {
+		return fmt.Sprintf("%q", b.tr.Region(r).Name)
+	}
+	return fmt.Sprintf("region(%d)", r)
 }
 
 // Sample records a metric sample on rank at time t.
@@ -86,7 +105,7 @@ func (b *Builder) Recv(rank Rank, t Time, from Rank, tag int32, bytes int64) {
 }
 
 // Depth returns the current enter/leave nesting depth of rank.
-func (b *Builder) Depth(rank Rank) int { return b.depth[rank] }
+func (b *Builder) Depth(rank Rank) int { return len(b.stacks[rank]) }
 
 // Now returns the most recent timestamp recorded for rank.
 func (b *Builder) Now(rank Rank) Time { return b.last[rank] }
@@ -95,9 +114,10 @@ func (b *Builder) Now(rank Rank) Time { return b.last[rank] }
 // used afterwards. It panics if any rank has unbalanced enter/leave pairs,
 // mirroring Validate's invariant at the earliest possible point.
 func (b *Builder) Trace() *Trace {
-	for rank, d := range b.depth {
-		if d != 0 {
-			panic(fmt.Sprintf("trace.Builder: rank %d finishes with depth %d", rank, d))
+	for rank, st := range b.stacks {
+		if len(st) != 0 {
+			panic(fmt.Sprintf("trace.Builder: rank %d finishes with depth %d (innermost %s)",
+				rank, len(st), b.regionName(st[len(st)-1])))
 		}
 	}
 	tr := b.tr

@@ -1,6 +1,9 @@
 package trace
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestBuilderBasics(t *testing.T) {
 	b := NewBuilder("demo", 2)
@@ -63,4 +66,58 @@ func TestBuilderPanicsOnUnbalancedFinish(t *testing.T) {
 	f := b.Region("f", ParadigmUser, RoleFunction)
 	b.Enter(0, 0, f)
 	b.Trace()
+}
+
+func TestBuilderPanicsOnLeaveWithoutEnter(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic for leave without enter")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "no open region") {
+			t.Fatalf("panic message = %v", r)
+		}
+	}()
+	b := NewBuilder("demo", 1)
+	f := b.Region("f", ParadigmUser, RoleFunction)
+	b.Leave(0, 5, f)
+}
+
+func TestBuilderPanicsOnMismatchedLeave(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic for mismatched leave")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, `leave "f" while inside "g"`) {
+			t.Fatalf("panic message = %v", r)
+		}
+	}()
+	b := NewBuilder("demo", 1)
+	f := b.Region("f", ParadigmUser, RoleFunction)
+	g := b.Region("g", ParadigmUser, RoleFunction)
+	b.Enter(0, 0, f)
+	b.Enter(0, 1, g)
+	b.Leave(0, 2, f) // g is still open
+}
+
+func TestBuilderStackTracking(t *testing.T) {
+	b := NewBuilder("demo", 1)
+	f := b.Region("f", ParadigmUser, RoleFunction)
+	g := b.Region("g", ParadigmUser, RoleFunction)
+	b.Enter(0, 0, f)
+	b.Enter(0, 1, g)
+	b.Enter(0, 2, g) // recursion
+	if d := b.Depth(0); d != 3 {
+		t.Fatalf("Depth = %d, want 3", d)
+	}
+	b.Leave(0, 3, g)
+	b.Leave(0, 4, g)
+	b.Leave(0, 5, f)
+	if d := b.Depth(0); d != 0 {
+		t.Fatalf("Depth = %d, want 0", d)
+	}
+	if err := b.Trace().Validate(); err != nil {
+		t.Fatal(err)
+	}
 }

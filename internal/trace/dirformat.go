@@ -232,7 +232,9 @@ func readRankFile(path string, rank int, tr *Trace) ([]Event, error) {
 		return nil, formatf("%s: event count %d exceeds limit", path, nev)
 	}
 	dec := newEventDecoder(br, uint64(len(tr.Regions)), uint64(len(tr.Metrics)), uint64(len(tr.Procs)))
-	evs := make([]Event, 0, nev)
+	// Cap the upfront allocation against absurd declared counts; append
+	// grows as real events actually decode.
+	evs := make([]Event, 0, min(nev, 1<<16))
 	for i := uint64(0); i < nev; i++ {
 		ev, err := dec.decode()
 		if err != nil {

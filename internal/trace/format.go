@@ -199,7 +199,9 @@ func Read(r io.Reader) (*Trace, error) {
 		if err != nil || nev > maxEvents {
 			return nil, formatf("rank %d event count: n=%d err=%v", rank, nev, err)
 		}
-		evs := make([]Event, 0, nev)
+		// Cap the upfront allocation: a corrupt header can declare an
+		// absurd count, but real events still have to arrive byte by byte.
+		evs := make([]Event, 0, min(nev, 1<<16))
 		dec := newEventDecoder(br, nregions, nmetrics, nprocs)
 		for i := uint64(0); i < nev; i++ {
 			ev, err := dec.decode()

@@ -18,6 +18,28 @@ func binarySeed() []byte {
 	return buf.Bytes()
 }
 
+// brokenSeed encodes a sorted but structurally invalid trace: unclosed
+// and mismatched regions, an undefined peer, and a negative payload, so
+// fuzzing starts from inputs that exercise the Check recovery paths.
+func brokenSeed() []byte {
+	tr := New("broken", 2)
+	fn := tr.AddRegion("f", ParadigmUser, RoleFunction)
+	g := tr.AddRegion("g", ParadigmUser, RoleFunction)
+	m := tr.AddMetric("c", "n", MetricAccumulated)
+	tr.Append(0, Enter(0, fn))
+	tr.Append(0, Enter(10, g))
+	tr.Append(0, Sample(15, m, 100))
+	tr.Append(0, Sample(18, m, 50)) // decreasing accumulated metric
+	tr.Append(0, Leave(20, fn))     // g still open
+	tr.Append(0, Send(30, 7, 1, -4))
+	tr.Append(1, Enter(0, fn)) // never left
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
 func FuzzReadBinary(f *testing.F) {
 	seed := binarySeed()
 	f.Add(seed)
@@ -29,6 +51,7 @@ func FuzzReadBinary(f *testing.F) {
 		mutated[i] ^= 0xff
 	}
 	f.Add(mutated)
+	f.Add(brokenSeed())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := Read(bytes.NewReader(data))
 		if err != nil {
@@ -42,8 +65,12 @@ func FuzzReadBinary(f *testing.F) {
 			t.Fatalf("re-encode of accepted trace failed: %v", err)
 		}
 		// Validate may reject semantics (unbalanced regions), but must
-		// not panic.
-		_ = tr.Validate()
+		// not panic — and it must agree with the collect-all checker it
+		// wraps: no error means no issues, and vice versa.
+		issues := tr.Check()
+		if err := tr.Validate(); (err == nil) != (len(issues) == 0) {
+			t.Fatalf("Validate (%v) disagrees with Check (%d issues)", err, len(issues))
+		}
 	})
 }
 
@@ -62,6 +89,8 @@ func FuzzReadText(f *testing.F) {
 	f.Add("pvtt 1\nend\n")
 	f.Add("pvtt 1\nname \"x\nend\n")
 	f.Add("pvtt 1\nregion 0 \"f\" user function\nproc 0 \"P\"\ne 0 1 enter 0\nend\n")
+	f.Add("pvtt 1\nregion 0 \"f\" user function\nregion 1 \"g\" user function\nproc 0 \"P\"\ne 0 1 enter 0\ne 0 2 enter 1\ne 0 3 leave 0\nend\n")
+	f.Add("pvtt 1\nmetric 0 \"c\" \"n\" accumulated\nproc 0 \"P\"\ne 0 1 metric 0 9\ne 0 2 metric 0 5\nend\n")
 	f.Fuzz(func(t *testing.T, data string) {
 		tr, err := ReadText(bytes.NewReader([]byte(data)))
 		if err != nil {
@@ -71,7 +100,10 @@ func FuzzReadText(f *testing.F) {
 		if err := WriteText(&buf, tr); err != nil {
 			t.Fatalf("re-encode of accepted text trace failed: %v", err)
 		}
-		_ = tr.Validate()
+		issues := tr.Check()
+		if err := tr.Validate(); (err == nil) != (len(issues) == 0) {
+			t.Fatalf("Validate (%v) disagrees with Check (%d issues)", err, len(issues))
+		}
 	})
 }
 

@@ -8,6 +8,22 @@ import "fmt"
 // iterations; for normal iterations the analyst discarded the tracing
 // data". Window lets the analyst do that after the fact on a full trace.
 
+// Transform returns a new trace whose per-rank event streams are rewritten
+// by fn. Definitions and process metadata are copied; fn receives the
+// original (shared, read-only) event slice of each rank and must return a
+// fresh slice — or the input unchanged — without mutating it in place.
+// This is the mechanical basis for lint's -fix rewrites.
+func (tr *Trace) Transform(fn func(rank Rank, events []Event) []Event) *Trace {
+	out := New(tr.Name, tr.NumRanks())
+	out.Regions = append([]Region(nil), tr.Regions...)
+	out.Metrics = append([]Metric(nil), tr.Metrics...)
+	for rank := range tr.Procs {
+		out.Procs[rank].Proc = tr.Procs[rank].Proc
+		out.Procs[rank].Events = fn(Rank(rank), tr.Procs[rank].Events)
+	}
+	return out
+}
+
 // Window returns a new trace containing only the events of [from, to].
 // Regions that are active across a window edge are clipped: enters are
 // synthesized at from (outermost first) and leaves at to (innermost

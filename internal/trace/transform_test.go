@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -286,5 +288,80 @@ func TestConcatRebasesAccumulatedCounters(t *testing.T) {
 		if values[i] != want[i] {
 			t.Fatalf("values = %v, want %v", values, want)
 		}
+	}
+}
+
+func TestTransform(t *testing.T) {
+	tr := validTwoRankTrace()
+	// Drop every metric sample, keep everything else.
+	out := tr.Transform(func(rank Rank, events []Event) []Event {
+		kept := make([]Event, 0, len(events))
+		for _, ev := range events {
+			if ev.Kind != KindMetric {
+				kept = append(kept, ev)
+			}
+		}
+		return kept
+	})
+	if out == tr {
+		t.Fatal("Transform returned its receiver")
+	}
+	if len(out.Regions) != len(tr.Regions) || len(out.Metrics) != len(tr.Metrics) {
+		t.Fatal("definitions not carried over")
+	}
+	if out.NumRanks() != tr.NumRanks() {
+		t.Fatalf("rank count changed: %d -> %d", tr.NumRanks(), out.NumRanks())
+	}
+	for rank := range out.Procs {
+		for _, ev := range out.Procs[rank].Events {
+			if ev.Kind == KindMetric {
+				t.Fatal("metric event survived the transform")
+			}
+		}
+		if out.Procs[rank].Proc.Name != tr.Procs[rank].Proc.Name {
+			t.Fatal("proc metadata not carried over")
+		}
+	}
+	// The input must be untouched.
+	metrics := 0
+	for rank := range tr.Procs {
+		for _, ev := range tr.Procs[rank].Events {
+			if ev.Kind == KindMetric {
+				metrics++
+			}
+		}
+	}
+	if metrics == 0 {
+		t.Fatal("Transform mutated its input")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("transformed trace invalid: %v", err)
+	}
+}
+
+func TestCheckCollectsAllIssues(t *testing.T) {
+	tr := New("multi", 1)
+	f := tr.AddRegion("f", ParadigmUser, RoleFunction)
+	tr.Append(0, Enter(0, f))
+	tr.Append(0, Send(5, 9, 1, -3)) // undefined peer AND negative size
+	tr.Append(0, Enter(3, f))       // backward timestamp
+	// f left open twice -> unclosed at stream end.
+	issues := tr.Check()
+	want := []IssueCode{IssueUndefinedPeer, IssueNegativeBytes, IssueUnsorted, IssueUnclosedRegion}
+	if len(issues) != len(want) {
+		t.Fatalf("got %d issues %v, want %d", len(issues), issues, len(want))
+	}
+	for i, code := range want {
+		if issues[i].Code != code {
+			t.Fatalf("issue %d = %s, want %s", i, issues[i].Code, code)
+		}
+	}
+	// Validate reports only the first, with ErrInvalid semantics.
+	err := tr.Validate()
+	if !errors.Is(err, ErrInvalid) {
+		t.Fatalf("Validate = %v, want ErrInvalid", err)
+	}
+	if !strings.Contains(err.Error(), "undefined peer rank 9") {
+		t.Fatalf("Validate error = %v, want first Check issue", err)
 	}
 }

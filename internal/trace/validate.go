@@ -21,80 +21,14 @@ func invalidf(format string, args ...any) error {
 //   - all region, metric, and peer references are defined,
 //   - accumulated metrics are monotonically non-decreasing per rank.
 //
-// It returns the first violation found, or nil.
+// It returns the first violation found, or nil. The checks themselves
+// live in CheckRank (shared with the lint analyzers, which report every
+// violation instead of the first).
 func (tr *Trace) Validate() error {
 	for rank := range tr.Procs {
-		if err := tr.validateRank(Rank(rank)); err != nil {
-			return err
+		if issues := tr.CheckRank(Rank(rank)); len(issues) > 0 {
+			return issues[0].Err()
 		}
-	}
-	return nil
-}
-
-func (tr *Trace) validateRank(rank Rank) error {
-	var (
-		prev      Time
-		stack     []RegionID
-		enterTime []Time
-		lastVal   = make(map[MetricID]float64)
-	)
-	for i, ev := range tr.Procs[rank].Events {
-		if ev.Time < prev {
-			return invalidf("rank %d event %d: timestamp %d before %d", rank, i, ev.Time, prev)
-		}
-		prev = ev.Time
-		switch ev.Kind {
-		case KindEnter:
-			if !tr.ValidRegion(ev.Region) {
-				return invalidf("rank %d event %d: undefined region %d", rank, i, ev.Region)
-			}
-			stack = append(stack, ev.Region)
-			enterTime = append(enterTime, ev.Time)
-		case KindLeave:
-			if !tr.ValidRegion(ev.Region) {
-				return invalidf("rank %d event %d: undefined region %d", rank, i, ev.Region)
-			}
-			if len(stack) == 0 {
-				return invalidf("rank %d event %d: leave %q without enter",
-					rank, i, tr.Region(ev.Region).Name)
-			}
-			top := stack[len(stack)-1]
-			if top != ev.Region {
-				return invalidf("rank %d event %d: leave %q while inside %q",
-					rank, i, tr.Region(ev.Region).Name, tr.Region(top).Name)
-			}
-			if ev.Time < enterTime[len(enterTime)-1] {
-				return invalidf("rank %d event %d: leave %q at %d before enter at %d",
-					rank, i, tr.Region(ev.Region).Name, ev.Time, enterTime[len(enterTime)-1])
-			}
-			stack = stack[:len(stack)-1]
-			enterTime = enterTime[:len(enterTime)-1]
-		case KindMetric:
-			if ev.Metric < 0 || int(ev.Metric) >= len(tr.Metrics) {
-				return invalidf("rank %d event %d: undefined metric %d", rank, i, ev.Metric)
-			}
-			m := tr.Metrics[ev.Metric]
-			if m.Mode == MetricAccumulated {
-				if last, ok := lastVal[ev.Metric]; ok && ev.Value < last {
-					return invalidf("rank %d event %d: accumulated metric %q decreased (%g -> %g)",
-						rank, i, m.Name, last, ev.Value)
-				}
-				lastVal[ev.Metric] = ev.Value
-			}
-		case KindSend, KindRecv:
-			if ev.Peer < 0 || int(ev.Peer) >= len(tr.Procs) {
-				return invalidf("rank %d event %d: undefined peer rank %d", rank, i, ev.Peer)
-			}
-			if ev.Bytes < 0 {
-				return invalidf("rank %d event %d: negative message size %d", rank, i, ev.Bytes)
-			}
-		default:
-			return invalidf("rank %d event %d: unknown event kind %d", rank, i, ev.Kind)
-		}
-	}
-	if len(stack) != 0 {
-		return invalidf("rank %d: %d regions never left (innermost %q)",
-			rank, len(stack), tr.Region(stack[len(stack)-1]).Name)
 	}
 	return nil
 }
