@@ -1,0 +1,28 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: build test race bench lint fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run the figure benchmarks (each reproduces one paper figure's headline
+# numbers, plus the parallel-pipeline j1/j2/j4/jmax variants) and distill
+# them into BENCH_pipeline.json, the benchmark record tracked across PRs.
+bench:
+	$(GO) test -run '^$$' -bench Fig -benchmem -count 1 . | tee bench.out
+	python3 scripts/bench_to_json.py bench.out > BENCH_pipeline.json
+
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/pvtlint testdata/traces/fig2.pvtt testdata/traces/fig3.pvtt
+
+fmt:
+	gofmt -w .

@@ -543,6 +543,94 @@ func BenchmarkAnalyzeScaling(b *testing.B) {
 	}
 }
 
+// --- Parallel pipeline benchmarks ------------------------------------------
+
+// benchAtJobs runs the benchmark body under a fixed worker-count override
+// (0 = GOMAXPROCS) and reports the effective worker count as a metric so
+// the speedup-vs-serial numbers are interpretable on any machine.
+func benchAtJobs(b *testing.B, jobs int, body func(b *testing.B)) {
+	prev := SetJobs(jobs)
+	defer SetJobs(prev)
+	b.ResetTimer()
+	body(b)
+	// After the body: ResetTimer deletes user-reported metrics.
+	b.ReportMetric(float64(Jobs()), "workers")
+}
+
+var benchJobVariants = []struct {
+	name string
+	jobs int
+}{
+	{"j1", 1}, {"j2", 2}, {"j4", 4}, {"jmax", 0},
+}
+
+// BenchmarkFigPipelineParallel measures the full three-step pipeline on
+// the paper-scale 100-rank COSMO-SPECS workload at fixed worker counts.
+// j1 is the serial baseline; jmax uses all of GOMAXPROCS.
+func BenchmarkFigPipelineParallel(b *testing.B) {
+	tr, err := GenerateCosmoSpecs(DefaultCosmoSpecs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range benchJobVariants {
+		b.Run(v.name, func(b *testing.B) {
+			benchAtJobs(b, v.jobs, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := Analyze(tr, Options{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFigReplayParallel isolates the per-rank call-stack replay on
+// the 200-rank FD4 workload.
+func BenchmarkFigReplayParallel(b *testing.B) {
+	tr, err := GenerateFD4(DefaultFD4())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range benchJobVariants {
+		b.Run(v.name, func(b *testing.B) {
+			benchAtJobs(b, v.jobs, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := callstack.ReplayAll(tr); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFigDecodeParallel measures the skip-scan + parallel block
+// decode of the PVTR archive reader on the 100-rank COSMO-SPECS trace.
+func BenchmarkFigDecodeParallel(b *testing.B) {
+	tr, err := GenerateCosmoSpecs(DefaultCosmoSpecs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, v := range benchJobVariants {
+		b.Run(v.name, func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			benchAtJobs(b, v.jobs, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := trace.Read(bytes.NewReader(data)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkPhaseClustering measures phase classification on the FD4 fine
 // matrix and reports how many segments land in the slow phase.
 func BenchmarkPhaseClustering(b *testing.B) {

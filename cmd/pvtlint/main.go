@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"perfvar/internal/lint"
+	"perfvar/internal/parallel"
 	"perfvar/internal/trace"
 )
 
@@ -34,8 +35,12 @@ func main() {
 		minLat    = flag.Int64("minlatency", int64(lint.DefaultMinLatency), "assumed minimal network latency in ns for clock checks")
 		maxPer    = flag.Int("max", 20, "findings printed per analyzer in text mode (0 = all)")
 		list      = flag.Bool("list", false, "print the analyzer catalog and exit")
+		jobs      = flag.Int("j", 0, "worker goroutines for decoding and per-rank checks (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	if *jobs > 0 {
+		parallel.SetJobs(*jobs)
+	}
 
 	if *list {
 		printCatalog()

@@ -38,8 +38,12 @@ func main() {
 		breakdown = flag.Bool("breakdown", false, "print the per-region breakdown of the top hotspot")
 		calltree  = flag.Bool("calltree", false, "print the calling-context tree (depth 3)")
 		clocks    = flag.Bool("clockfix", false, "detect and correct clock skew before analyzing")
+		jobs      = flag.Int("j", 0, "worker goroutines for per-rank stages (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	if *jobs > 0 {
+		perfvar.SetJobs(*jobs)
+	}
 	if *tracePath == "" {
 		fmt.Fprintln(os.Stderr, "varan: -trace is required")
 		flag.Usage()

@@ -7,12 +7,37 @@ package callstack
 
 import (
 	"fmt"
+	"math"
 
+	"perfvar/internal/parallel"
 	"perfvar/internal/trace"
 )
 
 // NoParent marks a top-level invocation.
 const NoParent int32 = -1
+
+// Replay's structural limits: parent links are stored as int32 and
+// depths as int16, so streams beyond these bounds cannot be represented.
+// Replay returns a *LimitError instead of silently corrupting links.
+const (
+	// MaxInvocations is the largest per-rank invocation count Replay
+	// supports.
+	MaxInvocations = math.MaxInt32
+	// MaxDepth is the deepest call stack Replay supports.
+	MaxDepth = math.MaxInt16
+)
+
+// LimitError reports a stream that exceeds one of Replay's structural
+// limits (MaxInvocations or MaxDepth).
+type LimitError struct {
+	Rank  trace.Rank
+	What  string // "invocations" or "call-stack depth"
+	Limit int64
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("callstack: rank %d: %s exceed the representable maximum %d", e.Rank, e.What, e.Limit)
+}
 
 // Invocation is one completed region invocation on one rank.
 type Invocation struct {
@@ -49,6 +74,12 @@ func Replay(pt *trace.ProcessTrace) ([]Invocation, error) {
 	for i, ev := range pt.Events {
 		switch ev.Kind {
 		case trace.KindEnter:
+			if len(invs) >= MaxInvocations {
+				return nil, &LimitError{Rank: pt.Proc.Rank, What: "invocations", Limit: MaxInvocations}
+			}
+			if len(stack) > MaxDepth {
+				return nil, &LimitError{Rank: pt.Proc.Rank, What: "call-stack depth", Limit: MaxDepth}
+			}
 			parent := NoParent
 			if len(stack) > 0 {
 				parent = stack[len(stack)-1]
@@ -91,18 +122,14 @@ func Replay(pt *trace.ProcessTrace) ([]Invocation, error) {
 	return invs, nil
 }
 
-// ReplayAll reconstructs invocations for every rank of tr. The result is
-// indexed by rank.
+// ReplayAll reconstructs invocations for every rank of tr, fanning the
+// independent per-rank replays out across CPUs. The result is indexed by
+// rank; on failure the error of the lowest failing rank is returned (the
+// same one a serial rank loop would report).
 func ReplayAll(tr *trace.Trace) ([][]Invocation, error) {
-	all := make([][]Invocation, tr.NumRanks())
-	for rank := range tr.Procs {
-		invs, err := Replay(&tr.Procs[rank])
-		if err != nil {
-			return nil, err
-		}
-		all[rank] = invs
-	}
-	return all, nil
+	return parallel.Map(tr.NumRanks(), func(rank int) ([]Invocation, error) {
+		return Replay(&tr.Procs[rank])
+	})
 }
 
 // RegionProfile aggregates all invocations of one region.
@@ -134,21 +161,35 @@ type Profile struct {
 	TotalTime trace.Duration
 }
 
+// rankProfile is one rank's contribution to the flat profile.
+type rankProfile struct {
+	regions []RegionProfile // MinInclusive -1 marks "not observed"
+	seen    []bool          // region invoked on this rank
+}
+
 // BuildProfile computes the flat profile of tr from the given per-rank
-// invocations (as produced by ReplayAll).
+// invocations (as produced by ReplayAll). Per-rank partial profiles are
+// aggregated in parallel and merged in rank order; all aggregations are
+// exact integer sums and min/max folds, so the result is identical to a
+// serial single-pass accumulation.
 func BuildProfile(tr *trace.Trace, all [][]Invocation) *Profile {
 	p := &Profile{Regions: make([]RegionProfile, len(tr.Regions))}
 	for id := range p.Regions {
 		p.Regions[id].Region = trace.RegionID(id)
 		p.Regions[id].MinInclusive = -1
 	}
-	seenOnRank := make([]map[trace.RegionID]bool, tr.NumRanks())
-	for rank, invs := range all {
-		seen := make(map[trace.RegionID]bool)
-		seenOnRank[rank] = seen
+	partials, _ := parallel.Map(len(all), func(rank int) (rankProfile, error) {
+		part := rankProfile{
+			regions: make([]RegionProfile, len(tr.Regions)),
+			seen:    make([]bool, len(tr.Regions)),
+		}
+		for id := range part.regions {
+			part.regions[id].MinInclusive = -1
+		}
+		invs := all[rank]
 		for i := range invs {
 			inv := &invs[i]
-			rp := &p.Regions[inv.Region]
+			rp := &part.regions[inv.Region]
 			rp.Count++
 			if !inv.Recursive {
 				rp.SumInclusive += inv.Inclusive()
@@ -160,9 +201,24 @@ func BuildProfile(tr *trace.Trace, all [][]Invocation) *Profile {
 			if incl := inv.Inclusive(); rp.MinInclusive < 0 || incl < rp.MinInclusive {
 				rp.MinInclusive = incl
 			}
-			if !seen[inv.Region] {
-				seen[inv.Region] = true
-				rp.Ranks++
+			part.seen[inv.Region] = true
+		}
+		return part, nil
+	})
+	for _, part := range partials {
+		for id := range p.Regions {
+			src, dst := &part.regions[id], &p.Regions[id]
+			dst.Count += src.Count
+			dst.SumInclusive += src.SumInclusive
+			dst.SumExclusive += src.SumExclusive
+			if src.MaxInclusive > dst.MaxInclusive {
+				dst.MaxInclusive = src.MaxInclusive
+			}
+			if src.MinInclusive >= 0 && (dst.MinInclusive < 0 || src.MinInclusive < dst.MinInclusive) {
+				dst.MinInclusive = src.MinInclusive
+			}
+			if part.seen[id] {
+				dst.Ranks++
 			}
 		}
 	}
@@ -194,7 +250,7 @@ func ProfileOf(tr *trace.Trace) (*Profile, error) {
 // statistics of the case studies.
 func TimeInParadigm(tr *trace.Trace, par trace.Paradigm) []trace.Duration {
 	out := make([]trace.Duration, tr.NumRanks())
-	for rank := range tr.Procs {
+	parallel.Do(tr.NumRanks(), func(rank int) {
 		depth := 0
 		var start trace.Time
 		for _, ev := range tr.Procs[rank].Events {
@@ -215,6 +271,6 @@ func TimeInParadigm(tr *trace.Trace, par trace.Paradigm) []trace.Duration {
 				}
 			}
 		}
-	}
+	})
 	return out
 }

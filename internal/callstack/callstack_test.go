@@ -1,6 +1,7 @@
 package callstack
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -275,5 +276,49 @@ func TestProfileOfBrokenTrace(t *testing.T) {
 	tr.Append(0, trace.Enter(0, f))
 	if _, err := ProfileOf(tr); err == nil {
 		t.Fatal("broken trace profiled")
+	}
+}
+
+// TestReplayDepthLimit is the regression test for the int16 depth field:
+// a synthetic stack one deeper than MaxDepth must yield a typed
+// *LimitError instead of a silently wrapped (negative) depth.
+func TestReplayDepthLimit(t *testing.T) {
+	tr := trace.New("deep", 1)
+	f := tr.AddRegion("f", trace.ParadigmUser, trace.RoleFunction)
+	depth := MaxDepth + 2 // one level beyond the last representable depth
+	for i := 0; i < depth; i++ {
+		tr.Append(0, trace.Enter(int64(i), f))
+	}
+	for i := 0; i < depth; i++ {
+		tr.Append(0, trace.Leave(int64(depth+i), f))
+	}
+	_, err := Replay(&tr.Procs[0])
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("Replay error = %v, want *LimitError", err)
+	}
+	if le.What != "call-stack depth" || le.Limit != MaxDepth || le.Rank != 0 {
+		t.Fatalf("LimitError = %+v", le)
+	}
+}
+
+// TestReplayAtDepthLimit asserts the guard is not off by one: exactly
+// MaxDepth+1 nested invocations (depths 0..MaxDepth) still replay.
+func TestReplayAtDepthLimit(t *testing.T) {
+	tr := trace.New("deep-ok", 1)
+	f := tr.AddRegion("f", trace.ParadigmUser, trace.RoleFunction)
+	depth := MaxDepth + 1
+	for i := 0; i < depth; i++ {
+		tr.Append(0, trace.Enter(int64(i), f))
+	}
+	for i := 0; i < depth; i++ {
+		tr.Append(0, trace.Leave(int64(depth+i), f))
+	}
+	invs, err := Replay(&tr.Procs[0])
+	if err != nil {
+		t.Fatalf("Replay at the limit: %v", err)
+	}
+	if got := invs[len(invs)-1].Depth; got != MaxDepth {
+		t.Fatalf("deepest depth = %d, want %d", got, MaxDepth)
 	}
 }

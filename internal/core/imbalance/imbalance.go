@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"perfvar/internal/core/segment"
+	"perfvar/internal/parallel"
 	"perfvar/internal/stats"
 	"perfvar/internal/trace"
 )
@@ -115,7 +116,10 @@ type Analysis struct {
 	Trend Trend
 }
 
-// Analyze computes the variation analysis of m.
+// Analyze computes the variation analysis of m. The per-rank and
+// per-iteration passes fan out across CPUs; results are merged in rank
+// (respectively iteration) order, so the output is identical to a serial
+// scan.
 func Analyze(m *segment.Matrix, opts Options) *Analysis {
 	a := &Analysis{Matrix: m}
 	all := m.SOSValues()
@@ -129,13 +133,15 @@ func Analyze(m *segment.Matrix, opts Options) *Analysis {
 		iters := m.Iterations()
 		colMed = make([]float64, iters)
 		colMAD = make([]float64, iters)
-		for it := 0; it < iters; it++ {
+		parallel.Do(iters, func(it int) {
 			col := m.ColumnSOS(it)
 			colMed[it] = stats.Median(col)
 			colMAD[it] = stats.MAD(col)
-		}
+		})
 	}
-	for _, segs := range m.PerRank {
+	perRankHot, _ := parallel.Map(m.NumRanks(), func(rank int) ([]Hotspot, error) {
+		var hot []Hotspot
+		segs := m.PerRank[rank]
 		for i := range segs {
 			sos := float64(segs[i].SOS())
 			med, mad := a.Median, a.MAD
@@ -147,9 +153,13 @@ func Analyze(m *segment.Matrix, opts Options) *Analysis {
 			}
 			z := stats.RobustZ(sos, med, mad)
 			if z > threshold && sos >= med*(1+relDev) {
-				a.Hotspots = append(a.Hotspots, Hotspot{Segment: segs[i], Score: z})
+				hot = append(hot, Hotspot{Segment: segs[i], Score: z})
 			}
 		}
+		return hot, nil
+	})
+	for _, hot := range perRankHot {
+		a.Hotspots = append(a.Hotspots, hot...)
 	}
 	sort.Slice(a.Hotspots, func(i, j int) bool {
 		hi, hj := a.Hotspots[i], a.Hotspots[j]
@@ -169,7 +179,8 @@ func Analyze(m *segment.Matrix, opts Options) *Analysis {
 	}
 
 	a.Ranks = make([]RankStats, m.NumRanks())
-	for rank, segs := range m.PerRank {
+	parallel.Do(m.NumRanks(), func(rank int) {
+		segs := m.PerRank[rank]
 		rs := RankStats{Rank: trace.Rank(rank), Segments: len(segs)}
 		for i := range segs {
 			sos := float64(segs[i].SOS())
@@ -182,11 +193,11 @@ func Analyze(m *segment.Matrix, opts Options) *Analysis {
 			rs.MeanSOS = rs.TotalSOS / float64(len(segs))
 		}
 		a.Ranks[rank] = rs
-	}
+	})
 
 	iters := m.Iterations()
 	a.Iterations = make([]IterationStats, iters)
-	for it := 0; it < iters; it++ {
+	parallel.Do(iters, func(it int) {
 		col := m.Column(it)
 		is := IterationStats{Index: it, Culprit: trace.NoRank}
 		vals := make([]float64, len(col))
@@ -201,7 +212,7 @@ func Analyze(m *segment.Matrix, opts Options) *Analysis {
 		is.MeanSOS = stats.Mean(vals)
 		is.Imbalance = stats.ImbalanceRatio(vals)
 		a.Iterations[it] = is
-	}
+	})
 
 	a.Trend = fitTrend(a.Iterations)
 	return a
@@ -239,19 +250,29 @@ type RankTrend struct {
 // getting slower": in the COSMO-SPECS case study only the cloud-owning
 // ranks have steep slopes.
 func RankTrends(m *segment.Matrix, minR2 float64) []RankTrend {
-	var out []RankTrend
-	for rank := range m.PerRank {
+	type fit struct {
+		t  RankTrend
+		ok bool
+	}
+	fits, _ := parallel.Map(len(m.PerRank), func(rank int) (fit, error) {
 		ys := m.RankSOS(trace.Rank(rank))
 		if len(ys) < 3 {
-			continue
+			return fit{}, nil
 		}
 		xs := make([]float64, len(ys))
 		for i := range xs {
 			xs[i] = float64(i)
 		}
 		slope, _, r2 := stats.LinearRegression(xs, ys)
-		if r2 >= minR2 {
-			out = append(out, RankTrend{Rank: trace.Rank(rank), Slope: slope, R2: r2})
+		if r2 < minR2 {
+			return fit{}, nil
+		}
+		return fit{t: RankTrend{Rank: trace.Rank(rank), Slope: slope, R2: r2}, ok: true}, nil
+	})
+	var out []RankTrend
+	for _, f := range fits {
+		if f.ok {
+			out = append(out, f.t)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,5 +1,7 @@
 package segment
 
+import "sort"
+
 // Time-based column alignment for ragged matrices. Index alignment (the
 // default) assumes every rank performs the same number of dominant-
 // function invocations — true for SPMD codes, but adaptive applications
@@ -69,18 +71,21 @@ func (m *Matrix) AlignByTime() []AlignedColumn {
 				}
 			}
 		}
-		for col, w := range best {
-			cols[col].Segments = append(cols[col].Segments, w.seg)
-		}
-	}
-	// Deterministic order within columns: by rank.
-	for i := range cols {
-		segs := cols[i].Segments
-		for a := 1; a < len(segs); a++ {
-			for b := a; b > 1 && segs[b].Rank < segs[b-1].Rank; b-- {
-				segs[b], segs[b-1] = segs[b-1], segs[b]
+		// Flush in column order, not map-iteration order, so the append
+		// sequence (and with it the result) is identical across runs.
+		for col := range cols {
+			if w, ok := best[col]; ok {
+				cols[col].Segments = append(cols[col].Segments, w.seg)
 			}
 		}
+	}
+	// Deterministic order within columns: strictly by rank. The anchor
+	// segment sorts into its rank position like any other; use
+	// Reference (an index into the reference rank's segments) to
+	// recover it when needed.
+	for i := range cols {
+		segs := cols[i].Segments
+		sort.Slice(segs, func(a, b int) bool { return segs[a].Rank < segs[b].Rank })
 	}
 	return cols
 }

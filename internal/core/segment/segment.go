@@ -12,11 +12,21 @@
 package segment
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
+	"perfvar/internal/parallel"
 	"perfvar/internal/trace"
 )
+
+// ErrSyncRegion is returned by Compute when the segmentation region is
+// itself classified as synchronization by the chosen classifier. Every
+// wall-clock instant of such a segment would be subtracted as sync time,
+// so all SOS-times would be identically zero and the variation analysis
+// would be meaningless — the same rationale for which dominant-function
+// selection excludes sync regions by default (dominant.Options.IncludeSync).
+var ErrSyncRegion = errors.New("segment: region is classified as synchronization, SOS-times would be identically zero")
 
 // SyncClassifier decides which regions count as synchronization and are
 // subtracted from segment durations.
@@ -111,18 +121,21 @@ func Compute(tr *trace.Trace, region trace.RegionID, cls SyncClassifier) (*Matri
 	if cls == nil {
 		cls = DefaultSync
 	}
+	if cls.IsSync(tr.Region(region)) {
+		return nil, fmt.Errorf("%w (region %q; choose a user-code region or adjust the classifier)",
+			ErrSyncRegion, tr.Region(region).Name)
+	}
 	m := &Matrix{
 		Region:     region,
 		RegionName: tr.Region(region).Name,
-		PerRank:    make([][]Segment, tr.NumRanks()),
 	}
-	for rank := range tr.Procs {
-		segs, err := computeRank(tr, &tr.Procs[rank], region, cls)
-		if err != nil {
-			return nil, err
-		}
-		m.PerRank[rank] = segs
+	perRank, err := parallel.Map(tr.NumRanks(), func(rank int) ([]Segment, error) {
+		return computeRank(tr, &tr.Procs[rank], region, cls)
+	})
+	if err != nil {
+		return nil, err
 	}
+	m.PerRank = perRank
 	return m, nil
 }
 

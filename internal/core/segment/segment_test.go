@@ -1,7 +1,9 @@
 package segment
 
 import (
+	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -465,8 +467,20 @@ func TestAlignByTimeEdge(t *testing.T) {
 	}
 }
 
-// Property: every aligned segment overlaps its column's anchor, and no
-// rank appears twice in a column.
+// referenceRank recomputes AlignByTime's reference-rank choice: the rank
+// with the most segments, ties to the lowest rank.
+func referenceRank(m *Matrix) int {
+	ref := -1
+	for rank, segs := range m.PerRank {
+		if ref < 0 || len(segs) > len(m.PerRank[ref]) {
+			ref = rank
+		}
+	}
+	return ref
+}
+
+// Property: every aligned segment overlaps its column's anchor, no rank
+// appears twice in a column, and segments are sorted by rank.
 func TestAlignByTimeInvariantsProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		tr, dom := randomSegTrace(seed)
@@ -475,25 +489,64 @@ func TestAlignByTimeInvariantsProperty(t *testing.T) {
 			return false
 		}
 		cols := m.AlignByTime()
+		ref := referenceRank(m)
 		for _, col := range cols {
 			if len(col.Segments) == 0 {
 				return false
 			}
-			anchor := col.Segments[0]
+			anchor := m.PerRank[ref][col.Reference]
 			seen := map[trace.Rank]bool{}
+			prev := trace.Rank(-1)
 			for _, seg := range col.Segments {
-				if seen[seg.Rank] && seg != anchor {
+				if seen[seg.Rank] {
 					return false
 				}
 				seen[seg.Rank] = true
+				if seg.Rank <= prev {
+					return false
+				}
+				prev = seg.Rank
 				if seg != anchor && overlap(seg, anchor) == 0 {
 					return false
 				}
+			}
+			if !seen[anchor.Rank] {
+				return false
 			}
 		}
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (regression for map-iteration-order nondeterminism): two runs
+// of AlignByTime over the same ragged matrix produce identical output.
+func TestAlignByTimeDeterministicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Build a ragged matrix directly: uneven per-rank segment counts
+		// with jittered, overlapping windows so several segments of one
+		// rank compete for several anchors.
+		nranks := 2 + rng.Intn(6)
+		m := &Matrix{PerRank: make([][]Segment, nranks)}
+		for rank := 0; rank < nranks; rank++ {
+			n := 1 + rng.Intn(8)
+			var t0 int64
+			for i := 0; i < n; i++ {
+				start := t0 + int64(rng.Intn(5))
+				end := start + 1 + int64(rng.Intn(20))
+				m.PerRank[rank] = append(m.PerRank[rank], Segment{
+					Rank: trace.Rank(rank), Index: i, Start: start, End: end,
+				})
+				t0 = end
+			}
+		}
+		a, b := m.AlignByTime(), m.AlignByTime()
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -530,5 +583,32 @@ func TestAlignByTimeOnePerRank(t *testing.T) {
 	}
 	if len(cols[2].Segments) != 1 {
 		t.Fatalf("column 2: %+v", cols[2])
+	}
+}
+
+// TestComputeRejectsSyncRegion: segmenting at a region the classifier
+// itself counts as synchronization must fail loudly instead of silently
+// yielding SOS ≡ 0 everywhere.
+func TestComputeRejectsSyncRegion(t *testing.T) {
+	tr := trace.New("sync-dom", 2)
+	allred := tr.AddRegion("MPI_Allreduce", trace.ParadigmMPI, trace.RoleCollective)
+	for rank := trace.Rank(0); rank < 2; rank++ {
+		for i := int64(0); i < 8; i++ {
+			tr.Append(rank, trace.Enter(i*10, allred))
+			tr.Append(rank, trace.Leave(i*10+5, allred))
+		}
+	}
+	// Default classifier: MPI paradigm is sync.
+	if _, err := Compute(tr, allred, nil); !errors.Is(err, ErrSyncRegion) {
+		t.Fatalf("Compute(default classifier) error = %v, want ErrSyncRegion", err)
+	}
+	// Name-based classifier (the IncludeSync-style footgun from the
+	// issue): "MPI_" prefix classifies the region itself.
+	if _, err := Compute(tr, allred, NameSync{"MPI_"}); !errors.Is(err, ErrSyncRegion) {
+		t.Fatalf("Compute(NameSync) error = %v, want ErrSyncRegion", err)
+	}
+	// A classifier that does not cover the region keeps working.
+	if _, err := Compute(tr, allred, NameSync{"omp_"}); err != nil {
+		t.Fatalf("Compute(non-matching classifier) error = %v", err)
 	}
 }

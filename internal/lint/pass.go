@@ -2,13 +2,13 @@ package lint
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 
 	"perfvar/internal/callstack"
 	"perfvar/internal/core/dominant"
 	"perfvar/internal/core/segment"
+	"perfvar/internal/parallel"
 	"perfvar/internal/trace"
 )
 
@@ -158,34 +158,9 @@ type facts struct {
 	segmentsErr  error
 }
 
-// forEachRank runs fn for every rank, fanning out across CPUs.
+// forEachRank runs fn for every rank on the shared worker pool.
 func forEachRank(n int, fn func(rank trace.Rank)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for r := 0; r < n; r++ {
-			fn(trace.Rank(r))
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan trace.Rank, n)
-	for r := 0; r < n; r++ {
-		next <- trace.Rank(r)
-	}
-	close(next)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for r := range next {
-				fn(r)
-			}
-		}()
-	}
-	wg.Wait()
+	parallel.Do(n, func(i int) { fn(trace.Rank(i)) })
 }
 
 func (f *facts) computeStructural() {

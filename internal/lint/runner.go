@@ -1,8 +1,7 @@
 package lint
 
 import (
-	"sync"
-
+	"perfvar/internal/parallel"
 	"perfvar/internal/trace"
 )
 
@@ -39,23 +38,23 @@ func Run(tr *trace.Trace, opts Options) *Result {
 	res := &Result{TraceName: tr.Name}
 
 	passes := make([]*Pass, len(analyzers))
-	var wg sync.WaitGroup
-	wg.Add(len(analyzers))
 	for i, a := range analyzers {
-		p := &Pass{Trace: tr, analyzer: a, facts: shared}
-		passes[i] = p
+		passes[i] = &Pass{Trace: tr, analyzer: a, facts: shared}
 		res.Analyzers = append(res.Analyzers, a.Name())
-		go func(a Analyzer, p *Pass) {
-			defer wg.Done()
-			if err := a.Run(p); err != nil {
-				p.Report(Diagnostic{
-					Code: "analyzer-error", Severity: SeverityError, Rank: -1, Event: -1,
-					Message: sprintf("analyzer failed: %v", err),
-				})
-			}
-		}(a, p)
 	}
-	wg.Wait()
+	// Fan the analyzers out on the shared worker pool. ForEachAll never
+	// skips an analyzer on failure; a failing analyzer is converted into
+	// its own diagnostic rather than aborting the run.
+	for i, err := range parallel.ForEachAll(len(analyzers), func(i int) error {
+		return analyzers[i].Run(passes[i])
+	}) {
+		if err != nil {
+			passes[i].Report(Diagnostic{
+				Code: "analyzer-error", Severity: SeverityError, Rank: -1, Event: -1,
+				Message: sprintf("analyzer failed: %v", err),
+			})
+		}
+	}
 
 	for _, p := range passes {
 		for _, d := range p.diags {

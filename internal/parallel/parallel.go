@@ -1,0 +1,170 @@
+// Package parallel is the repository's single bounded fan-out primitive.
+// Every per-rank analysis stage (call-stack replay, segmentation,
+// imbalance statistics, archive decoding, structural checking, linting)
+// fans out through this package, so one knob — SetJobs, surfaced as the
+// -j flag of the command-line tools — governs all concurrency in the
+// tree.
+//
+// The primitives guarantee deterministic results: outputs are collected
+// in index order regardless of completion order, and a failing fan-out
+// reports the error of the lowest failing index — exactly what the
+// equivalent serial loop would have returned. Parallel and serial runs
+// of the same stage are therefore byte-identical.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// jobsOverride holds the SetJobs cap; 0 selects the GOMAXPROCS default.
+var jobsOverride atomic.Int64
+
+// Jobs returns the maximal number of worker goroutines a fan-out may
+// use: the SetJobs override when set, otherwise runtime.GOMAXPROCS.
+func Jobs() int {
+	if n := jobsOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetJobs caps the worker count of subsequent fan-outs; n <= 0 restores
+// the GOMAXPROCS default. It returns the previous override (0 meaning
+// the default) so callers can restore it.
+func SetJobs(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(jobsOverride.Swap(int64(n)))
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most Jobs() worker
+// goroutines and waits for all of them to exit before returning. On
+// failure it returns the error of the lowest failing index regardless of
+// completion order; indices above an already-failed one may be skipped,
+// but every index below the reported one has run. With one worker (or
+// n <= 1) it degenerates to the plain serial loop.
+func ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Jobs()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		minFail atomic.Int64
+		errs    = make([]error, n)
+		wg      sync.WaitGroup
+	)
+	minFail.Store(int64(n))
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				// Claims are handed out in increasing order, so once the
+				// claimed index exceeds the lowest failure nothing this
+				// worker could still do would change the outcome.
+				if i >= int64(n) || i > minFail.Load() {
+					return
+				}
+				if err := fn(int(i)); err != nil {
+					errs[i] = err
+					for {
+						cur := minFail.Load()
+						if i >= cur || minFail.CompareAndSwap(cur, i) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if f := minFail.Load(); f < int64(n) {
+		return errs[f]
+	}
+	return nil
+}
+
+// Do runs fn(i) for every i in [0, n) with no error handling — the
+// fan-out flavor for stages that write results into caller-owned slots.
+func Do(n int, fn func(i int)) {
+	ForEach(n, func(i int) error {
+		fn(i)
+		return nil
+	})
+}
+
+// Map runs fn(i) for every i in [0, n) and collects the results in index
+// order. On failure it returns nil and the lowest failing index's error.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEachAll runs fn(i) for every i in [0, n) — collect-all semantics:
+// no index is ever skipped, failures do not abort the fan-out. It
+// returns the per-index errors, or nil when every call succeeded.
+func ForEachAll(n int, fn func(i int) error) []error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	workers := Jobs()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range errs {
+			errs[i] = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(n) {
+						return
+					}
+					errs[i] = fn(int(i))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return errs
+		}
+	}
+	return nil
+}

@@ -1,6 +1,10 @@
 package trace
 
-import "fmt"
+import (
+	"fmt"
+
+	"perfvar/internal/parallel"
+)
 
 // This file is the single implementation of the structural trace
 // invariants. Trace.Validate (first violation, ErrInvalid semantics) and
@@ -80,11 +84,16 @@ func (is Issue) Err() error {
 	return invalidf("rank %d event %d: %s", is.Rank, is.Event, is.Message)
 }
 
-// Check runs CheckRank over every rank and concatenates the results.
+// Check runs CheckRank over every rank and concatenates the results. The
+// per-rank checks are independent and run in parallel; concatenating in
+// rank order keeps the result identical to a serial rank loop.
 func (tr *Trace) Check() []Issue {
+	perRank, _ := parallel.Map(len(tr.Procs), func(rank int) ([]Issue, error) {
+		return tr.CheckRank(Rank(rank)), nil
+	})
 	var out []Issue
-	for rank := range tr.Procs {
-		out = append(out, tr.CheckRank(Rank(rank))...)
+	for _, issues := range perRank {
+		out = append(out, issues...)
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"io"
 	"math"
 )
 
@@ -52,14 +53,22 @@ func (e *eventEncoder) encode(ev Event) error {
 	return nil
 }
 
+// byteReader is what the decoder consumes: both *bufio.Reader (streaming
+// reads) and *bytes.Reader (in-memory block decoding of pre-scanned rank
+// blocks) satisfy it.
+type byteReader interface {
+	io.ByteReader
+	io.Reader
+}
+
 type eventDecoder struct {
-	br *bufio.Reader
+	br byteReader
 	t  Time
 	// reference bounds for validation
 	nregions, nmetrics, nprocs uint64
 }
 
-func newEventDecoder(br *bufio.Reader, nregions, nmetrics, nprocs uint64) *eventDecoder {
+func newEventDecoder(br byteReader, nregions, nmetrics, nprocs uint64) *eventDecoder {
 	return &eventDecoder{br: br, nregions: nregions, nmetrics: nmetrics, nprocs: nprocs}
 }
 
@@ -113,4 +122,55 @@ func (d *eventDecoder) decode() (Event, error) {
 		return Event{}, formatf("unknown event kind %d", kb)
 	}
 	return ev, nil
+}
+
+// skipEvents scans n encoded events at the start of data without decoding
+// their payloads and returns the byte length of the block. The events are
+// self-delimiting but the archive carries no index, so this cheap framing
+// pass is what lets rank blocks be located up front and decoded in
+// parallel. Only framing is validated (known kinds, intact varints, full
+// fixed-width values); range checks on the decoded values stay in decode.
+func skipEvents(data []byte, n uint64) (int, error) {
+	off := 0
+	skipVarint := func() bool {
+		// Signed and unsigned varints share the base-128 framing, so one
+		// skipper covers both.
+		_, sz := binary.Uvarint(data[off:])
+		if sz <= 0 {
+			return false
+		}
+		off += sz
+		return true
+	}
+	for i := uint64(0); i < n; i++ {
+		if off >= len(data) {
+			return 0, formatf("event %d: truncated", i)
+		}
+		kind := EventKind(data[off])
+		off++
+		if !skipVarint() { // delta timestamp
+			return 0, formatf("event %d: truncated time", i)
+		}
+		switch kind {
+		case KindEnter, KindLeave:
+			if !skipVarint() {
+				return 0, formatf("event %d: truncated region", i)
+			}
+		case KindMetric:
+			if !skipVarint() {
+				return 0, formatf("event %d: truncated metric", i)
+			}
+			if off+8 > len(data) {
+				return 0, formatf("event %d: truncated value", i)
+			}
+			off += 8
+		case KindSend, KindRecv:
+			if !skipVarint() || !skipVarint() || !skipVarint() {
+				return 0, formatf("event %d: truncated message", i)
+			}
+		default:
+			return 0, formatf("event %d: unknown event kind %d", i, kind)
+		}
+	}
+	return off, nil
 }

@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"perfvar/internal/parallel"
 )
 
 // Directory archive format: the multi-file sibling of the single-file
@@ -186,22 +188,29 @@ func readAnchor(path string) (*Trace, error) {
 }
 
 // ReadDir reads a directory archive. Missing rank files yield empty
-// streams (a rank that recorded nothing), corrupt ones an error.
+// streams (a rank that recorded nothing), corrupt ones an error. Rank
+// files are independently decodable, so they are read in parallel; on
+// failure the error of the lowest failing rank is reported, as a serial
+// loop would.
 func ReadDir(dir string) (*Trace, error) {
 	tr, err := readAnchor(filepath.Join(dir, anchorName))
 	if err != nil {
 		return nil, err
 	}
-	for rank := range tr.Procs {
-		path := filepath.Join(dir, rankFileName(rank))
-		evs, err := readRankFile(path, rank, tr)
+	perRank, err := parallel.Map(len(tr.Procs), func(rank int) ([]Event, error) {
+		evs, err := readRankFile(filepath.Join(dir, rankFileName(rank)), rank, tr)
 		if os.IsNotExist(err) {
-			continue
+			return nil, nil
 		}
-		if err != nil {
-			return nil, err
+		return evs, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for rank := range tr.Procs {
+		if perRank[rank] != nil {
+			tr.Procs[rank].Events = perRank[rank]
 		}
-		tr.Procs[rank].Events = evs
 	}
 	return tr, nil
 }

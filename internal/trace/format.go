@@ -2,11 +2,14 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+
+	"perfvar/internal/parallel"
 )
 
 // Binary archive format ("PVTR", version 1):
@@ -194,30 +197,69 @@ func Read(r io.Reader) (*Trace, error) {
 		tr.Procs[i].Proc.Name = pname
 	}
 
+	// The event streams are varint/delta-encoded with no index, so the
+	// rank-block boundaries are unknown up front. Slurp the remainder and
+	// run a cheap serial framing scan (skipEvents) to locate each rank's
+	// byte span, then decode the independent blocks in parallel. A framing
+	// failure aborts the scan but the complete blocks before it still
+	// decode: a decode error on a lower rank outranks the scan error, so
+	// the reported failure is the same one a serial pass would hit first.
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		return nil, formatf("reading event streams: %v", err)
+	}
+	type block struct {
+		nev  uint64
+		data []byte
+	}
+	blocks := make([]block, 0, int(nprocs))
+	off := 0
+	var scanErr error
 	for rank := 0; rank < int(nprocs); rank++ {
-		nev, err := readUvarint()
-		if err != nil || nev > maxEvents {
-			return nil, formatf("rank %d event count: n=%d err=%v", rank, nev, err)
+		nev, sz := binary.Uvarint(rest[off:])
+		if sz <= 0 || nev > maxEvents {
+			scanErr = formatf("rank %d event count: n=%d truncated=%v", rank, nev, sz <= 0)
+			break
 		}
+		off += sz
+		blen, err := skipEvents(rest[off:], nev)
+		if err != nil {
+			scanErr = formatf("rank %d %v", rank, err)
+			break
+		}
+		blocks = append(blocks, block{nev: nev, data: rest[off : off+blen]})
+		off += blen
+	}
+	decoded, err := parallel.Map(len(blocks), func(rank int) ([]Event, error) {
+		blk := blocks[rank]
 		// Cap the upfront allocation: a corrupt header can declare an
-		// absurd count, but real events still have to arrive byte by byte.
-		evs := make([]Event, 0, min(nev, 1<<16))
-		dec := newEventDecoder(br, nregions, nmetrics, nprocs)
-		for i := uint64(0); i < nev; i++ {
+		// absurd count, but real events still have to frame byte by byte.
+		evs := make([]Event, 0, min(blk.nev, 1<<16))
+		dec := newEventDecoder(bytes.NewReader(blk.data), nregions, nmetrics, nprocs)
+		for i := uint64(0); i < blk.nev; i++ {
 			ev, err := dec.decode()
 			if err != nil {
 				return nil, formatf("rank %d event %d: %v", rank, i, err)
 			}
 			evs = append(evs, ev)
 		}
-		tr.Procs[rank].Events = evs
+		return evs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	for rank := range blocks {
+		tr.Procs[rank].Events = decoded[rank]
 	}
 
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, formatf("reading end marker: %v", err)
+	if len(rest)-off < 4 {
+		return nil, formatf("reading end marker: %v", io.ErrUnexpectedEOF)
 	}
-	if string(magic[:]) != formatEnd {
-		return nil, formatf("end marker %q, want %q", magic[:], formatEnd)
+	if got := string(rest[off : off+4]); got != formatEnd {
+		return nil, formatf("end marker %q, want %q", got, formatEnd)
 	}
 	return tr, nil
 }

@@ -38,6 +38,7 @@ import (
 	"perfvar/internal/core/phases"
 	"perfvar/internal/core/segment"
 	"perfvar/internal/online"
+	"perfvar/internal/parallel"
 	"perfvar/internal/report"
 	"perfvar/internal/trace"
 	"perfvar/internal/vis"
@@ -140,6 +141,16 @@ const (
 	Millisecond = trace.Millisecond
 	Second      = trace.Second
 )
+
+// SetJobs overrides how many worker goroutines the per-rank analysis
+// stages (replay, segmentation, statistics, archive decoding, linting)
+// fan out to. n <= 0 restores the default of GOMAXPROCS. It returns the
+// previous setting. Results are identical at every setting; only the
+// wall-clock time changes.
+func SetJobs(n int) int { return parallel.SetJobs(n) }
+
+// Jobs reports the current worker count used by the per-rank stages.
+func Jobs() int { return parallel.Jobs() }
 
 // Options configure the Analyze pipeline. The zero value reproduces the
 // paper's defaults.

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Convert `go test -bench` output into a machine-readable JSON record.
+
+Usage: bench_to_json.py bench.out > BENCH_pipeline.json
+
+Besides the raw per-benchmark numbers, the converter computes
+`speedup_vs_serial` for every benchmark family that has a `j1` (serial)
+variant and at least one other worker-count variant (`j2`, `j4`, `jmax`):
+the ratio of the serial ns/op to each variant's ns/op. Those families are
+the parallel-pipeline benchmarks; the ratios seed the performance
+trajectory tracked across PRs.
+"""
+
+import json
+import re
+import sys
+
+BENCH_RE = re.compile(r"^(Benchmark\S+)\s+(\d+)\s+(.*)$")
+METRIC_RE = re.compile(r"([0-9.+eE-]+)\s+(\S+)")
+HEADER_KEYS = ("goos", "goarch", "pkg", "cpu")
+
+
+def parse(lines):
+    env = {}
+    benchmarks = []
+    for line in lines:
+        line = line.strip()
+        for key in HEADER_KEYS:
+            if line.startswith(key + ":"):
+                env[key] = line.split(":", 1)[1].strip()
+        m = BENCH_RE.match(line)
+        if not m:
+            continue
+        name, iterations, rest = m.group(1), int(m.group(2)), m.group(3)
+        metrics = {}
+        for value, unit in METRIC_RE.findall(rest):
+            try:
+                metrics[unit] = float(value)
+            except ValueError:
+                continue
+        benchmarks.append({"name": name, "iterations": iterations, "metrics": metrics})
+    return env, benchmarks
+
+
+def strip_gomaxprocs(name):
+    """Drop the trailing -N GOMAXPROCS suffix go adds on multi-core hosts."""
+    return re.sub(r"-\d+$", "", name)
+
+
+def speedups(benchmarks):
+    families = {}
+    for b in benchmarks:
+        name = strip_gomaxprocs(b["name"])
+        if "/" not in name:
+            continue
+        family, variant = name.rsplit("/", 1)
+        if not re.fullmatch(r"j(\d+|max)", variant):
+            continue
+        families.setdefault(family, {})[variant] = b["metrics"].get("ns/op")
+    out = {}
+    for family, variants in sorted(families.items()):
+        serial = variants.get("j1")
+        if not serial:
+            continue
+        out[family] = {
+            variant: round(serial / ns, 4)
+            for variant, ns in sorted(variants.items())
+            if ns
+        }
+    return out
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__.strip())
+    with open(sys.argv[1]) as f:
+        env, benchmarks = parse(f)
+    if not benchmarks:
+        sys.exit("bench_to_json: no benchmark lines found in " + sys.argv[1])
+    json.dump(
+        {"env": env, "benchmarks": benchmarks, "speedup_vs_serial": speedups(benchmarks)},
+        sys.stdout,
+        indent=2,
+    )
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main()
