@@ -1,0 +1,107 @@
+package perfvar
+
+import (
+	"testing"
+)
+
+// TestCausalityCosmoSpecs is the paper's case-study acceptance check for
+// the cross-rank root-cause analysis: on COSMO-SPECS (Fig. 4) the
+// propagated blame must land on exactly the cloud ranks 44, 45, 54, 55,
+// 64, 65, with rank 54 (the cloud center) ranked worst, and the top
+// candidate must name the specs_microphysics compute as the cause.
+func TestCausalityCosmoSpecs(t *testing.T) {
+	cfg := DefaultCosmoSpecs()
+	tr, err := GenerateCosmoSpecs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := res.Causality()
+
+	cloud, hottest := cfg.CloudRanks()
+	if len(an.Ranks) < len(cloud) {
+		t.Fatalf("only %d attributed ranks, want at least %d", len(an.Ranks), len(cloud))
+	}
+	top := map[int]bool{}
+	for _, ra := range an.Ranks[:len(cloud)] {
+		top[int(ra.Rank)] = true
+	}
+	for _, r := range cloud {
+		if !top[r] {
+			t.Errorf("cloud rank %d missing from the top %d: %+v", r, len(cloud), an.Ranks[:len(cloud)])
+		}
+	}
+	if got := an.Ranks[0].Rank; got != Rank(hottest) {
+		t.Fatalf("worst rank = %d, want %d", got, hottest)
+	}
+	// The separation must be decisive, not a jitter-level photo finish:
+	// the least-blamed cloud rank still carries more than twice the blame
+	// of the worst non-cloud rank.
+	if len(an.Ranks) > len(cloud) {
+		if an.Ranks[len(cloud)-1].CausedWait < 2*an.Ranks[len(cloud)].CausedWait {
+			t.Errorf("weak separation: cloud tail %+v vs non-cloud head %+v",
+				an.Ranks[len(cloud)-1], an.Ranks[len(cloud)])
+		}
+	}
+
+	if len(an.Candidates) == 0 {
+		t.Fatal("no root-cause candidates")
+	}
+	c := an.Candidates[0]
+	if c.Rank != Rank(hottest) {
+		t.Fatalf("top candidate rank = %d, want %d", c.Rank, hottest)
+	}
+	if c.Function != "specs_microphysics" {
+		t.Fatalf("top candidate function = %q, want specs_microphysics", c.Function)
+	}
+	if c.SOS <= 0 || c.CausedWait <= 0 {
+		t.Fatalf("degenerate top candidate: %+v", c)
+	}
+
+	// The balanced halo exchange and synchronous barriers of this workload
+	// must not read as a deadlock.
+	if len(an.Cycles) != 0 {
+		t.Fatalf("unexpected communication cycles: %+v", an.Cycles)
+	}
+	if an.CollectiveCount == 0 {
+		t.Fatal("no collective occurrences matched")
+	}
+}
+
+// TestCausalitySyntheticCycle checks the deadlock detector end to end
+// through the facade types: a ring of unmatched sends must surface as one
+// cycle listing its member ranks.
+func TestCausalitySyntheticCycle(t *testing.T) {
+	b := NewTraceBuilder("ring", 3)
+	step := b.Region("step", ParadigmUser, RoleFunction)
+	snd := b.Region("MPI_Send", ParadigmMPI, RolePointToPoint)
+	for rank := Rank(0); rank < 3; rank++ {
+		for i := 0; i < 3; i++ {
+			t0 := int64(i) * 1000
+			b.Enter(rank, t0, step)
+			b.Enter(rank, t0+10, snd)
+			b.Send(rank, t0+10, (rank+1)%3, int32(i), 8)
+			b.Leave(rank, t0+20, snd)
+			b.Leave(rank, t0+100, step)
+		}
+	}
+	tr := b.Trace()
+	res, err := Analyze(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := res.Causality()
+	if len(an.Cycles) != 1 {
+		t.Fatalf("cycles = %+v, want 1", an.Cycles)
+	}
+	c := an.Cycles[0]
+	if len(c.Ranks) != 3 || c.Ranks[0] != 0 || c.Ranks[1] != 1 || c.Ranks[2] != 2 {
+		t.Fatalf("cycle ranks = %v, want [0 1 2]", c.Ranks)
+	}
+	if c.Ops != 9 {
+		t.Fatalf("cycle ops = %d, want 9", c.Ops)
+	}
+}

@@ -1,6 +1,9 @@
 // Command pvtlint statically analyzes PVTR/pvtt trace archives for
 // structural violations and semantic oddities that would silently break
 // the perfvar pipeline, reporting every finding (not just the first).
+// Beyond the per-rank stream checks, the cross-rank analyzers build the
+// message-dependency graph and report late senders, wait-chain root
+// causes, and communication cycles that can never complete.
 //
 //	pvtlint run.pvt                     # text report, all analyzers
 //	pvtlint -severity warning run.pvt   # hide info-level findings
@@ -133,6 +136,6 @@ func saveTrace(path string, tr *trace.Trace) error {
 func printCatalog() {
 	fmt.Println("registered analyzers:")
 	for _, a := range lint.All() {
-		fmt.Printf("  %-12s %-8s %s\n", a.Name(), a.Severity(), a.Doc())
+		fmt.Printf("  %-13s %-8s %-10s %s\n", a.Name(), a.Severity(), a.Scope(), a.Doc())
 	}
 }

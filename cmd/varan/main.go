@@ -7,6 +7,7 @@
 //	varan -trace run.pvt -json
 //	varan -trace run.pvt -refine -heatmap sos.png
 //	varan -trace run.pvt -dominant specs_timestep -ansi
+//	varan -trace run.pvt -causality
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 		phasesK   = flag.Int("phases", 0, "cluster segments into K phases (-1 = automatic K)")
 		trends    = flag.Bool("trends", false, "print per-rank slowdown trends")
 		causers   = flag.Bool("causers", false, "print the wait-time attribution (who makes others idle)")
+		causality = flag.Bool("causality", false, "print the cross-rank causality analysis (wait states, root causes, deadlock cycles)")
 		breakdown = flag.Bool("breakdown", false, "print the per-region breakdown of the top hotspot")
 		calltree  = flag.Bool("calltree", false, "print the calling-context tree (depth 3)")
 		clocks    = flag.Bool("clockfix", false, "detect and correct clock skew before analyzing")
@@ -135,6 +137,36 @@ func main() {
 		}
 	}
 
+	if *causality {
+		an := res.Causality()
+		fmt.Println("\nCross-rank causality analysis:")
+		fmt.Printf("  wait states: late-sender %s over %d message(s), late-receiver slack %s over %d, collective wait %s over %d occurrence(s)\n",
+			fmtDur(an.LateSenderWait), an.LateSenderCount,
+			fmtDur(an.LateReceiverSlack), an.LateReceiverCount,
+			fmtDur(an.CollectiveWait), an.CollectiveCount)
+		fmt.Println("  root causes (propagated peer wait, worst first):")
+		for i, ra := range an.Ranks {
+			if i >= 10 {
+				fmt.Printf("    ... %d more\n", len(an.Ranks)-10)
+				break
+			}
+			fmt.Printf("    rank %-5d caused %10s across %d segment(s), worst in segment %d\n",
+				ra.Rank, fmtDur(ra.CausedWait), ra.Segments, ra.WorstSegment)
+		}
+		if len(an.Ranks) == 0 {
+			fmt.Println("    none (no rank imposes wait on its peers)")
+		}
+		if len(an.Candidates) > 0 {
+			c := an.Candidates[0]
+			fmt.Printf("  top candidate: rank %d, segment %d, function %q (caused %s, SOS %s)\n",
+				c.Rank, c.Segment, c.Function, fmtDur(c.CausedWait), fmtDur(c.SOS))
+		}
+		for _, cy := range an.Cycles {
+			fmt.Printf("  DEADLOCK CANDIDATE: communication cycle among rank(s) %v (%d unmatched operations)\n",
+				cy.Ranks, cy.Ops)
+		}
+	}
+
 	if *breakdown && len(res.Analysis.Hotspots) > 0 {
 		top := res.Analysis.Hotspots[0].Segment
 		entries, err := res.Breakdown(top)
@@ -198,4 +230,22 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "varan:", err)
 	os.Exit(1)
+}
+
+// fmtDur renders a nanosecond duration with a compact unit.
+func fmtDur(ns int64) string {
+	abs := ns
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case abs >= 1e3:
+		return fmt.Sprintf("%.1fus", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
 }

@@ -1,0 +1,307 @@
+package causality
+
+import (
+	"sort"
+
+	"perfvar/internal/core/segment"
+	"perfvar/internal/trace"
+)
+
+// Options configure Analyze.
+type Options struct {
+	// MaxCandidates caps the candidate triples whose function is
+	// resolved via segment breakdown (0 = 32). The per-rank totals are
+	// always computed over every node.
+	MaxCandidates int
+}
+
+// Candidate is one root-cause candidate: a (rank, segment, function)
+// triple ranked by the peer wait time that originates there.
+type Candidate struct {
+	Rank    trace.Rank `json:"rank"`
+	Segment int        `json:"segment"`
+	// Function is the top exclusive non-synchronization region inside
+	// the segment — where the causing time was actually spent.
+	Function string `json:"function"`
+	// CausedWait is the propagated peer wait originating in this
+	// segment: direct blame plus every indirect wait folded back onto it
+	// along the dependency chains.
+	CausedWait trace.Duration `json:"caused_wait"`
+	// DirectWait is the blame before wait-chain folding.
+	DirectWait trace.Duration `json:"direct_wait"`
+	// SOS is the segment's synchronization-oblivious time.
+	SOS trace.Duration `json:"sos"`
+}
+
+// RankAttribution aggregates a rank's propagated blame over all its
+// segments.
+type RankAttribution struct {
+	Rank       trace.Rank     `json:"rank"`
+	CausedWait trace.Duration `json:"caused_wait"`
+	// Segments counts the rank's segments with non-negligible blame.
+	Segments int `json:"segments"`
+	// WorstSegment is the segment index with the highest blame.
+	WorstSegment int `json:"worst_segment"`
+}
+
+// Analysis is the outcome of the wait-state classification and
+// root-cause attribution over one dependency graph.
+type Analysis struct {
+	Graph *Graph `json:"-"`
+
+	// LateSenderWait is the total idle time imposed by late senders, and
+	// LateSenderCount the number of messages classified late-sender.
+	LateSenderWait  trace.Duration `json:"late_sender_wait"`
+	LateSenderCount int            `json:"late_sender_count"`
+	// LateReceiverSlack is the total buffered head start of
+	// late-receiver messages.
+	LateReceiverSlack trace.Duration `json:"late_receiver_slack"`
+	LateReceiverCount int            `json:"late_receiver_count"`
+	// CollectiveWait is the total idle time suffered at collectives, and
+	// CollectiveCount the matched collective occurrences.
+	CollectiveWait  trace.Duration `json:"collective_wait"`
+	CollectiveCount int            `json:"collective_count"`
+
+	// Candidates are the root-cause triples, worst first.
+	Candidates []Candidate `json:"candidates"`
+	// Ranks are the per-rank blame totals, worst first.
+	Ranks []RankAttribution `json:"ranks"`
+	// Cycles are the deadlock candidates found in the unmatched-operation
+	// wait-for graph.
+	Cycles []Cycle `json:"cycles,omitempty"`
+}
+
+// minScore is the propagated-wait floor (in ns) below which a node is
+// considered blameless — sub-nanosecond fractions are float dust.
+const minScore = 1
+
+// Analyze classifies the graph's wait states, propagates blame to its
+// origins, and ranks root-cause candidates. The pass is serial and
+// processes nodes in deterministic order, so repeated runs (at any
+// worker count during Build) produce identical results.
+func Analyze(g *Graph, opts Options) *Analysis {
+	maxCand := opts.MaxCandidates
+	if maxCand <= 0 {
+		maxCand = 32
+	}
+	an := &Analysis{Graph: g}
+
+	// Direct blame per node and incoming late-sender waits per node.
+	direct := map[Node]trace.Duration{}
+	inEdges := map[Node][]Edge{}
+	for _, e := range g.Edges {
+		switch e.Kind {
+		case LateSender:
+			an.LateSenderWait += e.Wait
+			an.LateSenderCount += e.Count
+			direct[e.Causer] += e.Wait
+			inEdges[e.Waiter] = append(inEdges[e.Waiter], e)
+		case LateReceiver:
+			an.LateReceiverSlack += e.Slack
+			an.LateReceiverCount += e.Count
+		}
+	}
+	for _, c := range g.Collectives {
+		an.CollectiveCount++
+		for _, a := range c.Arrivals {
+			an.CollectiveWait += a.Wait
+			if a.Blame > 0 {
+				direct[a.Node] += a.Blame
+			}
+		}
+	}
+
+	// Wait-chain propagation: fold each node's direct blame back onto
+	// its originating nodes.
+	pr := &propagator{
+		inEdges: inEdges,
+		excess:  excessSOS(g.Matrix),
+		memo:    map[Node][]share{},
+		onPath:  map[Node]bool{},
+	}
+	blamed := make([]Node, 0, len(direct))
+	for n := range direct {
+		blamed = append(blamed, n)
+	}
+	sort.Slice(blamed, func(i, j int) bool { return nodeLess(blamed[i], blamed[j]) })
+	scores := map[Node]float64{}
+	for _, n := range blamed {
+		b := float64(direct[n])
+		if b <= 0 {
+			continue
+		}
+		for _, sh := range pr.dist(n) {
+			scores[sh.origin] += b * sh.weight
+		}
+	}
+
+	// Rank the origins.
+	type scored struct {
+		n Node
+		v float64
+	}
+	list := make([]scored, 0, len(scores))
+	for n, v := range scores {
+		if v >= minScore {
+			list = append(list, scored{n, v})
+		}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].v != list[j].v {
+			return list[i].v > list[j].v
+		}
+		return nodeLess(list[i].n, list[j].n)
+	})
+
+	perRank := map[trace.Rank]*RankAttribution{}
+	for _, s := range list {
+		caused := trace.Duration(s.v + 0.5)
+		ra := perRank[s.n.Rank]
+		if ra == nil {
+			ra = &RankAttribution{Rank: s.n.Rank, WorstSegment: s.n.Segment}
+			perRank[s.n.Rank] = ra
+		}
+		ra.CausedWait += caused
+		ra.Segments++
+		if len(an.Candidates) < maxCand {
+			an.Candidates = append(an.Candidates, candidate(g, s.n, caused, direct[s.n]))
+		}
+	}
+	an.Ranks = make([]RankAttribution, 0, len(perRank))
+	for _, ra := range perRank {
+		an.Ranks = append(an.Ranks, *ra)
+	}
+	sort.Slice(an.Ranks, func(i, j int) bool {
+		if an.Ranks[i].CausedWait != an.Ranks[j].CausedWait {
+			return an.Ranks[i].CausedWait > an.Ranks[j].CausedWait
+		}
+		return an.Ranks[i].Rank < an.Ranks[j].Rank
+	})
+
+	an.Cycles = DetectCycles(g.Trace.NumRanks(), g.Unmatched)
+	return an
+}
+
+// candidate resolves one origin node into a (rank, segment, function)
+// triple.
+func candidate(g *Graph, n Node, caused, direct trace.Duration) Candidate {
+	c := Candidate{Rank: n.Rank, Segment: n.Segment, CausedWait: caused, DirectWait: direct}
+	if n.Segment < 0 || int(n.Rank) < 0 || int(n.Rank) >= len(g.Matrix.PerRank) ||
+		n.Segment >= len(g.Matrix.PerRank[n.Rank]) {
+		return c
+	}
+	seg := g.Matrix.PerRank[n.Rank][n.Segment]
+	c.SOS = seg.SOS()
+	entries, err := segment.Breakdown(g.Trace, seg)
+	if err != nil || len(entries) == 0 {
+		return c
+	}
+	// The causing time is compute, not synchronization: pick the top
+	// exclusive non-sync region, falling back to the overall top.
+	c.Function = entries[0].Name
+	for _, e := range entries {
+		if g.Trace.ValidRegion(e.Region) && !segment.DefaultSync.IsSync(g.Trace.Region(e.Region)) {
+			c.Function = e.Name
+			break
+		}
+	}
+	return c
+}
+
+// excessSOS computes each segment's SOS-time excess over its iteration
+// column's median — the node's own contribution to lateness. A rank
+// that merely waits resumes with normal SOS and zero excess; a straggler
+// shows the full surplus.
+func excessSOS(m *segment.Matrix) map[Node]trace.Duration {
+	out := map[Node]trace.Duration{}
+	columns := 0
+	for _, segs := range m.PerRank {
+		if len(segs) > columns {
+			columns = len(segs)
+		}
+	}
+	for col := 0; col < columns; col++ {
+		var sos []trace.Duration
+		for _, segs := range m.PerRank {
+			if col < len(segs) {
+				sos = append(sos, segs[col].SOS())
+			}
+		}
+		sorted := append([]trace.Duration(nil), sos...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		med := sorted[len(sorted)/2]
+		for rank, segs := range m.PerRank {
+			if col >= len(segs) {
+				continue
+			}
+			ex := segs[col].SOS() - med
+			if ex < 0 {
+				ex = 0
+			}
+			out[Node{Rank: trace.Rank(rank), Segment: col}] = ex
+		}
+	}
+	return out
+}
+
+// share is one origin's fraction of a node's blame.
+type share struct {
+	origin Node
+	weight float64
+}
+
+// propagator memoizes per-node origin distributions. A node's blame
+// splits into an own share — proportional to its excess SOS-time — and
+// an inherited share distributed over the causers of its incoming
+// late-sender waits, recursively. A pure relay (zero excess, all waits
+// inherited) forwards everything upstream; a true straggler (no
+// incoming waits) keeps everything.
+type propagator struct {
+	inEdges map[Node][]Edge
+	excess  map[Node]trace.Duration
+	memo    map[Node][]share
+	onPath  map[Node]bool
+}
+
+func (p *propagator) dist(n Node) []share {
+	if d, ok := p.memo[n]; ok {
+		return d
+	}
+	if p.onPath[n] {
+		// Dependency cycle (mutual late sends): cut it by keeping the
+		// blame at the revisited node.
+		return []share{{n, 1}}
+	}
+	var waitIn trace.Duration
+	for _, e := range p.inEdges[n] {
+		waitIn += e.Wait
+	}
+	if waitIn <= 0 {
+		d := []share{{n, 1}}
+		p.memo[n] = d
+		return d
+	}
+	p.onPath[n] = true
+	own := p.excess[n]
+	f := float64(waitIn) / float64(waitIn+own)
+	acc := map[Node]float64{}
+	if f < 1 {
+		acc[n] = 1 - f
+	}
+	// inEdges[n] is in deterministic (graph) order and every dist() is a
+	// sorted slice, so the float accumulation order is fixed.
+	for _, e := range p.inEdges[n] {
+		w := f * float64(e.Wait) / float64(waitIn)
+		for _, sh := range p.dist(e.Causer) {
+			acc[sh.origin] += w * sh.weight
+		}
+	}
+	delete(p.onPath, n)
+	d := make([]share, 0, len(acc))
+	for o, w := range acc {
+		d = append(d, share{o, w})
+	}
+	sort.Slice(d, func(i, j int) bool { return nodeLess(d[i].origin, d[j].origin) })
+	p.memo[n] = d
+	return d
+}

@@ -1,0 +1,435 @@
+// Package causality turns a trace's communication structure into a
+// cross-rank message-dependency graph and explains who makes whom wait.
+//
+// The paper's SOS-time un-hides the causing process of an imbalance, but
+// the final inference — "rank 54 is the straggler, everyone else merely
+// waits on it" — is left to the human reading the heatmap. This package
+// makes that inference a static pass over the trace:
+//
+//  1. Build builds a dependency graph from matched send/recv pairs and
+//     collective invocations: per-segment edges (rank, segment) →
+//     (rank, segment) weighted by the wait time the causer imposes on
+//     the waiter.
+//  2. Each matched receive is classified as a wait state: late-sender
+//     (the send was posted after the receiver started waiting — the
+//     receiver's idle time is the sender's fault) or late-receiver (the
+//     message sat buffered before the receiver asked for it — no idle
+//     imposed, only slack). Collective invocations are decomposed by
+//     arrival order: each late arriver is blamed for the extra idle its
+//     lateness imposes on everyone already inside the collective.
+//  3. Analyze propagates direct blame along the graph onto originating
+//     ranks (wait-chain folding: a rank that only forwards lateness it
+//     suffered itself is transparent) and ranks candidate straggler
+//     (rank, segment, function) triples combining propagated wait with
+//     SOS-time.
+//  4. DetectCycles runs a strongly-connected-components pass over the
+//     rank-level wait-for graph of unmatched operations, flagging
+//     structurally unmatchable communication (deadlock candidates).
+//
+// Wait times are measured against the enclosing synchronization region:
+// a receive completing at time t inside an MPI region entered at time w
+// idled the receiver for t−w. Receives recorded outside any
+// synchronization region carry no measurable idle time and are skipped.
+package causality
+
+import (
+	"sort"
+
+	"perfvar/internal/core/segment"
+	"perfvar/internal/parallel"
+	"perfvar/internal/trace"
+)
+
+// Node is one segment of one rank — the granularity of the dependency
+// graph. Segment is -1 for events outside every segment of the rank
+// (before the first or after the last dominant-function invocation).
+type Node struct {
+	Rank    trace.Rank `json:"rank"`
+	Segment int        `json:"segment"`
+}
+
+func nodeLess(a, b Node) bool {
+	if a.Rank != b.Rank {
+		return a.Rank < b.Rank
+	}
+	return a.Segment < b.Segment
+}
+
+// WaitKind classifies one dependency edge.
+type WaitKind uint8
+
+const (
+	// LateSender: the send was posted after the receiver had already
+	// started waiting — the receiver's idle time is charged to the
+	// sender.
+	LateSender WaitKind = iota
+	// LateReceiver: the message was available before the receiver asked
+	// for it; the slack is the head start the message had. No idle time
+	// is charged to anyone.
+	LateReceiver
+)
+
+// String returns the kebab-case kind name.
+func (k WaitKind) String() string {
+	switch k {
+	case LateSender:
+		return "late-sender"
+	case LateReceiver:
+		return "late-receiver"
+	}
+	return "unknown"
+}
+
+// Pair is one matched send/recv couple, as produced by a FIFO message
+// matcher (the lint msgmatch facts). RecvEvent indexes the receiver's
+// event stream; Build needs it to look up the receive's enclosing wait
+// region.
+type Pair struct {
+	SendRank  trace.Rank
+	SendTime  trace.Time
+	RecvRank  trace.Rank
+	RecvTime  trace.Time
+	RecvEvent int
+	Tag       int32
+	Bytes     int64
+}
+
+// RankDep is a rank-level wait-for edge derived from an unmatched
+// operation: From cannot complete until To acts (an unmatched receive
+// waits for the peer's send; an unmatched send waits for the peer's
+// receive under rendezvous semantics).
+type RankDep struct {
+	From, To trace.Rank
+	// Send reports whether the unmatched operation was a send.
+	Send bool
+}
+
+// Edge aggregates the classified waits between one causer segment and
+// one waiter segment.
+type Edge struct {
+	Causer Node     `json:"causer"`
+	Waiter Node     `json:"waiter"`
+	Kind   WaitKind `json:"kind"`
+	// Wait is the total idle time the waiter spent on the edge's
+	// messages (receive completion minus wait start, summed).
+	Wait trace.Duration `json:"wait"`
+	// Slack is the total buffered head start of late-receiver messages.
+	Slack trace.Duration `json:"slack,omitempty"`
+	// Count is the number of messages folded into the edge.
+	Count int `json:"count"`
+}
+
+// Arrival is one rank's arrival at a collective occurrence.
+type Arrival struct {
+	Node Node
+	// Time is when the rank entered the collective region.
+	Time trace.Time
+	// Wait is the idle time until the release (the last arrival).
+	Wait trace.Duration
+	// Blame is the extra idle this arrival's lateness imposed on every
+	// earlier arriver: (own arrival − previous arrival) × number of
+	// ranks already waiting.
+	Blame trace.Duration
+}
+
+// Collective is one matched occurrence of a barrier/collective region
+// across ranks (occurrence k on every rank is assumed to be the same
+// operation — the SPMD convention). Arrivals are sorted by arrival time;
+// the blame decomposition along the sorted order keeps the edge count
+// linear in the rank count instead of quadratic.
+type Collective struct {
+	Region     trace.RegionID
+	Occurrence int
+	// Release is the last arrival time — when every rank may proceed.
+	Release  trace.Time
+	Arrivals []Arrival
+}
+
+// Graph is the cross-rank message-dependency graph of one trace.
+type Graph struct {
+	Trace  *trace.Trace
+	Matrix *segment.Matrix
+	// Edges holds the aggregated point-to-point dependencies, grouped by
+	// the waiter's segment column and sorted within each column.
+	Edges []Edge
+	// Collectives holds the matched collective occurrences with their
+	// arrival decompositions.
+	Collectives []Collective
+	// Unmatched holds the rank-level wait-for edges of operations that
+	// found no partner (input to DetectCycles).
+	Unmatched []RankDep
+}
+
+// Input bundles Build's inputs. Trace and Matrix must be non-nil; the
+// matrix defines the segment coordinates of the graph nodes.
+type Input struct {
+	Trace     *trace.Trace
+	Matrix    *segment.Matrix
+	Pairs     []Pair
+	Unmatched []RankDep
+}
+
+// Build constructs the dependency graph. Per-rank event scans and the
+// per-segment-column edge aggregation fan out through the shared worker
+// pool; results are merged in index order, so serial and parallel runs
+// are byte-identical.
+func Build(in Input) *Graph {
+	g := &Graph{
+		Trace:     in.Trace,
+		Matrix:    in.Matrix,
+		Unmatched: append([]RankDep(nil), in.Unmatched...),
+	}
+	scans, _ := parallel.Map(in.Trace.NumRanks(), func(rank int) (rankScan, error) {
+		return scanRank(in.Trace, trace.Rank(rank)), nil
+	})
+	g.Collectives = groupCollectives(in.Matrix, scans)
+	g.Edges = buildEdges(in, scans)
+	return g
+}
+
+// rankScan holds the per-rank pre-pass results: the effective wait start
+// of every receive recorded inside a synchronization region, and the
+// rank's collective invocations.
+type rankScan struct {
+	recvWait map[int]trace.Time
+	colls    []collOcc
+}
+
+type collOcc struct {
+	region       trace.RegionID
+	occ          int
+	enter, leave trace.Time
+}
+
+// scanRank walks one rank's event stream once. It tolerates malformed
+// streams (unbalanced leaves, unsorted times): depth counters clamp at
+// zero and unclosed collectives are dropped, never panicking — the
+// structural analyzers report the underlying violations.
+func scanRank(tr *trace.Trace, rank trace.Rank) rankScan {
+	s := rankScan{recvWait: map[int]trace.Time{}}
+	var (
+		syncDepth int
+		syncStart trace.Time
+		lastRecv  trace.Time // completion of the previous recv in the open sync scope
+		haveRecv  bool
+		openColls []int // indices into s.colls
+		occCount  = map[trace.RegionID]int{}
+	)
+	events := tr.Procs[rank].Events
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case trace.KindEnter:
+			if !tr.ValidRegion(ev.Region) {
+				continue
+			}
+			r := tr.Region(ev.Region)
+			if segment.DefaultSync.IsSync(r) {
+				if syncDepth == 0 {
+					syncStart = ev.Time
+					haveRecv = false
+				}
+				syncDepth++
+			}
+			if r.Role == trace.RoleBarrier || r.Role == trace.RoleCollective {
+				s.colls = append(s.colls, collOcc{
+					region: ev.Region, occ: occCount[ev.Region],
+					enter: ev.Time, leave: ev.Time - 1, // marked unclosed
+				})
+				occCount[ev.Region]++
+				openColls = append(openColls, len(s.colls)-1)
+			}
+		case trace.KindLeave:
+			if !tr.ValidRegion(ev.Region) {
+				continue
+			}
+			r := tr.Region(ev.Region)
+			if segment.DefaultSync.IsSync(r) && syncDepth > 0 {
+				syncDepth--
+				if syncDepth == 0 {
+					haveRecv = false
+				}
+			}
+			if r.Role == trace.RoleBarrier || r.Role == trace.RoleCollective {
+				// Close the innermost open occurrence of this region.
+				for j := len(openColls) - 1; j >= 0; j-- {
+					c := &s.colls[openColls[j]]
+					if c.region == ev.Region && c.leave < c.enter {
+						c.leave = ev.Time
+						openColls = append(openColls[:j], openColls[j+1:]...)
+						break
+					}
+				}
+			}
+		case trace.KindRecv:
+			if syncDepth == 0 {
+				continue // not inside a synchronization region: no measurable wait
+			}
+			eff := syncStart
+			if haveRecv && lastRecv > eff {
+				eff = lastRecv // a Waitall's second wait starts when the first message landed
+			}
+			s.recvWait[i] = eff
+			lastRecv, haveRecv = ev.Time, true
+		}
+	}
+	return s
+}
+
+// segIndex locates the segment of rank containing time t, or -1.
+func segIndex(m *segment.Matrix, rank trace.Rank, t trace.Time) int {
+	if int(rank) < 0 || int(rank) >= len(m.PerRank) {
+		return -1
+	}
+	segs := m.PerRank[rank]
+	// Last segment with Start <= t.
+	lo := sort.Search(len(segs), func(i int) bool { return segs[i].Start > t }) - 1
+	if lo >= 0 && t <= segs[lo].End {
+		return lo
+	}
+	return -1
+}
+
+// groupCollectives matches collective invocations across ranks by
+// (region, occurrence index) and decomposes each occurrence's wait by
+// arrival order.
+func groupCollectives(m *segment.Matrix, scans []rankScan) []Collective {
+	type key struct {
+		region trace.RegionID
+		occ    int
+	}
+	groups := map[key][]Arrival{}
+	for rank := range scans {
+		for _, c := range scans[rank].colls {
+			if c.leave < c.enter {
+				continue // unclosed at stream end
+			}
+			k := key{c.region, c.occ}
+			groups[k] = append(groups[k], Arrival{
+				Node: Node{Rank: trace.Rank(rank), Segment: segIndex(m, trace.Rank(rank), c.enter)},
+				Time: c.enter,
+			})
+		}
+	}
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].region != keys[j].region {
+			return keys[i].region < keys[j].region
+		}
+		return keys[i].occ < keys[j].occ
+	})
+	var out []Collective
+	for _, k := range keys {
+		arr := groups[k]
+		if len(arr) < 2 {
+			continue // a collective of one synchronizes nothing
+		}
+		sort.Slice(arr, func(i, j int) bool {
+			if arr[i].Time != arr[j].Time {
+				return arr[i].Time < arr[j].Time
+			}
+			return arr[i].Node.Rank < arr[j].Node.Rank
+		})
+		release := arr[len(arr)-1].Time
+		for i := range arr {
+			arr[i].Wait = release - arr[i].Time
+			if i > 0 {
+				arr[i].Blame = (arr[i].Time - arr[i-1].Time) * trace.Duration(i)
+			}
+		}
+		out = append(out, Collective{Region: k.region, Occurrence: k.occ, Release: release, Arrivals: arr})
+	}
+	return out
+}
+
+// buildEdges classifies every matched pair and aggregates the results
+// into per-segment edges. Pairs are bucketed by the waiter's segment
+// column; the columns aggregate independently on the worker pool.
+func buildEdges(in Input, scans []rankScan) []Edge {
+	columns := 0
+	for _, segs := range in.Matrix.PerRank {
+		if len(segs) > columns {
+			columns = len(segs)
+		}
+	}
+	buckets := make([][]Pair, columns)
+	for _, p := range in.Pairs {
+		col := segIndex(in.Matrix, p.RecvRank, p.RecvTime)
+		if col < 0 {
+			continue // receive outside every segment: no node to attach to
+		}
+		buckets[col] = append(buckets[col], p)
+	}
+	perCol, _ := parallel.Map(columns, func(col int) ([]Edge, error) {
+		return columnEdges(in, scans, buckets[col], col), nil
+	})
+	var out []Edge
+	for _, edges := range perCol {
+		out = append(out, edges...)
+	}
+	return out
+}
+
+func columnEdges(in Input, scans []rankScan, pairs []Pair, col int) []Edge {
+	type ekey struct {
+		causer, waiter Node
+		kind           WaitKind
+	}
+	agg := map[ekey]*Edge{}
+	for _, p := range pairs {
+		if int(p.RecvRank) < 0 || int(p.RecvRank) >= len(scans) {
+			continue
+		}
+		eff, ok := scans[p.RecvRank].recvWait[p.RecvEvent]
+		if !ok {
+			continue // receive outside any synchronization region
+		}
+		e := Edge{
+			Causer: Node{Rank: p.SendRank, Segment: segIndex(in.Matrix, p.SendRank, p.SendTime)},
+			Waiter: Node{Rank: p.RecvRank, Segment: col},
+			Count:  1,
+		}
+		if p.SendTime > eff {
+			e.Kind = LateSender
+			e.Wait = clampDur(p.RecvTime - eff)
+		} else {
+			e.Kind = LateReceiver
+			e.Wait = clampDur(p.RecvTime - eff)
+			e.Slack = clampDur(eff - p.SendTime)
+		}
+		k := ekey{e.Causer, e.Waiter, e.Kind}
+		if cur := agg[k]; cur != nil {
+			cur.Wait += e.Wait
+			cur.Slack += e.Slack
+			cur.Count++
+		} else {
+			cp := e
+			agg[k] = &cp
+		}
+	}
+	out := make([]Edge, 0, len(agg))
+	for _, e := range agg {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Waiter != b.Waiter {
+			return nodeLess(a.Waiter, b.Waiter)
+		}
+		if a.Causer != b.Causer {
+			return nodeLess(a.Causer, b.Causer)
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}
+
+func clampDur(d trace.Duration) trace.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
+}

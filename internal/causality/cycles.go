@@ -1,0 +1,141 @@
+package causality
+
+import (
+	"sort"
+
+	"perfvar/internal/trace"
+)
+
+// Cycle is one set of ranks whose unmatched operations wait on each
+// other in a loop — communication that can structurally never complete.
+type Cycle struct {
+	// Ranks are the cycle's members, sorted ascending.
+	Ranks []trace.Rank `json:"ranks"`
+	// Ops counts the unmatched operations on the cycle's internal edges.
+	Ops int `json:"ops"`
+}
+
+// DetectCycles finds the non-trivial strongly connected components of
+// the rank-level wait-for graph: SCCs of two or more ranks, plus single
+// ranks that wait on themselves. n is the trace's rank count; deps with
+// out-of-range endpoints are ignored. The result is sorted by the
+// cycle's lowest rank.
+func DetectCycles(n int, deps []RankDep) []Cycle {
+	if n <= 0 || len(deps) == 0 {
+		return nil
+	}
+	// Deduplicated, sorted adjacency; edge multiplicity kept for the Ops
+	// count.
+	adjSet := make([]map[int]bool, n)
+	type edge struct{ from, to int }
+	edgeOps := map[edge]int{}
+	selfEdge := make([]bool, n)
+	for _, d := range deps {
+		f, t := int(d.From), int(d.To)
+		if f < 0 || f >= n || t < 0 || t >= n {
+			continue
+		}
+		if adjSet[f] == nil {
+			adjSet[f] = map[int]bool{}
+		}
+		adjSet[f][t] = true
+		edgeOps[edge{f, t}]++
+		if f == t {
+			selfEdge[f] = true
+		}
+	}
+	adj := make([][]int, n)
+	for v, set := range adjSet {
+		for w := range set {
+			adj[v] = append(adj[v], w)
+		}
+		sort.Ints(adj[v])
+	}
+
+	// Iterative Tarjan SCC.
+	const unvisited = -1
+	var (
+		index   = make([]int, n)
+		low     = make([]int, n)
+		onStack = make([]bool, n)
+		stack   []int
+		next    int
+		sccs    [][]int
+	)
+	for i := range index {
+		index[i] = unvisited
+	}
+	type frame struct{ v, ei int }
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		frames := []frame{{root, 0}}
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var scc []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+
+	var out []Cycle
+	for _, scc := range sccs {
+		if len(scc) < 2 && !selfEdge[scc[0]] {
+			continue
+		}
+		sort.Ints(scc)
+		member := map[int]bool{}
+		for _, v := range scc {
+			member[v] = true
+		}
+		c := Cycle{Ranks: make([]trace.Rank, len(scc))}
+		for i, v := range scc {
+			c.Ranks[i] = trace.Rank(v)
+		}
+		for e, ops := range edgeOps {
+			if member[e.from] && member[e.to] {
+				c.Ops += ops
+			}
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ranks[0] < out[j].Ranks[0] })
+	return out
+}

@@ -1,0 +1,57 @@
+package causality
+
+import (
+	"reflect"
+	"testing"
+
+	"perfvar/internal/trace"
+)
+
+func ranks(rs ...trace.Rank) []trace.Rank { return rs }
+
+func TestDetectCyclesRing(t *testing.T) {
+	deps := []RankDep{
+		{From: 0, To: 1, Send: true},
+		{From: 1, To: 2, Send: true},
+		{From: 2, To: 0, Send: true},
+		{From: 3, To: 0, Send: true}, // dangles off the ring, not a member
+	}
+	got := DetectCycles(4, deps)
+	if len(got) != 1 {
+		t.Fatalf("cycles = %+v, want 1", got)
+	}
+	if !reflect.DeepEqual(got[0].Ranks, ranks(0, 1, 2)) || got[0].Ops != 3 {
+		t.Fatalf("cycle = %+v, want ranks 0,1,2 with 3 ops", got[0])
+	}
+}
+
+func TestDetectCyclesChainHasNone(t *testing.T) {
+	deps := []RankDep{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}, {From: 0, To: 3},
+	}
+	if got := DetectCycles(4, deps); len(got) != 0 {
+		t.Fatalf("acyclic chain produced cycles: %+v", got)
+	}
+}
+
+func TestDetectCyclesSelfLoop(t *testing.T) {
+	got := DetectCycles(2, []RankDep{{From: 1, To: 1}, {From: 1, To: 1}})
+	if len(got) != 1 || !reflect.DeepEqual(got[0].Ranks, ranks(1)) || got[0].Ops != 2 {
+		t.Fatalf("cycles = %+v, want self-loop on rank 1 with 2 ops", got)
+	}
+}
+
+func TestDetectCyclesTwoComponents(t *testing.T) {
+	deps := []RankDep{
+		{From: 2, To: 3}, {From: 3, To: 2},
+		{From: 5, To: 6}, {From: 6, To: 5},
+		{From: 9, To: 42}, // out of range, ignored
+	}
+	got := DetectCycles(8, deps)
+	if len(got) != 2 {
+		t.Fatalf("cycles = %+v, want 2", got)
+	}
+	if !reflect.DeepEqual(got[0].Ranks, ranks(2, 3)) || !reflect.DeepEqual(got[1].Ranks, ranks(5, 6)) {
+		t.Fatalf("cycles = %+v, want {2,3} then {5,6}", got)
+	}
+}

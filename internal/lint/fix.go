@@ -39,7 +39,12 @@ func (r *FixReport) Changed() bool {
 //   - decreasing accumulated-metric samples are dropped,
 //   - negative message sizes are clamped to zero,
 //   - when message-causality violations remain, per-rank clock offsets
-//     are estimated and applied (clockfix).
+//     are estimated and applied (clockfix) — but only when the offsets
+//     actually eliminate every violation. Clock rate drift that constant
+//     offsets cannot repair is left untouched; shifting anyway would
+//     move the violations around and make repeated Fix runs diverge.
+//
+// Fix is idempotent: fixing an already-fixed trace changes nothing.
 //
 // After Fix the error-severity analyzers (nesting, metricmode, msgmatch
 // structural checks) find nothing; warning-tier findings that have no
@@ -56,7 +61,8 @@ func Fix(tr *trace.Trace, minLatency trace.Duration) (*trace.Trace, *FixReport) 
 	})
 	if viols := clockfix.Violations(out, minLatency); len(viols) > 0 {
 		offsets, _, _ := clockfix.EstimateOffsets(out, minLatency, 0)
-		if fixed, err := clockfix.Apply(out, offsets); err == nil {
+		if fixed, err := clockfix.Apply(out, offsets); err == nil &&
+			len(clockfix.Violations(fixed, minLatency)) == 0 {
 			out = fixed
 			rep.ClockApplied = true
 			rep.ClockOffsets = offsets

@@ -103,6 +103,65 @@ func TestFixOnCleanTraceIsIdentityish(t *testing.T) {
 	}
 }
 
+// TestFixIsIdempotent applies Fix twice to the checked-in broken trace
+// and requires the second pass to be a byte-identical no-op: a repaired
+// trace must have nothing left to repair, including the clock-offset
+// stage (offsets are only applied when they eliminate every violation,
+// so repeated runs cannot keep shifting clocks).
+func TestFixIsIdempotent(t *testing.T) {
+	tr, err := trace.ReadAnyFile("../../testdata/traces/broken.pvtt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	once, rep1 := Fix(tr, 0)
+	if !rep1.Changed() {
+		t.Fatal("broken.pvtt needed no fixes — the fixture lost its point")
+	}
+	twice, rep2 := Fix(once, 0)
+	if rep2.Changed() {
+		t.Fatalf("second Fix still changed the trace: %+v", rep2)
+	}
+	var a, b bytes.Buffer
+	if err := trace.WriteText(&a, once); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteText(&b, twice); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("Fix is not idempotent: outputs differ\nfirst:\n%s\nsecond:\n%s", a.String(), b.String())
+	}
+}
+
+// TestFixIdempotentUnderDrift covers the case the convergence guard
+// exists for: symmetric impossible messages that constant offsets cannot
+// repair. Fix must leave the clocks alone instead of shifting them to a
+// different-but-still-broken state on every run.
+func TestFixIdempotentUnderDrift(t *testing.T) {
+	tr := trace.New("drifting", 2)
+	f := tr.AddRegion("f", trace.ParadigmUser, trace.RoleFunction)
+	for rank := trace.Rank(0); rank < 2; rank++ {
+		tr.Append(rank, trace.Enter(0, f))
+		tr.Append(rank, trace.Send(10, 1-rank, 1, 8))
+		tr.Append(rank, trace.Recv(20, 1-rank, 1, 8))
+		tr.Append(rank, trace.Leave(100, f))
+	}
+	fixed, rep := Fix(tr, 0)
+	if rep.ClockApplied {
+		t.Fatalf("clock offsets applied although violations remain: %+v", rep)
+	}
+	var a, b bytes.Buffer
+	if err := trace.WriteText(&a, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteText(&b, fixed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("Fix altered a trace it cannot repair")
+	}
+}
+
 // TestCorruptedTraceJSONReport is the acceptance flow: lint a corrupted
 // trace, emit JSON, parse it back, and check the shape a CI consumer
 // relies on.

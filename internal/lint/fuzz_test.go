@@ -43,8 +43,33 @@ func FuzzLint(f *testing.F) {
 	if seed := encode(broken); seed != nil {
 		f.Add(seed)
 	}
+	// A cyclic-communication trace: ring of unmatched sends plus a
+	// dangling recv, seeding the cross-rank graph builder.
+	cyclic := trace.New("cyclic", 3)
+	cf := cyclic.AddRegion("f", trace.ParadigmUser, trace.RoleFunction)
+	cs := cyclic.AddRegion("MPI_Send", trace.ParadigmMPI, trace.RolePointToPoint)
+	for rank := trace.Rank(0); rank < 3; rank++ {
+		cyclic.Append(rank, trace.Enter(0, cf))
+		cyclic.Append(rank, trace.Enter(10, cs))
+		cyclic.Append(rank, trace.Send(10, (rank+1)%3, 0, 8))
+		cyclic.Append(rank, trace.Leave(20, cs))
+		cyclic.Append(rank, trace.Recv(30, (rank+2)%3, 9, 8))
+		cyclic.Append(rank, trace.Leave(100, cf))
+	}
+	if seed := encode(cyclic); seed != nil {
+		f.Add(seed)
+	}
 	f.Add([]byte{})
 	f.Add([]byte("PVTR"))
+
+	crossRank := make([]Analyzer, 0, 3)
+	for _, name := range []string{"latesender", "waitchain", "commdeadlock"} {
+		a, ok := Lookup(name)
+		if !ok {
+			f.Fatalf("analyzer %q not registered", name)
+		}
+		crossRank = append(crossRank, a)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := trace.Read(bytes.NewReader(data))
@@ -55,6 +80,14 @@ func FuzzLint(f *testing.F) {
 		for _, d := range res.Diagnostics {
 			if d.Analyzer == "" || d.Message == "" {
 				t.Fatalf("malformed diagnostic: %+v", d)
+			}
+		}
+		// The cross-rank analyzers build the message-dependency graph from
+		// whatever message matching produced; malformed matching must
+		// degrade to skipped work, never panic the graph builder.
+		for _, d := range Run(tr, Options{Analyzers: crossRank}).Diagnostics {
+			if d.Analyzer == "" || d.Message == "" {
+				t.Fatalf("malformed cross-rank diagnostic: %+v", d)
 			}
 		}
 		fixed, _ := Fix(tr, 0)

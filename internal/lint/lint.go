@@ -106,6 +106,31 @@ type Diagnostic struct {
 	Fixable bool `json:"fixable,omitempty"`
 }
 
+// Scope declares the fact granularity an analyzer consumes.
+type Scope uint8
+
+const (
+	// ScopeRank marks analyzers that inspect each rank's event stream
+	// independently.
+	ScopeRank Scope = iota
+	// ScopeCrossRank marks analyzers whose facts span ranks: message
+	// matching, dominant-function segmentation, or the message-dependency
+	// graph. The runner schedules these first so the expensive shared
+	// facts start computing while per-rank passes fill the idle workers.
+	ScopeCrossRank
+)
+
+// String returns the kebab-case scope name.
+func (s Scope) String() string {
+	switch s {
+	case ScopeRank:
+		return "rank"
+	case ScopeCrossRank:
+		return "cross-rank"
+	}
+	return fmt.Sprintf("scope(%d)", uint8(s))
+}
+
 // Analyzer is one pluggable trace check. Implementations must be
 // stateless: Run may be invoked concurrently for different passes.
 type Analyzer interface {
@@ -115,6 +140,8 @@ type Analyzer interface {
 	Doc() string
 	// Severity is the highest severity the analyzer can emit.
 	Severity() Severity
+	// Scope declares whether the analyzer works per rank or across ranks.
+	Scope() Scope
 	// Run inspects pass.Trace and reports findings via pass.Report. A
 	// non-nil error aborts only this analyzer; the runner converts it
 	// into an error-severity diagnostic.

@@ -309,6 +309,85 @@ func TestAnalyzers(t *testing.T) {
 			},
 		},
 		{
+			name: "late sender", analyzer: "latesender", code: "late-sender",
+			severity: SeverityWarning, exactly: 5,
+			build: func() *trace.Trace {
+				// Rank 0 computes 800 µs per step before sending; rank 1
+				// blocks in MPI_Recv from 10 µs on. Five steps, five
+				// late-sender segments.
+				tr := trace.New("latesend", 2)
+				step := tr.AddRegion("step", trace.ParadigmUser, trace.RoleFunction)
+				snd := tr.AddRegion("MPI_Send", trace.ParadigmMPI, trace.RolePointToPoint)
+				rcv := tr.AddRegion("MPI_Recv", trace.ParadigmMPI, trace.RolePointToPoint)
+				for i := 0; i < 5; i++ {
+					t0 := trace.Time(i) * 1_000_000
+					tr.Append(0, trace.Enter(t0, step))
+					tr.Append(0, trace.Enter(t0+800_000, snd))
+					tr.Append(0, trace.Send(t0+800_000, 1, int32(i), 64))
+					tr.Append(0, trace.Leave(t0+801_000, snd))
+					tr.Append(0, trace.Leave(t0+900_000, step))
+					tr.Append(1, trace.Enter(t0, step))
+					tr.Append(1, trace.Enter(t0+10_000, rcv))
+					tr.Append(1, trace.Recv(t0+805_000, 0, int32(i), 64))
+					tr.Append(1, trace.Leave(t0+805_000, rcv))
+					tr.Append(1, trace.Leave(t0+900_000, step))
+				}
+				return tr
+			},
+		},
+		{
+			name: "wait chain root cause", analyzer: "waitchain", code: "root-cause",
+			severity: SeverityWarning, exactly: 1,
+			build: func() *trace.Trace {
+				// Rank 0 is the straggler; rank 1 merely relays rank 0's
+				// lateness to rank 2. Only rank 0 may be named root cause.
+				tr := trace.New("chain", 3)
+				step := tr.AddRegion("step", trace.ParadigmUser, trace.RoleFunction)
+				snd := tr.AddRegion("MPI_Send", trace.ParadigmMPI, trace.RolePointToPoint)
+				rcv := tr.AddRegion("MPI_Recv", trace.ParadigmMPI, trace.RolePointToPoint)
+				for i := 0; i < 5; i++ {
+					t0 := trace.Time(i) * 1_000_000
+					tr.Append(0, trace.Enter(t0, step))
+					tr.Append(0, trace.Enter(t0+200_000, snd))
+					tr.Append(0, trace.Send(t0+200_000, 1, int32(i), 64))
+					tr.Append(0, trace.Leave(t0+201_000, snd))
+					tr.Append(0, trace.Leave(t0+300_000, step))
+					tr.Append(1, trace.Enter(t0, step))
+					tr.Append(1, trace.Enter(t0+10_000, rcv))
+					tr.Append(1, trace.Recv(t0+210_000, 0, int32(i), 64))
+					tr.Append(1, trace.Leave(t0+210_000, rcv))
+					tr.Append(1, trace.Enter(t0+215_000, snd))
+					tr.Append(1, trace.Send(t0+215_000, 2, int32(i), 64))
+					tr.Append(1, trace.Leave(t0+216_000, snd))
+					tr.Append(1, trace.Leave(t0+300_000, step))
+					tr.Append(2, trace.Enter(t0, step))
+					tr.Append(2, trace.Enter(t0+20_000, rcv))
+					tr.Append(2, trace.Recv(t0+225_000, 1, int32(i), 64))
+					tr.Append(2, trace.Leave(t0+225_000, rcv))
+					tr.Append(2, trace.Leave(t0+300_000, step))
+				}
+				return tr
+			},
+		},
+		{
+			name: "communication cycle", analyzer: "commdeadlock", code: "comm-cycle",
+			severity: SeverityWarning, exactly: 1,
+			build: func() *trace.Trace {
+				// Ring of unmatched sends: 0→1→2→0, nobody receives.
+				tr := trace.New("ring", 3)
+				main := tr.AddRegion("main", trace.ParadigmUser, trace.RoleFunction)
+				snd := tr.AddRegion("MPI_Send", trace.ParadigmMPI, trace.RolePointToPoint)
+				for rank := trace.Rank(0); rank < 3; rank++ {
+					tr.Append(rank, trace.Enter(0, main))
+					tr.Append(rank, trace.Enter(10, snd))
+					tr.Append(rank, trace.Send(10, (rank+1)%3, 0, 8))
+					tr.Append(rank, trace.Leave(20, snd))
+					tr.Append(rank, trace.Leave(100, main))
+				}
+				return tr
+			},
+		},
+		{
 			name: "idle rank", analyzer: "idlerank", code: "idle-rank",
 			severity: SeverityWarning, exactly: 1,
 			build: func() *trace.Trace {

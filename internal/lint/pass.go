@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"perfvar/internal/callstack"
+	"perfvar/internal/causality"
 	"perfvar/internal/core/dominant"
 	"perfvar/internal/core/segment"
 	"perfvar/internal/parallel"
@@ -110,6 +111,14 @@ func (p *Pass) Segments() (*segment.Matrix, error) {
 	return p.facts.segments, p.facts.segmentsErr
 }
 
+// Dependencies returns the cross-rank message-dependency graph built
+// from the message-matching facts and the dominant-function segment
+// matrix, or the segmentation error when the trace cannot be segmented.
+func (p *Pass) Dependencies() (*causality.Graph, error) {
+	p.facts.depsOnce.Do(p.facts.computeDeps)
+	return p.facts.deps, p.facts.depsErr
+}
+
 // MsgRef locates one send or recv event.
 type MsgRef struct {
 	Rank  trace.Rank
@@ -156,6 +165,10 @@ type facts struct {
 	segmentsOnce sync.Once
 	segments     *segment.Matrix
 	segmentsErr  error
+
+	depsOnce sync.Once
+	deps     *causality.Graph
+	depsErr  error
 }
 
 // forEachRank runs fn for every rank on the shared worker pool.
@@ -178,12 +191,17 @@ func (f *facts) computeInvocations() {
 	})
 }
 
-func (f *facts) computeMessages() {
+func (f *facts) computeMessages() { f.messages = matchMessages(f.tr) }
+
+// matchMessages runs the FIFO per-channel send/recv matching over a
+// trace. It is the standalone form of the messages fact, shared with
+// DependencyGraph so out-of-run callers get identical pairing.
+func matchMessages(tr *trace.Trace) Messages {
+	var msgs Messages
 	type channel struct {
 		src, dst trace.Rank
 		tag      int32
 	}
-	tr := f.tr
 	sends := make(map[channel][]MsgRef)
 	for rank := range tr.Procs {
 		for i, ev := range tr.Procs[rank].Events {
@@ -210,16 +228,16 @@ func (f *facts) computeMessages() {
 			k := channel{src: ev.Peer, dst: trace.Rank(rank), tag: ev.Tag}
 			idx := used[k]
 			if idx >= len(sends[k]) {
-				f.messages.UnmatchedRecvs = append(f.messages.UnmatchedRecvs, recv)
+				msgs.UnmatchedRecvs = append(msgs.UnmatchedRecvs, recv)
 				continue
 			}
 			used[k] = idx + 1
-			f.messages.Pairs = append(f.messages.Pairs, MsgPair{Send: sends[k][idx], Recv: recv})
+			msgs.Pairs = append(msgs.Pairs, MsgPair{Send: sends[k][idx], Recv: recv})
 		}
 	}
 	for k, refs := range sends {
 		for _, ref := range refs[used[k]:] {
-			f.messages.UnmatchedSends = append(f.messages.UnmatchedSends, ref)
+			msgs.UnmatchedSends = append(msgs.UnmatchedSends, ref)
 		}
 	}
 	sortRefs := func(refs []MsgRef) {
@@ -230,14 +248,15 @@ func (f *facts) computeMessages() {
 			return a.Event < b.Event
 		})
 	}
-	sortRefs(f.messages.UnmatchedSends)
-	sortRefs(f.messages.UnmatchedRecvs)
-	sortSlice(f.messages.Pairs, func(a, b MsgPair) bool {
+	sortRefs(msgs.UnmatchedSends)
+	sortRefs(msgs.UnmatchedRecvs)
+	sortSlice(msgs.Pairs, func(a, b MsgPair) bool {
 		if a.Recv.Rank != b.Recv.Rank {
 			return a.Recv.Rank < b.Recv.Rank
 		}
 		return a.Recv.Event < b.Recv.Event
 	})
+	return msgs
 }
 
 func (f *facts) computeDominant() {
@@ -257,4 +276,14 @@ func (f *facts) computeSegments() {
 func (f *facts) Dominant() (dominant.Selection, error) {
 	f.dominantOnce.Do(f.computeDominant)
 	return f.dominantSel, f.dominantErr
+}
+
+func (f *facts) computeDeps() {
+	f.segmentsOnce.Do(f.computeSegments)
+	if f.segmentsErr != nil {
+		f.depsErr = f.segmentsErr
+		return
+	}
+	f.messagesOnce.Do(f.computeMessages)
+	f.deps = causality.Build(causalityInput(f.tr, f.segments, &f.messages))
 }

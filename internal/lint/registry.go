@@ -53,4 +53,7 @@ func init() {
 	Register(zerosegAnalyzer{})
 	Register(syncdepthAnalyzer{})
 	Register(idlerankAnalyzer{})
+	Register(latesenderAnalyzer{})
+	Register(waitchainAnalyzer{})
+	Register(commdeadlockAnalyzer{})
 }

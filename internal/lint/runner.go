@@ -42,14 +42,30 @@ func Run(tr *trace.Trace, opts Options) *Result {
 		passes[i] = &Pass{Trace: tr, analyzer: a, facts: shared}
 		res.Analyzers = append(res.Analyzers, a.Name())
 	}
-	// Fan the analyzers out on the shared worker pool. ForEachAll never
-	// skips an analyzer on failure; a failing analyzer is converted into
-	// its own diagnostic rather than aborting the run.
-	for i, err := range parallel.ForEachAll(len(analyzers), func(i int) error {
+	// Fan the analyzers out on the shared worker pool, cross-rank passes
+	// first: they trigger the expensive shared facts (message matching,
+	// segmentation, the dependency graph) early while per-rank passes
+	// fill the remaining workers. The permutation cannot change the
+	// output — diagnostics are sorted before the result is returned.
+	order := make([]int, 0, len(analyzers))
+	for i, a := range analyzers {
+		if a.Scope() == ScopeCrossRank {
+			order = append(order, i)
+		}
+	}
+	for i, a := range analyzers {
+		if a.Scope() != ScopeCrossRank {
+			order = append(order, i)
+		}
+	}
+	// ForEachAll never skips an analyzer on failure; a failing analyzer
+	// is converted into its own diagnostic rather than aborting the run.
+	for oi, err := range parallel.ForEachAll(len(order), func(oi int) error {
+		i := order[oi]
 		return analyzers[i].Run(passes[i])
 	}) {
 		if err != nil {
-			passes[i].Report(Diagnostic{
+			passes[order[oi]].Report(Diagnostic{
 				Code: "analyzer-error", Severity: SeverityError, Rank: -1, Event: -1,
 				Message: sprintf("analyzer failed: %v", err),
 			})

@@ -28,6 +28,7 @@ func (clockskewAnalyzer) Doc() string {
 	return "messages must not be received before their send time plus the minimal network latency; violations indicate per-rank clock offsets (repairable) or rate drift (not repairable by constant offsets)"
 }
 func (clockskewAnalyzer) Severity() Severity { return SeverityWarning }
+func (clockskewAnalyzer) Scope() Scope       { return ScopeCrossRank }
 func (clockskewAnalyzer) Run(p *Pass) error {
 	viols := clockfix.Violations(p.Trace, p.MinLatency())
 	for i, v := range viols {
@@ -67,6 +68,7 @@ func (dominanceAnalyzer) Doc() string {
 	return "a time-dominant function invoked at least 2p times must exist and should yield similar segment counts on every rank; without it the SOS-time analysis has nothing to segment"
 }
 func (dominanceAnalyzer) Severity() Severity { return SeverityWarning }
+func (dominanceAnalyzer) Scope() Scope       { return ScopeCrossRank }
 func (dominanceAnalyzer) Run(p *Pass) error {
 	if p.StructurallyBroken() {
 		return nil // nesting analyzer explains why replays fail
@@ -115,6 +117,7 @@ func (zerosegAnalyzer) Doc() string {
 	return "invocations whose enter and leave share a timestamp carry no duration information; many of them suggest too-coarse clock resolution"
 }
 func (zerosegAnalyzer) Severity() Severity { return SeverityInfo }
+func (zerosegAnalyzer) Scope() Scope       { return ScopeRank }
 func (zerosegAnalyzer) Run(p *Pass) error {
 	tr := p.Trace
 	for rank := 0; rank < tr.NumRanks(); rank++ {
@@ -164,6 +167,7 @@ func (syncdepthAnalyzer) Doc() string {
 	return "barrier/collective regions should be entered at the same call-stack depth on every rank; divergence means ranks reached the collective through different code paths"
 }
 func (syncdepthAnalyzer) Severity() Severity { return SeverityWarning }
+func (syncdepthAnalyzer) Scope() Scope       { return ScopeCrossRank }
 func (syncdepthAnalyzer) Run(p *Pass) error {
 	tr := p.Trace
 	type depthInfo struct {
@@ -224,6 +228,7 @@ func (idlerankAnalyzer) Doc() string {
 	return "each rank should record a comparable number of events; a near-empty stream usually means a dead or uninstrumented process"
 }
 func (idlerankAnalyzer) Severity() Severity { return SeverityWarning }
+func (idlerankAnalyzer) Scope() Scope       { return ScopeCrossRank }
 func (idlerankAnalyzer) Run(p *Pass) error {
 	tr := p.Trace
 	if tr.NumRanks() < 2 {

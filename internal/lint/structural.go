@@ -71,6 +71,7 @@ func (nestingAnalyzer) Doc() string {
 	return "per-rank timestamps must be non-decreasing and enter/leave events properly nested, balanced, and defined; every analysis replays call stacks and breaks on violations"
 }
 func (nestingAnalyzer) Severity() Severity { return SeverityError }
+func (nestingAnalyzer) Scope() Scope       { return ScopeRank }
 func (nestingAnalyzer) Run(p *Pass) error {
 	reportStructural(p, isNestingCode)
 	return nil
@@ -87,6 +88,7 @@ func (metricmodeAnalyzer) Doc() string {
 	return "accumulated metrics must be monotonically non-decreasing and defined; absolute metrics are screened for implausible single-sample spikes"
 }
 func (metricmodeAnalyzer) Severity() Severity { return SeverityError }
+func (metricmodeAnalyzer) Scope() Scope       { return ScopeRank }
 func (metricmodeAnalyzer) Run(p *Pass) error {
 	reportStructural(p, func(c trace.IssueCode) bool {
 		return c == trace.IssueUndefinedMetric || c == trace.IssueMetricDecreased
@@ -166,6 +168,7 @@ func (msgmatchAnalyzer) Doc() string {
 	return "every send should have a matching receive (FIFO per src/dst/tag channel) with the same payload size; unmatched, self-addressed, and duplicated messages distort communication analyses"
 }
 func (msgmatchAnalyzer) Severity() Severity { return SeverityError }
+func (msgmatchAnalyzer) Scope() Scope       { return ScopeCrossRank }
 func (msgmatchAnalyzer) Run(p *Pass) error {
 	reportStructural(p, func(c trace.IssueCode) bool {
 		return c == trace.IssueUndefinedPeer || c == trace.IssueNegativeBytes

@@ -8,6 +8,7 @@ package perfvar
 
 import (
 	"bytes"
+	"encoding/json"
 	"reflect"
 	"testing"
 
@@ -49,6 +50,8 @@ func TestParallelPipelineEquivalence(t *testing.T) {
 				res     *Result
 				issues  []trace.Issue
 				lint    *lint.Result
+				caus    *CausalityAnalysis
+				causJS  []byte
 			}
 			run := func(jobs int) outcome {
 				return atJobs(jobs, func() outcome {
@@ -60,11 +63,18 @@ func TestParallelPipelineEquivalence(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
+					caus := res.Causality()
+					causJS, err := json.Marshal(caus)
+					if err != nil {
+						t.Fatal(err)
+					}
 					return outcome{
 						profile: profile,
 						res:     res,
 						issues:  tr.Check(),
 						lint:    lint.Run(tr, lint.Options{}),
+						caus:    caus,
+						causJS:  causJS,
 					}
 				})
 			}
@@ -86,6 +96,12 @@ func TestParallelPipelineEquivalence(t *testing.T) {
 			}
 			if !reflect.DeepEqual(serial.lint, parallel.lint) {
 				t.Error("lint results differ between 1 and 8 workers")
+			}
+			if !reflect.DeepEqual(serial.caus, parallel.caus) {
+				t.Error("causality analyses differ between 1 and 8 workers")
+			}
+			if !bytes.Equal(serial.causJS, parallel.causJS) {
+				t.Error("causality JSON output differs between 1 and 8 workers")
 			}
 		})
 	}

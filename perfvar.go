@@ -31,12 +31,14 @@ import (
 	"strings"
 
 	"perfvar/internal/callstack"
+	"perfvar/internal/causality"
 	"perfvar/internal/clockfix"
 	"perfvar/internal/compare"
 	"perfvar/internal/core/dominant"
 	"perfvar/internal/core/imbalance"
 	"perfvar/internal/core/phases"
 	"perfvar/internal/core/segment"
+	"perfvar/internal/lint"
 	"perfvar/internal/online"
 	"perfvar/internal/parallel"
 	"perfvar/internal/report"
@@ -305,6 +307,28 @@ type WaitAttribution = imbalance.Attribution
 // everyone else's idle gap).
 func (r *Result) WaitCausers() []WaitAttribution {
 	return imbalance.TopWaitCausers(imbalance.AttributeWait(r.Matrix))
+}
+
+// CausalityAnalysis is the cross-rank root-cause analysis: wait-state
+// totals, ranked (rank, segment, function) candidates, and deadlock
+// cycles.
+type CausalityAnalysis = causality.Analysis
+
+// CausalityCandidate is one root-cause candidate triple.
+type CausalityCandidate = causality.Candidate
+
+// CausalityRank aggregates one rank's propagated blame.
+type CausalityRank = causality.RankAttribution
+
+// Causality builds the cross-rank message-dependency graph of the
+// result's trace (matched send/recv pairs plus collectives, per-segment
+// edges weighted by wait time), classifies the wait states, folds
+// indirect waits back onto their originating ranks, and ranks root-cause
+// candidates. Unlike WaitCausers, which charges the slowest rank of each
+// iteration, this follows the actual communication dependencies.
+func (r *Result) Causality() *CausalityAnalysis {
+	g := lint.DependencyGraph(r.Trace, r.Matrix)
+	return causality.Analyze(g, causality.Options{})
 }
 
 // RankTrend is one rank's slowdown fit.
