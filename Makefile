@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint fmt
+.PHONY: build test race bench lint fmt serve vuln
 
 build:
 	$(GO) build ./...
@@ -26,3 +26,10 @@ lint:
 
 fmt:
 	gofmt -w .
+
+# Start the analysis daemon over the checked-in example traces.
+serve:
+	$(GO) run ./cmd/perfvard -addr :7117 -traces testdata/traces
+
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...

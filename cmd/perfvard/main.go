@@ -1,0 +1,113 @@
+// Command perfvard serves the perfvar analysis pipeline over HTTP.
+//
+// Traces arrive either as uploads (POST /api/v1/analyze) or by name from
+// a whitelisted directory (GET /api/v1/traces/{name}/{view}); results —
+// the full analysis report, flat profile, lint findings, causality
+// attribution, and rendered heatmaps/histograms — come back as JSON,
+// PNG, SVG, or a self-contained HTML report. Identical requests are
+// deduplicated in flight and answered from a content-addressed LRU
+// cache; /metrics exposes Prometheus-style counters and /debug/pprof
+// live profiles.
+//
+//	perfvard -addr :7117 -traces testdata/traces
+//	curl localhost:7117/api/v1/traces/fig3_heatmap.pvt/analysis
+//	curl localhost:7117/api/v1/traces/fig3_heatmap.pvt/heatmap.png -o sos.png
+//	curl --data-binary @run.pvt 'localhost:7117/api/v1/analyze?view=analysis'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"perfvar/internal/parallel"
+	"perfvar/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7117", "listen address")
+		traces    = flag.String("traces", "", "directory of trace archives served by name (empty: uploads only)")
+		maxUpload = flag.Int64("max-upload", 64<<20, "largest accepted trace archive in bytes")
+		timeout   = flag.Duration("timeout", 60*time.Second, "per-request analysis deadline")
+		cacheN    = flag.Int("cache", 128, "result-cache capacity in entries")
+		jobs      = flag.Int("j", 0, "analysis-pool worker cap (0: one per CPU)")
+		verbose   = flag.Bool("v", false, "log at debug level")
+	)
+	flag.Parse()
+	if err := run(*addr, *traces, *maxUpload, *timeout, *cacheN, *jobs, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "perfvard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, traces string, maxUpload int64, timeout time.Duration, cacheN, jobs int, verbose bool) error {
+	if jobs > 0 {
+		parallel.SetJobs(jobs)
+	}
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	srv, err := serve.New(serve.Config{
+		TraceDir:       traces,
+		MaxUploadBytes: maxUpload,
+		RequestTimeout: timeout,
+		CacheEntries:   cacheN,
+		Logger:         logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("perfvard listening", "addr", ln.Addr().String(), "traces", traces,
+		"workers", parallel.Jobs(), "cache_entries", cacheN)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		logger.Info("shutting down", "signal", sig.String())
+	}
+
+	// Graceful drain: stop accepting, let in-flight analyses finish
+	// within one request-timeout, then cancel whatever is left via
+	// srv.Close (deferred).
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Info("perfvard stopped")
+	return nil
+}

@@ -6,6 +6,7 @@
 package callstack
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -127,7 +128,13 @@ func Replay(pt *trace.ProcessTrace) ([]Invocation, error) {
 // rank; on failure the error of the lowest failing rank is returned (the
 // same one a serial rank loop would report).
 func ReplayAll(tr *trace.Trace) ([][]Invocation, error) {
-	return parallel.Map(tr.NumRanks(), func(rank int) ([]Invocation, error) {
+	return ReplayAllContext(context.Background(), tr)
+}
+
+// ReplayAllContext is ReplayAll observing ctx: a cancelled context stops
+// the per-rank fan-out between ranks and returns ctx.Err().
+func ReplayAllContext(ctx context.Context, tr *trace.Trace) ([][]Invocation, error) {
+	return parallel.MapCtx(ctx, tr.NumRanks(), func(rank int) ([]Invocation, error) {
 		return Replay(&tr.Procs[rank])
 	})
 }
@@ -237,7 +244,13 @@ func BuildProfile(tr *trace.Trace, all [][]Invocation) *Profile {
 // ProfileOf is a convenience wrapper: replay all ranks and build the flat
 // profile in one step.
 func ProfileOf(tr *trace.Trace) (*Profile, error) {
-	all, err := ReplayAll(tr)
+	return ProfileOfContext(context.Background(), tr)
+}
+
+// ProfileOfContext is ProfileOf observing ctx; the replay fan-out — the
+// expensive phase — stops between ranks once ctx is cancelled.
+func ProfileOfContext(ctx context.Context, tr *trace.Trace) (*Profile, error) {
+	all, err := ReplayAllContext(ctx, tr)
 	if err != nil {
 		return nil, err
 	}

@@ -33,6 +33,7 @@
 package causality
 
 import (
+	"context"
 	"sort"
 
 	"perfvar/internal/core/segment"
@@ -174,17 +175,31 @@ type Input struct {
 // pool; results are merged in index order, so serial and parallel runs
 // are byte-identical.
 func Build(in Input) *Graph {
+	g, _ := BuildContext(context.Background(), in)
+	return g
+}
+
+// BuildContext is Build observing ctx: the per-rank scans and the
+// per-column edge aggregation stop between items once ctx is cancelled,
+// discarding the half-built graph.
+func BuildContext(ctx context.Context, in Input) (*Graph, error) {
 	g := &Graph{
 		Trace:     in.Trace,
 		Matrix:    in.Matrix,
 		Unmatched: append([]RankDep(nil), in.Unmatched...),
 	}
-	scans, _ := parallel.Map(in.Trace.NumRanks(), func(rank int) (rankScan, error) {
+	scans, err := parallel.MapCtx(ctx, in.Trace.NumRanks(), func(rank int) (rankScan, error) {
 		return scanRank(in.Trace, trace.Rank(rank)), nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	g.Collectives = groupCollectives(in.Matrix, scans)
-	g.Edges = buildEdges(in, scans)
-	return g
+	g.Edges, err = buildEdgesCtx(ctx, in, scans)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
 }
 
 // rankScan holds the per-rank pre-pass results: the effective wait start
@@ -348,7 +363,7 @@ func groupCollectives(m *segment.Matrix, scans []rankScan) []Collective {
 // buildEdges classifies every matched pair and aggregates the results
 // into per-segment edges. Pairs are bucketed by the waiter's segment
 // column; the columns aggregate independently on the worker pool.
-func buildEdges(in Input, scans []rankScan) []Edge {
+func buildEdgesCtx(ctx context.Context, in Input, scans []rankScan) ([]Edge, error) {
 	columns := 0
 	for _, segs := range in.Matrix.PerRank {
 		if len(segs) > columns {
@@ -363,14 +378,17 @@ func buildEdges(in Input, scans []rankScan) []Edge {
 		}
 		buckets[col] = append(buckets[col], p)
 	}
-	perCol, _ := parallel.Map(columns, func(col int) ([]Edge, error) {
+	perCol, err := parallel.MapCtx(ctx, columns, func(col int) ([]Edge, error) {
 		return columnEdges(in, scans, buckets[col], col), nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Edge
 	for _, edges := range perCol {
 		out = append(out, edges...)
 	}
-	return out
+	return out, nil
 }
 
 func columnEdges(in Input, scans []rankScan, pairs []Pair, col int) []Edge {

@@ -11,6 +11,7 @@
 package dominant
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -111,8 +112,17 @@ func (s Selection) Candidate(r trace.RegionID) (Candidate, bool) {
 
 // Select identifies the time-dominant function of tr.
 func Select(tr *trace.Trace, opts Options) (Selection, error) {
-	prof, err := callstack.ProfileOf(tr)
+	return SelectContext(context.Background(), tr, opts)
+}
+
+// SelectContext is Select observing ctx through the underlying profile
+// replay, so a cancelled analysis request stops selecting early.
+func SelectContext(ctx context.Context, tr *trace.Trace, opts Options) (Selection, error) {
+	prof, err := callstack.ProfileOfContext(ctx, tr)
 	if err != nil {
+		if ctx.Err() != nil {
+			return Selection{}, ctx.Err()
+		}
 		return Selection{}, fmt.Errorf("dominant: %w", err)
 	}
 	return SelectFromProfile(tr, prof, opts)

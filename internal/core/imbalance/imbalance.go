@@ -6,6 +6,7 @@
 package imbalance
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -121,6 +122,14 @@ type Analysis struct {
 // (respectively iteration) order, so the output is identical to a serial
 // scan.
 func Analyze(m *segment.Matrix, opts Options) *Analysis {
+	a, _ := AnalyzeContext(context.Background(), m, opts)
+	return a
+}
+
+// AnalyzeContext is Analyze observing ctx: each fan-out stops between
+// items once ctx is cancelled, and the half-built analysis is discarded
+// (nil result, ctx.Err()).
+func AnalyzeContext(ctx context.Context, m *segment.Matrix, opts Options) (*Analysis, error) {
 	a := &Analysis{Matrix: m}
 	all := m.SOSValues()
 	a.Median = stats.Median(all)
@@ -133,13 +142,15 @@ func Analyze(m *segment.Matrix, opts Options) *Analysis {
 		iters := m.Iterations()
 		colMed = make([]float64, iters)
 		colMAD = make([]float64, iters)
-		parallel.Do(iters, func(it int) {
+		if err := parallel.DoCtx(ctx, iters, func(it int) {
 			col := m.ColumnSOS(it)
 			colMed[it] = stats.Median(col)
 			colMAD[it] = stats.MAD(col)
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
-	perRankHot, _ := parallel.Map(m.NumRanks(), func(rank int) ([]Hotspot, error) {
+	perRankHot, err := parallel.MapCtx(ctx, m.NumRanks(), func(rank int) ([]Hotspot, error) {
 		var hot []Hotspot
 		segs := m.PerRank[rank]
 		for i := range segs {
@@ -158,6 +169,9 @@ func Analyze(m *segment.Matrix, opts Options) *Analysis {
 		}
 		return hot, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, hot := range perRankHot {
 		a.Hotspots = append(a.Hotspots, hot...)
 	}
@@ -179,7 +193,7 @@ func Analyze(m *segment.Matrix, opts Options) *Analysis {
 	}
 
 	a.Ranks = make([]RankStats, m.NumRanks())
-	parallel.Do(m.NumRanks(), func(rank int) {
+	if err := parallel.DoCtx(ctx, m.NumRanks(), func(rank int) {
 		segs := m.PerRank[rank]
 		rs := RankStats{Rank: trace.Rank(rank), Segments: len(segs)}
 		for i := range segs {
@@ -193,11 +207,13 @@ func Analyze(m *segment.Matrix, opts Options) *Analysis {
 			rs.MeanSOS = rs.TotalSOS / float64(len(segs))
 		}
 		a.Ranks[rank] = rs
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	iters := m.Iterations()
 	a.Iterations = make([]IterationStats, iters)
-	parallel.Do(iters, func(it int) {
+	if err := parallel.DoCtx(ctx, iters, func(it int) {
 		col := m.Column(it)
 		is := IterationStats{Index: it, Culprit: trace.NoRank}
 		vals := make([]float64, len(col))
@@ -212,10 +228,12 @@ func Analyze(m *segment.Matrix, opts Options) *Analysis {
 		is.MeanSOS = stats.Mean(vals)
 		is.Imbalance = stats.ImbalanceRatio(vals)
 		a.Iterations[it] = is
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	a.Trend = fitTrend(a.Iterations)
-	return a
+	return a, nil
 }
 
 func fitTrend(iters []IterationStats) Trend {

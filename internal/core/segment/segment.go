@@ -12,6 +12,7 @@
 package segment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -115,6 +116,13 @@ type Matrix struct {
 // DefaultSync). Nested self-invocations of the dominant region extend the
 // enclosing segment rather than opening a new one.
 func Compute(tr *trace.Trace, region trace.RegionID, cls SyncClassifier) (*Matrix, error) {
+	return ComputeContext(context.Background(), tr, region, cls)
+}
+
+// ComputeContext is Compute observing ctx: the per-rank segmentation
+// fan-out stops between ranks once ctx is cancelled and returns
+// ctx.Err().
+func ComputeContext(ctx context.Context, tr *trace.Trace, region trace.RegionID, cls SyncClassifier) (*Matrix, error) {
 	if !tr.ValidRegion(region) {
 		return nil, fmt.Errorf("segment: region %d not defined", region)
 	}
@@ -129,7 +137,7 @@ func Compute(tr *trace.Trace, region trace.RegionID, cls SyncClassifier) (*Matri
 		Region:     region,
 		RegionName: tr.Region(region).Name,
 	}
-	perRank, err := parallel.Map(tr.NumRanks(), func(rank int) ([]Segment, error) {
+	perRank, err := parallel.MapCtx(ctx, tr.NumRanks(), func(rank int) ([]Segment, error) {
 		return computeRank(tr, &tr.Procs[rank], region, cls)
 	})
 	if err != nil {

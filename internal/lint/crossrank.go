@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -53,6 +54,16 @@ func depsFromUnmatched(msgs *Messages) []causality.RankDep {
 func DependencyGraph(tr *trace.Trace, m *segment.Matrix) *causality.Graph {
 	msgs := matchMessages(tr)
 	return causality.Build(causalityInput(tr, m, &msgs))
+}
+
+// DependencyGraphContext is DependencyGraph observing ctx through the
+// graph build's fan-outs.
+func DependencyGraphContext(ctx context.Context, tr *trace.Trace, m *segment.Matrix) (*causality.Graph, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	msgs := matchMessages(tr)
+	return causality.BuildContext(ctx, causalityInput(tr, m, &msgs))
 }
 
 // fmtDur renders a nanosecond duration with a compact unit for

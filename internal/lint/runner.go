@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"context"
 	"perfvar/internal/parallel"
 	"perfvar/internal/trace"
 )
@@ -26,6 +27,15 @@ type Options struct {
 // Analyzers run concurrently and share one lazily-computed fact set;
 // per-rank facts are additionally computed in parallel across ranks.
 func Run(tr *trace.Trace, opts Options) *Result {
+	res, _ := RunContext(context.Background(), tr, opts)
+	return res
+}
+
+// RunContext is Run observing ctx. Cancellation is checked between
+// analyzers (the per-analyzer passes themselves run to completion), and
+// a cancelled run returns nil with ctx.Err() — partial diagnostics are
+// discarded rather than passed off as a full lint.
+func RunContext(ctx context.Context, tr *trace.Trace, opts Options) (*Result, error) {
 	analyzers := opts.Analyzers
 	if analyzers == nil {
 		analyzers = All()
@@ -60,10 +70,14 @@ func Run(tr *trace.Trace, opts Options) *Result {
 	}
 	// ForEachAll never skips an analyzer on failure; a failing analyzer
 	// is converted into its own diagnostic rather than aborting the run.
-	for oi, err := range parallel.ForEachAll(len(order), func(oi int) error {
+	errs := parallel.ForEachAllCtx(ctx, len(order), func(oi int) error {
 		i := order[oi]
 		return analyzers[i].Run(passes[i])
-	}) {
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for oi, err := range errs {
 		if err != nil {
 			passes[order[oi]].Report(Diagnostic{
 				Code: "analyzer-error", Severity: SeverityError, Rank: -1, Event: -1,
@@ -81,7 +95,7 @@ func Run(tr *trace.Trace, opts Options) *Result {
 	}
 	sortNames(res.Analyzers)
 	res.sortDiagnostics()
-	return res
+	return res, nil
 }
 
 func sortNames(names []string) {

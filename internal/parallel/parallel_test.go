@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -207,5 +208,111 @@ func TestNoGoroutineLeak(t *testing.T) {
 		}
 		runtime.Gosched()
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestForEachCtxCancelledUpFront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := atomic.Int64{}
+	err := ForEachCtx(ctx, 100, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Workers may claim at most a handful of items before observing the
+	// cancellation; with an already-cancelled context they check first.
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("ran %d items under a pre-cancelled context", n)
+	}
+}
+
+func TestForEachCtxCancelMidFlight(t *testing.T) {
+	defer SetJobs(SetJobs(4))
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	release := make(chan struct{})
+	err := ForEachCtx(ctx, 1000, func(i int) error {
+		if ran.Add(1) == 4 {
+			cancel() // cancel while the pool is mid-run
+			close(release)
+		}
+		<-release
+		return nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// After cancellation each worker may finish the item it already
+	// claimed, but must not start new ones indefinitely.
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("fan-out ran to completion (%d items) despite cancellation", n)
+	}
+}
+
+func TestForEachCtxRealErrorBeatsCancellation(t *testing.T) {
+	defer SetJobs(SetJobs(2))
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	err := ForEachCtx(ctx, 50, func(i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want the index-0 error to outrank cancellation", err)
+	}
+}
+
+func TestDoCtxReportsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := DoCtx(ctx, 10, func(int) {}); err != context.Canceled {
+		t.Fatalf("DoCtx err = %v, want context.Canceled", err)
+	}
+	if err := DoCtx(context.Background(), 10, func(int) {}); err != nil {
+		t.Fatalf("DoCtx err = %v, want nil", err)
+	}
+}
+
+func TestMapCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := MapCtx(ctx, 10, func(i int) (int, error) { return i, nil })
+	if err != context.Canceled || out != nil {
+		t.Fatalf("MapCtx = (%v, %v), want (nil, context.Canceled)", out, err)
+	}
+}
+
+func TestForEachAllCtxMarksUnclaimed(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	errs := ForEachAllCtx(ctx, 5, func(i int) error { return nil })
+	if errs == nil {
+		t.Fatal("ForEachAllCtx = nil under cancelled context")
+	}
+	for i, err := range errs {
+		if err != context.Canceled {
+			t.Fatalf("errs[%d] = %v, want context.Canceled", i, err)
+		}
+	}
+}
+
+func TestActiveGaugeReturnsToZero(t *testing.T) {
+	var maxSeen atomic.Int64
+	Do(64, func(i int) {
+		if a := int64(Active()); a > maxSeen.Load() {
+			maxSeen.Store(a)
+		}
+	})
+	if maxSeen.Load() < 1 {
+		t.Fatal("Active() never observed a busy worker")
+	}
+	if got := Active(); got != 0 {
+		t.Fatalf("Active() = %d after fan-out drained, want 0", got)
 	}
 }

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// lruCache is the content-addressed result cache: key → analysis value,
+// bounded by entry count with least-recently-used eviction. Keys are
+// derived from the SHA-256 of the trace bytes plus the canonical
+// analysis options (see cacheKey), so two uploads of the same archive —
+// or the same whitelisted file read twice — resolve to the same entry
+// without trusting names or timestamps.
+type lruCache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	entries   map[string]*list.Element
+	evictions int64
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+func (c *lruCache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+func (c *lruCache) stats() (entries int, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.evictions
+}
+
+// flightGroup deduplicates concurrent identical computations
+// (singleflight): the first request for a key starts the work in its own
+// goroutine, later requests subscribe to the same in-flight call, and
+// the result is handed to every subscriber. Each call runs under a
+// compute context detached from any single request; subscribers are
+// refcounted and the LAST one to hang up cancels the computation — one
+// impatient client cannot kill the answer its peers are still waiting
+// for, yet fully abandoned work stops burning pool workers.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{}
+	val     any
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn once per key among concurrent callers. ctx governs only
+// this caller's wait; newComputeCtx mints the context the computation
+// itself runs under (typically server base context + timeout). The
+// shared flag reports that this caller joined an in-flight computation
+// started by someone else.
+func (g *flightGroup) do(
+	ctx context.Context,
+	key string,
+	newComputeCtx func() (context.Context, context.CancelFunc),
+	fn func(ctx context.Context) (any, error),
+) (val any, err error, shared bool) {
+	g.mu.Lock()
+	c, joined := g.calls[key]
+	if !joined {
+		cctx, cancel := newComputeCtx()
+		c = &flightCall{done: make(chan struct{}), cancel: cancel}
+		g.calls[key] = c
+		go func() {
+			v, err := fn(cctx)
+			c.val, c.err = v, err
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(c.done)
+			cancel()
+		}()
+	}
+	c.waiters++
+	g.mu.Unlock()
+
+	select {
+	case <-c.done:
+		return c.val, c.err, joined
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiters--
+		if c.waiters == 0 {
+			// Every subscriber hung up: stop the computation so its
+			// pool workers drain instead of finishing work nobody
+			// will read.
+			c.cancel()
+		}
+		g.mu.Unlock()
+		return nil, ctx.Err(), joined
+	}
+}

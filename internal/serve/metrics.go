@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"perfvar/internal/parallel"
+)
+
+// latencyBucketBounds are the upper bounds (seconds) of the cumulative
+// request-latency histogram exposed on /metrics.
+var latencyBucketBounds = []float64{0.001, 0.01, 0.1, 1, 10}
+
+// metrics is the daemon's observability state: request counts by status
+// class, a latency histogram, cache and singleflight effectiveness, and
+// the shared worker pool's occupancy. All counters are plain atomics —
+// no external metrics dependency — and are rendered in the Prometheus
+// text exposition format.
+type metrics struct {
+	requestsByClass [6]atomic.Int64 // index = status/100 (1xx..5xx), 0 unused
+	inflight        atomic.Int64
+
+	latencyBuckets [6]atomic.Int64 // per latencyBucketBounds + +Inf
+	latencySumNs   atomic.Int64
+	latencyCount   atomic.Int64
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	computed      atomic.Int64 // analyses actually executed
+	dedupedShared atomic.Int64 // requests that joined an in-flight analysis
+	cancelled     atomic.Int64 // requests abandoned by the client
+	rejectedSize  atomic.Int64 // uploads over the byte limit
+}
+
+func (m *metrics) observeRequest(status int, d time.Duration) {
+	class := status / 100
+	if class < 1 || class > 5 {
+		class = 5
+	}
+	m.requestsByClass[class].Add(1)
+	sec := d.Seconds()
+	for i, bound := range latencyBucketBounds {
+		if sec <= bound {
+			m.latencyBuckets[i].Add(1)
+			break
+		}
+	}
+	if sec > latencyBucketBounds[len(latencyBucketBounds)-1] {
+		m.latencyBuckets[len(latencyBucketBounds)].Add(1)
+	}
+	m.latencySumNs.Add(int64(d))
+	m.latencyCount.Add(1)
+}
+
+// hitRatio returns cache hits / (hits + misses), or 0 before any lookup.
+func (m *metrics) hitRatio() float64 {
+	h, mi := m.cacheHits.Load(), m.cacheMisses.Load()
+	if h+mi == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+mi)
+}
+
+// writeTo renders the exposition. cache supplies entry/eviction gauges.
+func (m *metrics) writeTo(w io.Writer, cache *lruCache) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("# HELP perfvard_requests_total Completed HTTP requests by status class.\n")
+	p("# TYPE perfvard_requests_total counter\n")
+	for class := 1; class <= 5; class++ {
+		p("perfvard_requests_total{class=\"%dxx\"} %d\n", class, m.requestsByClass[class].Load())
+	}
+
+	p("# HELP perfvard_inflight_requests Requests currently being served.\n")
+	p("# TYPE perfvard_inflight_requests gauge\n")
+	p("perfvard_inflight_requests %d\n", m.inflight.Load())
+
+	p("# HELP perfvard_request_duration_seconds Request latency histogram.\n")
+	p("# TYPE perfvard_request_duration_seconds histogram\n")
+	cum := int64(0)
+	for i, bound := range latencyBucketBounds {
+		cum += m.latencyBuckets[i].Load()
+		p("perfvard_request_duration_seconds_bucket{le=\"%g\"} %d\n", bound, cum)
+	}
+	cum += m.latencyBuckets[len(latencyBucketBounds)].Load()
+	p("perfvard_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	p("perfvard_request_duration_seconds_sum %g\n", float64(m.latencySumNs.Load())/1e9)
+	p("perfvard_request_duration_seconds_count %d\n", m.latencyCount.Load())
+
+	entries, evictions := cache.stats()
+	p("# HELP perfvard_cache_hits_total Result-cache hits.\n")
+	p("# TYPE perfvard_cache_hits_total counter\n")
+	p("perfvard_cache_hits_total %d\n", m.cacheHits.Load())
+	p("# HELP perfvard_cache_misses_total Result-cache misses.\n")
+	p("# TYPE perfvard_cache_misses_total counter\n")
+	p("perfvard_cache_misses_total %d\n", m.cacheMisses.Load())
+	p("# HELP perfvard_cache_hit_ratio Hits over lookups since start.\n")
+	p("# TYPE perfvard_cache_hit_ratio gauge\n")
+	p("perfvard_cache_hit_ratio %g\n", m.hitRatio())
+	p("# HELP perfvard_cache_entries Entries resident in the result cache.\n")
+	p("# TYPE perfvard_cache_entries gauge\n")
+	p("perfvard_cache_entries %d\n", entries)
+	p("# HELP perfvard_cache_evictions_total LRU evictions.\n")
+	p("# TYPE perfvard_cache_evictions_total counter\n")
+	p("perfvard_cache_evictions_total %d\n", evictions)
+
+	p("# HELP perfvard_analyses_computed_total Pipeline executions (cache and singleflight misses).\n")
+	p("# TYPE perfvard_analyses_computed_total counter\n")
+	p("perfvard_analyses_computed_total %d\n", m.computed.Load())
+	p("# HELP perfvard_singleflight_shared_total Requests that joined an in-flight identical analysis.\n")
+	p("# TYPE perfvard_singleflight_shared_total counter\n")
+	p("perfvard_singleflight_shared_total %d\n", m.dedupedShared.Load())
+	p("# HELP perfvard_requests_cancelled_total Requests abandoned by the client before completion.\n")
+	p("# TYPE perfvard_requests_cancelled_total counter\n")
+	p("perfvard_requests_cancelled_total %d\n", m.cancelled.Load())
+	p("# HELP perfvard_uploads_rejected_size_total Uploads rejected for exceeding the byte limit.\n")
+	p("# TYPE perfvard_uploads_rejected_size_total counter\n")
+	p("perfvard_uploads_rejected_size_total %d\n", m.rejectedSize.Load())
+
+	p("# HELP perfvard_pool_workers_busy Analysis-pool workers executing a work item right now.\n")
+	p("# TYPE perfvard_pool_workers_busy gauge\n")
+	p("perfvard_pool_workers_busy %d\n", parallel.Active())
+	p("# HELP perfvard_pool_workers_max Worker cap of the analysis pool (the -j knob).\n")
+	p("# TYPE perfvard_pool_workers_max gauge\n")
+	p("perfvard_pool_workers_max %d\n", parallel.Jobs())
+}

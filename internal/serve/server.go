@@ -1,0 +1,641 @@
+// Package serve turns the perfvar analysis pipeline into an HTTP
+// service: perfvard accepts PVT traces (uploads or files from a
+// whitelisted directory) and serves the full pipeline — flat profile,
+// dominant function, SOS matrix, imbalance statistics, causality
+// attribution, lint findings, and rendered artifacts — as JSON and
+// image endpoints.
+//
+// The serving core is a content-addressed result cache (SHA-256 of the
+// trace bytes plus the canonical analysis options) with LRU eviction
+// and singleflight deduplication, so concurrent identical requests
+// compute once and repeated ones not at all. Requests carry deadlines:
+// the per-request timeout and client disconnects propagate through
+// context.Context into the analysis worker pool, which stops claiming
+// work between per-rank items. /metrics exposes request counts,
+// latencies, cache hit ratio, and pool occupancy; /debug/pprof is
+// mounted for live profiling.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"perfvar"
+	"perfvar/internal/callstack"
+	"perfvar/internal/lint"
+	"perfvar/internal/trace"
+	"perfvar/internal/vis"
+)
+
+// Config tunes the daemon. The zero value serves uploads only, with
+// defaults suitable for a laptop.
+type Config struct {
+	// TraceDir is the whitelisted directory of trace archives served by
+	// name under /api/v1/traces. Empty disables directory serving.
+	TraceDir string
+	// MaxUploadBytes bounds POSTed trace archives and doubles as the
+	// decoder's byte cap (default 64 MiB).
+	MaxUploadBytes int64
+	// RequestTimeout bounds each analysis request end to end
+	// (default 60s).
+	RequestTimeout time.Duration
+	// CacheEntries is the LRU result-cache capacity (default 128).
+	CacheEntries int
+	// Logger receives structured request logs; nil discards them.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 64 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.Logger == nil {
+		// go 1.22 compatible discard logger (slog.DiscardHandler is 1.24+).
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+	}
+	return c
+}
+
+// Server is the perfvard HTTP daemon core. Create with New, mount via
+// Handler, and Close when done to cancel any still-running analyses.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	cache  *lruCache
+	flight *flightGroup
+	met    *metrics
+	log    *slog.Logger
+
+	// base is the root context of all computations; Close cancels it so
+	// in-flight analyses stop claiming pool workers after shutdown.
+	base       context.Context
+	cancelBase context.CancelFunc
+}
+
+// New builds a Server. TraceDir, when set, must exist.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.TraceDir != "" {
+		fi, err := os.Stat(cfg.TraceDir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: trace dir: %w", err)
+		}
+		if !fi.IsDir() {
+			return nil, fmt.Errorf("serve: trace dir %s is not a directory", cfg.TraceDir)
+		}
+	}
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		cache:      newLRU(cfg.CacheEntries),
+		flight:     newFlightGroup(),
+		met:        &metrics{},
+		log:        cfg.Logger,
+		base:       base,
+		cancelBase: cancel,
+	}
+	s.routes()
+	return s, nil
+}
+
+// Close cancels the server's base context, stopping any analyses still
+// running after shutdown.
+func (s *Server) Close() { s.cancelBase() }
+
+// Handler returns the daemon's root handler with logging and metrics
+// middleware applied.
+func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
+
+// Metrics returns a point-in-time snapshot of cache effectiveness —
+// exported for tests and the smoke job.
+func (s *Server) Metrics() (hits, misses, computed int64) {
+	return s.met.cacheHits.Load(), s.met.cacheMisses.Load(), s.met.computed.Load()
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.met.writeTo(w, s.cache)
+	})
+	s.mux.HandleFunc("GET /api/v1/traces", s.handleList)
+	s.mux.HandleFunc("GET /api/v1/traces/{name}/{view}", s.handleTraceView)
+	s.mux.HandleFunc("POST /api/v1/analyze", s.handleUpload)
+
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// statusRecorder captures the response status for logs and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		s.met.inflight.Add(1)
+		next.ServeHTTP(rec, r)
+		s.met.inflight.Add(-1)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		dur := time.Since(start)
+		s.met.observeRequest(rec.status, dur)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"duration_ms", dur.Milliseconds(),
+			"cache", rec.Header().Get("X-Perfvar-Cache"),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// statusClientClosedRequest is nginx's conventional status for a client
+// that disconnected before the response was ready.
+const statusClientClosedRequest = 499
+
+// httpError maps pipeline failures onto status codes: hostile or broken
+// inputs are the client's fault (4xx), never a daemon crash (5xx).
+func (s *Server) httpError(w http.ResponseWriter, r *http.Request, err error) {
+	var status int
+	switch {
+	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+		s.met.cancelled.Add(1)
+		status = statusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, trace.ErrTooLarge):
+		s.met.rejectedSize.Add(1)
+		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, trace.ErrFormat):
+		status = http.StatusBadRequest
+	case errors.Is(err, os.ErrNotExist):
+		status = http.StatusNotFound
+	case errors.Is(err, errBadParam):
+		status = http.StatusBadRequest
+	default:
+		// Analysis-level failures (no dominant candidate, sync-classified
+		// region, structurally broken trace): the archive parsed but
+		// cannot be analyzed as requested.
+		status = http.StatusUnprocessableEntity
+	}
+	http.Error(w, err.Error(), status)
+}
+
+var errBadParam = errors.New("serve: bad query parameter")
+
+// analysisParams are the cacheable analysis options parsed from a
+// request's query string (rendering options are parsed separately and
+// deliberately excluded from the cache key).
+type analysisParams struct {
+	opts perfvar.Options
+	key  string
+}
+
+func parseAnalysisParams(r *http.Request) (analysisParams, error) {
+	q := r.URL.Query()
+	var p analysisParams
+	p.opts.DominantFunction = q.Get("dominant")
+	var err error
+	geti := func(name string, dst *int) {
+		if v := q.Get(name); v != "" && err == nil {
+			n, convErr := strconv.Atoi(v)
+			if convErr != nil {
+				err = fmt.Errorf("%w: %s=%q", errBadParam, name, v)
+				return
+			}
+			*dst = n
+		}
+	}
+	geti("multiplier", &p.opts.Multiplier)
+	geti("topk", &p.opts.TopK)
+	geti("bins", &p.opts.MPIFractionBins)
+	if v := q.Get("zthreshold"); v != "" && err == nil {
+		f, convErr := strconv.ParseFloat(v, 64)
+		if convErr != nil {
+			err = fmt.Errorf("%w: zthreshold=%q", errBadParam, v)
+		} else {
+			p.opts.ZThreshold = f
+		}
+	}
+	if v := q.Get("periteration"); v != "" && err == nil {
+		b, convErr := strconv.ParseBool(v)
+		if convErr != nil {
+			err = fmt.Errorf("%w: periteration=%q", errBadParam, v)
+		} else {
+			p.opts.PerIteration = b
+		}
+	}
+	if v := q.Get("sync"); v != "" {
+		p.opts.SyncPrefixes = strings.Split(v, ",")
+	}
+	if err != nil {
+		return analysisParams{}, err
+	}
+	p.key = fmt.Sprintf("d=%s;m=%d;z=%g;k=%d;b=%d;pi=%t;sp=%s",
+		p.opts.DominantFunction, p.opts.Multiplier, p.opts.ZThreshold,
+		p.opts.TopK, p.opts.MPIFractionBins, p.opts.PerIteration,
+		strings.Join(p.opts.SyncPrefixes, ","))
+	return p, nil
+}
+
+func parseRenderOptions(r *http.Request) (vis.RenderOptions, error) {
+	q := r.URL.Query()
+	var o vis.RenderOptions
+	var err error
+	geti := func(name string, dst *int) {
+		if v := q.Get(name); v != "" && err == nil {
+			n, convErr := strconv.Atoi(v)
+			if convErr != nil {
+				err = fmt.Errorf("%w: %s=%q", errBadParam, name, v)
+				return
+			}
+			*dst = n
+		}
+	}
+	geti("width", &o.Width)
+	geti("height", &o.Height)
+	if v := q.Get("labels"); v != "" && err == nil {
+		b, convErr := strconv.ParseBool(v)
+		if convErr != nil {
+			err = fmt.Errorf("%w: labels=%q", errBadParam, v)
+		} else {
+			o.Labels = b
+		}
+	}
+	return o, err
+}
+
+// cacheKey is the content address of one computation: the SHA-256 of
+// the raw archive bytes, the computation kind, and the canonical
+// analysis options. Names, paths, and upload timestamps never enter the
+// key — byte-identical traces share results no matter how they arrive.
+func cacheKey(sum [sha256.Size]byte, kind, optsKey string) string {
+	return fmt.Sprintf("%x|%s|%s", sum, kind, optsKey)
+}
+
+// compute resolves key through cache → singleflight → fn, recording
+// metrics and tagging w with X-Perfvar-Cache: hit, miss, or shared.
+func (s *Server) compute(ctx context.Context, w http.ResponseWriter, key string, fn func(ctx context.Context) (any, error)) (any, error) {
+	if v, ok := s.cache.get(key); ok {
+		s.met.cacheHits.Add(1)
+		w.Header().Set("X-Perfvar-Cache", "hit")
+		return v, nil
+	}
+	s.met.cacheMisses.Add(1)
+	v, err, shared := s.flight.do(ctx, key,
+		func() (context.Context, context.CancelFunc) {
+			return context.WithTimeout(s.base, s.cfg.RequestTimeout)
+		},
+		func(cctx context.Context) (any, error) {
+			s.met.computed.Add(1)
+			v, err := fn(cctx)
+			if err == nil {
+				s.cache.put(key, v)
+			}
+			return v, err
+		})
+	if shared {
+		s.met.dedupedShared.Add(1)
+		w.Header().Set("X-Perfvar-Cache", "shared")
+	} else {
+		w.Header().Set("X-Perfvar-Cache", "miss")
+	}
+	return v, err
+}
+
+// pipeline returns the cached-or-computed perfvar.Result for an archive.
+func (s *Server) pipeline(ctx context.Context, w http.ResponseWriter, data []byte, p analysisParams) (*perfvar.Result, error) {
+	sum := sha256.Sum256(data)
+	v, err := s.compute(ctx, w, cacheKey(sum, "pipeline", p.key), func(cctx context.Context) (any, error) {
+		tr, err := trace.ReadAnyLimit(bytes.NewReader(data), s.cfg.MaxUploadBytes)
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.Validate(); err != nil {
+			return nil, err
+		}
+		return perfvar.AnalyzeContext(cctx, tr, p.opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*perfvar.Result), nil
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name  string `json:"name"`
+		Bytes int64  `json:"bytes"`
+	}
+	out := []entry{}
+	if s.cfg.TraceDir != "" {
+		des, err := os.ReadDir(s.cfg.TraceDir)
+		if err != nil {
+			s.httpError(w, r, err)
+			return
+		}
+		for _, de := range des {
+			if de.IsDir() {
+				continue
+			}
+			fi, err := de.Info()
+			if err != nil {
+				continue
+			}
+			out = append(out, entry{Name: de.Name(), Bytes: fi.Size()})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	}
+	writeJSON(w, map[string]any{"traces": out})
+}
+
+// resolveTrace maps a request's {name} onto a file inside the
+// whitelisted directory, rejecting traversal.
+func (s *Server) resolveTrace(name string) (string, error) {
+	if s.cfg.TraceDir == "" {
+		return "", fmt.Errorf("%w: no trace directory configured", os.ErrNotExist)
+	}
+	if name == "" || strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
+		return "", fmt.Errorf("%w: invalid trace name %q", errBadParam, name)
+	}
+	path := filepath.Join(s.cfg.TraceDir, name)
+	if fi, err := os.Stat(path); err != nil {
+		return "", err
+	} else if fi.IsDir() {
+		return "", fmt.Errorf("%w: %q is a directory", errBadParam, name)
+	}
+	return path, nil
+}
+
+func (s *Server) handleTraceView(w http.ResponseWriter, r *http.Request) {
+	path, err := s.resolveTrace(r.PathValue("name"))
+	if err != nil {
+		s.httpError(w, r, err)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.httpError(w, r, err)
+		return
+	}
+	s.serveView(w, r, data, r.PathValue("view"))
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			err = fmt.Errorf("%w: upload exceeds %d bytes", trace.ErrTooLarge, tooBig.Limit)
+		}
+		s.httpError(w, r, err)
+		return
+	}
+	view := r.URL.Query().Get("view")
+	if view == "" {
+		view = "analysis"
+	}
+	s.serveView(w, r, data, view)
+}
+
+// serveView runs the requested computation over one archive's bytes and
+// renders the chosen representation. All views share the per-request
+// timeout and the client-disconnect context.
+func (s *Server) serveView(w http.ResponseWriter, r *http.Request, data []byte, view string) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	p, err := parseAnalysisParams(r)
+	if err != nil {
+		s.httpError(w, r, err)
+		return
+	}
+
+	switch view {
+	case "profile":
+		s.serveProfile(ctx, w, r, data)
+		return
+	case "lint":
+		s.serveLint(ctx, w, r, data)
+		return
+	}
+
+	res, err := s.pipeline(ctx, w, data, p)
+	if err != nil {
+		s.httpError(w, r, err)
+		return
+	}
+
+	switch view {
+	case "analysis":
+		var buf bytes.Buffer
+		if err := res.Report().WriteJSON(&buf); err != nil {
+			s.httpError(w, r, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf.Bytes())
+	case "causality":
+		sum := sha256.Sum256(data)
+		v, err := s.compute(ctx, w, cacheKey(sum, "causality", p.key), func(cctx context.Context) (any, error) {
+			return res.CausalityContext(cctx)
+		})
+		if err != nil {
+			s.httpError(w, r, err)
+			return
+		}
+		writeJSON(w, v)
+	case "heatmap.png", "heatmap.svg", "byindex.png":
+		o, err := parseRenderOptions(r)
+		if err != nil {
+			s.httpError(w, r, err)
+			return
+		}
+		var img *vis.Image
+		if view == "byindex.png" {
+			img = res.HeatmapByIndex(o)
+		} else {
+			img = res.Heatmap(o)
+		}
+		if strings.HasSuffix(view, ".svg") {
+			w.Header().Set("Content-Type", "image/svg+xml")
+			vis.WriteSVG(w, img)
+			return
+		}
+		w.Header().Set("Content-Type", "image/png")
+		vis.WritePNG(w, img)
+	case "histogram.png":
+		o, err := parseRenderOptions(r)
+		if err != nil {
+			s.httpError(w, r, err)
+			return
+		}
+		bins := 0
+		if v := r.URL.Query().Get("hbins"); v != "" {
+			bins, err = strconv.Atoi(v)
+			if err != nil {
+				s.httpError(w, r, fmt.Errorf("%w: hbins=%q", errBadParam, v))
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "image/png")
+		vis.WritePNG(w, res.Histogram(bins, o))
+	case "report.html":
+		o, err := parseRenderOptions(r)
+		if err != nil {
+			s.httpError(w, r, err)
+			return
+		}
+		o.Labels = true
+		var buf bytes.Buffer
+		if err := res.Report().WriteHTML(&buf, res.Heatmap(o)); err != nil {
+			s.httpError(w, r, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(buf.Bytes())
+	default:
+		http.Error(w, fmt.Sprintf("unknown view %q", view), http.StatusNotFound)
+	}
+}
+
+// serveProfile renders the flat per-region profile (counts, inclusive
+// and exclusive times) — the profiler-style companion view.
+func (s *Server) serveProfile(ctx context.Context, w http.ResponseWriter, r *http.Request, data []byte) {
+	sum := sha256.Sum256(data)
+	v, err := s.compute(ctx, w, cacheKey(sum, "profile", ""), func(cctx context.Context) (any, error) {
+		tr, err := trace.ReadAnyLimit(bytes.NewReader(data), s.cfg.MaxUploadBytes)
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.Validate(); err != nil {
+			return nil, err
+		}
+		prof, err := callstack.ProfileOfContext(cctx, tr)
+		if err != nil {
+			return nil, err
+		}
+		type row struct {
+			Region       string  `json:"region"`
+			Count        int64   `json:"count"`
+			SumInclusive int64   `json:"sum_inclusive_ns"`
+			SumExclusive int64   `json:"sum_exclusive_ns"`
+			MaxInclusive int64   `json:"max_inclusive_ns"`
+			Ranks        int     `json:"ranks"`
+			Share        float64 `json:"share_of_total"`
+		}
+		total := float64(prof.TotalTime)
+		rows := []row{}
+		for _, rp := range prof.Regions {
+			if rp.Count == 0 {
+				continue
+			}
+			share := 0.0
+			if total > 0 {
+				share = float64(rp.SumInclusive) / total
+			}
+			rows = append(rows, row{
+				Region:       tr.Region(rp.Region).Name,
+				Count:        rp.Count,
+				SumInclusive: int64(rp.SumInclusive),
+				SumExclusive: int64(rp.SumExclusive),
+				MaxInclusive: int64(rp.MaxInclusive),
+				Ranks:        rp.Ranks,
+				Share:        share,
+			})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].SumInclusive != rows[j].SumInclusive {
+				return rows[i].SumInclusive > rows[j].SumInclusive
+			}
+			return rows[i].Region < rows[j].Region
+		})
+		return map[string]any{"trace": tr.Name, "total_time_ns": int64(prof.TotalTime), "regions": rows}, nil
+	})
+	if err != nil {
+		s.httpError(w, r, err)
+		return
+	}
+	writeJSON(w, v)
+}
+
+func (s *Server) serveLint(ctx context.Context, w http.ResponseWriter, r *http.Request, data []byte) {
+	sum := sha256.Sum256(data)
+	v, err := s.compute(ctx, w, cacheKey(sum, "lint", ""), func(cctx context.Context) (any, error) {
+		tr, err := trace.ReadAnyLimit(bytes.NewReader(data), s.cfg.MaxUploadBytes)
+		if err != nil {
+			return nil, err
+		}
+		return lint.RunContext(cctx, tr, lint.Options{})
+	})
+	if err != nil {
+		s.httpError(w, r, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := v.(*lint.Result).WriteJSON(&buf); err != nil {
+		s.httpError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,433 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"perfvar/internal/parallel"
+	"perfvar/internal/trace"
+	"perfvar/internal/workloads"
+)
+
+// genTrace produces the raw binary-archive bytes of a small FD4 run.
+func genTrace(t *testing.T, ranks, iterations int) []byte {
+	t.Helper()
+	cfg := workloads.DefaultFD4()
+	cfg.Ranks = ranks
+	cfg.Iterations = iterations
+	cfg.InterruptRank = ranks / 2
+	cfg.InterruptIteration = iterations / 2
+	tr, err := workloads.FD4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// newTestServer writes data into a fresh trace dir as name and returns
+// a Server over it.
+func newTestServer(t *testing.T, cfg Config, name string, data []byte) *Server {
+	t.Helper()
+	if cfg.TraceDir == "" && name != "" {
+		cfg.TraceDir = t.TempDir()
+	}
+	if name != "" {
+		if err := os.WriteFile(filepath.Join(cfg.TraceDir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func get(h http.Handler, url string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+	return rec
+}
+
+func TestViewsHappyPath(t *testing.T) {
+	data := genTrace(t, 8, 4)
+	s := newTestServer(t, Config{}, "run.pvt", data)
+	h := s.Handler()
+
+	cases := []struct {
+		view        string
+		contentType string
+	}{
+		{"analysis", "application/json"},
+		{"profile", "application/json"},
+		{"lint", "application/json"},
+		{"causality", "application/json"},
+		{"heatmap.png", "image/png"},
+		{"heatmap.svg", "image/svg+xml"},
+		{"byindex.png", "image/png"},
+		{"histogram.png", "image/png"},
+		{"report.html", "text/html; charset=utf-8"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.view, func(t *testing.T) {
+			rec := get(h, "/api/v1/traces/run.pvt/"+tc.view)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("status = %d, want 200; body: %s", rec.Code, rec.Body.String())
+			}
+			if ct := rec.Header().Get("Content-Type"); ct != tc.contentType {
+				t.Fatalf("content-type = %q, want %q", ct, tc.contentType)
+			}
+			if rec.Body.Len() == 0 {
+				t.Fatal("empty body")
+			}
+			if strings.HasSuffix(tc.view, ".png") && !bytes.HasPrefix(rec.Body.Bytes(), []byte("\x89PNG")) {
+				t.Fatal("body is not a PNG")
+			}
+		})
+	}
+
+	// The analysis view must carry the report's headline fields.
+	rec := get(h, "/api/v1/traces/run.pvt/analysis")
+	var rep struct {
+		Trace    string `json:"trace"`
+		Ranks    int    `json:"ranks"`
+		Dominant string `json:"dominantFunction"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("analysis JSON: %v", err)
+	}
+	if rep.Ranks != 8 || rep.Dominant == "" {
+		t.Fatalf("analysis JSON = %+v, want 8 ranks and a dominant function", rep)
+	}
+}
+
+func TestHistogramBinsParamDoesNotPanic(t *testing.T) {
+	data := genTrace(t, 8, 4)
+	s := newTestServer(t, Config{}, "run.pvt", data)
+	h := s.Handler()
+	for _, bins := range []string{"-1", "0", "1"} {
+		rec := get(h, "/api/v1/traces/run.pvt/histogram.png?hbins="+bins)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("hbins=%s: status = %d, want 200", bins, rec.Code)
+		}
+	}
+}
+
+func TestCacheHitMissHeaders(t *testing.T) {
+	data := genTrace(t, 8, 4)
+	s := newTestServer(t, Config{}, "run.pvt", data)
+	h := s.Handler()
+
+	rec := get(h, "/api/v1/traces/run.pvt/analysis")
+	if got := rec.Header().Get("X-Perfvar-Cache"); got != "miss" {
+		t.Fatalf("first request cache header = %q, want miss", got)
+	}
+	rec = get(h, "/api/v1/traces/run.pvt/analysis")
+	if got := rec.Header().Get("X-Perfvar-Cache"); got != "hit" {
+		t.Fatalf("second request cache header = %q, want hit", got)
+	}
+
+	// An upload of byte-identical data resolves to the same content
+	// address, so it is a hit too — names never enter the key.
+	up := httptest.NewRecorder()
+	h.ServeHTTP(up, httptest.NewRequest("POST", "/api/v1/analyze?view=analysis", bytes.NewReader(data)))
+	if got := up.Header().Get("X-Perfvar-Cache"); got != "hit" {
+		t.Fatalf("upload of identical bytes cache header = %q, want hit", got)
+	}
+
+	hits, misses, computed := s.Metrics()
+	if computed != 1 {
+		t.Fatalf("computed = %d, want exactly 1", computed)
+	}
+	if hits != 2 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", hits, misses)
+	}
+	if r := s.met.hitRatio(); r <= 0.5 {
+		t.Fatalf("hit ratio = %g, want > 0.5", r)
+	}
+}
+
+func TestDifferentOptionsMissCache(t *testing.T) {
+	data := genTrace(t, 8, 4)
+	s := newTestServer(t, Config{}, "run.pvt", data)
+	h := s.Handler()
+	get(h, "/api/v1/traces/run.pvt/analysis")
+	rec := get(h, "/api/v1/traces/run.pvt/analysis?zthreshold=2.5")
+	if got := rec.Header().Get("X-Perfvar-Cache"); got != "miss" {
+		t.Fatalf("different options cache header = %q, want miss", got)
+	}
+	if _, _, computed := s.Metrics(); computed != 2 {
+		t.Fatalf("computed = %d, want 2", computed)
+	}
+}
+
+func TestUploadTooLarge(t *testing.T) {
+	s := newTestServer(t, Config{MaxUploadBytes: 1024}, "", nil)
+	h := s.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/api/v1/analyze",
+		bytes.NewReader(make([]byte, 4096))))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", rec.Code)
+	}
+	if s.met.rejectedSize.Load() != 1 {
+		t.Fatalf("rejectedSize = %d, want 1", s.met.rejectedSize.Load())
+	}
+}
+
+func TestMalformedTraceIsClientError(t *testing.T) {
+	s := newTestServer(t, Config{}, "", nil)
+	h := s.Handler()
+	for _, body := range []string{"", "not a trace at all", "PVT0garbage"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/api/v1/analyze",
+			strings.NewReader(body)))
+		if rec.Code < 400 || rec.Code >= 500 {
+			t.Fatalf("body %q: status = %d, want 4xx", body, rec.Code)
+		}
+	}
+}
+
+func TestTraceNameErrors(t *testing.T) {
+	data := genTrace(t, 8, 4)
+	s := newTestServer(t, Config{}, "run.pvt", data)
+	h := s.Handler()
+	if rec := get(h, "/api/v1/traces/absent.pvt/analysis"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown name: status = %d, want 404", rec.Code)
+	}
+	if rec := get(h, "/api/v1/traces/../analysis"); rec.Code == http.StatusOK {
+		t.Fatalf("traversal name: status = %d, want a client error", rec.Code)
+	}
+}
+
+func TestBadQueryParam(t *testing.T) {
+	data := genTrace(t, 8, 4)
+	s := newTestServer(t, Config{}, "run.pvt", data)
+	h := s.Handler()
+	for _, q := range []string{"multiplier=abc", "zthreshold=x", "topk=1.5", "periteration=maybe"} {
+		rec := get(h, "/api/v1/traces/run.pvt/analysis?"+q)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400", q, rec.Code)
+		}
+	}
+	// Render parameters are validated on image views.
+	if rec := get(h, "/api/v1/traces/run.pvt/heatmap.png?width=w"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("width=w: status = %d, want 400", rec.Code)
+	}
+}
+
+func TestCancelledRequestReturns499(t *testing.T) {
+	data := genTrace(t, 8, 4)
+	s := newTestServer(t, Config{}, "run.pvt", data)
+	h := s.Handler()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("GET", "/api/v1/traces/run.pvt/analysis", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("status = %d, want %d", rec.Code, statusClientClosedRequest)
+	}
+	if s.met.cancelled.Load() != 1 {
+		t.Fatalf("cancelled counter = %d, want 1", s.met.cancelled.Load())
+	}
+}
+
+// TestTimeoutFreesPoolWorkers deadlines a request mid-analysis (the
+// trace takes tens of milliseconds to analyze, the budget is 5ms) and
+// asserts the worker pool drains back to idle instead of finishing the
+// abandoned computation.
+func TestTimeoutFreesPoolWorkers(t *testing.T) {
+	data := genTrace(t, 64, 60)
+	s := newTestServer(t, Config{RequestTimeout: 5 * time.Millisecond}, "big.pvt", data)
+	h := s.Handler()
+
+	rec := get(h, "/api/v1/traces/big.pvt/analysis")
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body: %s", rec.Code, rec.Body.String())
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for parallel.Active() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool still busy %d workers after cancellation", parallel.Active())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSingleflightConcurrentClients hammers one trace with 32 parallel
+// clients and asserts the pipeline executed exactly once: every other
+// request either joined the in-flight computation or hit the cache.
+// Run under -race this also exercises the cache and flight-group
+// locking.
+func TestSingleflightConcurrentClients(t *testing.T) {
+	data := genTrace(t, 32, 20)
+	s := newTestServer(t, Config{}, "run.pvt", data)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/api/v1/traces/run.pvt/analysis")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	hits, misses, computed := s.Metrics()
+	if computed != 1 {
+		t.Fatalf("pipeline executed %d times for %d identical requests, want exactly 1", computed, clients)
+	}
+	shared := s.met.dedupedShared.Load()
+	if hits+shared != clients-1 {
+		t.Fatalf("hits(%d) + shared(%d) = %d, want %d", hits, shared, hits+shared, clients-1)
+	}
+	// A request that joins an in-flight computation first misses the
+	// cache, so misses = the one leader + every sharer.
+	if misses != shared+1 {
+		t.Fatalf("misses = %d, want shared(%d)+1", misses, shared)
+	}
+	if hits+misses != clients {
+		t.Fatalf("hits(%d) + misses(%d) != %d requests", hits, misses, clients)
+	}
+}
+
+func TestListTraces(t *testing.T) {
+	data := genTrace(t, 8, 4)
+	s := newTestServer(t, Config{}, "b.pvt", data)
+	if err := os.WriteFile(filepath.Join(s.cfg.TraceDir, "a.pvt"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec := get(s.Handler(), "/api/v1/traces")
+	var out struct {
+		Traces []struct {
+			Name  string `json:"name"`
+			Bytes int64  `json:"bytes"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Traces) != 2 || out.Traces[0].Name != "a.pvt" || out.Traces[1].Name != "b.pvt" {
+		t.Fatalf("traces = %+v, want sorted [a.pvt b.pvt]", out.Traces)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	data := genTrace(t, 8, 4)
+	s := newTestServer(t, Config{}, "run.pvt", data)
+	h := s.Handler()
+	get(h, "/api/v1/traces/run.pvt/analysis")
+	get(h, "/api/v1/traces/run.pvt/analysis")
+	rec := get(h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"perfvard_requests_total{class=\"2xx\"} 2",
+		"perfvard_cache_hits_total 1",
+		"perfvard_cache_misses_total 1",
+		"perfvard_cache_hit_ratio 0.5",
+		"perfvard_analyses_computed_total 1",
+		"perfvard_pool_workers_busy 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	c.get("a") // a is now most recently used
+	c.put("c", 3)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	if v, ok := c.get("a"); !ok || v != 1 {
+		t.Fatal("a should have survived")
+	}
+	if entries, evictions := c.stats(); entries != 2 || evictions != 1 {
+		t.Fatalf("stats = %d entries, %d evictions; want 2, 1", entries, evictions)
+	}
+}
+
+func TestFlightGroupLastWaiterCancels(t *testing.T) {
+	g := newFlightGroup()
+	started := make(chan struct{})
+	done := make(chan struct{})
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	go func() {
+		defer close(done)
+		g.do(ctx1, "k",
+			func() (context.Context, context.CancelFunc) {
+				return context.WithCancel(context.Background())
+			},
+			func(cctx context.Context) (any, error) {
+				close(started)
+				<-cctx.Done()
+				return nil, cctx.Err()
+			})
+	}()
+
+	<-started
+	cancel1() // the only waiter hangs up → the computation must be cancelled
+	<-done
+	// The compute goroutine may still be finishing; wait for the call to
+	// vanish from the group.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		g.mu.Lock()
+		_, inFlight := g.calls["k"]
+		g.mu.Unlock()
+		if !inFlight {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("computation never cancelled after last waiter left")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

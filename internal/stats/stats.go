@@ -67,21 +67,37 @@ func Sum(xs []float64) float64 {
 	return sum
 }
 
-// Median returns the median of xs, or 0 for an empty slice. The input is
-// not modified.
+// Median returns the median of xs, or 0 for an empty slice. NaN samples
+// are ignored (see Percentile). The input is not modified.
 func Median(xs []float64) float64 { return Percentile(xs, 50) }
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
-// interpolation between closest ranks. It returns 0 for an empty slice.
-// The input is not modified.
+// interpolation between closest ranks. NaN samples are dropped before
+// ranking — sort.Float64s places NaNs at an unspecified position, so
+// keeping them would make every order statistic nondeterministic. It
+// returns 0 when no finite-or-infinite sample remains. The input is not
+// modified.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	sorted := dropNaN(xs)
+	if len(sorted) == 0 {
 		return 0
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
 	sort.Float64s(sorted)
 	return percentileSorted(sorted, p)
+}
+
+// dropNaN returns a fresh copy of xs with NaN samples removed. The
+// order-statistic entry points (Percentile, Median, MAD, Histogram)
+// filter through it so a single poisoned sample cannot make results
+// nondeterministic.
+func dropNaN(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 func percentileSorted(sorted []float64, p float64) float64 {
@@ -102,13 +118,15 @@ func percentileSorted(sorted []float64, p float64) float64 {
 }
 
 // MAD returns the median absolute deviation of xs around its median.
+// NaN samples are ignored, matching Median.
 func MAD(xs []float64) float64 {
-	if len(xs) == 0 {
+	clean := dropNaN(xs)
+	if len(clean) == 0 {
 		return 0
 	}
-	m := Median(xs)
-	devs := make([]float64, len(xs))
-	for i, x := range xs {
+	m := Median(clean)
+	devs := clean
+	for i, x := range clean {
 		devs[i] = math.Abs(x - m)
 	}
 	return Median(devs)
@@ -201,15 +219,27 @@ func Pearson(xs, ys []float64) float64 {
 
 // Histogram bins xs into n equal-width buckets spanning [lo, hi] and
 // returns the per-bucket counts. Values outside the range are clamped to
-// the first or last bucket. n must be positive.
+// the first or last bucket; NaN samples are skipped entirely (clamping
+// them to bucket 0 would silently inflate the cold end). A non-positive
+// n — e.g. a hostile query parameter — yields nil instead of panicking.
 func Histogram(xs []float64, lo, hi float64, n int) []int {
+	if n <= 0 {
+		return nil
+	}
 	counts := make([]int, n)
-	if hi <= lo {
-		counts[0] = len(xs)
+	if hi <= lo || math.IsNaN(lo) || math.IsNaN(hi) {
+		for _, x := range xs {
+			if !math.IsNaN(x) {
+				counts[0]++
+			}
+		}
 		return counts
 	}
 	width := (hi - lo) / float64(n)
 	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
 		i := int((x - lo) / width)
 		if i < 0 {
 			i = 0

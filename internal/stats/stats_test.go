@@ -244,3 +244,96 @@ func TestMomentBoundsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestHistogramInvalidBins(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	for _, n := range []int{-1, 0} {
+		if got := Histogram(xs, 0, 4, n); got != nil {
+			t.Fatalf("Histogram(n=%d) = %v, want nil", n, got)
+		}
+	}
+	got := Histogram(xs, 0, 4, 1)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Histogram(n=1) = %v, want [3]", got)
+	}
+	// Degenerate and NaN ranges must not index out of bounds.
+	if got := Histogram(xs, 5, 5, 3); got[0] != 3 {
+		t.Fatalf("degenerate range: %v", got)
+	}
+	if got := Histogram(xs, math.NaN(), 4, 3); got[0] != 3 {
+		t.Fatalf("NaN lo: %v", got)
+	}
+}
+
+func TestHistogramSkipsNaN(t *testing.T) {
+	xs := []float64{0.5, math.NaN(), 3.5, math.NaN()}
+	counts := Histogram(xs, 0, 4, 4)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 2 {
+		t.Fatalf("NaN samples were binned: counts=%v", counts)
+	}
+	if counts[0] != 1 || counts[3] != 1 {
+		t.Fatalf("counts = %v, want [1 0 0 1]", counts)
+	}
+	if got := Histogram(xs, 5, 5, 2); got[0] != 2 {
+		t.Fatalf("degenerate range counted NaNs: %v", got)
+	}
+}
+
+func TestOrderStatisticsIgnoreNaN(t *testing.T) {
+	clean := []float64{4, 1, 3, 2, 5}
+	dirty := []float64{4, math.NaN(), 1, 3, math.NaN(), 2, 5}
+	if m := Median(dirty); m != Median(clean) {
+		t.Fatalf("Median with NaNs = %v, want %v", m, Median(clean))
+	}
+	for _, p := range []float64{0, 5, 25, 50, 95, 100} {
+		if got, want := Percentile(dirty, p), Percentile(clean, p); got != want {
+			t.Fatalf("Percentile(%v) with NaNs = %v, want %v", p, got, want)
+		}
+	}
+	if got, want := MAD(dirty), MAD(clean); got != want {
+		t.Fatalf("MAD with NaNs = %v, want %v", got, want)
+	}
+	if m := Median([]float64{math.NaN(), math.NaN()}); m != 0 {
+		t.Fatalf("Median(all-NaN) = %v, want 0", m)
+	}
+}
+
+// Property: injecting NaNs at random positions never changes an order
+// statistic, and results stay deterministic across shuffles of the NaN
+// positions (the regression this guards: sort.Float64s places NaNs at
+// unspecified positions, poisoning Percentile/Median/MAD and the robust
+// z-scores built on them).
+func TestNaNInjectionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		clean := make([]float64, n)
+		for i := range clean {
+			clean[i] = rng.NormFloat64() * 1e3
+		}
+		dirty := make([]float64, 0, n+10)
+		dirty = append(dirty, clean...)
+		for k := rng.Intn(10); k > 0; k-- {
+			pos := rng.Intn(len(dirty) + 1)
+			dirty = append(dirty[:pos], append([]float64{math.NaN()}, dirty[pos:]...)...)
+		}
+		p := rng.Float64() * 100
+		if got, want := Percentile(dirty, p), Percentile(clean, p); got != want {
+			t.Fatalf("trial %d: Percentile(%v) = %v, want %v", trial, p, got, want)
+		}
+		if got, want := MAD(dirty), MAD(clean); got != want {
+			t.Fatalf("trial %d: MAD = %v, want %v", trial, got, want)
+		}
+		h1 := Histogram(dirty, -3e3, 3e3, 1+rng.Intn(8))
+		h2 := Histogram(clean, -3e3, 3e3, len(h1))
+		for i := range h1 {
+			if h1[i] != h2[i] {
+				t.Fatalf("trial %d: histogram differs with NaNs: %v vs %v", trial, h1, h2)
+			}
+		}
+	}
+}

@@ -41,6 +41,45 @@ const (
 // ErrFormat wraps all archive decoding failures.
 var ErrFormat = errors.New("trace: bad archive")
 
+// ErrTooLarge reports an archive exceeding the byte limit handed to
+// ReadLimit (or ReadAnyLimit). Servers map it to 413; it is distinct
+// from ErrFormat because the archive may be perfectly well-formed.
+var ErrTooLarge = errors.New("trace: archive exceeds size limit")
+
+// cappedReader yields at most n bytes from r and fails with ErrTooLarge
+// on the first read past the cap — unlike io.LimitReader, which reports
+// a clean EOF that a decoder would misdiagnose as a truncated archive.
+type cappedReader struct {
+	r io.Reader
+	n int64
+	// tripped records that the cap was hit, surviving any error
+	// rewrapping the decoder applies on the way out.
+	tripped bool
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if c.n <= 0 {
+		// Cap exhausted: probe one byte to tell a stream that ends
+		// exactly at the cap (clean EOF) from one running past it.
+		var b [1]byte
+		n, err := c.r.Read(b[:])
+		if n > 0 {
+			c.tripped = true
+			return 0, ErrTooLarge
+		}
+		return 0, err
+	}
+	if int64(len(p)) > c.n {
+		p = p[:c.n]
+	}
+	n, err := c.r.Read(p)
+	c.n -= int64(n)
+	return n, err
+}
+
 func formatf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrFormat, fmt.Sprintf(format, args...))
 }
@@ -94,8 +133,28 @@ func Write(w io.Writer, tr *Trace) error {
 	return bw.Flush()
 }
 
-// Read decodes a PVTR archive from r.
-func Read(r io.Reader) (*Trace, error) {
+// Read decodes a PVTR archive from r with no size cap. Use ReadLimit for
+// untrusted inputs.
+func Read(r io.Reader) (*Trace, error) { return ReadLimit(r, 0) }
+
+// ReadLimit decodes a PVTR archive from r, reading at most limit bytes.
+// An archive that runs past the cap fails with an error satisfying
+// errors.Is(err, ErrTooLarge) — the guard that keeps one oversized or
+// corrupt upload from slurping unbounded memory. limit <= 0 means no
+// cap.
+func ReadLimit(r io.Reader, limit int64) (*Trace, error) {
+	if limit <= 0 {
+		return readArchive(r)
+	}
+	cr := &cappedReader{r: r, n: limit}
+	tr, err := readArchive(cr)
+	if err != nil && cr.tripped {
+		return nil, fmt.Errorf("%w (limit %d bytes)", ErrTooLarge, limit)
+	}
+	return tr, err
+}
+
+func readArchive(r io.Reader) (*Trace, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 
 	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"errors"
+	"io"
 	"math/rand"
 	"path/filepath"
 	"reflect"
@@ -214,5 +215,70 @@ func TestFileRoundTrip(t *testing.T) {
 	}
 	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.pvt")); err == nil {
 		t.Fatal("ReadFile on missing path succeeded")
+	}
+}
+
+func TestReadLimitRejectsOversizedArchive(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, randomTrace(11)); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.Bytes()
+
+	// Under the limit: decodes normally.
+	if _, err := ReadLimit(bytes.NewReader(encoded), int64(len(encoded))); err != nil {
+		t.Fatalf("ReadLimit at exact size: %v", err)
+	}
+	// One byte short: the typed too-large error, not a generic format one.
+	_, err := ReadLimit(bytes.NewReader(encoded), int64(len(encoded))-1)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("ReadLimit under size: err = %v, want ErrTooLarge", err)
+	}
+	// A stream that never ends must not be slurped to OOM: the reader
+	// stops at the cap. endlessReader yields valid header bytes followed
+	// by zeros forever.
+	endless := io.MultiReader(bytes.NewReader(encoded[:len(encoded)-4]), zeros{})
+	if _, err := ReadLimit(endless, 1<<20); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("endless stream: err = %v, want ErrTooLarge", err)
+	}
+	// limit <= 0 means uncapped.
+	if _, err := ReadLimit(bytes.NewReader(encoded), 0); err != nil {
+		t.Fatalf("uncapped ReadLimit: %v", err)
+	}
+}
+
+// zeros is an infinite stream of zero bytes.
+type zeros struct{}
+
+func (zeros) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
+func TestReadAnyLimit(t *testing.T) {
+	tr := randomTrace(12)
+	var bin, txt bytes.Buffer
+	if err := Write(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteText(&txt, tr); err != nil {
+		t.Fatal(err)
+	}
+	for name, encoded := range map[string][]byte{"binary": bin.Bytes(), "text": txt.Bytes()} {
+		got, err := ReadAny(bytes.NewReader(encoded))
+		if err != nil {
+			t.Fatalf("%s: ReadAny: %v", name, err)
+		}
+		if !tracesEqual(tr, got) {
+			t.Fatalf("%s: ReadAny round trip mismatch", name)
+		}
+		if _, err := ReadAnyLimit(bytes.NewReader(encoded), 16); !errors.Is(err, ErrTooLarge) {
+			t.Fatalf("%s: ReadAnyLimit(16) err = %v, want ErrTooLarge", name, err)
+		}
+	}
+	if _, err := ReadAny(bytes.NewReader([]byte("NOPE no such format"))); err == nil {
+		t.Fatal("ReadAny accepted garbage")
 	}
 }

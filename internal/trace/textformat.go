@@ -353,6 +353,43 @@ func ReadTextFile(path string) (*Trace, error) {
 	return ReadText(f)
 }
 
+// ReadAny reads a trace archive from r, auto-detecting the binary PVTR
+// and text pvtt formats by their leading magic bytes — the entry point
+// for in-memory archives (HTTP uploads). Use ReadAnyLimit for untrusted
+// streams.
+func ReadAny(r io.Reader) (*Trace, error) { return ReadAnyLimit(r, 0) }
+
+// ReadAnyLimit is ReadAny reading at most limit bytes; an archive
+// running past the cap fails with an error satisfying
+// errors.Is(err, ErrTooLarge). limit <= 0 means no cap.
+func ReadAnyLimit(r io.Reader, limit int64) (*Trace, error) {
+	var cr *cappedReader
+	if limit > 0 {
+		cr = &cappedReader{r: r, n: limit}
+		r = cr
+	}
+	tr, err := readAny(r, "stream")
+	if err != nil && cr != nil && cr.tripped {
+		return nil, fmt.Errorf("%w (limit %d bytes)", ErrTooLarge, limit)
+	}
+	return tr, err
+}
+
+func readAny(r io.Reader, label string) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic, err := br.Peek(4)
+	if err != nil {
+		return nil, formatf("reading magic of %s: %v", label, err)
+	}
+	switch string(magic) {
+	case formatMagic:
+		return readArchive(br)
+	case textMagic:
+		return ReadText(br)
+	}
+	return nil, formatf("%s: unknown archive format (magic %q)", label, magic)
+}
+
 // ReadAnyFile reads a trace archive, auto-detecting the binary PVTR and
 // text pvtt formats by their leading magic bytes.
 func ReadAnyFile(path string) (*Trace, error) {
@@ -361,16 +398,5 @@ func ReadAnyFile(path string) (*Trace, error) {
 		return nil, err
 	}
 	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<16)
-	magic, err := br.Peek(4)
-	if err != nil {
-		return nil, formatf("reading magic of %s: %v", path, err)
-	}
-	switch string(magic) {
-	case formatMagic:
-		return Read(br)
-	case textMagic:
-		return ReadText(br)
-	}
-	return nil, formatf("%s: unknown archive format (magic %q)", path, magic)
+	return readAny(f, path)
 }

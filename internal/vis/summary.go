@@ -132,7 +132,11 @@ func SOSHistogram(m *segment.Matrix, bins int, opts RenderOptions) *Image {
 			h = 1
 		}
 		x0 := l.plot.Min.X + b*barW
-		col := o.Map.At(float64(b) / float64(bins-1))
+		den := float64(bins - 1)
+		if den <= 0 {
+			den = 1 // a single bin takes the cold end of the scale
+		}
+		col := o.Map.At(float64(b) / den)
 		fill(img, image.Rect(x0, l.plot.Max.Y-h, x0+barW-1, l.plot.Max.Y), col)
 	}
 	if o.Labels {

@@ -25,6 +25,7 @@
 package perfvar
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -192,7 +193,16 @@ type Result struct {
 
 // Analyze runs the full three-step pipeline on tr.
 func Analyze(tr *Trace, opts Options) (*Result, error) {
-	sel, err := dominant.Select(tr, dominant.Options{Multiplier: opts.Multiplier})
+	return AnalyzeContext(context.Background(), tr, opts)
+}
+
+// AnalyzeContext is Analyze observing ctx: every per-rank fan-out of the
+// pipeline (profile replay, segmentation, imbalance statistics) checks
+// the context between work items, so a cancelled or timed-out request —
+// e.g. an HTTP client that hung up on perfvard — stops burning pool
+// workers instead of running the analysis to completion.
+func AnalyzeContext(ctx context.Context, tr *Trace, opts Options) (*Result, error) {
+	sel, err := dominant.SelectContext(ctx, tr, dominant.Options{Multiplier: opts.Multiplier})
 	if err != nil {
 		return nil, err
 	}
@@ -208,15 +218,18 @@ func Analyze(tr *Trace, opts Options) (*Result, error) {
 	if len(opts.SyncPrefixes) > 0 {
 		cls = segment.NameSync(opts.SyncPrefixes)
 	}
-	m, err := segment.Compute(tr, region, cls)
+	m, err := segment.ComputeContext(ctx, tr, region, cls)
 	if err != nil {
 		return nil, err
 	}
-	a := imbalance.Analyze(m, imbalance.Options{
+	a, err := imbalance.AnalyzeContext(ctx, m, imbalance.Options{
 		ZThreshold:   opts.ZThreshold,
 		TopK:         opts.TopK,
 		PerIteration: opts.PerIteration,
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	bins := opts.MPIFractionBins
 	if bins == 0 {
@@ -329,6 +342,17 @@ type CausalityRank = causality.RankAttribution
 func (r *Result) Causality() *CausalityAnalysis {
 	g := lint.DependencyGraph(r.Trace, r.Matrix)
 	return causality.Analyze(g, causality.Options{})
+}
+
+// CausalityContext is Causality observing ctx: the graph build's
+// per-rank scans and per-column edge aggregation stop once ctx is
+// cancelled, returning ctx.Err().
+func (r *Result) CausalityContext(ctx context.Context) (*CausalityAnalysis, error) {
+	g, err := lint.DependencyGraphContext(ctx, r.Trace, r.Matrix)
+	if err != nil {
+		return nil, err
+	}
+	return causality.Analyze(g, causality.Options{}), nil
 }
 
 // RankTrend is one rank's slowdown fit.

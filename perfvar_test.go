@@ -552,3 +552,23 @@ func TestOnlineAndStreamingFacade(t *testing.T) {
 		t.Fatalf("stopped after %d events", n)
 	}
 }
+
+// Regression: non-positive or tiny bin counts reaching Result.Histogram
+// (e.g. from a hostile HTTP query parameter) must render a sane default
+// instead of panicking in stats.Histogram.
+func TestHistogramBinEdgeCases(t *testing.T) {
+	tr, err := GenerateFD4(smallFD4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bins := range []int{-1, 0, 1} {
+		img := res.Histogram(bins, RenderOptions{Width: 200, Height: 80})
+		if img == nil || img.Bounds().Empty() {
+			t.Fatalf("Histogram(bins=%d) returned an empty image", bins)
+		}
+	}
+}
