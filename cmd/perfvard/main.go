@@ -39,17 +39,18 @@ func main() {
 		maxUpload = flag.Int64("max-upload", 64<<20, "largest accepted trace archive in bytes")
 		timeout   = flag.Duration("timeout", 60*time.Second, "per-request analysis deadline")
 		cacheN    = flag.Int("cache", 128, "result-cache capacity in entries")
+		cacheB    = flag.Int64("cache-bytes", 512<<20, "result-cache byte budget (approximate, source-archive bytes per entry)")
 		jobs      = flag.Int("j", 0, "analysis-pool worker cap (0: one per CPU)")
 		verbose   = flag.Bool("v", false, "log at debug level")
 	)
 	flag.Parse()
-	if err := run(*addr, *traces, *maxUpload, *timeout, *cacheN, *jobs, *verbose); err != nil {
+	if err := run(*addr, *traces, *maxUpload, *timeout, *cacheN, *cacheB, *jobs, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "perfvard:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, traces string, maxUpload int64, timeout time.Duration, cacheN, jobs int, verbose bool) error {
+func run(addr, traces string, maxUpload int64, timeout time.Duration, cacheN int, cacheB int64, jobs int, verbose bool) error {
 	if jobs > 0 {
 		parallel.SetJobs(jobs)
 	}
@@ -64,6 +65,7 @@ func run(addr, traces string, maxUpload int64, timeout time.Duration, cacheN, jo
 		MaxUploadBytes: maxUpload,
 		RequestTimeout: timeout,
 		CacheEntries:   cacheN,
+		CacheBytes:     cacheB,
 		Logger:         logger,
 	})
 	if err != nil {
@@ -82,7 +84,7 @@ func run(addr, traces string, maxUpload int64, timeout time.Duration, cacheN, jo
 		return err
 	}
 	logger.Info("perfvard listening", "addr", ln.Addr().String(), "traces", traces,
-		"workers", parallel.Jobs(), "cache_entries", cacheN)
+		"workers", parallel.Jobs(), "cache_entries", cacheN, "cache_bytes", cacheB)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()

@@ -7,30 +7,43 @@ import (
 )
 
 // lruCache is the content-addressed result cache: key → analysis value,
-// bounded by entry count with least-recently-used eviction. Keys are
-// derived from the SHA-256 of the trace bytes plus the canonical
-// analysis options (see cacheKey), so two uploads of the same archive —
-// or the same whitelisted file read twice — resolve to the same entry
-// without trusting names or timestamps.
+// bounded by entry count AND by an approximate byte budget, with
+// least-recently-used eviction. Keys are derived from the SHA-256 of the
+// trace bytes plus the canonical analysis options (see cacheKey), so two
+// uploads of the same archive — or the same whitelisted file read twice —
+// resolve to the same entry without trusting names or timestamps.
+//
+// Each entry carries a size estimate (the archive length of the trace it
+// was computed from — decoded results retain the trace, so archive bytes
+// are a lower bound on residency). The byte budget keeps a cache full of
+// maximum-size uploads from pinning gigabytes that the entry count alone
+// would permit.
 type lruCache struct {
 	mu        sync.Mutex
 	capacity  int
+	maxBytes  int64
+	bytes     int64
 	ll        *list.List // front = most recently used
 	entries   map[string]*list.Element
 	evictions int64
 }
 
 type lruEntry struct {
-	key string
-	val any
+	key  string
+	val  any
+	size int64
 }
 
-func newLRU(capacity int) *lruCache {
+func newLRU(capacity int, maxBytes int64) *lruCache {
 	if capacity <= 0 {
 		capacity = 128
 	}
+	if maxBytes <= 0 {
+		maxBytes = 512 << 20
+	}
 	return &lruCache{
 		capacity: capacity,
+		maxBytes: maxBytes,
 		ll:       list.New(),
 		entries:  make(map[string]*list.Element),
 	}
@@ -47,27 +60,38 @@ func (c *lruCache) get(key string) (any, bool) {
 	return el.Value.(*lruEntry).val, true
 }
 
-func (c *lruCache) put(key string, val any) {
+// put inserts val under key, charging size bytes against the budget. A
+// value bigger than the entire budget is not cached at all — pinning it
+// would mean evicting everything else for one entry.
+func (c *lruCache) put(key string, val any, size int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		el.Value.(*lruEntry).val = val
-		c.ll.MoveToFront(el)
+	if size > c.maxBytes {
 		return
 	}
-	c.entries[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
-	for c.ll.Len() > c.capacity {
+	if el, ok := c.entries[key]; ok {
+		ent := el.Value.(*lruEntry)
+		c.bytes += size - ent.size
+		ent.val, ent.size = val, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.entries[key] = c.ll.PushFront(&lruEntry{key: key, val: val, size: size})
+		c.bytes += size
+	}
+	for c.ll.Len() > c.capacity || c.bytes > c.maxBytes {
 		oldest := c.ll.Back()
+		ent := oldest.Value.(*lruEntry)
 		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*lruEntry).key)
+		delete(c.entries, ent.key)
+		c.bytes -= ent.size
 		c.evictions++
 	}
 }
 
-func (c *lruCache) stats() (entries int, evictions int64) {
+func (c *lruCache) stats() (entries int, bytes, evictions int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.ll.Len(), c.evictions
+	return c.ll.Len(), c.bytes, c.evictions
 }
 
 // flightGroup deduplicates concurrent identical computations
@@ -88,6 +112,7 @@ type flightCall struct {
 	val     any
 	err     error
 	waiters int
+	ctx     context.Context
 	cancel  context.CancelFunc
 }
 
@@ -108,15 +133,26 @@ func (g *flightGroup) do(
 ) (val any, err error, shared bool) {
 	g.mu.Lock()
 	c, joined := g.calls[key]
+	if joined && c.ctx.Err() != nil {
+		// The mapped call was already cancelled (its last waiter left, or
+		// the server is shutting down) but its goroutine has not yet
+		// unmapped it. Joining would hand this caller context.Canceled
+		// even though its own context is live — start a fresh call.
+		joined = false
+	}
 	if !joined {
 		cctx, cancel := newComputeCtx()
-		c = &flightCall{done: make(chan struct{}), cancel: cancel}
+		c = &flightCall{done: make(chan struct{}), ctx: cctx, cancel: cancel}
 		g.calls[key] = c
 		go func() {
 			v, err := fn(cctx)
 			c.val, c.err = v, err
 			g.mu.Lock()
-			delete(g.calls, key)
+			// A cancelled predecessor may have been superseded by a fresh
+			// call under the same key; only unmap our own.
+			if g.calls[key] == c {
+				delete(g.calls, key)
+			}
 			g.mu.Unlock()
 			close(c.done)
 			cancel()

@@ -55,13 +55,17 @@ func (m *metrics) observeRequest(status int, d time.Duration) {
 	m.latencyCount.Add(1)
 }
 
-// hitRatio returns cache hits / (hits + misses), or 0 before any lookup.
+// hitRatio returns the fraction of lookups that were answered without a
+// fresh computation: cache hits plus singleflight joins over all
+// lookups, or 0 before any lookup. A join reuses in-flight work just as
+// a hit reuses finished work, so both count as cache effectiveness.
 func (m *metrics) hitRatio() float64 {
-	h, mi := m.cacheHits.Load(), m.cacheMisses.Load()
-	if h+mi == 0 {
+	reused := m.cacheHits.Load() + m.dedupedShared.Load()
+	total := reused + m.cacheMisses.Load()
+	if total == 0 {
 		return 0
 	}
-	return float64(h) / float64(h+mi)
+	return float64(reused) / float64(total)
 }
 
 // writeTo renders the exposition. cache supplies entry/eviction gauges.
@@ -90,19 +94,22 @@ func (m *metrics) writeTo(w io.Writer, cache *lruCache) {
 	p("perfvard_request_duration_seconds_sum %g\n", float64(m.latencySumNs.Load())/1e9)
 	p("perfvard_request_duration_seconds_count %d\n", m.latencyCount.Load())
 
-	entries, evictions := cache.stats()
+	entries, bytes, evictions := cache.stats()
 	p("# HELP perfvard_cache_hits_total Result-cache hits.\n")
 	p("# TYPE perfvard_cache_hits_total counter\n")
 	p("perfvard_cache_hits_total %d\n", m.cacheHits.Load())
-	p("# HELP perfvard_cache_misses_total Result-cache misses.\n")
+	p("# HELP perfvard_cache_misses_total Result-cache misses (fresh computations only; singleflight joins are counted as shared, not missed).\n")
 	p("# TYPE perfvard_cache_misses_total counter\n")
 	p("perfvard_cache_misses_total %d\n", m.cacheMisses.Load())
-	p("# HELP perfvard_cache_hit_ratio Hits over lookups since start.\n")
+	p("# HELP perfvard_cache_hit_ratio Hits plus singleflight joins over lookups since start.\n")
 	p("# TYPE perfvard_cache_hit_ratio gauge\n")
 	p("perfvard_cache_hit_ratio %g\n", m.hitRatio())
 	p("# HELP perfvard_cache_entries Entries resident in the result cache.\n")
 	p("# TYPE perfvard_cache_entries gauge\n")
 	p("perfvard_cache_entries %d\n", entries)
+	p("# HELP perfvard_cache_bytes Approximate bytes resident in the result cache (source-archive length per entry).\n")
+	p("# TYPE perfvard_cache_bytes gauge\n")
+	p("perfvard_cache_bytes %d\n", bytes)
 	p("# HELP perfvard_cache_evictions_total LRU evictions.\n")
 	p("# TYPE perfvard_cache_evictions_total counter\n")
 	p("perfvard_cache_evictions_total %d\n", evictions)

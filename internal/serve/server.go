@@ -25,8 +25,10 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"os"
 	"path/filepath"
 	"sort"
@@ -55,6 +57,10 @@ type Config struct {
 	RequestTimeout time.Duration
 	// CacheEntries is the LRU result-cache capacity (default 128).
 	CacheEntries int
+	// CacheBytes bounds the result cache's approximate memory, measured
+	// in source-archive bytes per entry (default 512 MiB). Entries are
+	// evicted LRU-first when either bound is exceeded.
+	CacheBytes int64
 	// Logger receives structured request logs; nil discards them.
 	Logger *slog.Logger
 }
@@ -68,6 +74,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 128
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 512 << 20
 	}
 	if c.Logger == nil {
 		// go 1.22 compatible discard logger (slog.DiscardHandler is 1.24+).
@@ -108,7 +117,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:        cfg,
 		mux:        http.NewServeMux(),
-		cache:      newLRU(cfg.CacheEntries),
+		cache:      newLRU(cfg.CacheEntries, cfg.CacheBytes),
 		flight:     newFlightGroup(),
 		met:        &metrics{},
 		log:        cfg.Logger,
@@ -212,6 +221,10 @@ func (s *Server) httpError(w http.ResponseWriter, r *http.Request, err error) {
 	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
 		s.met.cancelled.Add(1)
 		status = statusClientClosedRequest
+	case errors.Is(err, context.Canceled):
+		// The computation was cancelled out from under a live request —
+		// server shutdown, not anything the client sent.
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, trace.ErrTooLarge):
@@ -234,6 +247,30 @@ func (s *Server) httpError(w http.ResponseWriter, r *http.Request, err error) {
 
 var errBadParam = errors.New("serve: bad query parameter")
 
+// Query-driven allocation bounds: a hostile parameter must never pick an
+// allocation size. Unbounded, ?width=100000&height=100000 asks for a
+// ~40 GB RGBA image and ?hbins=2000000000 for a multi-GB bin slice —
+// either one OOM-kills the daemon with a single unauthenticated request.
+const (
+	maxRenderDim = 8192  // pixels per image axis
+	maxBinsParam = 10000 // histogram bins / timeline bins / top-k cap
+)
+
+// boundedInt parses q[name] into dst, rejecting values outside [lo, hi]
+// with errBadParam (→ 400). Absent parameters leave dst untouched.
+func boundedInt(q url.Values, name string, dst *int, lo, hi int) error {
+	v := q.Get(name)
+	if v == "" {
+		return nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < lo || n > hi {
+		return fmt.Errorf("%w: %s=%q (want integer in [%d, %d])", errBadParam, name, v, lo, hi)
+	}
+	*dst = n
+	return nil
+}
+
 // analysisParams are the cacheable analysis options parsed from a
 // request's query string (rendering options are parsed separately and
 // deliberately excluded from the cache key).
@@ -246,24 +283,19 @@ func parseAnalysisParams(r *http.Request) (analysisParams, error) {
 	q := r.URL.Query()
 	var p analysisParams
 	p.opts.DominantFunction = q.Get("dominant")
-	var err error
-	geti := func(name string, dst *int) {
-		if v := q.Get(name); v != "" && err == nil {
-			n, convErr := strconv.Atoi(v)
-			if convErr != nil {
-				err = fmt.Errorf("%w: %s=%q", errBadParam, name, v)
-				return
-			}
-			*dst = n
-		}
+	err := boundedInt(q, "multiplier", &p.opts.Multiplier, 0, 1_000_000)
+	if err == nil {
+		err = boundedInt(q, "topk", &p.opts.TopK, 0, maxBinsParam)
 	}
-	geti("multiplier", &p.opts.Multiplier)
-	geti("topk", &p.opts.TopK)
-	geti("bins", &p.opts.MPIFractionBins)
+	if err == nil {
+		// -1 disables the MPI-share timeline (any negative does; one
+		// canonical spelling keeps the cache key stable).
+		err = boundedInt(q, "bins", &p.opts.MPIFractionBins, -1, maxBinsParam)
+	}
 	if v := q.Get("zthreshold"); v != "" && err == nil {
 		f, convErr := strconv.ParseFloat(v, 64)
-		if convErr != nil {
-			err = fmt.Errorf("%w: zthreshold=%q", errBadParam, v)
+		if convErr != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+			err = fmt.Errorf("%w: zthreshold=%q (want a finite number)", errBadParam, v)
 		} else {
 			p.opts.ZThreshold = f
 		}
@@ -292,19 +324,10 @@ func parseAnalysisParams(r *http.Request) (analysisParams, error) {
 func parseRenderOptions(r *http.Request) (vis.RenderOptions, error) {
 	q := r.URL.Query()
 	var o vis.RenderOptions
-	var err error
-	geti := func(name string, dst *int) {
-		if v := q.Get(name); v != "" && err == nil {
-			n, convErr := strconv.Atoi(v)
-			if convErr != nil {
-				err = fmt.Errorf("%w: %s=%q", errBadParam, name, v)
-				return
-			}
-			*dst = n
-		}
+	err := boundedInt(q, "width", &o.Width, 0, maxRenderDim)
+	if err == nil {
+		err = boundedInt(q, "height", &o.Height, 0, maxRenderDim)
 	}
-	geti("width", &o.Width)
-	geti("height", &o.Height)
 	if v := q.Get("labels"); v != "" && err == nil {
 		b, convErr := strconv.ParseBool(v)
 		if convErr != nil {
@@ -326,13 +349,14 @@ func cacheKey(sum [sha256.Size]byte, kind, optsKey string) string {
 
 // compute resolves key through cache → singleflight → fn, recording
 // metrics and tagging w with X-Perfvar-Cache: hit, miss, or shared.
-func (s *Server) compute(ctx context.Context, w http.ResponseWriter, key string, fn func(ctx context.Context) (any, error)) (any, error) {
+// size is the byte charge for caching the result (the source archive
+// length — a lower bound on what the decoded result retains).
+func (s *Server) compute(ctx context.Context, w http.ResponseWriter, key string, size int64, fn func(ctx context.Context) (any, error)) (any, error) {
 	if v, ok := s.cache.get(key); ok {
 		s.met.cacheHits.Add(1)
 		w.Header().Set("X-Perfvar-Cache", "hit")
 		return v, nil
 	}
-	s.met.cacheMisses.Add(1)
 	v, err, shared := s.flight.do(ctx, key,
 		func() (context.Context, context.CancelFunc) {
 			return context.WithTimeout(s.base, s.cfg.RequestTimeout)
@@ -341,14 +365,18 @@ func (s *Server) compute(ctx context.Context, w http.ResponseWriter, key string,
 			s.met.computed.Add(1)
 			v, err := fn(cctx)
 			if err == nil {
-				s.cache.put(key, v)
+				s.cache.put(key, v, size)
 			}
 			return v, err
 		})
+	// Joining an in-flight computation is deduplication working, not a
+	// miss — counting it as one would understate the hit ratio exactly
+	// when concurrency is highest.
 	if shared {
 		s.met.dedupedShared.Add(1)
 		w.Header().Set("X-Perfvar-Cache", "shared")
 	} else {
+		s.met.cacheMisses.Add(1)
 		w.Header().Set("X-Perfvar-Cache", "miss")
 	}
 	return v, err
@@ -357,7 +385,7 @@ func (s *Server) compute(ctx context.Context, w http.ResponseWriter, key string,
 // pipeline returns the cached-or-computed perfvar.Result for an archive.
 func (s *Server) pipeline(ctx context.Context, w http.ResponseWriter, data []byte, p analysisParams) (*perfvar.Result, error) {
 	sum := sha256.Sum256(data)
-	v, err := s.compute(ctx, w, cacheKey(sum, "pipeline", p.key), func(cctx context.Context) (any, error) {
+	v, err := s.compute(ctx, w, cacheKey(sum, "pipeline", p.key), int64(len(data)), func(cctx context.Context) (any, error) {
 		tr, err := trace.ReadAnyLimit(bytes.NewReader(data), s.cfg.MaxUploadBytes)
 		if err != nil {
 			return nil, err
@@ -450,10 +478,33 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	s.serveView(w, r, data, view)
 }
 
+// knownViews is the set of representations serveView can produce. A
+// request for anything else must 404 before any analysis runs.
+var knownViews = map[string]bool{
+	"analysis": true, "profile": true, "lint": true, "causality": true,
+	"heatmap.png": true, "heatmap.svg": true, "byindex.png": true,
+	"histogram.png": true, "report.html": true,
+}
+
+// renderViews are the knownViews that consume render parameters
+// (width/height/labels, and hbins for the histogram).
+var renderViews = map[string]bool{
+	"heatmap.png": true, "heatmap.svg": true, "byindex.png": true,
+	"histogram.png": true, "report.html": true,
+}
+
 // serveView runs the requested computation over one archive's bytes and
 // renders the chosen representation. All views share the per-request
-// timeout and the client-disconnect context.
+// timeout and the client-disconnect context. Every request parameter —
+// view name, analysis options, render options — is validated before the
+// (expensive, cached) pipeline runs, so a typo costs a 4xx, not an
+// analysis.
 func (s *Server) serveView(w http.ResponseWriter, r *http.Request, data []byte, view string) {
+	if !knownViews[view] {
+		http.Error(w, fmt.Sprintf("unknown view %q", view), http.StatusNotFound)
+		return
+	}
+
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
@@ -461,6 +512,20 @@ func (s *Server) serveView(w http.ResponseWriter, r *http.Request, data []byte, 
 	if err != nil {
 		s.httpError(w, r, err)
 		return
+	}
+	var o vis.RenderOptions
+	hbins := 0
+	if renderViews[view] {
+		if o, err = parseRenderOptions(r); err != nil {
+			s.httpError(w, r, err)
+			return
+		}
+		// Negative hbins falls back to the histogram's own default;
+		// only the upper bound guards allocation.
+		if err = boundedInt(r.URL.Query(), "hbins", &hbins, -1, maxBinsParam); err != nil {
+			s.httpError(w, r, err)
+			return
+		}
 	}
 
 	switch view {
@@ -489,7 +554,7 @@ func (s *Server) serveView(w http.ResponseWriter, r *http.Request, data []byte, 
 		w.Write(buf.Bytes())
 	case "causality":
 		sum := sha256.Sum256(data)
-		v, err := s.compute(ctx, w, cacheKey(sum, "causality", p.key), func(cctx context.Context) (any, error) {
+		v, err := s.compute(ctx, w, cacheKey(sum, "causality", p.key), int64(len(data)), func(cctx context.Context) (any, error) {
 			return res.CausalityContext(cctx)
 		})
 		if err != nil {
@@ -498,11 +563,6 @@ func (s *Server) serveView(w http.ResponseWriter, r *http.Request, data []byte, 
 		}
 		writeJSON(w, v)
 	case "heatmap.png", "heatmap.svg", "byindex.png":
-		o, err := parseRenderOptions(r)
-		if err != nil {
-			s.httpError(w, r, err)
-			return
-		}
 		var img *vis.Image
 		if view == "byindex.png" {
 			img = res.HeatmapByIndex(o)
@@ -517,27 +577,9 @@ func (s *Server) serveView(w http.ResponseWriter, r *http.Request, data []byte, 
 		w.Header().Set("Content-Type", "image/png")
 		vis.WritePNG(w, img)
 	case "histogram.png":
-		o, err := parseRenderOptions(r)
-		if err != nil {
-			s.httpError(w, r, err)
-			return
-		}
-		bins := 0
-		if v := r.URL.Query().Get("hbins"); v != "" {
-			bins, err = strconv.Atoi(v)
-			if err != nil {
-				s.httpError(w, r, fmt.Errorf("%w: hbins=%q", errBadParam, v))
-				return
-			}
-		}
 		w.Header().Set("Content-Type", "image/png")
-		vis.WritePNG(w, res.Histogram(bins, o))
+		vis.WritePNG(w, res.Histogram(hbins, o))
 	case "report.html":
-		o, err := parseRenderOptions(r)
-		if err != nil {
-			s.httpError(w, r, err)
-			return
-		}
 		o.Labels = true
 		var buf bytes.Buffer
 		if err := res.Report().WriteHTML(&buf, res.Heatmap(o)); err != nil {
@@ -546,8 +588,6 @@ func (s *Server) serveView(w http.ResponseWriter, r *http.Request, data []byte, 
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		w.Write(buf.Bytes())
-	default:
-		http.Error(w, fmt.Sprintf("unknown view %q", view), http.StatusNotFound)
 	}
 }
 
@@ -555,7 +595,7 @@ func (s *Server) serveView(w http.ResponseWriter, r *http.Request, data []byte, 
 // and exclusive times) — the profiler-style companion view.
 func (s *Server) serveProfile(ctx context.Context, w http.ResponseWriter, r *http.Request, data []byte) {
 	sum := sha256.Sum256(data)
-	v, err := s.compute(ctx, w, cacheKey(sum, "profile", ""), func(cctx context.Context) (any, error) {
+	v, err := s.compute(ctx, w, cacheKey(sum, "profile", ""), int64(len(data)), func(cctx context.Context) (any, error) {
 		tr, err := trace.ReadAnyLimit(bytes.NewReader(data), s.cfg.MaxUploadBytes)
 		if err != nil {
 			return nil, err
@@ -613,7 +653,7 @@ func (s *Server) serveProfile(ctx context.Context, w http.ResponseWriter, r *htt
 
 func (s *Server) serveLint(ctx context.Context, w http.ResponseWriter, r *http.Request, data []byte) {
 	sum := sha256.Sum256(data)
-	v, err := s.compute(ctx, w, cacheKey(sum, "lint", ""), func(cctx context.Context) (any, error) {
+	v, err := s.compute(ctx, w, cacheKey(sum, "lint", ""), int64(len(data)), func(cctx context.Context) (any, error) {
 		tr, err := trace.ReadAnyLimit(bytes.NewReader(data), s.cfg.MaxUploadBytes)
 		if err != nil {
 			return nil, err

@@ -232,6 +232,53 @@ func TestBadQueryParam(t *testing.T) {
 	}
 }
 
+// TestOutOfRangeParamsRejected pins the review fix: a query parameter
+// must never pick an allocation size. Each of these used to translate
+// directly into a make() of the requested magnitude (a 100000×100000
+// RGBA image is ~40 GB); all must now be 400s, and none may run an
+// analysis.
+func TestOutOfRangeParamsRejected(t *testing.T) {
+	data := genTrace(t, 8, 4)
+	s := newTestServer(t, Config{}, "run.pvt", data)
+	h := s.Handler()
+	cases := []string{
+		"heatmap.png?width=100000",
+		"heatmap.png?height=100000",
+		"heatmap.png?width=-1",
+		"histogram.png?hbins=2000000000",
+		"analysis?topk=1000000000",
+		"analysis?topk=-1",
+		"analysis?bins=1000000000",
+		"analysis?zthreshold=NaN",
+		"analysis?zthreshold=%2BInf",
+	}
+	for _, q := range cases {
+		rec := get(h, "/api/v1/traces/run.pvt/"+q)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400; body: %s", q, rec.Code, rec.Body.String())
+		}
+	}
+	if _, _, computed := s.Metrics(); computed != 0 {
+		t.Fatalf("computed = %d analyses for rejected parameters, want 0", computed)
+	}
+}
+
+// TestUnknownViewRejectedBeforeAnalysis pins the review fix: a typo'd
+// view must 404 before the pipeline runs, not after a full (cached)
+// analysis.
+func TestUnknownViewRejectedBeforeAnalysis(t *testing.T) {
+	data := genTrace(t, 8, 4)
+	s := newTestServer(t, Config{}, "run.pvt", data)
+	h := s.Handler()
+	rec := get(h, "/api/v1/traces/run.pvt/heatmap.jpg")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", rec.Code)
+	}
+	if _, _, computed := s.Metrics(); computed != 0 {
+		t.Fatalf("unknown view ran %d analyses, want 0", computed)
+	}
+}
+
 func TestCancelledRequestReturns499(t *testing.T) {
 	data := genTrace(t, 8, 4)
 	s := newTestServer(t, Config{}, "run.pvt", data)
@@ -320,13 +367,13 @@ func TestSingleflightConcurrentClients(t *testing.T) {
 	if hits+shared != clients-1 {
 		t.Fatalf("hits(%d) + shared(%d) = %d, want %d", hits, shared, hits+shared, clients-1)
 	}
-	// A request that joins an in-flight computation first misses the
-	// cache, so misses = the one leader + every sharer.
-	if misses != shared+1 {
-		t.Fatalf("misses = %d, want shared(%d)+1", misses, shared)
+	// Joining an in-flight computation is deduplication, not a miss:
+	// exactly one request (the leader) misses.
+	if misses != 1 {
+		t.Fatalf("misses = %d, want exactly 1 (shared joins must not count as misses)", misses)
 	}
-	if hits+misses != clients {
-		t.Fatalf("hits(%d) + misses(%d) != %d requests", hits, misses, clients)
+	if r := s.met.hitRatio(); r != float64(clients-1)/float64(clients) {
+		t.Fatalf("hit ratio = %g, want %g", r, float64(clients-1)/float64(clients))
 	}
 }
 
@@ -377,19 +424,53 @@ func TestMetricsEndpoint(t *testing.T) {
 }
 
 func TestLRUCacheEviction(t *testing.T) {
-	c := newLRU(2)
-	c.put("a", 1)
-	c.put("b", 2)
+	c := newLRU(2, 1<<20)
+	c.put("a", 1, 10)
+	c.put("b", 2, 10)
 	c.get("a") // a is now most recently used
-	c.put("c", 3)
+	c.put("c", 3, 10)
 	if _, ok := c.get("b"); ok {
 		t.Fatal("b should have been evicted as least recently used")
 	}
 	if v, ok := c.get("a"); !ok || v != 1 {
 		t.Fatal("a should have survived")
 	}
-	if entries, evictions := c.stats(); entries != 2 || evictions != 1 {
-		t.Fatalf("stats = %d entries, %d evictions; want 2, 1", entries, evictions)
+	if entries, bytes, evictions := c.stats(); entries != 2 || bytes != 20 || evictions != 1 {
+		t.Fatalf("stats = %d entries, %d bytes, %d evictions; want 2, 20, 1", entries, bytes, evictions)
+	}
+}
+
+// TestLRUCacheByteBudget pins the review fix: entry count alone must not
+// bound the cache — large entries are evicted by byte budget, and an
+// entry bigger than the whole budget is never cached.
+func TestLRUCacheByteBudget(t *testing.T) {
+	c := newLRU(100, 100) // plenty of entry slots, 100-byte budget
+	c.put("a", 1, 40)
+	c.put("b", 2, 40)
+	c.put("c", 3, 40) // 120 bytes > 100: a (LRU) must go
+	if _, ok := c.get("a"); ok {
+		t.Fatal("a should have been evicted to meet the byte budget")
+	}
+	if _, ok := c.get("b"); !ok {
+		t.Fatal("b should have survived")
+	}
+	if entries, bytes, _ := c.stats(); entries != 2 || bytes != 80 {
+		t.Fatalf("stats = %d entries, %d bytes; want 2, 80", entries, bytes)
+	}
+
+	// Replacing an entry re-charges its size.
+	c.put("b", 20, 60) // b:60 + c:40 = 100, exactly at budget
+	if entries, bytes, _ := c.stats(); entries != 2 || bytes != 100 {
+		t.Fatalf("after replace: %d entries, %d bytes; want 2, 100", entries, bytes)
+	}
+
+	// An entry over the whole budget is served uncached, evicting nothing.
+	c.put("huge", 4, 101)
+	if _, ok := c.get("huge"); ok {
+		t.Fatal("an over-budget entry must not be cached")
+	}
+	if entries, _, _ := c.stats(); entries != 2 {
+		t.Fatalf("over-budget put evicted residents: %d entries, want 2", entries)
 	}
 }
 
@@ -429,5 +510,106 @@ func TestFlightGroupLastWaiterCancels(t *testing.T) {
 			t.Fatal("computation never cancelled after last waiter left")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFlightGroupDoesNotJoinCancelledCall pins the review fix: a caller
+// arriving while a cancelled computation is still mapped (its last
+// waiter left, its goroutine hasn't unmapped it yet) must start a fresh
+// call instead of inheriting context.Canceled.
+func TestFlightGroupDoesNotJoinCancelledCall(t *testing.T) {
+	g := newFlightGroup()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	waiter1Done := make(chan struct{})
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	go func() {
+		defer close(waiter1Done)
+		g.do(ctx1, "k",
+			func() (context.Context, context.CancelFunc) {
+				return context.WithCancel(context.Background())
+			},
+			func(cctx context.Context) (any, error) {
+				close(started)
+				<-cctx.Done()
+				<-release // keep the cancelled call mapped while waiter 2 arrives
+				return nil, cctx.Err()
+			})
+	}()
+
+	<-started
+	cancel1() // last waiter leaves → compute context cancelled, call still mapped
+	<-waiter1Done
+	defer close(release)
+
+	// Wait until the mapped call is observably cancelled.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		g.mu.Lock()
+		c := g.calls["k"]
+		g.mu.Unlock()
+		if c != nil && c.ctx.Err() != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled call never observed in the map")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	v, err, shared := g.do(context.Background(), "k",
+		func() (context.Context, context.CancelFunc) {
+			return context.WithCancel(context.Background())
+		},
+		func(cctx context.Context) (any, error) { return 42, nil })
+	if err != nil {
+		t.Fatalf("fresh caller inherited the cancelled call: err = %v", err)
+	}
+	if shared {
+		t.Fatal("fresh caller reported shared = true for a call it started")
+	}
+	if v != 42 {
+		t.Fatalf("v = %v, want 42", v)
+	}
+}
+
+// TestShutdownCancellationIs503 asserts that a computation cancelled by
+// server shutdown — not by the client — maps to 503, not a 4xx blaming
+// the requester.
+func TestShutdownCancellationIs503(t *testing.T) {
+	data := genTrace(t, 64, 60)
+	s := newTestServer(t, Config{}, "big.pvt", data)
+	h := s.Handler()
+
+	got := make(chan int, 1)
+	go func() {
+		rec := get(h, "/api/v1/traces/big.pvt/analysis")
+		got <- rec.Code
+	}()
+
+	// Wait for the analysis to be in flight, then shut the server down.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.flight.mu.Lock()
+		inFlight := len(s.flight.calls) > 0
+		s.flight.mu.Unlock()
+		if inFlight {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("analysis never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+
+	select {
+	case code := <-got:
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d, want 503", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("request never completed after shutdown")
 	}
 }
