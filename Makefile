@@ -14,10 +14,11 @@ race:
 	$(GO) test -race ./...
 
 # Run the figure benchmarks (each reproduces one paper figure's headline
-# numbers, plus the parallel-pipeline j1/j2/j4/jmax variants) and distill
-# them into BENCH_pipeline.json, the benchmark record tracked across PRs.
+# numbers, plus the parallel-pipeline j1/j2/j4/jmax variants) and the
+# streaming-vs-materialized engine comparison, then distill them into
+# BENCH_pipeline.json, the benchmark record tracked across PRs.
 bench:
-	$(GO) test -run '^$$' -bench Fig -benchmem -count 1 . | tee bench.out
+	$(GO) test -run '^$$' -bench 'Fig|AnalyzeStream' -benchmem -count 1 . | tee bench.out
 	python3 scripts/bench_to_json.py bench.out > BENCH_pipeline.json
 
 lint:

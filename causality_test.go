@@ -19,7 +19,10 @@ func TestCausalityCosmoSpecs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	an := res.Causality()
+	an, err := res.Causality()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	cloud, hottest := cfg.CloudRanks()
 	if len(an.Ranks) < len(cloud) {
@@ -93,7 +96,10 @@ func TestCausalitySyntheticCycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	an := res.Causality()
+	an, err := res.Causality()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(an.Cycles) != 1 {
 		t.Fatalf("cycles = %+v, want 1", an.Cycles)
 	}

@@ -8,6 +8,7 @@
 //	pvtdump -trace run.pvt -calltree -depth 3
 //	pvtdump -trace run.pvt -clockcheck
 //	pvtdump -trace run.pvt -lint
+//	pvtdump -trace run.pvt -stream            # summary without materializing
 //
 // Archives are loaded without validation so that damaged traces can be
 // inspected; -lint appends the full static-analysis report (see
@@ -39,12 +40,23 @@ func main() {
 		clockcheck = flag.Bool("clockcheck", false, "check for clock-skew causality violations")
 		minLatency = flag.Int64("minlatency", 1000, "assumed minimal network latency in ns for -clockcheck and -lint")
 		runLint    = flag.Bool("lint", false, "append the static-analysis report (all analyzers)")
+		stream     = flag.Bool("stream", false, "print the summary (and -defs) by streaming the archive, without materializing it")
 	)
 	flag.Parse()
 	if *tracePath == "" {
 		fmt.Fprintln(os.Stderr, "pvtdump: -trace is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *stream {
+		if *events || *calltree || *clockcheck || *runLint {
+			fmt.Fprintln(os.Stderr, "pvtdump: -events/-calltree/-clockcheck/-lint need the full trace and cannot combine with -stream")
+			os.Exit(2)
+		}
+		if err := streamSummary(*tracePath, *defs); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	tr, err := loadRaw(*tracePath)
 	if err != nil {
@@ -127,12 +139,62 @@ func main() {
 }
 
 // loadRaw reads an archive without validating it, so damaged traces can
-// be inspected and diagnosed.
+// be inspected and diagnosed. The file-or-directory decision is made on
+// the opened handle, so a concurrently swapped path cannot route the
+// handle to the wrong decoder.
 func loadRaw(path string) (*perfvar.Trace, error) {
-	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if fi.IsDir() {
 		return trace.ReadDir(path)
 	}
-	return trace.ReadAnyFile(path)
+	return trace.ReadAny(f)
+}
+
+// streamSummary prints the summary line (and optionally the definition
+// tables) by streaming the archive event-by-event: memory stays bounded
+// by the definitions, never the event count.
+func streamSummary(path string, defs bool) error {
+	var (
+		events      int64
+		first, last trace.Time
+		spanned     bool
+	)
+	h, err := trace.StreamFile(path, func(rank trace.Rank, ev trace.Event) error {
+		events++
+		if !spanned || ev.Time < first {
+			first = ev.Time
+		}
+		if !spanned || ev.Time > last {
+			last = ev.Time
+		}
+		spanned = true
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %q: %d ranks, %d events, %d regions, %d metrics, span %s\n",
+		h.Name, len(h.Procs), events, len(h.Regions), len(h.Metrics),
+		vis.FormatDuration(float64(last-first)))
+	if defs {
+		fmt.Println("\nregions:")
+		for _, r := range h.Regions {
+			fmt.Printf("  %3d  %-30s %-8s %s\n", r.ID, r.Name, r.Paradigm, r.Role)
+		}
+		fmt.Println("metrics:")
+		for _, m := range h.Metrics {
+			fmt.Printf("  %3d  %-40s %-10s %s\n", m.ID, m.Name, m.Unit, m.Mode)
+		}
+	}
+	return nil
 }
 
 func printEvent(tr *perfvar.Trace, ev trace.Event) {

@@ -8,9 +8,11 @@
 //	varan -trace run.pvt -refine -heatmap sos.png
 //	varan -trace run.pvt -dominant specs_timestep -ansi
 //	varan -trace run.pvt -causality
+//	varan -trace run.pvt -stream
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +42,7 @@ func main() {
 		breakdown = flag.Bool("breakdown", false, "print the per-region breakdown of the top hotspot")
 		calltree  = flag.Bool("calltree", false, "print the calling-context tree (depth 3)")
 		clocks    = flag.Bool("clockfix", false, "detect and correct clock skew before analyzing")
+		stream    = flag.Bool("stream", false, "analyze with the streaming engine (memory bounded by segments, not events)")
 		jobs      = flag.Int("j", 0, "worker goroutines for per-rank stages (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
@@ -51,20 +54,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-
-	tr, err := perfvar.LoadTrace(*tracePath)
-	if err != nil {
-		fatal(err)
-	}
-	if *clocks {
-		fixed, info, err := perfvar.CorrectClocks(tr, 1000)
-		if err != nil {
-			fatal(err)
+	if *stream {
+		for name, set := range map[string]bool{
+			"-clockfix": *clocks, "-causality": *causality,
+			"-breakdown": *breakdown, "-calltree": *calltree,
+		} {
+			if set {
+				fmt.Fprintf(os.Stderr, "varan: %s needs the full event stream and cannot combine with -stream\n", name)
+				os.Exit(2)
+			}
 		}
-		fmt.Printf("clock check: %d violations before, %d after correction\n\n",
-			info.ViolationsBefore, info.ViolationsAfter)
-		tr = fixed
 	}
+
 	opts := perfvar.Options{
 		DominantFunction: *dominant,
 		ZThreshold:       *zthresh,
@@ -73,9 +74,34 @@ func main() {
 	if *syncPref != "" {
 		opts.SyncPrefixes = strings.Split(*syncPref, ",")
 	}
-	res, err := perfvar.Analyze(tr, opts)
-	if err != nil {
-		fatal(err)
+
+	var tr *perfvar.Trace
+	var res *perfvar.Result
+	var err error
+	if *stream {
+		res, err = perfvar.AnalyzeSource(context.Background(), perfvar.FileSource(*tracePath), opts)
+		if err != nil {
+			fatal(err)
+		}
+		tr = res.Trace // non-nil only when the archive had to be materialized (pvtt)
+	} else {
+		tr, err = perfvar.LoadTrace(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if *clocks {
+			fixed, info, err := perfvar.CorrectClocks(tr, 1000)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("clock check: %d violations before, %d after correction\n\n",
+				info.ViolationsBefore, info.ViolationsAfter)
+			tr = fixed
+		}
+		res, err = perfvar.Analyze(tr, opts)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if *refine {
 		if res, err = res.Refine(opts); err != nil {
@@ -138,7 +164,10 @@ func main() {
 	}
 
 	if *causality {
-		an := res.Causality()
+		an, err := res.Causality()
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Println("\nCross-rank causality analysis:")
 		fmt.Printf("  wait states: late-sender %s over %d message(s), late-receiver slack %s over %d, collective wait %s over %d occurrence(s)\n",
 			fmtDur(an.LateSenderWait), an.LateSenderCount,
@@ -192,7 +221,7 @@ func main() {
 
 	renderOpts := perfvar.RenderOptions{
 		Width: *width, Height: *height, Labels: true,
-		Title: fmt.Sprintf("SOS-TIME: %s / %s", tr.Name, res.Matrix.RegionName),
+		Title: fmt.Sprintf("SOS-TIME: %s / %s", rep.TraceName, res.Matrix.RegionName),
 	}
 	if *htmlOut != "" {
 		f, err := os.Create(*htmlOut)

@@ -1,0 +1,283 @@
+package perfvar
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"perfvar/internal/callstack"
+	"perfvar/internal/core/dominant"
+	"perfvar/internal/core/imbalance"
+	"perfvar/internal/core/segment"
+	"perfvar/internal/parallel"
+	"perfvar/internal/trace"
+)
+
+// Engine values reported by Result.Engine.
+const (
+	// EngineStream marks a result computed by the streaming two-pass
+	// engine: no materialized trace backs it (Result.Trace is nil).
+	EngineStream = "stream"
+	// EngineMaterialized marks a result computed over an in-memory trace.
+	EngineMaterialized = "materialized"
+)
+
+// AnalyzeSource runs the full three-step pipeline over src. This is the
+// canonical, context-taking entry point of the pipeline; Analyze and
+// AnalyzeContext are thin TraceSource wrappers over it.
+//
+// The engine makes two streaming passes over the source. Pass 1 feeds
+// each rank's events through a fused decode→replay accumulator
+// (callstack.StreamReplay), producing the flat profile for
+// dominant-function selection without materializing invocations. Pass 2
+// re-streams each rank through an incremental segmenter
+// (segment.StreamSegmenter) that emits segments with SOS-times directly,
+// folding the MPI-fraction timeline along the way. Decode buffers and
+// per-rank scratch are pooled, so steady-state allocation is
+// O(ranks × depth + segments), never O(events). Selection, segmentation,
+// statistics, and the report are byte-identical to the materialized
+// path's.
+//
+// Result.Engine reports which path ran. For streaming sources
+// Result.Trace is nil, and operations that need the full event stream
+// (Causality, Breakdown, SlowestIterationsTrace) report ErrNoTrace —
+// analyze via TraceSource (or LoadTrace + Analyze) when those views are
+// needed.
+func AnalyzeSource(ctx context.Context, src Source, opts Options) (*Result, error) {
+	st, err := src.Open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+
+	h := st.Header()
+	nranks := st.NumRanks()
+	nregions := len(h.Regions)
+
+	// Pass 1: fused decode→replay per rank → flat profile.
+	reps, err := parallel.MapCtx(ctx, nranks, func(rank int) (*callstack.StreamReplay, error) {
+		sr := callstack.NewStreamReplay(trace.Rank(rank), nregions)
+		if err := st.StreamRank(rank, sr.Feed); err != nil {
+			return nil, err
+		}
+		if err := sr.Finish(); err != nil {
+			return nil, err
+		}
+		return sr, nil
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if errors.Is(err, trace.ErrFormat) {
+			return nil, err
+		}
+		// Replay failures surface as selection errors, exactly as on the
+		// materialized path (dominant.SelectContext).
+		return nil, fmt.Errorf("dominant: %w", err)
+	}
+	prof := callstack.ProfileFromStreams(nregions, reps)
+	sel, err := dominant.SelectFromProfileDefs(h.Regions, nranks, prof, dominant.Options{Multiplier: opts.Multiplier})
+	if err != nil {
+		return nil, err
+	}
+
+	region := sel.Dominant.Region
+	if opts.DominantFunction != "" {
+		found := false
+		for _, r := range h.Regions { // first match, as Trace.RegionByName
+			if r.Name == opts.DominantFunction {
+				region, found = r.ID, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("perfvar: region %q not found in trace", opts.DominantFunction)
+		}
+	}
+
+	var cls segment.SyncClassifier
+	if len(opts.SyncPrefixes) > 0 {
+		cls = segment.NameSync(opts.SyncPrefixes)
+	}
+	syncMask, err := segment.Prepare(h.Regions, region, cls)
+	if err != nil {
+		return nil, err
+	}
+
+	// Trace metadata tallied during pass 1 — what the result retains in
+	// place of the trace itself.
+	var events int64
+	var first, last trace.Time
+	spanned := false
+	for _, sr := range reps {
+		events += sr.Events()
+		f, l, ok := sr.Span()
+		if !ok {
+			continue
+		}
+		if !spanned || f < first {
+			first = f
+		}
+		if !spanned || l > last {
+			last = l
+		}
+		spanned = true
+	}
+
+	bins := opts.MPIFractionBins
+	if bins == 0 {
+		bins = 20
+	}
+	isMPI := make([]bool, nregions)
+	for i, r := range h.Regions {
+		isMPI[i] = r.Paradigm == trace.ParadigmMPI
+	}
+
+	// Pass 2: re-stream each rank → segments + MPI-fraction bins.
+	regionName := h.Regions[region].Name
+	type rankPass2 struct {
+		segs []Segment
+		mpi  []int64
+	}
+	parts, err := parallel.MapCtx(ctx, nranks, func(rank int) (rankPass2, error) {
+		seg := segment.NewStreamSegmenter(trace.Rank(rank), region, regionName, syncMask)
+		feed := seg.Feed
+		var bn *mpiBinner
+		if bins > 0 && last > first {
+			bn = newMPIBinner(first, last, bins, isMPI)
+			feed = func(ev Event) error {
+				bn.feed(ev)
+				return seg.Feed(ev)
+			}
+		}
+		if err := st.StreamRank(rank, feed); err != nil {
+			return rankPass2{}, err
+		}
+		segs, err := seg.Finish()
+		if err != nil {
+			return rankPass2{}, err
+		}
+		out := rankPass2{segs: segs}
+		if bn != nil {
+			out.mpi = bn.acc
+		}
+		return out, nil
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+
+	m := &Matrix{Region: region, RegionName: regionName, PerRank: make([][]Segment, nranks)}
+	for rank := range parts {
+		m.PerRank[rank] = parts[rank].segs
+	}
+	a, err := imbalance.AnalyzeContext(ctx, m, imbalance.Options{
+		ZThreshold:   opts.ZThreshold,
+		TopK:         opts.TopK,
+		PerIteration: opts.PerIteration,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var frac []float64
+	if bins > 0 {
+		frac = make([]float64, bins)
+		if last > first {
+			total := make([]int64, bins)
+			for _, p := range parts {
+				for b, v := range p.mpi {
+					total[b] += v
+				}
+			}
+			binWidth := float64(last-first) / float64(bins)
+			denom := binWidth * float64(nranks)
+			for b := range frac {
+				frac[b] = float64(total[b]) / denom
+			}
+		}
+	}
+
+	res := &Result{
+		Trace:       st.Trace(),
+		Selection:   sel,
+		Matrix:      m,
+		Analysis:    a,
+		MPIFraction: frac,
+		Engine:      EngineStream,
+		source:      src,
+		info:        resultInfo{name: h.Name, ranks: nranks, events: events, first: first, last: last},
+	}
+	if res.Trace != nil {
+		res.Engine = EngineMaterialized
+	}
+	return res, nil
+}
+
+// mpiBinner accumulates, per time bin, the nanoseconds one rank spent
+// inside MPI regions — the streaming form of the per-rank scan in
+// imbalance.MPIFractionTimeline. It bins in integer nanoseconds with the
+// same truncating bin-boundary arithmetic; every addend the materialized
+// path sums in float64 is an exact integer, so the merged integer totals
+// convert to the same float64 fractions (exact up to 2^53 ns of
+// aggregate MPI time per bin, beyond any real trace).
+type mpiBinner struct {
+	first trace.Time
+	span  trace.Time
+	bins  int
+	isMPI []bool
+	acc   []int64
+	depth int
+	start trace.Time
+}
+
+func newMPIBinner(first, last trace.Time, bins int, isMPI []bool) *mpiBinner {
+	return &mpiBinner{first: first, span: last - first, bins: bins, isMPI: isMPI, acc: make([]int64, bins)}
+}
+
+func (m *mpiBinner) feed(ev Event) {
+	switch ev.Kind {
+	case trace.KindEnter:
+		if m.inMPI(ev.Region) {
+			if m.depth == 0 {
+				m.start = ev.Time
+			}
+			m.depth++
+		}
+	case trace.KindLeave:
+		if m.inMPI(ev.Region) {
+			m.depth--
+			if m.depth == 0 {
+				m.addInterval(m.start, ev.Time)
+			}
+		}
+	}
+}
+
+func (m *mpiBinner) inMPI(r RegionID) bool {
+	return r >= 0 && int(r) < len(m.isMPI) && m.isMPI[r]
+}
+
+func (m *mpiBinner) addInterval(from, to trace.Time) {
+	if to <= from {
+		return
+	}
+	for b := 0; b < m.bins; b++ {
+		bStart := m.first + m.span*trace.Time(b)/trace.Time(m.bins)
+		bEnd := m.first + m.span*trace.Time(b+1)/trace.Time(m.bins)
+		lo, hi := from, to
+		if lo < bStart {
+			lo = bStart
+		}
+		if hi > bEnd {
+			hi = bEnd
+		}
+		if hi > lo {
+			m.acc[b] += int64(hi - lo)
+		}
+	}
+}

@@ -46,8 +46,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	analyzer, err := perfvar.NewOnlineAnalyzer(len(header.Procs), header.Regions,
-		"iteration", perfvar.OnlineOptions{})
+	analyzer, err := perfvar.OnlineConfig{
+		Ranks:        len(header.Procs),
+		Regions:      header.Regions,
+		DominantName: "iteration",
+	}.NewAnalyzer()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -174,44 +174,34 @@ type rankProfile struct {
 	seen    []bool          // region invoked on this rank
 }
 
-// BuildProfile computes the flat profile of tr from the given per-rank
-// invocations (as produced by ReplayAll). Per-rank partial profiles are
-// aggregated in parallel and merged in rank order; all aggregations are
-// exact integer sums and min/max folds, so the result is identical to a
-// serial single-pass accumulation.
-func BuildProfile(tr *trace.Trace, all [][]Invocation) *Profile {
-	p := &Profile{Regions: make([]RegionProfile, len(tr.Regions))}
+func newRankProfile(nregions int) rankProfile {
+	part := rankProfile{
+		regions: make([]RegionProfile, nregions),
+		seen:    make([]bool, nregions),
+	}
+	for id := range part.regions {
+		part.regions[id].MinInclusive = -1
+	}
+	return part
+}
+
+// newProfile returns an empty profile with the MinInclusive sentinel set,
+// ready for mergeRankProfiles.
+func newProfile(nregions int) *Profile {
+	p := &Profile{Regions: make([]RegionProfile, nregions)}
 	for id := range p.Regions {
 		p.Regions[id].Region = trace.RegionID(id)
 		p.Regions[id].MinInclusive = -1
 	}
-	partials, _ := parallel.Map(len(all), func(rank int) (rankProfile, error) {
-		part := rankProfile{
-			regions: make([]RegionProfile, len(tr.Regions)),
-			seen:    make([]bool, len(tr.Regions)),
-		}
-		for id := range part.regions {
-			part.regions[id].MinInclusive = -1
-		}
-		invs := all[rank]
-		for i := range invs {
-			inv := &invs[i]
-			rp := &part.regions[inv.Region]
-			rp.Count++
-			if !inv.Recursive {
-				rp.SumInclusive += inv.Inclusive()
-			}
-			rp.SumExclusive += inv.Exclusive()
-			if incl := inv.Inclusive(); incl > rp.MaxInclusive {
-				rp.MaxInclusive = incl
-			}
-			if incl := inv.Inclusive(); rp.MinInclusive < 0 || incl < rp.MinInclusive {
-				rp.MinInclusive = incl
-			}
-			part.seen[inv.Region] = true
-		}
-		return part, nil
-	})
+	return p
+}
+
+// mergeRankProfiles folds per-rank partials into p in rank order. All
+// aggregations are exact integer sums and min/max folds, so the result is
+// identical to a serial single-pass accumulation — and identical whether
+// the partials came from materialized invocations (BuildProfile) or from
+// streaming replay (ProfileFromStreams).
+func mergeRankProfiles(p *Profile, partials []rankProfile) {
 	for _, part := range partials {
 		for id := range p.Regions {
 			src, dst := &part.regions[id], &p.Regions[id]
@@ -234,6 +224,37 @@ func BuildProfile(tr *trace.Trace, all [][]Invocation) *Profile {
 			p.Regions[id].MinInclusive = 0
 		}
 	}
+}
+
+// BuildProfile computes the flat profile of tr from the given per-rank
+// invocations (as produced by ReplayAll). Per-rank partial profiles are
+// aggregated in parallel and merged in rank order; all aggregations are
+// exact integer sums and min/max folds, so the result is identical to a
+// serial single-pass accumulation.
+func BuildProfile(tr *trace.Trace, all [][]Invocation) *Profile {
+	p := newProfile(len(tr.Regions))
+	partials, _ := parallel.Map(len(all), func(rank int) (rankProfile, error) {
+		part := newRankProfile(len(tr.Regions))
+		invs := all[rank]
+		for i := range invs {
+			inv := &invs[i]
+			rp := &part.regions[inv.Region]
+			rp.Count++
+			if !inv.Recursive {
+				rp.SumInclusive += inv.Inclusive()
+			}
+			rp.SumExclusive += inv.Exclusive()
+			if incl := inv.Inclusive(); incl > rp.MaxInclusive {
+				rp.MaxInclusive = incl
+			}
+			if incl := inv.Inclusive(); rp.MinInclusive < 0 || incl < rp.MinInclusive {
+				rp.MinInclusive = incl
+			}
+			part.seen[inv.Region] = true
+		}
+		return part, nil
+	})
+	mergeRankProfiles(p, partials)
 	for rank := range tr.Procs {
 		f, l := tr.Procs[rank].Span()
 		p.TotalTime += l - f

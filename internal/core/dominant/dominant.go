@@ -131,7 +131,14 @@ func SelectContext(ctx context.Context, tr *trace.Trace, opts Options) (Selectio
 // SelectFromProfile identifies the time-dominant function using an already
 // computed flat profile (avoids re-replaying large traces).
 func SelectFromProfile(tr *trace.Trace, prof *callstack.Profile, opts Options) (Selection, error) {
-	threshold := opts.threshold(tr.NumRanks())
+	return SelectFromProfileDefs(tr.Regions, tr.NumRanks(), prof, opts)
+}
+
+// SelectFromProfileDefs is SelectFromProfile for consumers that have only
+// an archive's region definitions and rank count, not a materialized
+// trace — the selection step of the streaming analysis engine.
+func SelectFromProfileDefs(regions []trace.Region, nranks int, prof *callstack.Profile, opts Options) (Selection, error) {
+	threshold := opts.threshold(nranks)
 	sel := Selection{Threshold: threshold}
 	total := prof.TotalTime
 
@@ -139,7 +146,7 @@ func SelectFromProfile(tr *trace.Trace, prof *callstack.Profile, opts Options) (
 		if rp.Count == 0 || rp.SumInclusive == 0 {
 			continue
 		}
-		def := tr.Region(rp.Region)
+		def := regions[rp.Region]
 		if !opts.IncludeSync && def.Paradigm != trace.ParadigmUser {
 			continue
 		}
@@ -171,7 +178,7 @@ func SelectFromProfile(tr *trace.Trace, prof *callstack.Profile, opts Options) (
 	sort.Slice(sel.Rejected, byTime(sel.Rejected))
 
 	if len(sel.Ranking) == 0 {
-		return sel, fmt.Errorf("%w (need ≥ %d invocations over %d ranks)", ErrNoCandidate, threshold, tr.NumRanks())
+		return sel, fmt.Errorf("%w (need ≥ %d invocations over %d ranks)", ErrNoCandidate, threshold, nranks)
 	}
 	sel.Dominant = sel.Ranking[0]
 	return sel, nil

@@ -68,6 +68,46 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Config assembles everything NewAnalyzer needs. The dominant function
+// may be given either by RegionID (Dominant) or by name (DominantName,
+// which takes precedence when non-empty) — the by-name form serves
+// callers that carry definitions from a previous run, the by-ID form
+// callers that already resolved the region.
+type Config struct {
+	// Ranks is the number of processing elements feeding the analyzer.
+	Ranks int
+	// Regions supplies paradigm/role information for the classifier.
+	Regions []trace.Region
+	// Dominant is the region to segment at, by ID. Ignored when
+	// DominantName is non-empty.
+	Dominant trace.RegionID
+	// DominantName selects the dominant region by name (first match).
+	DominantName string
+	// Classifier decides which regions count as synchronization; nil
+	// means segment.DefaultSync.
+	Classifier segment.SyncClassifier
+	// Options tune the detector thresholds.
+	Options Options
+}
+
+// NewAnalyzer builds the streaming detector described by c.
+func (c Config) NewAnalyzer() (*Analyzer, error) {
+	dom := c.Dominant
+	if c.DominantName != "" {
+		dom = trace.NoRegion
+		for _, r := range c.Regions {
+			if r.Name == c.DominantName {
+				dom = r.ID
+				break
+			}
+		}
+		if dom == trace.NoRegion {
+			return nil, fmt.Errorf("online: region %q not among the definitions", c.DominantName)
+		}
+	}
+	return New(c.Ranks, c.Regions, dom, c.Classifier, c.Options)
+}
+
 // rankState is the per-rank segment state machine (the incremental
 // version of segment.computeRank).
 type rankState struct {

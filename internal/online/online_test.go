@@ -264,3 +264,49 @@ func TestReservoirReplacement(t *testing.T) {
 		t.Fatalf("Alerts() = %+v", a.Alerts())
 	}
 }
+
+// TestConfigNewAnalyzer pins the Config construction path: by-ID and
+// by-name selection must build equivalent analyzers, name takes
+// precedence over ID, and unknown names or bad ranks fail.
+func TestConfigNewAnalyzer(t *testing.T) {
+	tr, _, dom := fd4Fixture(t)
+
+	byID, err := Config{Ranks: tr.NumRanks(), Regions: tr.Regions, Dominant: dom}.NewAnalyzer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName, err := Config{Ranks: tr.NumRanks(), Regions: tr.Regions, DominantName: "iteration"}.NewAnalyzer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := byID.FeedTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := byName.FeedTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1) != len(a2) || len(a1) == 0 {
+		t.Fatalf("by-ID and by-name analyzers disagree: %d vs %d alerts", len(a1), len(a2))
+	}
+
+	// Name wins over a (bogus) ID when both are set.
+	mixed, err := Config{Ranks: tr.NumRanks(), Regions: tr.Regions, Dominant: -42, DominantName: "iteration"}.NewAnalyzer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mixed.FeedTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := (Config{Ranks: tr.NumRanks(), Regions: tr.Regions, DominantName: "nope"}).NewAnalyzer(); err == nil {
+		t.Fatal("unknown DominantName accepted")
+	}
+	if _, err := (Config{Ranks: 0, Regions: tr.Regions, Dominant: dom}).NewAnalyzer(); err == nil {
+		t.Fatal("zero Ranks accepted")
+	}
+	if _, err := (Config{Ranks: 4, Regions: tr.Regions, Dominant: trace.RegionID(len(tr.Regions))}).NewAnalyzer(); err == nil {
+		t.Fatal("out-of-range Dominant accepted")
+	}
+}

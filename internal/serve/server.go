@@ -214,35 +214,48 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 const statusClientClosedRequest = 499
 
 // httpError maps pipeline failures onto status codes: hostile or broken
-// inputs are the client's fault (4xx), never a daemon crash (5xx).
+// inputs are the client's fault (4xx), never a daemon crash (5xx). Every
+// non-2xx response carries the JSON error envelope
+// {"error":{"code","message"}}, so clients branch on the stable code
+// instead of parsing message text.
 func (s *Server) httpError(w http.ResponseWriter, r *http.Request, err error) {
 	var status int
+	var code string
 	switch {
 	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
 		s.met.cancelled.Add(1)
-		status = statusClientClosedRequest
+		status, code = statusClientClosedRequest, "client_closed_request"
 	case errors.Is(err, context.Canceled):
 		// The computation was cancelled out from under a live request —
 		// server shutdown, not anything the client sent.
-		status = http.StatusServiceUnavailable
+		status, code = http.StatusServiceUnavailable, "shutdown"
 	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
+		status, code = http.StatusGatewayTimeout, "timeout"
 	case errors.Is(err, trace.ErrTooLarge):
 		s.met.rejectedSize.Add(1)
-		status = http.StatusRequestEntityTooLarge
+		status, code = http.StatusRequestEntityTooLarge, "too_large"
 	case errors.Is(err, trace.ErrFormat):
-		status = http.StatusBadRequest
+		status, code = http.StatusBadRequest, "bad_archive"
 	case errors.Is(err, os.ErrNotExist):
-		status = http.StatusNotFound
+		status, code = http.StatusNotFound, "not_found"
 	case errors.Is(err, errBadParam):
-		status = http.StatusBadRequest
+		status, code = http.StatusBadRequest, "bad_param"
 	default:
 		// Analysis-level failures (no dominant candidate, sync-classified
 		// region, structurally broken trace): the archive parsed but
 		// cannot be analyzed as requested.
-		status = http.StatusUnprocessableEntity
+		status, code = http.StatusUnprocessableEntity, "unanalyzable"
 	}
-	http.Error(w, err.Error(), status)
+	writeError(w, status, code, err.Error())
+}
+
+// writeError emits the daemon's uniform JSON error envelope.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]string{"code": code, "message": message},
+	})
 }
 
 var errBadParam = errors.New("serve: bad query parameter")
@@ -383,17 +396,19 @@ func (s *Server) compute(ctx context.Context, w http.ResponseWriter, key string,
 }
 
 // pipeline returns the cached-or-computed perfvar.Result for an archive.
+// The bytes are analyzed straight from the archive: PVTR uploads run the
+// streaming two-pass engine without materializing the event streams,
+// text archives fall back to the in-memory path. Result.Engine (and the
+// X-Perfvar-Engine response header) reports which one ran.
 func (s *Server) pipeline(ctx context.Context, w http.ResponseWriter, data []byte, p analysisParams) (*perfvar.Result, error) {
+	// Uploads are bounded by MaxBytesReader; directory-served archives
+	// arrive here unbounded, so the decoder's byte cap applies to both.
+	if int64(len(data)) > s.cfg.MaxUploadBytes {
+		return nil, fmt.Errorf("%w: archive exceeds %d bytes", trace.ErrTooLarge, s.cfg.MaxUploadBytes)
+	}
 	sum := sha256.Sum256(data)
 	v, err := s.compute(ctx, w, cacheKey(sum, "pipeline", p.key), int64(len(data)), func(cctx context.Context) (any, error) {
-		tr, err := trace.ReadAnyLimit(bytes.NewReader(data), s.cfg.MaxUploadBytes)
-		if err != nil {
-			return nil, err
-		}
-		if err := tr.Validate(); err != nil {
-			return nil, err
-		}
-		return perfvar.AnalyzeContext(cctx, tr, p.opts)
+		return perfvar.AnalyzeSource(cctx, perfvar.ArchiveSource(data), p.opts)
 	})
 	if err != nil {
 		return nil, err
@@ -501,7 +516,7 @@ var renderViews = map[string]bool{
 // analysis.
 func (s *Server) serveView(w http.ResponseWriter, r *http.Request, data []byte, view string) {
 	if !knownViews[view] {
-		http.Error(w, fmt.Sprintf("unknown view %q", view), http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("unknown view %q", view))
 		return
 	}
 
@@ -542,6 +557,7 @@ func (s *Server) serveView(w http.ResponseWriter, r *http.Request, data []byte, 
 		s.httpError(w, r, err)
 		return
 	}
+	w.Header().Set("X-Perfvar-Engine", res.Engine)
 
 	switch view {
 	case "analysis":
@@ -555,7 +571,20 @@ func (s *Server) serveView(w http.ResponseWriter, r *http.Request, data []byte, 
 	case "causality":
 		sum := sha256.Sum256(data)
 		v, err := s.compute(ctx, w, cacheKey(sum, "causality", p.key), int64(len(data)), func(cctx context.Context) (any, error) {
-			return res.CausalityContext(cctx)
+			cres := res
+			if cres.Trace == nil {
+				// The pipeline streamed the archive, so no event streams
+				// survive for the dependency-graph build — materialize the
+				// trace just for this view.
+				tr, err := trace.ReadAnyLimit(bytes.NewReader(data), s.cfg.MaxUploadBytes)
+				if err != nil {
+					return nil, err
+				}
+				if cres, err = perfvar.AnalyzeContext(cctx, tr, p.opts); err != nil {
+					return nil, err
+				}
+			}
+			return cres.CausalityContext(cctx)
 		})
 		if err != nil {
 			s.httpError(w, r, err)

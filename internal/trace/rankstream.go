@@ -1,0 +1,254 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Resumable per-rank stream readers. OpenRankStreams scans a PVTR
+// archive's framing once to locate every rank's event block; afterwards
+// each rank's events can be decoded independently, repeatedly, and
+// concurrently without ever materializing an event slice — the I/O layer
+// of the streaming analysis engine. Directory archives get the same
+// interface from OpenDirRankStreams, where the per-rank files provide the
+// framing for free. Memory is O(definitions + ranks), never O(events).
+
+// decodeBufPool recycles the bufio readers behind per-rank decoders, so a
+// two-pass analysis over many ranks reuses a handful of buffers instead
+// of allocating 64 KiB per StreamRank call.
+var decodeBufPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, 1<<16) },
+}
+
+// rankSpan locates one rank's event block inside an archive.
+type rankSpan struct {
+	nev uint64
+	off int64 // absolute byte offset of the block's first event
+	len int64 // encoded byte length of the block
+}
+
+// RankStreams provides independent per-rank event streams over a PVTR
+// archive backed by an io.ReaderAt (an open file or a bytes.Reader over
+// an upload). The framing scan runs once in OpenRankStreams; StreamRank
+// then decodes straight from the backing store.
+type RankStreams struct {
+	header *Header
+	src    io.ReaderAt
+	spans  []rankSpan
+}
+
+// countingReader tracks the absolute offset of a buffered sequential
+// reader, so the framing scan can record byte spans.
+type countingReader struct {
+	br *bufio.Reader
+	n  int64
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// skipEventsReader advances br past n encoded events, validating only the
+// framing — the streaming sibling of skipEvents.
+func skipEventsReader(br byteReader, n uint64) error {
+	var fixed [8]byte
+	for i := uint64(0); i < n; i++ {
+		kb, err := br.ReadByte()
+		if err != nil {
+			return formatf("event %d: truncated", i)
+		}
+		if _, err := binary.ReadUvarint(br); err != nil { // delta timestamp
+			return formatf("event %d: truncated time", i)
+		}
+		switch EventKind(kb) {
+		case KindEnter, KindLeave:
+			if _, err := binary.ReadUvarint(br); err != nil {
+				return formatf("event %d: truncated region", i)
+			}
+		case KindMetric:
+			if _, err := binary.ReadUvarint(br); err != nil {
+				return formatf("event %d: truncated metric", i)
+			}
+			if _, err := io.ReadFull(br, fixed[:]); err != nil {
+				return formatf("event %d: truncated value", i)
+			}
+		case KindSend, KindRecv:
+			if _, err := binary.ReadUvarint(br); err != nil {
+				return formatf("event %d: truncated message", i)
+			}
+			if _, err := binary.ReadVarint(br); err != nil {
+				return formatf("event %d: truncated message", i)
+			}
+			if _, err := binary.ReadUvarint(br); err != nil {
+				return formatf("event %d: truncated message", i)
+			}
+		default:
+			return formatf("event %d: unknown event kind %d", i, kb)
+		}
+	}
+	return nil
+}
+
+// OpenRankStreams scans the PVTR archive in src (size bytes long) and
+// returns per-rank stream handles. The scan parses the definitions and
+// walks the event framing once — no event is decoded or retained — and
+// verifies the end marker, so a structurally corrupt archive fails here
+// rather than mid-analysis.
+func OpenRankStreams(src io.ReaderAt, size int64) (*RankStreams, error) {
+	cr := &countingReader{br: bufio.NewReaderSize(io.NewSectionReader(src, 0, size), 1<<16)}
+	h, err := readHeader(cr)
+	if err != nil {
+		return nil, err
+	}
+	spans := make([]rankSpan, len(h.Procs))
+	for rank := range spans {
+		nev, err := binary.ReadUvarint(cr)
+		if err != nil || nev > maxEvents {
+			return nil, formatf("rank %d event count: n=%d err=%v", rank, nev, err)
+		}
+		start := cr.n
+		if err := skipEventsReader(cr, nev); err != nil {
+			return nil, formatf("rank %d %v", rank, err)
+		}
+		spans[rank] = rankSpan{nev: nev, off: start, len: cr.n - start}
+	}
+	var marker [4]byte
+	if _, err := io.ReadFull(cr, marker[:]); err != nil {
+		return nil, formatf("reading end marker: %v", err)
+	}
+	if string(marker[:]) != formatEnd {
+		return nil, formatf("end marker %q, want %q", marker[:], formatEnd)
+	}
+	return &RankStreams{header: h, src: src, spans: spans}, nil
+}
+
+// Header returns the archive's definitions.
+func (rs *RankStreams) Header() *Header { return rs.header }
+
+// NumRanks returns the number of per-rank streams.
+func (rs *RankStreams) NumRanks() int { return len(rs.spans) }
+
+// StreamRank decodes rank's events and feeds them to fn in stream order.
+// Every call re-reads the rank's block from the backing store, so streams
+// are resumable; calls for different ranks may run concurrently.
+// Returning ErrStopStream from fn ends the stream early without error.
+func (rs *RankStreams) StreamRank(rank int, fn func(Event) error) error {
+	if rank < 0 || rank >= len(rs.spans) {
+		return formatf("rank %d out of range", rank)
+	}
+	sp := rs.spans[rank]
+	br := decodeBufPool.Get().(*bufio.Reader)
+	br.Reset(io.NewSectionReader(rs.src, sp.off, sp.len))
+	defer decodeBufPool.Put(br)
+	dec := newEventDecoder(br, uint64(len(rs.header.Regions)), uint64(len(rs.header.Metrics)), uint64(len(rs.header.Procs)))
+	for i := uint64(0); i < sp.nev; i++ {
+		ev, err := dec.decode()
+		if err != nil {
+			return formatf("rank %d event %d: %v", rank, i, err)
+		}
+		if err := fn(ev); err != nil {
+			if errors.Is(err, ErrStopStream) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// DirStreams provides per-rank event streams over a directory archive.
+// The anchor's definitions are read once in OpenDirRankStreams; each
+// StreamRank call decodes the rank's own event file.
+type DirStreams struct {
+	header *Header
+	dir    string
+}
+
+// OpenDirRankStreams opens the directory archive at dir for per-rank
+// streaming. Missing rank files stream zero events, mirroring ReadDir.
+func OpenDirRankStreams(dir string) (*DirStreams, error) {
+	anchor, err := readAnchor(filepath.Join(dir, anchorName))
+	if err != nil {
+		return nil, err
+	}
+	h := &Header{Name: anchor.Name, Regions: anchor.Regions, Metrics: anchor.Metrics}
+	for i := range anchor.Procs {
+		h.Procs = append(h.Procs, anchor.Procs[i].Proc)
+	}
+	return &DirStreams{header: h, dir: dir}, nil
+}
+
+// Header returns the archive's definitions.
+func (ds *DirStreams) Header() *Header { return ds.header }
+
+// NumRanks returns the number of per-rank streams.
+func (ds *DirStreams) NumRanks() int { return len(ds.header.Procs) }
+
+// StreamRank decodes rank's event file and feeds the events to fn in
+// stream order. Every call re-opens the file, so streams are resumable;
+// calls for different ranks may run concurrently. Returning ErrStopStream
+// from fn ends the stream early without error.
+func (ds *DirStreams) StreamRank(rank int, fn func(Event) error) error {
+	if rank < 0 || rank >= len(ds.header.Procs) {
+		return formatf("rank %d out of range", rank)
+	}
+	path := filepath.Join(ds.dir, rankFileName(rank))
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil // a rank that recorded nothing
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := decodeBufPool.Get().(*bufio.Reader)
+	br.Reset(f)
+	defer decodeBufPool.Put(br)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return formatf("%s: magic: %v", path, err)
+	}
+	if string(magic[:]) != rankMagic {
+		return formatf("%s: magic %q, want %q", path, magic[:], rankMagic)
+	}
+	fileRank, err := binary.ReadUvarint(br)
+	if err != nil || int(fileRank) != rank {
+		return formatf("%s: rank %d, want %d (err=%v)", path, fileRank, rank, err)
+	}
+	var nev uint64
+	if err := binary.Read(br, binary.LittleEndian, &nev); err != nil {
+		return formatf("%s: event count: %v", path, err)
+	}
+	if nev > maxEvents {
+		return formatf("%s: event count %d exceeds limit", path, nev)
+	}
+	dec := newEventDecoder(br, uint64(len(ds.header.Regions)), uint64(len(ds.header.Metrics)), uint64(len(ds.header.Procs)))
+	for i := uint64(0); i < nev; i++ {
+		ev, err := dec.decode()
+		if err != nil {
+			return formatf("%s: event %d: %v", path, i, err)
+		}
+		if err := fn(ev); err != nil {
+			if errors.Is(err, ErrStopStream) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}

@@ -26,12 +26,11 @@ type Header struct {
 // order. Returning a non-nil error aborts the stream.
 type StreamFunc func(rank Rank, ev Event) error
 
-// Stream decodes a binary PVTR archive from r without materializing the
-// event slices: definitions are parsed into a Header, then fn is invoked
-// per event. Memory use is O(definitions), independent of trace length —
-// the reader for traces that do not fit in RAM.
-func Stream(r io.Reader, fn StreamFunc) (*Header, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+// readHeader parses the PVTR preamble — magic, version, and definitions —
+// from br, leaving it positioned at the first rank's event count. It is
+// shared by the one-shot Stream reader and the resumable per-rank stream
+// reader (OpenRankStreams).
+func readHeader(br byteReader) (*Header, error) {
 	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
 	readString := func() (string, error) {
 		n, err := readUvarint()
@@ -46,6 +45,11 @@ func Stream(r io.Reader, fn StreamFunc) (*Header, error) {
 			return "", err
 		}
 		return string(buf), nil
+	}
+	readByte := func() (byte, error) {
+		var b [1]byte
+		_, err := io.ReadFull(br, b[:])
+		return b[0], err
 	}
 
 	var magic [4]byte
@@ -78,11 +82,11 @@ func Stream(r io.Reader, fn StreamFunc) (*Header, error) {
 		if err != nil {
 			return nil, formatf("region %d name: %v", i, err)
 		}
-		pb, err := br.ReadByte()
+		pb, err := readByte()
 		if err != nil {
 			return nil, formatf("region %d paradigm: %v", i, err)
 		}
-		rb, err := br.ReadByte()
+		rb, err := readByte()
 		if err != nil {
 			return nil, formatf("region %d role: %v", i, err)
 		}
@@ -101,7 +105,7 @@ func Stream(r io.Reader, fn StreamFunc) (*Header, error) {
 		if err != nil {
 			return nil, formatf("metric %d unit: %v", i, err)
 		}
-		mb, err := br.ReadByte()
+		mb, err := readByte()
 		if err != nil {
 			return nil, formatf("metric %d mode: %v", i, err)
 		}
@@ -118,9 +122,25 @@ func Stream(r io.Reader, fn StreamFunc) (*Header, error) {
 		}
 		h.Procs = append(h.Procs, Process{Rank: Rank(i), Name: name})
 	}
+	return h, nil
+}
+
+// Stream decodes a binary PVTR archive from r without materializing the
+// event slices: definitions are parsed into a Header, then fn is invoked
+// per event. Memory use is O(definitions), independent of trace length —
+// the reader for traces that do not fit in RAM.
+func Stream(r io.Reader, fn StreamFunc) (*Header, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	h, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	nregions := uint64(len(h.Regions))
+	nmetrics := uint64(len(h.Metrics))
+	nprocs := uint64(len(h.Procs))
 
 	for rank := uint64(0); rank < nprocs; rank++ {
-		nev, err := readUvarint()
+		nev, err := binary.ReadUvarint(br)
 		if err != nil || nev > maxEvents {
 			return nil, formatf("rank %d event count: n=%d err=%v", rank, nev, err)
 		}
@@ -138,11 +158,12 @@ func Stream(r io.Reader, fn StreamFunc) (*Header, error) {
 			}
 		}
 	}
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
+	var marker [4]byte
+	if _, err := io.ReadFull(br, marker[:]); err != nil {
 		return nil, formatf("reading end marker: %v", err)
 	}
-	if string(magic[:]) != formatEnd {
-		return nil, formatf("end marker %q, want %q", magic[:], formatEnd)
+	if string(marker[:]) != formatEnd {
+		return nil, formatf("end marker %q, want %q", marker[:], formatEnd)
 	}
 	return h, nil
 }

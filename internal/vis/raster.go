@@ -214,7 +214,7 @@ func Timeline(tr *trace.Trace, opts RenderOptions) *image.RGBA {
 	if o.Messages {
 		drawMessages(img, l, o, tr, first, span)
 	}
-	decorate(img, l, o, tr, first, last)
+	decorate(img, l, o, tr.NumRanks(), first, last)
 	return img
 }
 
@@ -270,10 +270,18 @@ func drawMessages(img *image.RGBA, l layout, o RenderOptions, tr *trace.Trace, f
 // the segments of the dominant function colored by SOS-time — blue for
 // fast segments, red for slow ones.
 func SOSHeatmap(tr *trace.Trace, m *segment.Matrix, opts RenderOptions) *image.RGBA {
+	first, last := tr.Span()
+	return SOSHeatmapSpan(first, last, m, opts)
+}
+
+// SOSHeatmapSpan is SOSHeatmap for callers that know the run span but
+// hold no materialized trace — the rendering path of streaming analysis
+// results. The trace only ever contributed its span; given the same
+// span and matrix the pixels are identical.
+func SOSHeatmapSpan(first, last trace.Time, m *segment.Matrix, opts RenderOptions) *image.RGBA {
 	o := opts.withDefaults()
 	img := newCanvas(o)
 	l := makeLayout(o, true)
-	first, last := tr.Span()
 	if last <= first || m.NumRanks() == 0 {
 		return img
 	}
@@ -300,7 +308,7 @@ func SOSHeatmap(tr *trace.Trace, m *segment.Matrix, opts RenderOptions) *image.R
 			fill(img, image.Rect(x0, y0, x1, y1), c)
 		}
 	}
-	decorate(img, l, o, tr, first, last)
+	decorate(img, l, o, m.NumRanks(), first, last)
 	drawLegend(img, l, o, *norm, FormatDuration)
 	return img
 }
@@ -404,13 +412,13 @@ func CounterHeatmap(tr *trace.Trace, id trace.MetricID, opts RenderOptions) *ima
 			}
 		}
 	}
-	decorate(img, l, o, tr, first, last)
+	decorate(img, l, o, tr.NumRanks(), first, last)
 	drawLegend(img, l, o, *norm, func(v float64) string { return fmt.Sprintf("%.3g", v) })
 	return img
 }
 
 // decorate draws the title, rank labels, and time axis when enabled.
-func decorate(img *image.RGBA, l layout, o RenderOptions, tr *trace.Trace, first, last trace.Time) {
+func decorate(img *image.RGBA, l layout, o RenderOptions, nranks int, first, last trace.Time) {
 	if !l.labels {
 		return
 	}
@@ -418,7 +426,7 @@ func decorate(img *image.RGBA, l layout, o RenderOptions, tr *trace.Trace, first
 		DrawText(img, l.plot.Min.X, 3, o.Title, ColorText)
 	}
 	// Rank labels: first, middle, last (as many as fit).
-	n := tr.NumRanks()
+	n := nranks
 	if n > 0 {
 		rows := rankRows(l.plot, n)
 		step := 1

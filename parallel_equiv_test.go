@@ -63,7 +63,10 @@ func TestParallelPipelineEquivalence(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					caus := res.Causality()
+					caus, err := res.Causality()
+					if err != nil {
+						t.Fatal(err)
+					}
 					causJS, err := json.Marshal(caus)
 					if err != nil {
 						t.Fatal(err)

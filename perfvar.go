@@ -26,6 +26,7 @@ package perfvar
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -99,6 +100,10 @@ type (
 	OnlineAlert = online.Alert
 	// OnlineOptions tune the online detector.
 	OnlineOptions = online.Options
+	// OnlineConfig assembles an online analyzer: rank count, region
+	// definitions, the dominant function by RegionID or by name, optional
+	// classifier and options. Build with OnlineConfig.NewAnalyzer.
+	OnlineConfig = online.Config
 
 	// CosmoSpecsConfig parameterizes the Fig. 4 case-study workload.
 	CosmoSpecsConfig = workloads.CosmoSpecsConfig
@@ -181,17 +186,44 @@ type Options struct {
 	PerIteration bool
 }
 
+// ErrNoTrace reports an operation that needs the full event stream on a
+// result produced by the streaming engine (Result.Trace == nil). Analyze
+// via TraceSource — or LoadTrace + Analyze — when such views are needed.
+var ErrNoTrace = errors.New("perfvar: operation requires a materialized trace (the result came from a streaming source)")
+
 // Result is the complete outcome of one analysis run.
 type Result struct {
+	// Trace is the analyzed in-memory trace when one backs the result
+	// (Analyze, TraceSource, pvtt and workload sources); nil when the
+	// streaming engine analyzed the source without materializing it.
 	Trace     *Trace
 	Selection Selection
 	Matrix    *Matrix
 	Analysis  *Analysis
 	// MPIFraction is the binned MPI-time share over the run.
 	MPIFraction []float64
+	// Engine reports which pipeline produced the result: EngineStream or
+	// EngineMaterialized. Both produce byte-identical analyses.
+	Engine string
+
+	// source re-opens the measurement data for operations that need
+	// another pass (Refine on a streaming result).
+	source Source
+	info   resultInfo
 }
 
-// Analyze runs the full three-step pipeline on tr.
+// resultInfo is the trace metadata a streaming analysis retains in place
+// of the trace itself: enough for reports and span-based rendering.
+type resultInfo struct {
+	name        string
+	ranks       int
+	events      int64
+	first, last trace.Time
+}
+
+// Analyze runs the full three-step pipeline on tr. It is the ctx-free
+// wrapper over AnalyzeContext; the canonical entry point is
+// AnalyzeSource.
 func Analyze(tr *Trace, opts Options) (*Result, error) {
 	return AnalyzeContext(context.Background(), tr, opts)
 }
@@ -200,71 +232,57 @@ func Analyze(tr *Trace, opts Options) (*Result, error) {
 // pipeline (profile replay, segmentation, imbalance statistics) checks
 // the context between work items, so a cancelled or timed-out request —
 // e.g. an HTTP client that hung up on perfvard — stops burning pool
-// workers instead of running the analysis to completion.
+// workers instead of running the analysis to completion. It is a thin
+// TraceSource wrapper over AnalyzeSource.
 func AnalyzeContext(ctx context.Context, tr *Trace, opts Options) (*Result, error) {
-	sel, err := dominant.SelectContext(ctx, tr, dominant.Options{Multiplier: opts.Multiplier})
-	if err != nil {
-		return nil, err
-	}
-	region := sel.Dominant.Region
-	if opts.DominantFunction != "" {
-		r, ok := tr.RegionByName(opts.DominantFunction)
-		if !ok {
-			return nil, fmt.Errorf("perfvar: region %q not found in trace", opts.DominantFunction)
-		}
-		region = r.ID
-	}
-	var cls segment.SyncClassifier
-	if len(opts.SyncPrefixes) > 0 {
-		cls = segment.NameSync(opts.SyncPrefixes)
-	}
-	m, err := segment.ComputeContext(ctx, tr, region, cls)
-	if err != nil {
-		return nil, err
-	}
-	a, err := imbalance.AnalyzeContext(ctx, m, imbalance.Options{
-		ZThreshold:   opts.ZThreshold,
-		TopK:         opts.TopK,
-		PerIteration: opts.PerIteration,
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	bins := opts.MPIFractionBins
-	if bins == 0 {
-		bins = 20
-	}
-	var frac []float64
-	if bins > 0 {
-		frac = imbalance.MPIFractionTimeline(tr, bins)
-	}
-	return &Result{Trace: tr, Selection: sel, Matrix: m, Analysis: a, MPIFraction: frac}, nil
+	return AnalyzeSource(ctx, TraceSource(tr), opts)
 }
 
 // Refine re-runs segmentation and analysis at a finer granularity: the
 // highest-ranked candidate with more invocations than the current
 // dominant function (paper Fig. 5c). It returns an error when no finer
-// candidate exists.
+// candidate exists. Streaming results re-stream their source.
 func (r *Result) Refine(opts Options) (*Result, error) {
 	finer, ok := r.Selection.Finer(r.Matrix.Region)
 	if !ok {
 		return nil, fmt.Errorf("perfvar: no finer segmentation candidate than %q", r.Matrix.RegionName)
 	}
 	opts.DominantFunction = finer.Name
-	return Analyze(r.Trace, opts)
+	if r.Trace != nil {
+		return Analyze(r.Trace, opts)
+	}
+	if r.source == nil {
+		return nil, ErrNoTrace
+	}
+	return AnalyzeSource(context.Background(), r.source, opts)
 }
 
-// Report builds the text/JSON report for the result.
+// Report builds the text/JSON report for the result. Streaming results
+// build it from the metadata tallied during analysis; the bytes are
+// identical to the materialized path's.
 func (r *Result) Report() *Report {
-	return report.New(r.Trace, r.Selection, r.Analysis, r.MPIFraction)
+	if r.Trace != nil {
+		return report.New(r.Trace, r.Selection, r.Analysis, r.MPIFraction)
+	}
+	return &report.Report{
+		TraceName:   r.info.name,
+		Ranks:       r.info.ranks,
+		Events:      int(r.info.events),
+		Selection:   r.Selection,
+		Analysis:    r.Analysis,
+		MPIFraction: r.MPIFraction,
+	}
 }
 
 // SlowestIterationsTrace extracts the sub-trace covering the k slowest
 // iterations (by maximum SOS-time across ranks) — the paper's workflow of
 // keeping only the interesting iterations for focused analysis. The
-// result is a balanced, analyzable trace.
+// result is a balanced, analyzable trace. It requires a materialized
+// trace and returns nil on streaming results (Trace == nil).
 func (r *Result) SlowestIterationsTrace(k int) *Trace {
+	if r.Trace == nil {
+		return nil
+	}
 	iters := append([]imbalance.IterationStats(nil), r.Analysis.Iterations...)
 	sort.Slice(iters, func(i, j int) bool { return iters[i].MaxSOS > iters[j].MaxSOS })
 	if k > len(iters) {
@@ -281,8 +299,13 @@ func (r *Result) SlowestIterationsTrace(k int) *Trace {
 }
 
 // Heatmap renders the SOS-time heatmap (the paper's core visualization).
+// Streaming results render from the run span tallied during analysis —
+// pixel-identical to the materialized rendering.
 func (r *Result) Heatmap(opts RenderOptions) *vis.Image {
-	return vis.SOSHeatmap(r.Trace, r.Matrix, opts)
+	if r.Trace != nil {
+		return vis.SOSHeatmap(r.Trace, r.Matrix, opts)
+	}
+	return vis.SOSHeatmapSpan(r.info.first, r.info.last, r.Matrix, opts)
 }
 
 // HeatmapByIndex renders the SOS heatmap in invocation-index space:
@@ -307,8 +330,12 @@ func (r *Result) Phases(k int) *Clustering {
 }
 
 // Breakdown dissects one segment into per-region exclusive times — the
-// focused follow-up once a hotspot is identified.
+// focused follow-up once a hotspot is identified. It requires a
+// materialized trace (ErrNoTrace otherwise).
 func (r *Result) Breakdown(seg Segment) ([]BreakdownEntry, error) {
+	if r.Trace == nil {
+		return nil, ErrNoTrace
+	}
 	return segment.Breakdown(r.Trace, seg)
 }
 
@@ -338,16 +365,20 @@ type CausalityRank = causality.RankAttribution
 // edges weighted by wait time), classifies the wait states, folds
 // indirect waits back onto their originating ranks, and ranks root-cause
 // candidates. Unlike WaitCausers, which charges the slowest rank of each
-// iteration, this follows the actual communication dependencies.
-func (r *Result) Causality() *CausalityAnalysis {
-	g := lint.DependencyGraph(r.Trace, r.Matrix)
-	return causality.Analyze(g, causality.Options{})
+// iteration, this follows the actual communication dependencies. It is
+// the ctx-free wrapper over CausalityContext and requires a
+// materialized trace (ErrNoTrace otherwise).
+func (r *Result) Causality() (*CausalityAnalysis, error) {
+	return r.CausalityContext(context.Background())
 }
 
-// CausalityContext is Causality observing ctx: the graph build's
-// per-rank scans and per-column edge aggregation stop once ctx is
-// cancelled, returning ctx.Err().
+// CausalityContext is the canonical, context-taking form of Causality:
+// the graph build's per-rank scans and per-column edge aggregation stop
+// once ctx is cancelled, returning ctx.Err().
 func (r *Result) CausalityContext(ctx context.Context) (*CausalityAnalysis, error) {
+	if r.Trace == nil {
+		return nil, ErrNoTrace
+	}
 	g, err := lint.DependencyGraphContext(ctx, r.Trace, r.Matrix)
 	if err != nil {
 		return nil, err
@@ -415,12 +446,28 @@ func CounterHeatmap(tr *Trace, metricName string, opts RenderOptions) (*vis.Imag
 // files may be binary PVTR or text pvtt (auto-detected by magic bytes);
 // a directory is read as a multi-file archive (anchor + per-rank files).
 func LoadTrace(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return loadOpenTrace(f, path)
+}
+
+// loadOpenTrace decodes the already-opened archive f. The
+// file-or-directory decision is made by statting the handle, not the
+// path, so a path swapped between open and stat cannot route the handle
+// to the wrong decoder.
+func loadOpenTrace(f *os.File, path string) (*Trace, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
 	var tr *Trace
-	var err error
-	if fi, statErr := os.Stat(path); statErr == nil && fi.IsDir() {
+	if fi.IsDir() {
 		tr, err = trace.ReadDir(path)
 	} else {
-		tr, err = trace.ReadAnyFile(path)
+		tr, err = trace.ReadAny(f)
 	}
 	if err != nil {
 		return nil, err
@@ -463,20 +510,16 @@ func ANSI(img *vis.Image, cols int) string { return vis.ANSI(img, cols) }
 // NewOnlineAnalyzer builds an in-situ hotspot detector: events are fed as
 // they occur (per rank in time order) and alerts fire the moment a
 // completed dominant-function invocation deviates — no trace file needed.
-// The dominant function is named explicitly (typically known from a
-// previous run or a short profiling prefix).
+//
+// Deprecated: use OnlineConfig.NewAnalyzer, which also accepts the
+// dominant function by RegionID and a custom synchronization classifier.
 func NewOnlineAnalyzer(nranks int, regions []Region, dominantName string, opts OnlineOptions) (*OnlineAnalyzer, error) {
-	dom := trace.NoRegion
-	for _, r := range regions {
-		if r.Name == dominantName {
-			dom = r.ID
-			break
-		}
-	}
-	if dom == trace.NoRegion {
-		return nil, fmt.Errorf("perfvar: region %q not among the definitions", dominantName)
-	}
-	return online.New(nranks, regions, dom, nil, opts)
+	return OnlineConfig{
+		Ranks:        nranks,
+		Regions:      regions,
+		DominantName: dominantName,
+		Options:      opts,
+	}.NewAnalyzer()
 }
 
 // StreamTrace reads the archive at path event-by-event without

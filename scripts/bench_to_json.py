@@ -9,6 +9,12 @@ variant and at least one other worker-count variant (`j2`, `j4`, `jmax`):
 the ratio of the serial ns/op to each variant's ns/op. Those families are
 the parallel-pipeline benchmarks; the ratios seed the performance
 trajectory tracked across PRs.
+
+It also computes `stream_vs_materialized` for every family with both a
+`stream` and a `materialized` variant (BenchmarkAnalyzeStream): the
+stream/materialized ratio of B/op and ns/op. CI gates on the B/op ratio
+— the streaming engine must allocate at most half of what the
+materialized path does.
 """
 
 import json
@@ -70,6 +76,30 @@ def speedups(benchmarks):
     return out
 
 
+def stream_ratios(benchmarks):
+    families = {}
+    for b in benchmarks:
+        name = strip_gomaxprocs(b["name"])
+        if "/" not in name:
+            continue
+        family, variant = name.rsplit("/", 1)
+        if variant not in ("stream", "materialized"):
+            continue
+        families.setdefault(family, {})[variant] = b["metrics"]
+    out = {}
+    for family, variants in sorted(families.items()):
+        stream, mat = variants.get("stream"), variants.get("materialized")
+        if not stream or not mat:
+            continue
+        ratios = {}
+        for unit in ("B/op", "ns/op"):
+            if mat.get(unit) and stream.get(unit) is not None:
+                ratios[unit] = round(stream[unit] / mat[unit], 4)
+        if ratios:
+            out[family] = ratios
+    return out
+
+
 def main():
     if len(sys.argv) != 2:
         sys.exit(__doc__.strip())
@@ -78,7 +108,12 @@ def main():
     if not benchmarks:
         sys.exit("bench_to_json: no benchmark lines found in " + sys.argv[1])
     json.dump(
-        {"env": env, "benchmarks": benchmarks, "speedup_vs_serial": speedups(benchmarks)},
+        {
+            "env": env,
+            "benchmarks": benchmarks,
+            "speedup_vs_serial": speedups(benchmarks),
+            "stream_vs_materialized": stream_ratios(benchmarks),
+        },
         sys.stdout,
         indent=2,
     )

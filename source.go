@@ -1,0 +1,214 @@
+package perfvar
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+
+	"perfvar/internal/trace"
+)
+
+// Source is the one way to hand measurement data to the analysis
+// pipeline: wrap an in-memory trace (TraceSource), stream an archive
+// from disk (FileSource) or from bytes already in memory
+// (ArchiveSource), or generate a synthetic workload on demand
+// (WorkloadSource), then run AnalyzeSource. Sources whose archive layout
+// supports per-rank framing — PVTR files and directory archives — are
+// analyzed by the streaming two-pass engine without ever materializing
+// the event streams; the rest go through the in-memory path. Either way
+// the results are byte-identical.
+type Source interface {
+	// Open prepares the source and returns its per-rank event streams.
+	// Each call returns an independent handle; Close releases it.
+	Open(ctx context.Context) (SourceStreams, error)
+}
+
+// SourceStreams is an open source: the archive's definitions plus
+// repeatable per-rank event streams.
+type SourceStreams interface {
+	// Header returns the archive's definitions.
+	Header() *TraceHeader
+	// NumRanks returns the number of processing elements.
+	NumRanks() int
+	// StreamRank feeds rank's events to fn in stream order. Every call
+	// re-reads the rank's stream from the start (streams are resumable),
+	// and calls for different ranks may run concurrently. Returning
+	// ErrStopStream from fn ends the stream early without error.
+	StreamRank(rank int, fn func(Event) error) error
+	// Trace returns the in-memory trace backing the streams, or nil when
+	// the source streams without materializing one.
+	Trace() *Trace
+	// Close releases the handle.
+	Close() error
+}
+
+// TraceSource adapts an in-memory trace to the Source API. Analyze and
+// AnalyzeContext are thin wrappers over AnalyzeSource with a
+// TraceSource.
+func TraceSource(tr *Trace) Source { return traceSource{tr: tr} }
+
+type traceSource struct{ tr *Trace }
+
+func (s traceSource) Open(ctx context.Context) (SourceStreams, error) {
+	return newTraceStreams(s.tr), nil
+}
+
+// traceStreams serves per-rank streams straight from a materialized
+// trace's event slices.
+type traceStreams struct {
+	tr     *Trace
+	header *TraceHeader
+}
+
+func newTraceStreams(tr *Trace) *traceStreams {
+	h := &trace.Header{Name: tr.Name, Regions: tr.Regions, Metrics: tr.Metrics}
+	for i := range tr.Procs {
+		h.Procs = append(h.Procs, tr.Procs[i].Proc)
+	}
+	return &traceStreams{tr: tr, header: h}
+}
+
+func (s *traceStreams) Header() *TraceHeader { return s.header }
+func (s *traceStreams) NumRanks() int        { return s.tr.NumRanks() }
+func (s *traceStreams) Trace() *Trace        { return s.tr }
+func (s *traceStreams) Close() error         { return nil }
+
+func (s *traceStreams) StreamRank(rank int, fn func(Event) error) error {
+	if rank < 0 || rank >= len(s.tr.Procs) {
+		return fmt.Errorf("perfvar: rank %d out of range", rank)
+	}
+	for _, ev := range s.tr.Procs[rank].Events {
+		if err := fn(ev); err != nil {
+			if err == ErrStopStream {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// rankStreamer is the shape the trace package's archive stream readers
+// (RankStreams, DirStreams) share.
+type rankStreamer interface {
+	Header() *trace.Header
+	NumRanks() int
+	StreamRank(rank int, fn func(trace.Event) error) error
+}
+
+// archiveStreams adapts a trace-level streamer to SourceStreams; no
+// materialized trace backs it.
+type archiveStreams struct {
+	str    rankStreamer
+	closer io.Closer // backing file, when the source owns one
+}
+
+func (s *archiveStreams) Header() *TraceHeader { return s.str.Header() }
+func (s *archiveStreams) NumRanks() int        { return s.str.NumRanks() }
+func (s *archiveStreams) Trace() *Trace        { return nil }
+
+func (s *archiveStreams) StreamRank(rank int, fn func(Event) error) error {
+	return s.str.StreamRank(rank, fn)
+}
+
+func (s *archiveStreams) Close() error {
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}
+
+// FileSource streams the archive at path. PVTR files and directory
+// archives (anchor + per-rank files) stream per rank with memory bounded
+// by definitions and ranks; text (pvtt) archives — a line-oriented
+// format with no per-rank framing — are materialized on Open and
+// analyzed through the in-memory path. The file-or-directory decision is
+// made on the opened handle, never by a separate stat, so a path swapped
+// concurrently cannot select the wrong decoder.
+func FileSource(path string) Source { return fileSource{path: path} }
+
+type fileSource struct{ path string }
+
+func (s fileSource) Open(ctx context.Context) (SourceStreams, error) {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fi.IsDir() {
+		f.Close()
+		ds, err := trace.OpenDirRankStreams(s.path)
+		if err != nil {
+			return nil, err
+		}
+		return &archiveStreams{str: ds}, nil
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: reading magic: %v", trace.ErrFormat, err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(magic[:]) == "PVTR" {
+		rs, err := trace.OpenRankStreams(f, fi.Size())
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return &archiveStreams{str: rs, closer: f}, nil
+	}
+	// pvtt (or unknown magic, which ReadAny will reject with the usual
+	// format error): materialize from the same handle.
+	tr, err := trace.ReadAny(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	return newTraceStreams(tr), nil
+}
+
+// ArchiveSource streams from archive bytes already in memory — the shape
+// of an HTTP upload. PVTR bytes stream per rank without an intermediate
+// *Trace; pvtt text archives are parsed on Open.
+func ArchiveSource(data []byte) Source { return archiveSource{data: data} }
+
+type archiveSource struct{ data []byte }
+
+func (s archiveSource) Open(ctx context.Context) (SourceStreams, error) {
+	if len(s.data) >= 4 && string(s.data[:4]) == "PVTR" {
+		rs, err := trace.OpenRankStreams(bytes.NewReader(s.data), int64(len(s.data)))
+		if err != nil {
+			return nil, err
+		}
+		return &archiveStreams{str: rs}, nil
+	}
+	tr, err := trace.ReadAny(bytes.NewReader(s.data))
+	if err != nil {
+		return nil, err
+	}
+	return newTraceStreams(tr), nil
+}
+
+// WorkloadSource wraps a trace generator (GenerateFD4 and friends, or
+// any measurement producer): the workload is generated on Open and
+// analyzed through the in-memory path.
+func WorkloadSource(gen func() (*Trace, error)) Source { return workloadSource{gen: gen} }
+
+type workloadSource struct{ gen func() (*Trace, error) }
+
+func (s workloadSource) Open(ctx context.Context) (SourceStreams, error) {
+	tr, err := s.gen()
+	if err != nil {
+		return nil, err
+	}
+	return newTraceStreams(tr), nil
+}
