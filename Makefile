@@ -18,11 +18,13 @@ race:
 # streaming-vs-materialized engine comparison, then distill them into
 # BENCH_pipeline.json, the benchmark record tracked across PRs.
 bench:
-	$(GO) test -run '^$$' -bench 'Fig|AnalyzeStream' -benchmem -count 1 . | tee bench.out
+	$(GO) test -run '^$$' -bench 'Fig|AnalyzeStream|LintStream' -benchmem -count 1 . | tee bench.out
 	python3 scripts/bench_to_json.py bench.out > BENCH_pipeline.json
 
 lint:
 	$(GO) vet ./...
+	$(GO) build -o perfvarvet ./tools/analyzers/cmd/perfvarvet
+	$(GO) vet -vettool=$(PWD)/perfvarvet ./...
 	$(GO) run ./cmd/pvtlint testdata/traces/fig2.pvtt testdata/traces/fig3.pvtt
 
 fmt:

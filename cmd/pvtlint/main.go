@@ -9,8 +9,16 @@
 //	pvtlint -severity warning run.pvt   # hide info-level findings
 //	pvtlint -json run.pvt               # machine-readable report
 //	pvtlint -analyzers nesting,msgmatch run.pvt
+//	pvtlint -stream big.pvtr            # lint without materializing
 //	pvtlint -fix fixed.pvt broken.pvt   # write a mechanically repaired copy
 //	pvtlint -list                       # analyzer catalog
+//
+// With -stream the archive is linted through the Source API: PVTR files
+// and directory archives are swept per rank without ever materializing
+// the event streams, so memory stays bounded by ranks and call depth
+// instead of events. The diagnostics are byte-identical to the default
+// in-memory path. -fix needs the whole trace in memory and is therefore
+// incompatible with -stream.
 //
 // The exit status is 0 when no error-severity findings exist, 1 when at
 // least one does, and 2 on usage or read failures. Unlike the analysis
@@ -19,60 +27,76 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"perfvar"
 	"perfvar/internal/lint"
 	"perfvar/internal/parallel"
 	"perfvar/internal/trace"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pvtlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		severity  = flag.String("severity", "info", "minimum severity to report: info, warning, error")
-		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
-		fixPath   = flag.String("fix", "", "write a mechanically repaired copy of the (single) input trace to this path")
-		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-		minLat    = flag.Int64("minlatency", int64(lint.DefaultMinLatency), "assumed minimal network latency in ns for clock checks")
-		maxPer    = flag.Int("max", 20, "findings printed per analyzer in text mode (0 = all)")
-		list      = flag.Bool("list", false, "print the analyzer catalog and exit")
-		jobs      = flag.Int("j", 0, "worker goroutines for decoding and per-rank checks (0 = GOMAXPROCS)")
+		severity  = fs.String("severity", "info", "minimum severity to report: info, warning, error")
+		jsonOut   = fs.Bool("json", false, "emit the report as JSON")
+		fixPath   = fs.String("fix", "", "write a mechanically repaired copy of the (single) input trace to this path")
+		analyzers = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		minLat    = fs.Int64("minlatency", int64(lint.DefaultMinLatency), "assumed minimal network latency in ns for clock checks")
+		maxPer    = fs.Int("max", 20, "findings printed per analyzer in text mode (0 = all)")
+		list      = fs.Bool("list", false, "print the analyzer catalog and exit")
+		jobs      = fs.Int("j", 0, "worker goroutines for decoding and per-rank checks (0 = GOMAXPROCS)")
+		stream    = fs.Bool("stream", false, "lint through the streaming Source API without materializing the trace")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *jobs > 0 {
 		parallel.SetJobs(*jobs)
 	}
 
 	if *list {
-		printCatalog()
-		return
+		printCatalog(stdout)
+		return 0
 	}
-	paths := flag.Args()
+	paths := fs.Args()
 	if len(paths) == 0 {
-		fmt.Fprintln(os.Stderr, "pvtlint: no trace archives given")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "pvtlint: no trace archives given")
+		fs.Usage()
+		return 2
+	}
+	if *fixPath != "" && *stream {
+		fmt.Fprintln(stderr, "pvtlint: -stream is incompatible with -fix (fix requires a materialized trace)")
+		return 2
 	}
 	if *fixPath != "" && len(paths) != 1 {
-		fmt.Fprintln(os.Stderr, "pvtlint: -fix requires exactly one input trace")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "pvtlint: -fix requires exactly one input trace")
+		return 2
 	}
 
 	opts := lint.Options{MinLatency: *minLat}
 	if sev, ok := lint.ParseSeverity(*severity); ok {
 		opts.MinSeverity = sev
 	} else {
-		fmt.Fprintf(os.Stderr, "pvtlint: unknown severity %q\n", *severity)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "pvtlint: unknown severity %q\n", *severity)
+		return 2
 	}
 	if *analyzers != "" {
 		for _, name := range strings.Split(*analyzers, ",") {
 			a, ok := lint.Lookup(strings.TrimSpace(name))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "pvtlint: unknown analyzer %q (see -list)\n", name)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "pvtlint: unknown analyzer %q (see -list)\n", name)
+				return 2
 			}
 			opts.Analyzers = append(opts.Analyzers, a)
 		}
@@ -80,42 +104,67 @@ func main() {
 
 	errorsFound := false
 	for _, path := range paths {
-		tr, err := loadRaw(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pvtlint:", err)
-			os.Exit(2)
+		var res *lint.Result
+		var tr *trace.Trace
+		if *stream {
+			var err error
+			res, err = lintStream(path, opts)
+			if err != nil {
+				fmt.Fprintln(stderr, "pvtlint:", err)
+				return 2
+			}
+		} else {
+			var err error
+			tr, err = loadRaw(path)
+			if err != nil {
+				fmt.Fprintln(stderr, "pvtlint:", err)
+				return 2
+			}
+			res = lint.Run(tr, opts)
 		}
-		res := lint.Run(tr, opts)
 		if res.HasErrors() {
 			errorsFound = true
 		}
 		if *jsonOut {
-			if err := res.WriteJSON(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, "pvtlint:", err)
-				os.Exit(2)
+			if err := res.WriteJSON(stdout); err != nil {
+				fmt.Fprintln(stderr, "pvtlint:", err)
+				return 2
 			}
 		} else {
 			if len(paths) > 1 {
-				fmt.Printf("== %s\n", path)
+				fmt.Fprintf(stdout, "== %s\n", path)
 			}
-			if err := res.WriteText(os.Stdout, *maxPer); err != nil {
-				fmt.Fprintln(os.Stderr, "pvtlint:", err)
-				os.Exit(2)
+			if err := res.WriteText(stdout, *maxPer); err != nil {
+				fmt.Fprintln(stderr, "pvtlint:", err)
+				return 2
 			}
 		}
 		if *fixPath != "" {
 			fixed, rep := lint.Fix(tr, *minLat)
 			if err := saveTrace(*fixPath, fixed); err != nil {
-				fmt.Fprintln(os.Stderr, "pvtlint:", err)
-				os.Exit(2)
+				fmt.Fprintln(stderr, "pvtlint:", err)
+				return 2
 			}
-			fmt.Printf("fix: wrote %s (dropped %d events, synthesized %d leaves, clamped %d sizes, clock offsets applied: %v)\n",
+			fmt.Fprintf(stdout, "fix: wrote %s (dropped %d events, synthesized %d leaves, clamped %d sizes, clock offsets applied: %v)\n",
 				*fixPath, rep.DroppedEvents, rep.SynthesizedLeaves, rep.ClampedSizes, rep.ClockApplied)
 		}
 	}
 	if errorsFound {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// lintStream sweeps the archive through the Source API: PVTR files and
+// directory archives stream per rank, pvtt archives are materialized by
+// the source transparently.
+func lintStream(path string, opts lint.Options) (*lint.Result, error) {
+	st, err := perfvar.FileSource(path).Open(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	return lint.RunSource(context.Background(), st, opts)
 }
 
 // loadRaw reads an archive without validating it.
@@ -133,9 +182,9 @@ func saveTrace(path string, tr *trace.Trace) error {
 	return trace.WriteFile(path, tr)
 }
 
-func printCatalog() {
-	fmt.Println("registered analyzers:")
+func printCatalog(w io.Writer) {
+	fmt.Fprintln(w, "registered analyzers:")
 	for _, a := range lint.All() {
-		fmt.Printf("  %-13s %-8s %-10s %s\n", a.Name(), a.Severity(), a.Scope(), a.Doc())
+		fmt.Fprintf(w, "  %-13s %-8s %-10s %s\n", a.Name(), a.Severity(), a.Scope(), a.Doc())
 	}
 }

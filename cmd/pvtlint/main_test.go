@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fixture(name string) string {
+	return filepath.Join("..", "..", "testdata", "traces", name)
+}
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestStreamMatchesMaterialized(t *testing.T) {
+	for _, name := range []string{"fig2.pvtt", "fig3.pvtt", "broken.pvtt"} {
+		path := fixture(name)
+		mCode, mOut, _ := runCmd(t, "-json", path)
+		sCode, sOut, _ := runCmd(t, "-json", "-stream", path)
+		if mCode != sCode {
+			t.Errorf("%s: exit code diverges: materialized %d, stream %d", name, mCode, sCode)
+		}
+		if mOut != sOut {
+			t.Errorf("%s: JSON report diverges between -stream and default", name)
+		}
+	}
+}
+
+func TestBrokenTraceExitsOne(t *testing.T) {
+	for _, args := range [][]string{
+		{"-json", fixture("broken.pvtt")},
+		{"-json", "-stream", fixture("broken.pvtt")},
+	} {
+		code, _, _ := runCmd(t, args...)
+		if code != 1 {
+			t.Errorf("pvtlint %v: exit code = %d, want 1", args, code)
+		}
+	}
+}
+
+func TestStreamRejectsFix(t *testing.T) {
+	fixOut := filepath.Join(t.TempDir(), "fixed.pvtt")
+	code, _, stderr := runCmd(t, "-stream", "-fix", fixOut, fixture("broken.pvtt"))
+	if code != 2 {
+		t.Fatalf("-stream -fix: exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-stream is incompatible with -fix") {
+		t.Fatalf("-stream -fix: stderr lacks the incompatibility message; got %q", stderr)
+	}
+}
+
+func TestFixWithoutStreamStillWorks(t *testing.T) {
+	fixOut := filepath.Join(t.TempDir(), "fixed.pvtt")
+	code, stdout, stderr := runCmd(t, "-fix", fixOut, fixture("broken.pvtt"))
+	if code != 1 { // broken.pvtt has error findings; fix still writes
+		t.Fatalf("-fix: exit code = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stdout, "fix: wrote "+fixOut) {
+		t.Fatalf("-fix: stdout lacks the fix summary; got %q", stdout)
+	}
+	// The repaired copy must lint clean of error-severity findings.
+	code, _, stderr = runCmd(t, "-json", fixOut)
+	if code != 0 {
+		t.Fatalf("fixed trace still has errors: exit %d (stderr: %s)", code, stderr)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want int
+	}{
+		{[]string{}, 2},
+		{[]string{"-severity", "bogus", fixture("fig2.pvtt")}, 2},
+		{[]string{"-analyzers", "nosuch", fixture("fig2.pvtt")}, 2},
+		{[]string{"-stream", "nosuchfile.pvtr"}, 2},
+	} {
+		code, _, _ := runCmd(t, tc.args...)
+		if code != tc.want {
+			t.Errorf("pvtlint %v: exit code = %d, want %d", tc.args, code, tc.want)
+		}
+	}
+}
+
+func TestListCatalog(t *testing.T) {
+	code, stdout, _ := runCmd(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list: exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"nesting", "msgmatch", "clockskew", "latesender"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list: catalog lacks analyzer %q", name)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"perfvar/internal/core/dominant"
 	"perfvar/internal/core/imbalance"
 	"perfvar/internal/core/segment"
+	"perfvar/internal/lint"
 	"perfvar/internal/parallel"
 	"perfvar/internal/trace"
 )
@@ -54,11 +55,28 @@ func AnalyzeSource(ctx context.Context, src Source, opts Options) (*Result, erro
 	nranks := st.NumRanks()
 	nregions := len(h.Regions)
 
+	// Fused lint: the lint driver rides the same decode passes as the
+	// pipeline, so Options.Lint costs no extra sweep over the source.
+	var lr *lint.StreamRun
+	if opts.Lint {
+		lr = lint.NewStreamRun(h, nranks, lint.Options{})
+	}
+
 	// Pass 1: fused decode→replay per rank → flat profile.
 	reps, err := parallel.MapCtx(ctx, nranks, func(rank int) (*callstack.StreamReplay, error) {
 		sr := callstack.NewStreamReplay(trace.Rank(rank), nregions)
-		if err := st.StreamRank(rank, sr.Feed); err != nil {
+		feed := sr.Feed
+		if lr != nil {
+			feed = func(ev Event) error {
+				lr.FeedEvent(rank, ev)
+				return sr.Feed(ev)
+			}
+		}
+		if err := st.StreamRank(rank, feed); err != nil {
 			return nil, err
+		}
+		if lr != nil {
+			lr.EndRank(rank)
 		}
 		if err := sr.Finish(); err != nil {
 			return nil, err
@@ -134,6 +152,11 @@ func AnalyzeSource(ctx context.Context, src Source, opts Options) (*Result, erro
 		isMPI[i] = r.Paradigm == trace.ParadigmMPI
 	}
 
+	// The fused lint run segments at its own dominant selection; it needs
+	// a second look at the streams only when a lint analyzer consumes
+	// segmentation facts and the trace supports them.
+	lintSeg := lr != nil && lr.BeginSegments()
+
 	// Pass 2: re-stream each rank → segments + MPI-fraction bins.
 	regionName := h.Regions[region].Name
 	type rankPass2 struct {
@@ -151,8 +174,18 @@ func AnalyzeSource(ctx context.Context, src Source, opts Options) (*Result, erro
 				return seg.Feed(ev)
 			}
 		}
+		if lintSeg {
+			prev := feed
+			feed = func(ev Event) error {
+				lr.FeedSegment(rank, ev)
+				return prev(ev)
+			}
+		}
 		if err := st.StreamRank(rank, feed); err != nil {
 			return rankPass2{}, err
+		}
+		if lintSeg {
+			lr.EndSegmentRank(rank)
 		}
 		segs, err := seg.Finish()
 		if err != nil {
@@ -202,8 +235,17 @@ func AnalyzeSource(ctx context.Context, src Source, opts Options) (*Result, erro
 		}
 	}
 
+	var lres *lint.Result
+	if lr != nil {
+		lres, err = lr.Finish(ctx)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	res := &Result{
 		Trace:       st.Trace(),
+		Lint:        lres,
 		Selection:   sel,
 		Matrix:      m,
 		Analysis:    a,

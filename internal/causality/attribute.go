@@ -178,7 +178,7 @@ func Analyze(g *Graph, opts Options) *Analysis {
 		return an.Ranks[i].Rank < an.Ranks[j].Rank
 	})
 
-	an.Cycles = DetectCycles(g.Trace.NumRanks(), g.Unmatched)
+	an.Cycles = DetectCycles(g.Ranks, g.Unmatched)
 	return an
 }
 
@@ -192,6 +192,11 @@ func candidate(g *Graph, n Node, caused, direct trace.Duration) Candidate {
 	}
 	seg := g.Matrix.PerRank[n.Rank][n.Segment]
 	c.SOS = seg.SOS()
+	if g.Trace == nil {
+		// Streaming graph: no event streams survive to break the segment
+		// down by region, so the function stays unresolved.
+		return c
+	}
 	entries, err := segment.Breakdown(g.Trace, seg)
 	if err != nil || len(entries) == 0 {
 		return c
@@ -261,6 +266,10 @@ type propagator struct {
 	excess  map[Node]trace.Duration
 	memo    map[Node][]share
 	onPath  map[Node]bool
+	// self is scratch for the current node's own-share singleton during
+	// the merge in dist; it is only live between the recursive calls and
+	// the merge, so a single slot suffices.
+	self [1]share
 }
 
 func (p *propagator) dist(n Node) []share {
@@ -284,24 +293,75 @@ func (p *propagator) dist(n Node) []share {
 	p.onPath[n] = true
 	own := p.excess[n]
 	f := float64(waitIn) / float64(waitIn+own)
-	acc := map[Node]float64{}
-	if f < 1 {
-		acc[n] = 1 - f
+	// Weighted child distributions plus the own share as a k-way merge of
+	// origin-sorted lists: per origin the weighted contributions add in
+	// part order (own share first, then inEdges order) — the same float
+	// accumulation order the map-based aggregation used, without a
+	// temporary map per node.
+	type wdist struct {
+		w    float64
+		d    []share
+		next int
 	}
-	// inEdges[n] is in deterministic (graph) order and every dist() is a
-	// sorted slice, so the float accumulation order is fixed.
+	parts := make([]wdist, 0, len(p.inEdges[n])+1)
+	if f < 1 {
+		parts = append(parts, wdist{w: 1 - f, d: p.self[:]})
+	}
 	for _, e := range p.inEdges[n] {
 		w := f * float64(e.Wait) / float64(waitIn)
-		for _, sh := range p.dist(e.Causer) {
-			acc[sh.origin] += w * sh.weight
-		}
+		parts = append(parts, wdist{w: w, d: p.dist(e.Causer)})
+	}
+	if len(parts) > 0 && f < 1 {
+		// p.self is shared scratch: fill it only after the recursive
+		// dist calls above are done with it.
+		p.self[0] = share{n, 1}
 	}
 	delete(p.onPath, n)
-	d := make([]share, 0, len(acc))
-	for o, w := range acc {
-		d = append(d, share{o, w})
+	// First merge pass counts the distinct origins so the memoized slice
+	// is allocated at its exact final size; the second accumulates.
+	distinct := 0
+	for pass := 0; pass < 2; pass++ {
+		var d []share
+		if pass == 1 {
+			d = make([]share, 0, distinct)
+		}
+		for {
+			var min Node
+			found := false
+			for i := range parts {
+				if parts[i].next >= len(parts[i].d) {
+					continue
+				}
+				o := parts[i].d[parts[i].next].origin
+				if !found || nodeLess(o, min) {
+					min, found = o, true
+				}
+			}
+			if !found {
+				break
+			}
+			var w float64
+			for i := range parts {
+				if parts[i].next < len(parts[i].d) && parts[i].d[parts[i].next].origin == min {
+					if pass == 1 {
+						w += parts[i].w * parts[i].d[parts[i].next].weight
+					}
+					parts[i].next++
+				}
+			}
+			if pass == 0 {
+				distinct++
+			} else {
+				d = append(d, share{min, w})
+			}
+		}
+		if pass == 1 {
+			p.memo[n] = d
+			return d
+		}
+		for i := range parts {
+			parts[i].next = 0
+		}
 	}
-	sort.Slice(d, func(i, j int) bool { return nodeLess(d[i].origin, d[j].origin) })
-	p.memo[n] = d
-	return d
+	panic("unreachable")
 }

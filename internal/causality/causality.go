@@ -35,6 +35,7 @@ package causality
 import (
 	"context"
 	"sort"
+	"sync"
 
 	"perfvar/internal/core/segment"
 	"perfvar/internal/parallel"
@@ -148,8 +149,13 @@ type Collective struct {
 
 // Graph is the cross-rank message-dependency graph of one trace.
 type Graph struct {
+	// Trace is the materialized trace backing the graph, or nil when the
+	// graph was built from streaming rank scans.
 	Trace  *trace.Trace
 	Matrix *segment.Matrix
+	// Ranks is the number of ranks the graph spans (available even when
+	// Trace is nil).
+	Ranks int
 	// Edges holds the aggregated point-to-point dependencies, grouped by
 	// the waiter's segment column and sorted within each column.
 	Edges []Edge
@@ -161,13 +167,20 @@ type Graph struct {
 	Unmatched []RankDep
 }
 
-// Input bundles Build's inputs. Trace and Matrix must be non-nil; the
-// matrix defines the segment coordinates of the graph nodes.
+// Input bundles Build's inputs. Matrix must be non-nil; it defines the
+// segment coordinates of the graph nodes. Either Trace is set (the
+// per-rank scans run here) or Scans plus NumRanks carry finished
+// streaming rank scans, one per rank, and no trace is needed.
 type Input struct {
 	Trace     *trace.Trace
 	Matrix    *segment.Matrix
 	Pairs     []Pair
 	Unmatched []RankDep
+	// Scans holds one finished RankScanner per rank, for callers that
+	// consumed the event streams themselves. When set, Trace may be nil
+	// and NumRanks must give the rank count.
+	Scans    []*RankScanner
+	NumRanks int
 }
 
 // Build constructs the dependency graph. Per-rank event scans and the
@@ -186,28 +199,31 @@ func BuildContext(ctx context.Context, in Input) (*Graph, error) {
 	g := &Graph{
 		Trace:     in.Trace,
 		Matrix:    in.Matrix,
+		Ranks:     in.NumRanks,
 		Unmatched: append([]RankDep(nil), in.Unmatched...),
 	}
-	scans, err := parallel.MapCtx(ctx, in.Trace.NumRanks(), func(rank int) (rankScan, error) {
-		return scanRank(in.Trace, trace.Rank(rank)), nil
-	})
-	if err != nil {
-		return nil, err
+	scans := in.Scans
+	if scans == nil {
+		if g.Ranks == 0 {
+			g.Ranks = in.Trace.NumRanks()
+		}
+		var err error
+		scans, err = parallel.MapCtx(ctx, in.Trace.NumRanks(), func(rank int) (*RankScanner, error) {
+			return scanRank(in.Trace, trace.Rank(rank)), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else if g.Ranks == 0 {
+		g.Ranks = len(scans)
 	}
 	g.Collectives = groupCollectives(in.Matrix, scans)
+	var err error
 	g.Edges, err = buildEdgesCtx(ctx, in, scans)
 	if err != nil {
 		return nil, err
 	}
 	return g, nil
-}
-
-// rankScan holds the per-rank pre-pass results: the effective wait start
-// of every receive recorded inside a synchronization region, and the
-// rank's collective invocations.
-type rankScan struct {
-	recvWait map[int]trace.Time
-	colls    []collOcc
 }
 
 type collOcc struct {
@@ -216,77 +232,122 @@ type collOcc struct {
 	enter, leave trace.Time
 }
 
-// scanRank walks one rank's event stream once. It tolerates malformed
-// streams (unbalanced leaves, unsorted times): depth counters clamp at
-// zero and unclosed collectives are dropped, never panicking — the
-// structural analyzers report the underlying violations.
-func scanRank(tr *trace.Trace, rank trace.Rank) rankScan {
-	s := rankScan{recvWait: map[int]trace.Time{}}
-	var (
-		syncDepth int
-		syncStart trace.Time
-		lastRecv  trace.Time // completion of the previous recv in the open sync scope
-		haveRecv  bool
-		openColls []int // indices into s.colls
-		occCount  = map[trace.RegionID]int{}
-	)
-	events := tr.Procs[rank].Events
-	for i := range events {
-		ev := &events[i]
-		switch ev.Kind {
-		case trace.KindEnter:
-			if !tr.ValidRegion(ev.Region) {
-				continue
-			}
-			r := tr.Region(ev.Region)
-			if segment.DefaultSync.IsSync(r) {
-				if syncDepth == 0 {
-					syncStart = ev.Time
-					haveRecv = false
-				}
-				syncDepth++
-			}
-			if r.Role == trace.RoleBarrier || r.Role == trace.RoleCollective {
-				s.colls = append(s.colls, collOcc{
-					region: ev.Region, occ: occCount[ev.Region],
-					enter: ev.Time, leave: ev.Time - 1, // marked unclosed
-				})
-				occCount[ev.Region]++
-				openColls = append(openColls, len(s.colls)-1)
-			}
-		case trace.KindLeave:
-			if !tr.ValidRegion(ev.Region) {
-				continue
-			}
-			r := tr.Region(ev.Region)
-			if segment.DefaultSync.IsSync(r) && syncDepth > 0 {
-				syncDepth--
-				if syncDepth == 0 {
-					haveRecv = false
-				}
-			}
-			if r.Role == trace.RoleBarrier || r.Role == trace.RoleCollective {
-				// Close the innermost open occurrence of this region.
-				for j := len(openColls) - 1; j >= 0; j-- {
-					c := &s.colls[openColls[j]]
-					if c.region == ev.Region && c.leave < c.enter {
-						c.leave = ev.Time
-						openColls = append(openColls[:j], openColls[j+1:]...)
-						break
-					}
-				}
-			}
-		case trace.KindRecv:
-			if syncDepth == 0 {
-				continue // not inside a synchronization region: no measurable wait
-			}
-			eff := syncStart
-			if haveRecv && lastRecv > eff {
-				eff = lastRecv // a Waitall's second wait starts when the first message landed
-			}
-			s.recvWait[i] = eff
-			lastRecv, haveRecv = ev.Time, true
+// RankScanner is the per-rank causality pre-pass as an event-at-a-time
+// visitor: feed one rank's events in stream order and it records the
+// effective wait start of every receive inside a synchronization region
+// plus the rank's collective invocations — the compact summary Build
+// needs from each rank. It tolerates malformed streams (unbalanced
+// leaves, unsorted times): depth counters clamp at zero and unclosed
+// collectives are dropped, never panicking — the structural analyzers
+// report the underlying violations.
+type RankScanner struct {
+	regions []trace.Region
+	// recvWaits records (event index, effective wait start) per in-sync
+	// receive. Event indices only grow, so the slice stays sorted and
+	// waitOf resolves by binary search — far cheaper than a map at
+	// message-heavy scales.
+	recvWaits []recvWaitRec
+	colls     []collOcc
+
+	i         int // index of the next event fed
+	syncDepth int
+	syncStart trace.Time
+	lastRecv  trace.Time // completion of the previous recv in the open sync scope
+	haveRecv  bool
+	openColls []int // indices into colls
+	occCount  map[trace.RegionID]int
+}
+
+type recvWaitRec struct {
+	event int32
+	wait  trace.Time
+}
+
+// waitOf returns the effective wait start recorded for the receive at
+// event index i, if any.
+func (s *RankScanner) waitOf(i int) (trace.Time, bool) {
+	lo := sort.Search(len(s.recvWaits), func(j int) bool { return s.recvWaits[j].event >= int32(i) })
+	if lo < len(s.recvWaits) && s.recvWaits[lo].event == int32(i) {
+		return s.recvWaits[lo].wait, true
+	}
+	return 0, false
+}
+
+// NewRankScanner returns a scanner validating against the given region
+// definitions (the archive header's regions).
+func NewRankScanner(regions []trace.Region) *RankScanner {
+	return &RankScanner{
+		regions:  regions,
+		occCount: map[trace.RegionID]int{},
+	}
+}
+
+// Feed scans the next event of the rank's stream. It never fails;
+// malformed streams degrade to fewer recorded waits.
+func (s *RankScanner) Feed(ev trace.Event) {
+	i := s.i
+	s.i++
+	switch ev.Kind {
+	case trace.KindEnter:
+		if ev.Region < 0 || int(ev.Region) >= len(s.regions) {
+			return
 		}
+		r := s.regions[ev.Region]
+		if segment.DefaultSync.IsSync(r) {
+			if s.syncDepth == 0 {
+				s.syncStart = ev.Time
+				s.haveRecv = false
+			}
+			s.syncDepth++
+		}
+		if r.Role == trace.RoleBarrier || r.Role == trace.RoleCollective {
+			s.colls = append(s.colls, collOcc{
+				region: ev.Region, occ: s.occCount[ev.Region],
+				enter: ev.Time, leave: ev.Time - 1, // marked unclosed
+			})
+			s.occCount[ev.Region]++
+			s.openColls = append(s.openColls, len(s.colls)-1)
+		}
+	case trace.KindLeave:
+		if ev.Region < 0 || int(ev.Region) >= len(s.regions) {
+			return
+		}
+		r := s.regions[ev.Region]
+		if segment.DefaultSync.IsSync(r) && s.syncDepth > 0 {
+			s.syncDepth--
+			if s.syncDepth == 0 {
+				s.haveRecv = false
+			}
+		}
+		if r.Role == trace.RoleBarrier || r.Role == trace.RoleCollective {
+			// Close the innermost open occurrence of this region.
+			for j := len(s.openColls) - 1; j >= 0; j-- {
+				c := &s.colls[s.openColls[j]]
+				if c.region == ev.Region && c.leave < c.enter {
+					c.leave = ev.Time
+					s.openColls = append(s.openColls[:j], s.openColls[j+1:]...)
+					break
+				}
+			}
+		}
+	case trace.KindRecv:
+		if s.syncDepth == 0 {
+			return // not inside a synchronization region: no measurable wait
+		}
+		eff := s.syncStart
+		if s.haveRecv && s.lastRecv > eff {
+			eff = s.lastRecv // a Waitall's second wait starts when the first message landed
+		}
+		s.recvWaits = append(s.recvWaits, recvWaitRec{event: int32(i), wait: eff})
+		s.lastRecv, s.haveRecv = ev.Time, true
+	}
+}
+
+// scanRank walks one rank's event stream once through a RankScanner.
+func scanRank(tr *trace.Trace, rank trace.Rank) *RankScanner {
+	s := NewRankScanner(tr.Regions)
+	for _, ev := range tr.Procs[rank].Events {
+		s.Feed(ev)
 	}
 	return s
 }
@@ -308,7 +369,7 @@ func segIndex(m *segment.Matrix, rank trace.Rank, t trace.Time) int {
 // groupCollectives matches collective invocations across ranks by
 // (region, occurrence index) and decomposes each occurrence's wait by
 // arrival order.
-func groupCollectives(m *segment.Matrix, scans []rankScan) []Collective {
+func groupCollectives(m *segment.Matrix, scans []*RankScanner) []Collective {
 	type key struct {
 		region trace.RegionID
 		occ    int
@@ -363,47 +424,82 @@ func groupCollectives(m *segment.Matrix, scans []rankScan) []Collective {
 // buildEdges classifies every matched pair and aggregates the results
 // into per-segment edges. Pairs are bucketed by the waiter's segment
 // column; the columns aggregate independently on the worker pool.
-func buildEdgesCtx(ctx context.Context, in Input, scans []rankScan) ([]Edge, error) {
+func buildEdgesCtx(ctx context.Context, in Input, scans []*RankScanner) ([]Edge, error) {
 	columns := 0
 	for _, segs := range in.Matrix.PerRank {
 		if len(segs) > columns {
 			columns = len(segs)
 		}
 	}
-	buckets := make([][]Pair, columns)
-	for _, p := range in.Pairs {
+	// Bucket pair indices by the waiter's segment column in CSR layout:
+	// one exactly-sized backing array instead of per-column append chains.
+	cols := make([]int32, len(in.Pairs))
+	counts := make([]int32, columns+1)
+	for i, p := range in.Pairs {
 		col := segIndex(in.Matrix, p.RecvRank, p.RecvTime)
+		cols[i] = int32(col)
+		if col >= 0 {
+			counts[col+1]++
+		}
+	}
+	for c := 0; c < columns; c++ {
+		counts[c+1] += counts[c]
+	}
+	idx := make([]int32, counts[columns])
+	next := make([]int32, columns)
+	copy(next, counts[:columns])
+	for i, col := range cols {
 		if col < 0 {
 			continue // receive outside every segment: no node to attach to
 		}
-		buckets[col] = append(buckets[col], p)
+		idx[next[col]] = int32(i)
+		next[col]++
 	}
 	perCol, err := parallel.MapCtx(ctx, columns, func(col int) ([]Edge, error) {
-		return columnEdges(in, scans, buckets[col], col), nil
+		return columnEdges(in, scans, idx[counts[col]:counts[col+1]], col), nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	var out []Edge
+	total := 0
+	for _, edges := range perCol {
+		total += len(edges)
+	}
+	out := make([]Edge, 0, total)
 	for _, edges := range perCol {
 		out = append(out, edges...)
 	}
 	return out, nil
 }
 
-func columnEdges(in Input, scans []rankScan, pairs []Pair, col int) []Edge {
-	type ekey struct {
-		causer, waiter Node
-		kind           WaitKind
-	}
-	agg := map[ekey]*Edge{}
-	for _, p := range pairs {
+// ekey identifies one aggregated edge of a column.
+type ekey struct {
+	causer, waiter Node
+	kind           WaitKind
+}
+
+// ekeyPool recycles the per-column aggregation maps: columns run
+// concurrently but each map is only live for one columnEdges call, so a
+// handful of warm maps serve the whole build.
+var ekeyPool = sync.Pool{New: func() any { return map[ekey]int32{} }}
+
+func columnEdges(in Input, scans []*RankScanner, pairIdx []int32, col int) []Edge {
+	agg := ekeyPool.Get().(map[ekey]int32) // index into out (-1 during the count pass)
+	defer func() {
+		clear(agg)
+		ekeyPool.Put(agg)
+	}()
+	// Two passes so the edge slice — which outlives the call — is
+	// allocated at its exact final size: the first counts the distinct
+	// keys, the second aggregates.
+	classify := func(pi int32, fn func(ekey, Edge)) {
+		p := &in.Pairs[pi]
 		if int(p.RecvRank) < 0 || int(p.RecvRank) >= len(scans) {
-			continue
+			return
 		}
-		eff, ok := scans[p.RecvRank].recvWait[p.RecvEvent]
+		eff, ok := scans[p.RecvRank].waitOf(p.RecvEvent)
 		if !ok {
-			continue // receive outside any synchronization region
+			return // receive outside any synchronization region
 		}
 		e := Edge{
 			Causer: Node{Rank: p.SendRank, Segment: segIndex(in.Matrix, p.SendRank, p.SendTime)},
@@ -418,19 +514,30 @@ func columnEdges(in Input, scans []rankScan, pairs []Pair, col int) []Edge {
 			e.Wait = clampDur(p.RecvTime - eff)
 			e.Slack = clampDur(eff - p.SendTime)
 		}
-		k := ekey{e.Causer, e.Waiter, e.Kind}
-		if cur := agg[k]; cur != nil {
-			cur.Wait += e.Wait
-			cur.Slack += e.Slack
-			cur.Count++
-		} else {
-			cp := e
-			agg[k] = &cp
-		}
+		fn(ekey{e.Causer, e.Waiter, e.Kind}, e)
 	}
-	out := make([]Edge, 0, len(agg))
-	for _, e := range agg {
-		out = append(out, *e)
+	distinct := 0
+	for _, pi := range pairIdx {
+		classify(pi, func(k ekey, e Edge) {
+			if _, ok := agg[k]; !ok {
+				agg[k] = -1
+				distinct++
+			}
+		})
+	}
+	out := make([]Edge, 0, distinct)
+	for _, pi := range pairIdx {
+		classify(pi, func(k ekey, e Edge) {
+			if ei := agg[k]; ei >= 0 {
+				cur := &out[ei]
+				cur.Wait += e.Wait
+				cur.Slack += e.Slack
+				cur.Count++
+			} else {
+				agg[k] = int32(len(out))
+				out = append(out, e)
+			}
+		})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := &out[i], &out[j]

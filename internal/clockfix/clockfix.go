@@ -40,75 +40,116 @@ type Violation struct {
 	Deficit trace.Duration
 }
 
-// messagePair is a matched send/recv couple.
-type messagePair struct {
-	src, dst trace.Rank
-	tag      int32
-	sendTime trace.Time
-	recvTime trace.Time
+// Op is one communication operation of a rank's stream, the compact
+// summary a streaming consumer records per Send/Recv event. A slice of
+// Op per rank is all the skew machinery needs — no trace required.
+type Op struct {
+	Recv bool // false: send to Peer; true: receive from Peer
+	Peer trace.Rank
+	Tag  int32
+	Time trace.Time
 }
 
-// matchMessages pairs Send and Recv events per (src, dst, tag) channel in
-// FIFO order. Unmatched events (e.g. from truncated traces) are ignored.
-func matchMessages(tr *trace.Trace) []messagePair {
+// Pair is a matched send/recv couple.
+type Pair struct {
+	Src, Dst trace.Rank
+	Tag      int32
+	SendTime trace.Time
+	RecvTime trace.Time
+}
+
+// MatchOps pairs send and receive ops per (src, dst, tag) channel in
+// FIFO order. ops[rank] must hold rank's communication ops in stream
+// order. Unmatched ops (e.g. from truncated traces) are ignored. The
+// result is sorted by (SendTime, Src, Dst).
+func MatchOps(ops [][]Op) []Pair {
 	type key struct {
 		src, dst trace.Rank
 		tag      int32
 	}
 	sends := make(map[key][]trace.Time)
-	for rank := range tr.Procs {
-		for _, ev := range tr.Procs[rank].Events {
-			if ev.Kind == trace.KindSend {
-				k := key{src: trace.Rank(rank), dst: ev.Peer, tag: ev.Tag}
-				sends[k] = append(sends[k], ev.Time)
+	for rank := range ops {
+		for _, op := range ops[rank] {
+			if !op.Recv {
+				k := key{src: trace.Rank(rank), dst: op.Peer, tag: op.Tag}
+				sends[k] = append(sends[k], op.Time)
 			}
 		}
 	}
 	used := make(map[key]int)
-	var pairs []messagePair
-	for rank := range tr.Procs {
-		for _, ev := range tr.Procs[rank].Events {
-			if ev.Kind != trace.KindRecv {
+	var pairs []Pair
+	for rank := range ops {
+		for _, op := range ops[rank] {
+			if !op.Recv {
 				continue
 			}
-			k := key{src: ev.Peer, dst: trace.Rank(rank), tag: ev.Tag}
+			k := key{src: op.Peer, dst: trace.Rank(rank), tag: op.Tag}
 			idx := used[k]
 			if idx >= len(sends[k]) {
 				continue
 			}
 			used[k] = idx + 1
-			pairs = append(pairs, messagePair{
-				src: ev.Peer, dst: trace.Rank(rank), tag: ev.Tag,
-				sendTime: sends[k][idx], recvTime: ev.Time,
+			pairs = append(pairs, Pair{
+				Src: op.Peer, Dst: trace.Rank(rank), Tag: op.Tag,
+				SendTime: sends[k][idx], RecvTime: op.Time,
 			})
 		}
 	}
 	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].sendTime != pairs[j].sendTime {
-			return pairs[i].sendTime < pairs[j].sendTime
+		if pairs[i].SendTime != pairs[j].SendTime {
+			return pairs[i].SendTime < pairs[j].SendTime
 		}
-		if pairs[i].src != pairs[j].src {
-			return pairs[i].src < pairs[j].src
+		if pairs[i].Src != pairs[j].Src {
+			return pairs[i].Src < pairs[j].Src
 		}
-		return pairs[i].dst < pairs[j].dst
+		return pairs[i].Dst < pairs[j].Dst
 	})
 	return pairs
 }
 
-// Violations returns all causality violations of tr under the assumption
-// that no message can travel faster than minLatency.
-func Violations(tr *trace.Trace, minLatency trace.Duration) []Violation {
+// opsFromTrace collects each rank's communication ops in stream order.
+func opsFromTrace(tr *trace.Trace) [][]Op {
+	ops := make([][]Op, tr.NumRanks())
+	for rank := range tr.Procs {
+		for _, ev := range tr.Procs[rank].Events {
+			switch ev.Kind {
+			case trace.KindSend:
+				ops[rank] = append(ops[rank], Op{Peer: ev.Peer, Tag: ev.Tag, Time: ev.Time})
+			case trace.KindRecv:
+				ops[rank] = append(ops[rank], Op{Recv: true, Peer: ev.Peer, Tag: ev.Tag, Time: ev.Time})
+			}
+		}
+	}
+	return ops
+}
+
+// matchMessages pairs Send and Recv events per (src, dst, tag) channel in
+// FIFO order. Unmatched events (e.g. from truncated traces) are ignored.
+func matchMessages(tr *trace.Trace) []Pair {
+	return MatchOps(opsFromTrace(tr))
+}
+
+// ViolationsFromPairs returns all causality violations among matched
+// pairs under the assumption that no message can travel faster than
+// minLatency.
+func ViolationsFromPairs(pairs []Pair, minLatency trace.Duration) []Violation {
 	var out []Violation
-	for _, p := range matchMessages(tr) {
-		if deficit := p.sendTime + minLatency - p.recvTime; deficit > 0 {
+	for _, p := range pairs {
+		if deficit := p.SendTime + minLatency - p.RecvTime; deficit > 0 {
 			out = append(out, Violation{
-				Src: p.src, Dst: p.dst, Tag: p.tag,
-				SendTime: p.sendTime, RecvTime: p.recvTime,
+				Src: p.Src, Dst: p.Dst, Tag: p.Tag,
+				SendTime: p.SendTime, RecvTime: p.RecvTime,
 				Deficit: deficit,
 			})
 		}
 	}
 	return out
+}
+
+// Violations returns all causality violations of tr under the assumption
+// that no message can travel faster than minLatency.
+func Violations(tr *trace.Trace, minLatency trace.Duration) []Violation {
+	return ViolationsFromPairs(matchMessages(tr), minLatency)
 }
 
 // Info summarizes a correction run.
@@ -130,18 +171,23 @@ type Info struct {
 // message constraints hold: recv + off[dst] ≥ send + off[src] + lat.
 // It relaxes constraints for at most maxIter sweeps.
 func EstimateOffsets(tr *trace.Trace, minLatency trace.Duration, maxIter int) ([]trace.Duration, int, bool) {
-	pairs := matchMessages(tr)
-	offsets := make([]trace.Duration, tr.NumRanks())
+	return OffsetsFromPairs(tr.NumRanks(), matchMessages(tr), minLatency, maxIter)
+}
+
+// OffsetsFromPairs is EstimateOffsets over already-matched pairs. A
+// maxIter ≤ 0 defaults to 10 sweeps per rank.
+func OffsetsFromPairs(nranks int, pairs []Pair, minLatency trace.Duration, maxIter int) ([]trace.Duration, int, bool) {
+	offsets := make([]trace.Duration, nranks)
 	if maxIter <= 0 {
-		maxIter = 10 * tr.NumRanks()
+		maxIter = 10 * nranks
 	}
 	iter := 0
 	for ; iter < maxIter; iter++ {
 		changed := false
 		for _, p := range pairs {
-			deficit := (p.sendTime + offsets[p.src] + minLatency) - (p.recvTime + offsets[p.dst])
+			deficit := (p.SendTime + offsets[p.Src] + minLatency) - (p.RecvTime + offsets[p.Dst])
 			if deficit > 0 {
-				offsets[p.dst] += deficit
+				offsets[p.Dst] += deficit
 				changed = true
 			}
 		}

@@ -15,21 +15,30 @@ import (
 // graph of internal/causality, built once per run from the msgmatch facts
 // and the dominant-function segment matrix.
 
-// causalityInput converts the message-matching facts into the causality
-// builder's input: matched pairs become graph edges, unmatched operations
-// become rank-level wait-for edges for the deadlock detector.
-func causalityInput(tr *trace.Trace, m *segment.Matrix, msgs *Messages) causality.Input {
-	in := causality.Input{Trace: tr, Matrix: m}
-	in.Pairs = make([]causality.Pair, len(msgs.Pairs))
+// causalityPairs converts matched message pairs into the causality
+// builder's edge input.
+func causalityPairs(msgs *Messages) []causality.Pair {
+	pairs := make([]causality.Pair, len(msgs.Pairs))
 	for i, p := range msgs.Pairs {
-		in.Pairs[i] = causality.Pair{
+		pairs[i] = causality.Pair{
 			SendRank: p.Send.Rank, SendTime: p.Send.Time,
 			RecvRank: p.Recv.Rank, RecvTime: p.Recv.Time, RecvEvent: p.Recv.Event,
 			Tag: p.Recv.Tag, Bytes: p.Recv.Bytes,
 		}
 	}
-	in.Unmatched = depsFromUnmatched(msgs)
-	return in
+	return pairs
+}
+
+// causalityInput converts the message-matching facts into the causality
+// builder's input: matched pairs become graph edges, unmatched operations
+// become rank-level wait-for edges for the deadlock detector.
+func causalityInput(tr *trace.Trace, m *segment.Matrix, msgs *Messages) causality.Input {
+	return causality.Input{
+		Trace:     tr,
+		Matrix:    m,
+		Pairs:     causalityPairs(msgs),
+		Unmatched: depsFromUnmatched(msgs),
+	}
 }
 
 // depsFromUnmatched derives the rank-level wait-for edges of the
@@ -106,7 +115,17 @@ func (latesenderAnalyzer) Doc() string {
 }
 func (latesenderAnalyzer) Severity() Severity { return SeverityWarning }
 func (latesenderAnalyzer) Scope() Scope       { return ScopeCrossRank }
-func (latesenderAnalyzer) Run(p *Pass) error {
+func (latesenderAnalyzer) Stream(p *Pass) StreamVisitor {
+	return latesenderVisitor{p: p}
+}
+
+type latesenderVisitor struct {
+	FinishOnly
+	p *Pass
+}
+
+func (v latesenderVisitor) Finish() error {
+	p := v.p
 	if p.StructurallyBroken() {
 		return nil // nesting analyzer explains why replays fail
 	}
@@ -175,7 +194,17 @@ func (waitchainAnalyzer) Doc() string {
 }
 func (waitchainAnalyzer) Severity() Severity { return SeverityWarning }
 func (waitchainAnalyzer) Scope() Scope       { return ScopeCrossRank }
-func (waitchainAnalyzer) Run(p *Pass) error {
+func (waitchainAnalyzer) Stream(p *Pass) StreamVisitor {
+	return waitchainVisitor{p: p}
+}
+
+type waitchainVisitor struct {
+	FinishOnly
+	p *Pass
+}
+
+func (v waitchainVisitor) Finish() error {
+	p := v.p
 	if p.StructurallyBroken() {
 		return nil
 	}
@@ -220,9 +249,19 @@ func (commdeadlockAnalyzer) Doc() string {
 }
 func (commdeadlockAnalyzer) Severity() Severity { return SeverityWarning }
 func (commdeadlockAnalyzer) Scope() Scope       { return ScopeCrossRank }
-func (commdeadlockAnalyzer) Run(p *Pass) error {
+func (commdeadlockAnalyzer) Stream(p *Pass) StreamVisitor {
+	return commdeadlockVisitor{p: p}
+}
+
+type commdeadlockVisitor struct {
+	FinishOnly
+	p *Pass
+}
+
+func (v commdeadlockVisitor) Finish() error {
+	p := v.p
 	msgs := p.Messages()
-	cycles := causality.DetectCycles(p.Trace.NumRanks(), depsFromUnmatched(msgs))
+	cycles := causality.DetectCycles(p.NumRanks(), depsFromUnmatched(msgs))
 	for i, c := range cycles {
 		if i >= maxPerFinding {
 			p.Reportf(SeverityWarning, "comm-cycle", -1, -1, 0,

@@ -7,13 +7,18 @@
 // skew, unmatched sends, or no function eligible for the 2p-invocation
 // dominance rule. lint catches these before they reach the analyzers.
 //
-// An Analyzer inspects a trace through a Pass and reports Diagnostics.
-// The Pass exposes shared, lazily-computed facts (structural issues,
-// per-rank call replays, message matching, dominant-function selection)
-// so analyzers do not redo O(events) work. The runner executes all
-// registered analyzers concurrently and collects every diagnostic — not
-// just the first violation — into one sorted Result. Mechanically
-// repairable findings can be fixed with Fix (the -fix mode of pvtlint).
+// An Analyzer observes the trace through a StreamVisitor and reports
+// Diagnostics via a Pass. The runner drives every analyzer's visitor in
+// one shared streaming sweep over the per-rank event streams — whether
+// the trace is materialized in memory (Run) or decoded frame-by-frame
+// from an archive (RunSource) — and maintains compact summary facts
+// (structural issues, per-rank op summaries, replay mirrors, message
+// matching, dominant-function selection) so analyzers do not redo
+// O(events) work and never need the full event history. The runner
+// collects every diagnostic — not just the first violation — into one
+// sorted Result; both drive paths share all analyzer logic and produce
+// byte-identical results. Mechanically repairable findings can be fixed
+// with Fix (the -fix mode of pvtlint, which needs a materialized trace).
 package lint
 
 import (
@@ -131,9 +136,11 @@ func (s Scope) String() string {
 	return fmt.Sprintf("scope(%d)", uint8(s))
 }
 
-// Analyzer is one pluggable trace check. Implementations must be
-// stateless: Run may be invoked concurrently for different passes.
-type Analyzer interface {
+// StreamAnalyzer is one pluggable trace check in the streaming visitor
+// model. Implementations must be stateless: Stream may be invoked
+// concurrently for different passes, and all per-run state lives in the
+// returned visitor.
+type StreamAnalyzer interface {
 	// Name identifies the analyzer (kebab-case, unique in the registry).
 	Name() string
 	// Doc is a one-paragraph description of what the analyzer catches.
@@ -142,11 +149,50 @@ type Analyzer interface {
 	Severity() Severity
 	// Scope declares whether the analyzer works per rank or across ranks.
 	Scope() Scope
-	// Run inspects pass.Trace and reports findings via pass.Report. A
-	// non-nil error aborts only this analyzer; the runner converts it
-	// into an error-severity diagnostic.
-	Run(pass *Pass) error
+	// Stream returns a fresh visitor for one run. The visitor observes
+	// the event streams (if it cares) and reports findings via
+	// pass.Report; most analyzers only implement Finish, reading the
+	// summary facts the runner maintains on the pass.
+	Stream(pass *Pass) StreamVisitor
 }
+
+// Analyzer is the historical name of StreamAnalyzer, kept as an alias
+// for registry users and option structs.
+type Analyzer = StreamAnalyzer
+
+// StreamVisitor consumes one run's event streams. The runner feeds each
+// rank's events in stream order; VisitEvent and FinishRank calls are
+// sequential within a rank but concurrent across ranks, so
+// implementations must keep per-rank state disjoint (index by rank) and
+// may call Pass.Report from any of them (reporting is goroutine-safe).
+// A non-nil error from any method aborts only this analyzer; the runner
+// converts it into an error-severity diagnostic.
+type StreamVisitor interface {
+	// VisitEvent observes one event of one rank's stream.
+	VisitEvent(rank trace.Rank, ev trace.Event) error
+	// FinishRank runs after the last event of a rank's stream.
+	FinishRank(rank trace.Rank) error
+	// Finish runs once after every rank finished (and after the shared
+	// barrier facts — selection, segments — are available). Cross-rank
+	// reporting belongs here.
+	Finish() error
+}
+
+// FinishOnly is a StreamVisitor base for analyzers with no per-event
+// work: embed it and implement only Finish. The runner detects the
+// embedding and skips feeding events to such visitors entirely. Do not
+// embed it when overriding VisitEvent or FinishRank — the runner would
+// still skip the visitor.
+type FinishOnly struct{}
+
+// VisitEvent does nothing.
+func (FinishOnly) VisitEvent(trace.Rank, trace.Event) error { return nil }
+
+// FinishRank does nothing.
+func (FinishOnly) FinishRank(trace.Rank) error { return nil }
+
+// passive marks visitors that do not want the event feed.
+func (FinishOnly) passive() {}
 
 // Result is the outcome of one lint run.
 type Result struct {
@@ -154,8 +200,12 @@ type Result struct {
 	TraceName string `json:"trace"`
 	// Analyzers lists the analyzer names that ran, sorted.
 	Analyzers []string `json:"analyzers"`
-	// Diagnostics holds every finding, sorted by (analyzer, rank, event,
-	// time, message).
+	// Diagnostics holds every finding, sorted canonically by
+	// (severity descending, rank, time, analyzer, event, code, message):
+	// the most severe findings come first, ties are broken by where and
+	// when the finding occurred, and the full key is a total order so
+	// repeated runs — streaming or materialized, at any worker count —
+	// serialize byte-identically.
 	Diagnostics []Diagnostic `json:"diagnostics"`
 }
 
@@ -184,20 +234,29 @@ func (r *Result) ByAnalyzer(name string) []Diagnostic {
 	return out
 }
 
+// sortDiagnostics is the one canonical diagnostic ordering: severity
+// descending, then (rank, time, analyzer, event, code, message)
+// ascending. Every runner path sorts here and nowhere else.
 func (r *Result) sortDiagnostics() {
 	sort.Slice(r.Diagnostics, func(i, j int) bool {
 		a, b := &r.Diagnostics[i], &r.Diagnostics[j]
-		if a.Analyzer != b.Analyzer {
-			return a.Analyzer < b.Analyzer
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
 		}
 		if a.Rank != b.Rank {
 			return a.Rank < b.Rank
 		}
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
 		if a.Event != b.Event {
 			return a.Event < b.Event
 		}
-		if a.Time != b.Time {
-			return a.Time < b.Time
+		if a.Code != b.Code {
+			return a.Code < b.Code
 		}
 		return a.Message < b.Message
 	})

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"context"
+
 	"perfvar/internal/parallel"
 	"perfvar/internal/trace"
 )
@@ -23,9 +24,26 @@ type Options struct {
 	MinLatency trace.Duration
 }
 
+// Streams is the per-rank event-stream view a lint run consumes — the
+// lint-local subset of perfvar.SourceStreams, which satisfies it
+// structurally. StreamRank may be called concurrently for different
+// ranks and more than once per rank (the run makes a second pass when
+// segmentation facts are needed).
+type Streams interface {
+	// Header returns the trace definitions.
+	Header() *trace.Header
+	// NumRanks returns the number of ranks.
+	NumRanks() int
+	// StreamRank replays one rank's events in stream order. A
+	// trace.ErrStopStream return from fn ends the rank without error.
+	StreamRank(rank int, fn func(trace.Event) error) error
+}
+
 // Run executes the analyzers over tr and collects every diagnostic.
-// Analyzers run concurrently and share one lazily-computed fact set;
-// per-rank facts are additionally computed in parallel across ranks.
+// Analyzers observe the trace through the same streaming drive
+// RunSource uses — tr's per-rank event slices are replayed through the
+// visitors in parallel — so the two entry points share all analyzer
+// logic and produce identical results.
 func Run(tr *trace.Trace, opts Options) *Result {
 	res, _ := RunContext(context.Background(), tr, opts)
 	return res
@@ -36,66 +54,86 @@ func Run(tr *trace.Trace, opts Options) *Result {
 // a cancelled run returns nil with ctx.Err() — partial diagnostics are
 // discarded rather than passed off as a full lint.
 func RunContext(ctx context.Context, tr *trace.Trace, opts Options) (*Result, error) {
-	analyzers := opts.Analyzers
-	if analyzers == nil {
-		analyzers = All()
-	}
-	minLatency := opts.MinLatency
-	if minLatency <= 0 {
-		minLatency = DefaultMinLatency
-	}
-	shared := &facts{tr: tr, minLatency: minLatency}
-	res := &Result{TraceName: tr.Name}
+	src := memStreams{tr: tr, header: &trace.Header{Name: tr.Name, Regions: tr.Regions, Metrics: tr.Metrics}}
+	return runStreams(ctx, src, tr, opts)
+}
 
-	passes := make([]*Pass, len(analyzers))
-	for i, a := range analyzers {
-		passes[i] = &Pass{Trace: tr, analyzer: a, facts: shared}
-		res.Analyzers = append(res.Analyzers, a.Name())
-	}
-	// Fan the analyzers out on the shared worker pool, cross-rank passes
-	// first: they trigger the expensive shared facts (message matching,
-	// segmentation, the dependency graph) early while per-rank passes
-	// fill the remaining workers. The permutation cannot change the
-	// output — diagnostics are sorted before the result is returned.
-	order := make([]int, 0, len(analyzers))
-	for i, a := range analyzers {
-		if a.Scope() == ScopeCrossRank {
-			order = append(order, i)
+// RunSource executes the analyzers over a source's event streams
+// without materializing the trace: one streaming sweep feeds every
+// analyzer's visitor and the shared summary facts, and a second sweep
+// runs only when segmentation facts are needed. Memory stays
+// O(ranks × (depth + ops)) instead of O(events). The result is
+// identical — byte-identical once serialized — to Run over the
+// materialized trace.
+func RunSource(ctx context.Context, src Streams, opts Options) (*Result, error) {
+	return runStreams(ctx, src, nil, opts)
+}
+
+// runStreams drives one lint run over per-rank event streams. It is the
+// single execution path behind Run and RunSource.
+func runStreams(ctx context.Context, src Streams, tr *trace.Trace, opts Options) (*Result, error) {
+	nranks := src.NumRanks()
+	run := newStreamRun(src.Header(), nranks, tr, opts)
+	err := parallel.ForEachCtx(ctx, nranks, func(rank int) error {
+		if err := src.StreamRank(rank, func(ev trace.Event) error {
+			run.FeedEvent(rank, ev)
+			return nil
+		}); err != nil {
+			return err
 		}
-	}
-	for i, a := range analyzers {
-		if a.Scope() != ScopeCrossRank {
-			order = append(order, i)
-		}
-	}
-	// ForEachAll never skips an analyzer on failure; a failing analyzer
-	// is converted into its own diagnostic rather than aborting the run.
-	errs := parallel.ForEachAllCtx(ctx, len(order), func(oi int) error {
-		i := order[oi]
-		return analyzers[i].Run(passes[i])
+		run.EndRank(rank)
+		return nil
 	})
-	if err := ctx.Err(); err != nil {
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, err
 	}
-	for oi, err := range errs {
-		if err != nil {
-			passes[order[oi]].Report(Diagnostic{
-				Code: "analyzer-error", Severity: SeverityError, Rank: -1, Event: -1,
-				Message: sprintf("analyzer failed: %v", err),
-			})
-		}
-	}
-
-	for _, p := range passes {
-		for _, d := range p.diags {
-			if d.Severity >= opts.MinSeverity {
-				res.Diagnostics = append(res.Diagnostics, d)
+	if run.BeginSegments() {
+		err := parallel.ForEachCtx(ctx, nranks, func(rank int) error {
+			feeding := true
+			if err := src.StreamRank(rank, func(ev trace.Event) error {
+				if feeding {
+					feeding = run.FeedSegment(rank, ev)
+				}
+				return nil
+			}); err != nil {
+				return err
 			}
+			run.EndSegmentRank(rank)
+			return nil
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, err
 		}
 	}
-	sortNames(res.Analyzers)
-	res.sortDiagnostics()
-	return res, nil
+	return run.Finish(ctx)
+}
+
+// memStreams adapts a materialized trace to the Streams view, so the
+// materialized runner reuses the streaming drive verbatim.
+type memStreams struct {
+	tr     *trace.Trace
+	header *trace.Header
+}
+
+func (m memStreams) Header() *trace.Header { return m.header }
+func (m memStreams) NumRanks() int         { return m.tr.NumRanks() }
+
+func (m memStreams) StreamRank(rank int, fn func(trace.Event) error) error {
+	for _, ev := range m.tr.Procs[rank].Events {
+		if err := fn(ev); err != nil {
+			if err == trace.ErrStopStream {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
 }
 
 func sortNames(names []string) {

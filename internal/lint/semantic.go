@@ -12,7 +12,8 @@ import (
 // The semantic tier checks properties that are legal per the format but
 // make the paper's pipeline produce misleading results: skewed clocks,
 // no eligible dominant function, degenerate regions, inconsistent
-// collective usage, and near-idle ranks.
+// collective usage, and near-idle ranks. All of them are Finish-only
+// visitors over the summary facts — none needs the raw event streams.
 
 // maxPerFinding caps repetitive per-event reports of one kind so a
 // badly skewed trace does not drown the report; a summary line carries
@@ -20,7 +21,8 @@ import (
 const maxPerFinding = 50
 
 // clockskewAnalyzer detects cross-rank clock skew via message-causality
-// violations, reusing the internal/clockfix heuristics.
+// violations, reusing the internal/clockfix heuristics over the matched
+// op pairs the driver collected.
 type clockskewAnalyzer struct{}
 
 func (clockskewAnalyzer) Name() string { return "clockskew" }
@@ -29,9 +31,19 @@ func (clockskewAnalyzer) Doc() string {
 }
 func (clockskewAnalyzer) Severity() Severity { return SeverityWarning }
 func (clockskewAnalyzer) Scope() Scope       { return ScopeCrossRank }
-func (clockskewAnalyzer) Run(p *Pass) error {
-	viols := clockfix.Violations(p.Trace, p.MinLatency())
-	for i, v := range viols {
+func (clockskewAnalyzer) Stream(p *Pass) StreamVisitor {
+	return clockskewVisitor{p: p}
+}
+
+type clockskewVisitor struct {
+	FinishOnly
+	p *Pass
+}
+
+func (v clockskewVisitor) Finish() error {
+	p := v.p
+	viols := clockfix.ViolationsFromPairs(p.ClockPairs(), p.MinLatency())
+	for i, viol := range viols {
 		if i >= maxPerFinding {
 			p.Reportf(SeverityWarning, "causality-violation", -1, -1, 0,
 				"%d more causality violations not listed", len(viols)-i)
@@ -39,9 +51,9 @@ func (clockskewAnalyzer) Run(p *Pass) error {
 		}
 		p.Report(Diagnostic{
 			Code: "causality-violation", Severity: SeverityWarning,
-			Rank: v.Dst, Event: -1, Time: v.RecvTime,
+			Rank: viol.Dst, Event: -1, Time: viol.RecvTime,
 			Message: sprintf("message from rank %d (tag %d) received %d ns before it could arrive (sent %d, min latency %d)",
-				v.Src, v.Tag, v.Deficit, v.SendTime, p.MinLatency()),
+				viol.Src, viol.Tag, viol.Deficit, viol.SendTime, p.MinLatency()),
 			SuggestedFix: "shift per-rank clocks (pvtlint -fix or perfvar.CorrectClocks)",
 			Fixable:      true,
 		})
@@ -49,7 +61,7 @@ func (clockskewAnalyzer) Run(p *Pass) error {
 	if len(viols) == 0 {
 		return nil
 	}
-	_, iters, converged := clockfix.EstimateOffsets(p.Trace, p.MinLatency(), 0)
+	_, iters, converged := clockfix.OffsetsFromPairs(p.NumRanks(), p.ClockPairs(), p.MinLatency(), 0)
 	if !converged {
 		p.Reportf(SeverityWarning, "clock-drift", -1, -1, 0,
 			"per-rank offset relaxation did not converge after %d sweeps: clock rate drift that constant offsets cannot repair", iters)
@@ -69,7 +81,17 @@ func (dominanceAnalyzer) Doc() string {
 }
 func (dominanceAnalyzer) Severity() Severity { return SeverityWarning }
 func (dominanceAnalyzer) Scope() Scope       { return ScopeCrossRank }
-func (dominanceAnalyzer) Run(p *Pass) error {
+func (dominanceAnalyzer) Stream(p *Pass) StreamVisitor {
+	return dominanceVisitor{p: p}
+}
+
+type dominanceVisitor struct {
+	FinishOnly
+	p *Pass
+}
+
+func (v dominanceVisitor) Finish() error {
+	p := v.p
 	if p.StructurallyBroken() {
 		return nil // nesting analyzer explains why replays fail
 	}
@@ -79,7 +101,7 @@ func (dominanceAnalyzer) Run(p *Pass) error {
 			p.Report(Diagnostic{
 				Code: "no-dominant", Severity: SeverityWarning, Rank: -1, Event: -1,
 				Message: sprintf("no function clears the invocation threshold (need ≥ %d invocations over %d ranks): the run cannot be segmented",
-					sel.Threshold, p.Trace.NumRanks()),
+					sel.Threshold, p.NumRanks()),
 				SuggestedFix: "segment on an explicit region (Options.Region) or lower the threshold (Options.MinInvocations)",
 			})
 		}
@@ -118,38 +140,25 @@ func (zerosegAnalyzer) Doc() string {
 }
 func (zerosegAnalyzer) Severity() Severity { return SeverityInfo }
 func (zerosegAnalyzer) Scope() Scope       { return ScopeRank }
-func (zerosegAnalyzer) Run(p *Pass) error {
-	tr := p.Trace
-	for rank := 0; rank < tr.NumRanks(); rank++ {
-		invs, err := p.Invocations(trace.Rank(rank))
+func (zerosegAnalyzer) Stream(p *Pass) StreamVisitor {
+	return zerosegVisitor{p: p}
+}
+
+type zerosegVisitor struct {
+	FinishOnly
+	p *Pass
+}
+
+func (v zerosegVisitor) Finish() error {
+	p := v.p
+	for rank := 0; rank < p.NumRanks(); rank++ {
+		zeros, err := p.ZeroDurations(trace.Rank(rank))
 		if err != nil {
 			continue // nesting analyzer explains why
 		}
-		type zinfo struct {
-			count int
-			first trace.Time
-		}
-		zeros := map[trace.RegionID]*zinfo{}
-		for i := range invs {
-			if invs[i].Inclusive() != 0 {
-				continue
-			}
-			z := zeros[invs[i].Region]
-			if z == nil {
-				z = &zinfo{first: invs[i].Enter}
-				zeros[invs[i].Region] = z
-			}
-			z.count++
-		}
-		ids := make([]trace.RegionID, 0, len(zeros))
-		for id := range zeros {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			z := zeros[id]
-			p.Reportf(SeverityInfo, "zero-duration", trace.Rank(rank), -1, z.first,
-				"%d zero-duration invocation(s) of %q", z.count, tr.Region(id).Name)
+		for _, z := range zeros {
+			p.Reportf(SeverityInfo, "zero-duration", trace.Rank(rank), -1, z.First,
+				"%d zero-duration invocation(s) of %q", z.Count, p.RegionName(z.Region))
 		}
 	}
 	return nil
@@ -168,36 +177,38 @@ func (syncdepthAnalyzer) Doc() string {
 }
 func (syncdepthAnalyzer) Severity() Severity { return SeverityWarning }
 func (syncdepthAnalyzer) Scope() Scope       { return ScopeCrossRank }
-func (syncdepthAnalyzer) Run(p *Pass) error {
-	tr := p.Trace
+func (syncdepthAnalyzer) Stream(p *Pass) StreamVisitor {
+	return syncdepthVisitor{p: p}
+}
+
+type syncdepthVisitor struct {
+	FinishOnly
+	p *Pass
+}
+
+func (v syncdepthVisitor) Finish() error {
+	p := v.p
 	type depthInfo struct {
 		depth int16
 		rank  trace.Rank
 	}
 	depths := map[trace.RegionID][]depthInfo{} // distinct depths, first rank each
-	for rank := 0; rank < tr.NumRanks(); rank++ {
-		invs, err := p.Invocations(trace.Rank(rank))
+	for rank := 0; rank < p.NumRanks(); rank++ {
+		obs, err := p.SyncDepths(trace.Rank(rank))
 		if err != nil {
 			continue
 		}
-		for i := range invs {
-			if !tr.ValidRegion(invs[i].Region) {
-				continue
-			}
-			role := tr.Region(invs[i].Region).Role
-			if role != trace.RoleBarrier && role != trace.RoleCollective {
-				continue
-			}
-			seen := depths[invs[i].Region]
+		for _, sd := range obs {
+			seen := depths[sd.Region]
 			known := false
 			for _, d := range seen {
-				if d.depth == invs[i].Depth {
+				if d.depth == sd.Depth {
 					known = true
 					break
 				}
 			}
 			if !known {
-				depths[invs[i].Region] = append(seen, depthInfo{invs[i].Depth, trace.Rank(rank)})
+				depths[sd.Region] = append(seen, depthInfo{sd.Depth, trace.Rank(rank)})
 			}
 		}
 	}
@@ -213,7 +224,7 @@ func (syncdepthAnalyzer) Run(p *Pass) error {
 		}
 		p.Reportf(SeverityWarning, "inconsistent-sync-depth", -1, -1, 0,
 			"collective %q entered at inconsistent stack depths (%d on rank %d vs %d on rank %d)",
-			tr.Region(id).Name, seen[0].depth, seen[0].rank, seen[1].depth, seen[1].rank)
+			p.RegionName(id), seen[0].depth, seen[0].rank, seen[1].depth, seen[1].rank)
 	}
 	return nil
 }
@@ -229,17 +240,22 @@ func (idlerankAnalyzer) Doc() string {
 }
 func (idlerankAnalyzer) Severity() Severity { return SeverityWarning }
 func (idlerankAnalyzer) Scope() Scope       { return ScopeCrossRank }
-func (idlerankAnalyzer) Run(p *Pass) error {
-	tr := p.Trace
-	if tr.NumRanks() < 2 {
+func (idlerankAnalyzer) Stream(p *Pass) StreamVisitor {
+	return idlerankVisitor{p: p}
+}
+
+type idlerankVisitor struct {
+	FinishOnly
+	p *Pass
+}
+
+func (v idlerankVisitor) Finish() error {
+	p := v.p
+	if p.NumRanks() < 2 {
 		return nil
 	}
-	counts := make([]int, tr.NumRanks())
-	sorted := make([]int, tr.NumRanks())
-	for rank := range tr.Procs {
-		counts[rank] = len(tr.Procs[rank].Events)
-		sorted[rank] = counts[rank]
-	}
+	counts := p.EventCounts()
+	sorted := append([]int(nil), counts...)
 	sort.Ints(sorted)
 	median := sorted[len(sorted)/2]
 	if median < 20 {

@@ -6,11 +6,12 @@ import (
 	"perfvar/internal/trace"
 )
 
-// The structural tier wraps trace.CheckRank — the same implementation
-// Trace.Validate uses — but reports every violation instead of the
-// first, split across three analyzers by concern: nesting (ordering and
-// enter/leave discipline), metricmode (counter semantics), and msgmatch
-// (message well-formedness plus send/recv pairing).
+// The structural tier surfaces the trace.StreamChecker facts — the same
+// implementation Trace.Validate uses — but reports every violation
+// instead of the first, split across three analyzers by concern:
+// nesting (ordering and enter/leave discipline), metricmode (counter
+// semantics), and msgmatch (message well-formedness plus send/recv
+// pairing).
 
 // isNestingCode reports whether a structural issue belongs to the
 // nesting analyzer.
@@ -48,7 +49,7 @@ func fixHint(c trace.IssueCode) string {
 }
 
 func reportStructural(p *Pass, match func(trace.IssueCode) bool) {
-	for rank := 0; rank < p.Trace.NumRanks(); rank++ {
+	for rank := 0; rank < p.NumRanks(); rank++ {
 		for _, is := range p.Structural(trace.Rank(rank)) {
 			if !match(is.Code) {
 				continue
@@ -72,8 +73,17 @@ func (nestingAnalyzer) Doc() string {
 }
 func (nestingAnalyzer) Severity() Severity { return SeverityError }
 func (nestingAnalyzer) Scope() Scope       { return ScopeRank }
-func (nestingAnalyzer) Run(p *Pass) error {
-	reportStructural(p, isNestingCode)
+func (nestingAnalyzer) Stream(p *Pass) StreamVisitor {
+	return nestingVisitor{p: p}
+}
+
+type nestingVisitor struct {
+	FinishOnly
+	p *Pass
+}
+
+func (v nestingVisitor) Finish() error {
+	reportStructural(v.p, isNestingCode)
 	return nil
 }
 
@@ -89,64 +99,92 @@ func (metricmodeAnalyzer) Doc() string {
 }
 func (metricmodeAnalyzer) Severity() Severity { return SeverityError }
 func (metricmodeAnalyzer) Scope() Scope       { return ScopeRank }
-func (metricmodeAnalyzer) Run(p *Pass) error {
-	reportStructural(p, func(c trace.IssueCode) bool {
-		return c == trace.IssueUndefinedMetric || c == trace.IssueMetricDecreased
-	})
+func (metricmodeAnalyzer) Stream(p *Pass) StreamVisitor {
+	return &metricmodeVisitor{p: p, perRank: make([]metricRankState, p.NumRanks())}
+}
 
-	// Spike screen: a single absolute-metric sample more than spikeFactor
-	// times the rank's 95th-percentile magnitude is almost certainly a
-	// measurement glitch (bit flip, unit mixup), not workload behavior.
-	const (
-		spikeFactor  = 50
-		spikeMinLen  = 20
-		spikeQuantil = 0.95
-	)
-	tr := p.Trace
-	for rank := range tr.Procs {
-		type sample struct {
-			event int
-			time  trace.Time
-			value float64
+// Spike-screen tuning: a single absolute-metric sample more than
+// spikeFactor times the rank's 95th-percentile magnitude is almost
+// certainly a measurement glitch (bit flip, unit mixup), not workload
+// behavior.
+const (
+	spikeFactor  = 50
+	spikeMinLen  = 20
+	spikeQuantil = 0.95
+)
+
+type metricSample struct {
+	event int
+	time  trace.Time
+	value float64
+}
+
+type metricRankState struct {
+	next      int
+	perMetric map[trace.MetricID][]metricSample
+}
+
+type metricmodeVisitor struct {
+	p       *Pass
+	perRank []metricRankState
+}
+
+func (v *metricmodeVisitor) VisitEvent(rank trace.Rank, ev trace.Event) error {
+	st := &v.perRank[rank]
+	i := st.next
+	st.next++
+	metrics := v.p.Header().Metrics
+	if ev.Kind != trace.KindMetric || ev.Metric < 0 || int(ev.Metric) >= len(metrics) {
+		return nil
+	}
+	if metrics[ev.Metric].Mode != trace.MetricAbsolute {
+		return nil
+	}
+	if st.perMetric == nil {
+		st.perMetric = make(map[trace.MetricID][]metricSample)
+	}
+	st.perMetric[ev.Metric] = append(st.perMetric[ev.Metric], metricSample{i, ev.Time, ev.Value})
+	return nil
+}
+
+func (v *metricmodeVisitor) FinishRank(rank trace.Rank) error {
+	st := &v.perRank[rank]
+	ids := make([]trace.MetricID, 0, len(st.perMetric))
+	for id := range st.perMetric {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	metrics := v.p.Header().Metrics
+	for _, id := range ids {
+		samples := st.perMetric[id]
+		if len(samples) < spikeMinLen {
+			continue
 		}
-		perMetric := map[trace.MetricID][]sample{}
-		for i, ev := range tr.Procs[rank].Events {
-			if ev.Kind != trace.KindMetric || ev.Metric < 0 || int(ev.Metric) >= len(tr.Metrics) {
-				continue
-			}
-			if tr.Metrics[ev.Metric].Mode != trace.MetricAbsolute {
-				continue
-			}
-			perMetric[ev.Metric] = append(perMetric[ev.Metric], sample{i, ev.Time, ev.Value})
+		mags := make([]float64, len(samples))
+		for i, s := range samples {
+			mags[i] = abs(s.value)
 		}
-		ids := make([]trace.MetricID, 0, len(perMetric))
-		for id := range perMetric {
-			ids = append(ids, id)
+		sort.Float64s(mags)
+		p95 := mags[int(float64(len(mags)-1)*spikeQuantil)]
+		if p95 <= 0 {
+			continue
 		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			samples := perMetric[id]
-			if len(samples) < spikeMinLen {
-				continue
-			}
-			mags := make([]float64, len(samples))
-			for i, s := range samples {
-				mags[i] = abs(s.value)
-			}
-			sort.Float64s(mags)
-			p95 := mags[int(float64(len(mags)-1)*spikeQuantil)]
-			if p95 <= 0 {
-				continue
-			}
-			for _, s := range samples {
-				if abs(s.value) > spikeFactor*p95 {
-					p.Reportf(SeverityWarning, "metric-spike", trace.Rank(rank), s.event, s.time,
-						"absolute metric %q spikes to %g (95th percentile %g)",
-						tr.Metrics[id].Name, s.value, p95)
-				}
+		for _, s := range samples {
+			if abs(s.value) > spikeFactor*p95 {
+				v.p.Reportf(SeverityWarning, "metric-spike", rank, s.event, s.time,
+					"absolute metric %q spikes to %g (95th percentile %g)",
+					metrics[id].Name, s.value, p95)
 			}
 		}
 	}
+	st.perMetric = nil
+	return nil
+}
+
+func (v *metricmodeVisitor) Finish() error {
+	reportStructural(v.p, func(c trace.IssueCode) bool {
+		return c == trace.IssueUndefinedMetric || c == trace.IssueMetricDecreased
+	})
 	return nil
 }
 
@@ -169,7 +207,47 @@ func (msgmatchAnalyzer) Doc() string {
 }
 func (msgmatchAnalyzer) Severity() Severity { return SeverityError }
 func (msgmatchAnalyzer) Scope() Scope       { return ScopeCrossRank }
-func (msgmatchAnalyzer) Run(p *Pass) error {
+func (msgmatchAnalyzer) Stream(p *Pass) StreamVisitor {
+	return &msgmatchVisitor{p: p, perRank: make([]msgRankState, p.NumRanks())}
+}
+
+type msgRankState struct {
+	next     int
+	prev     trace.Event
+	prevIdx  int
+	havePrev bool
+}
+
+type msgmatchVisitor struct {
+	p       *Pass
+	perRank []msgRankState
+}
+
+func (v *msgmatchVisitor) VisitEvent(rank trace.Rank, ev trace.Event) error {
+	st := &v.perRank[rank]
+	i := st.next
+	st.next++
+	if ev.Kind != trace.KindSend {
+		return nil
+	}
+	if ev.Peer == rank {
+		v.p.Reportf(SeverityWarning, "self-message", rank, i, ev.Time,
+			"send addressed to the sending rank itself (tag %d)", ev.Tag)
+	}
+	if st.havePrev && st.prev.Time == ev.Time && st.prev.Peer == ev.Peer &&
+		st.prev.Tag == ev.Tag && st.prev.Bytes == ev.Bytes {
+		v.p.Reportf(SeverityWarning, "duplicate-send", rank, i, ev.Time,
+			"send duplicates event %d (same time, peer %d, tag %d, %d bytes)",
+			st.prevIdx, ev.Peer, ev.Tag, ev.Bytes)
+	}
+	st.prev, st.prevIdx, st.havePrev = ev, i, true
+	return nil
+}
+
+func (v *msgmatchVisitor) FinishRank(trace.Rank) error { return nil }
+
+func (v *msgmatchVisitor) Finish() error {
+	p := v.p
 	reportStructural(p, func(c trace.IssueCode) bool {
 		return c == trace.IssueUndefinedPeer || c == trace.IssueNegativeBytes
 	})
@@ -188,28 +266,6 @@ func (msgmatchAnalyzer) Run(p *Pass) error {
 			p.Reportf(SeverityWarning, "bytes-mismatch", pair.Recv.Rank, pair.Recv.Event, pair.Recv.Time,
 				"recv of %d bytes from rank %d (tag %d) matches a send of %d bytes",
 				pair.Recv.Bytes, pair.Recv.Peer, pair.Recv.Tag, pair.Send.Bytes)
-		}
-	}
-
-	tr := p.Trace
-	for rank := range tr.Procs {
-		var prev *trace.Event
-		var prevIdx int
-		for i := range tr.Procs[rank].Events {
-			ev := &tr.Procs[rank].Events[i]
-			if ev.Kind == trace.KindSend && ev.Peer == trace.Rank(rank) {
-				p.Reportf(SeverityWarning, "self-message", trace.Rank(rank), i, ev.Time,
-					"send addressed to the sending rank itself (tag %d)", ev.Tag)
-			}
-			if ev.Kind == trace.KindSend {
-				if prev != nil && prev.Time == ev.Time && prev.Peer == ev.Peer &&
-					prev.Tag == ev.Tag && prev.Bytes == ev.Bytes {
-					p.Reportf(SeverityWarning, "duplicate-send", trace.Rank(rank), i, ev.Time,
-						"send duplicates event %d (same time, peer %d, tag %d, %d bytes)",
-						prevIdx, ev.Peer, ev.Tag, ev.Bytes)
-				}
-				prev, prevIdx = ev, i
-			}
 		}
 	}
 	return nil

@@ -680,24 +680,53 @@ func (s *Server) serveProfile(ctx context.Context, w http.ResponseWriter, r *htt
 	writeJSON(w, v)
 }
 
+// lintResult pairs the lint findings with the engine that produced
+// them, so cached hits report the same X-Perfvar-Engine tag as the
+// computation that populated the cache.
+type lintResult struct {
+	res    *lint.Result
+	engine string
+}
+
+// serveLint lints straight from the archive bytes: PVTR uploads run
+// the streaming lint driver without materializing the event streams,
+// text archives fall back to the in-memory path. The X-Perfvar-Engine
+// response header reports which one ran.
 func (s *Server) serveLint(ctx context.Context, w http.ResponseWriter, r *http.Request, data []byte) {
+	// Uploads are bounded by MaxBytesReader; directory-served archives
+	// arrive here unbounded, so the byte cap applies to both.
+	if int64(len(data)) > s.cfg.MaxUploadBytes {
+		s.httpError(w, r, fmt.Errorf("%w: archive exceeds %d bytes", trace.ErrTooLarge, s.cfg.MaxUploadBytes))
+		return
+	}
 	sum := sha256.Sum256(data)
 	v, err := s.compute(ctx, w, cacheKey(sum, "lint", ""), int64(len(data)), func(cctx context.Context) (any, error) {
-		tr, err := trace.ReadAnyLimit(bytes.NewReader(data), s.cfg.MaxUploadBytes)
+		st, err := perfvar.ArchiveSource(data).Open(cctx)
 		if err != nil {
 			return nil, err
 		}
-		return lint.RunContext(cctx, tr, lint.Options{})
+		defer st.Close()
+		engine := perfvar.EngineStream
+		if st.Trace() != nil {
+			engine = perfvar.EngineMaterialized
+		}
+		res, err := lint.RunSource(cctx, st, lint.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return lintResult{res: res, engine: engine}, nil
 	})
 	if err != nil {
 		s.httpError(w, r, err)
 		return
 	}
+	lr := v.(lintResult)
 	var buf bytes.Buffer
-	if err := v.(*lint.Result).WriteJSON(&buf); err != nil {
+	if err := lr.res.WriteJSON(&buf); err != nil {
 		s.httpError(w, r, err)
 		return
 	}
+	w.Header().Set("X-Perfvar-Engine", lr.engine)
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(buf.Bytes())
 }

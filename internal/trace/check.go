@@ -105,105 +105,9 @@ func (tr *Trace) Check() []Issue {
 // ordering cursor) so one defect does not drown the stream in follow-up
 // noise.
 func (tr *Trace) CheckRank(rank Rank) []Issue {
-	var (
-		issues    []Issue
-		prev      Time
-		stack     []RegionID
-		enterTime []Time
-		lastVal   = make(map[MetricID]float64)
-		lastTime  Time
-	)
-	report := func(i int, t Time, code IssueCode, format string, args ...any) {
-		issues = append(issues, Issue{
-			Code: code, Rank: rank, Event: i, Time: t,
-			Message: fmt.Sprintf(format, args...),
-		})
+	c := NewStreamChecker(rank, tr.Regions, tr.Metrics, len(tr.Procs))
+	for _, ev := range tr.Procs[rank].Events {
+		c.Feed(ev)
 	}
-	regionName := func(id RegionID) string {
-		if tr.ValidRegion(id) {
-			return tr.Region(id).Name
-		}
-		return fmt.Sprintf("region(%d)", id)
-	}
-	for i, ev := range tr.Procs[rank].Events {
-		if ev.Time < prev {
-			report(i, ev.Time, IssueUnsorted, "timestamp %d before %d", ev.Time, prev)
-		}
-		prev = ev.Time
-		lastTime = ev.Time
-		switch ev.Kind {
-		case KindEnter:
-			if !tr.ValidRegion(ev.Region) {
-				report(i, ev.Time, IssueUndefinedRegion, "undefined region %d", ev.Region)
-			}
-			stack = append(stack, ev.Region)
-			enterTime = append(enterTime, ev.Time)
-		case KindLeave:
-			if !tr.ValidRegion(ev.Region) {
-				report(i, ev.Time, IssueUndefinedRegion, "undefined region %d", ev.Region)
-				continue
-			}
-			if len(stack) == 0 {
-				report(i, ev.Time, IssueLeaveWithoutEnter, "leave %q without enter", regionName(ev.Region))
-				continue
-			}
-			if top := stack[len(stack)-1]; top != ev.Region {
-				// Recover: if the region is open further down the stack,
-				// pop the unclosed inner regions through it; otherwise
-				// treat the leave as stray and keep the stack.
-				at := -1
-				for j := len(stack) - 1; j >= 0; j-- {
-					if stack[j] == ev.Region {
-						at = j
-						break
-					}
-				}
-				if at < 0 {
-					report(i, ev.Time, IssueLeaveWithoutEnter, "leave %q without enter (inside %q)",
-						regionName(ev.Region), regionName(top))
-					continue
-				}
-				report(i, ev.Time, IssueMismatchedLeave, "leave %q while inside %q",
-					regionName(ev.Region), regionName(top))
-				stack = stack[:at+1]
-				enterTime = enterTime[:at+1]
-			}
-			if ev.Time < enterTime[len(enterTime)-1] {
-				report(i, ev.Time, IssueLeaveBeforeEnter, "leave %q at %d before enter at %d",
-					regionName(ev.Region), ev.Time, enterTime[len(enterTime)-1])
-			}
-			stack = stack[:len(stack)-1]
-			enterTime = enterTime[:len(enterTime)-1]
-		case KindMetric:
-			if ev.Metric < 0 || int(ev.Metric) >= len(tr.Metrics) {
-				report(i, ev.Time, IssueUndefinedMetric, "undefined metric %d", ev.Metric)
-				continue
-			}
-			m := tr.Metrics[ev.Metric]
-			if m.Mode == MetricAccumulated {
-				if last, ok := lastVal[ev.Metric]; ok && ev.Value < last {
-					report(i, ev.Time, IssueMetricDecreased,
-						"accumulated metric %q decreased (%g -> %g)", m.Name, last, ev.Value)
-				}
-				lastVal[ev.Metric] = ev.Value
-			}
-		case KindSend, KindRecv:
-			if ev.Peer < 0 || int(ev.Peer) >= len(tr.Procs) {
-				report(i, ev.Time, IssueUndefinedPeer, "undefined peer rank %d", ev.Peer)
-			}
-			if ev.Bytes < 0 {
-				report(i, ev.Time, IssueNegativeBytes, "negative message size %d", ev.Bytes)
-			}
-		default:
-			report(i, ev.Time, IssueUnknownKind, "unknown event kind %d", ev.Kind)
-		}
-	}
-	if len(stack) != 0 {
-		issues = append(issues, Issue{
-			Code: IssueUnclosedRegion, Rank: rank, Event: -1, Time: lastTime,
-			Message: fmt.Sprintf("%d regions never left (innermost %q)",
-				len(stack), regionName(stack[len(stack)-1])),
-		})
-	}
-	return issues
+	return c.Finish()
 }

@@ -1,0 +1,54 @@
+package perfvar
+
+// BenchmarkLintStream quantifies the streaming lint driver's claim: on
+// the paper-scale 200-rank FD4 PVTR archive, lint.RunSource over the
+// per-rank archive streams must allocate a small fraction of what the
+// decode-then-lint.Run path does — the per-rank visitors keep O(depth)
+// state and the cross-rank analyzers run on compact op summaries, never
+// on materialized event slices. CI gates on the B/op ratio of the two
+// sub-benchmarks.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"perfvar/internal/lint"
+	"perfvar/internal/trace"
+)
+
+func BenchmarkLintStream(b *testing.B) {
+	data := fd4ArchiveBytes(b)
+	b.Run("materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			tr, err := trace.ReadAny(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := lint.Run(tr, lint.Options{})
+			if res == nil {
+				b.Fatal("nil lint result")
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			st, err := ArchiveSource(data).Open(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := lint.RunSource(context.Background(), st, lint.Options{})
+			st.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res == nil {
+				b.Fatal("nil lint result")
+			}
+		}
+	})
+}

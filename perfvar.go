@@ -184,6 +184,11 @@ type Options struct {
 	// distribution instead of the whole run's — use when a global trend
 	// (gradual slowdown) would mask rank-relative outliers.
 	PerIteration bool
+	// Lint fuses a full lint run (all registered analyzers, default
+	// options) into the engine's streaming passes: the same decode that
+	// feeds the pipeline feeds the lint visitors, so enabling it costs no
+	// extra pass over the source. The outcome lands in Result.Lint.
+	Lint bool
 }
 
 // ErrNoTrace reports an operation that needs the full event stream on a
@@ -205,6 +210,10 @@ type Result struct {
 	// Engine reports which pipeline produced the result: EngineStream or
 	// EngineMaterialized. Both produce byte-identical analyses.
 	Engine string
+	// Lint is the fused lint result when Options.Lint was set (identical
+	// to a standalone lint.Run/RunSource over the same data), nil
+	// otherwise.
+	Lint *lint.Result
 
 	// source re-opens the measurement data for operations that need
 	// another pass (Refine on a streaming result).

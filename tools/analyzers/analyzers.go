@@ -1,0 +1,216 @@
+// Package analyzers holds the repo-invariant static checks that go vet
+// runs over this repository via cmd/perfvarvet. The checks encode
+// conventions the code review keeps re-litigating:
+//
+//   - ctxcheck: an exported function or method named ...Context exists
+//     only to honor cancellation — it must actually consult its
+//     context.Context parameter.
+//   - boundedparam: HTTP handlers in internal/serve must parse integer
+//     query parameters through boundedInt, which enforces range limits;
+//     raw strconv parsing reintroduces the unbounded-allocation requests
+//     boundedInt exists to stop.
+//
+// The package is deliberately stdlib-only (go/ast + go/parser + the
+// go vet unitchecker wire protocol) so the repository keeps its
+// zero-dependency build: golang.org/x/tools is not required.
+package analyzers
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Pass is the per-package unit of work handed to each Analyzer: the
+// parsed (test-free) files of one package plus a sink for diagnostics.
+type Pass struct {
+	Fset       *token.FileSet
+	Files      []*ast.File
+	ImportPath string
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// config mirrors the fields of the JSON task description cmd/go hands a
+// -vettool for every package (the unitchecker protocol).
+type config struct {
+	ID         string
+	ImportPath string
+	GoFiles    []string
+	VetxOnly   bool
+	VetxOutput string
+}
+
+// Main implements the go vet -vettool protocol: respond to -V=full with
+// a version line, to -flags with the (empty) extra flag list, and
+// otherwise analyze the package described by the trailing *.cfg file,
+// printing findings as file:line:col: message on stderr with exit
+// status 2. Facts are not used, so the vetx output is always empty.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			// cmd/go derives the tool's cache ID from the trailing
+			// field, so hash the executable: rebuilding with changed
+			// analyzers invalidates cached vet results.
+			fmt.Printf("%s version devel buildID=%s\n", progname, selfID())
+			return
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr, "usage: %s unit.cfg (invoked by go vet -vettool)\n", progname)
+		os.Exit(1)
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: parsing %s: %v\n", progname, args[0], err)
+		os.Exit(1)
+	}
+	// cmd/go expects the facts file to exist even though this tool
+	// records no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+	pass, err := parsePass(cfg.ImportPath, cfg.GoFiles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, a := range analyzers {
+		a.Run(pass)
+	}
+	if len(pass.diags) == 0 {
+		return
+	}
+	sort.Slice(pass.diags, func(i, j int) bool { return pass.diags[i].Pos < pass.diags[j].Pos })
+	for _, d := range pass.diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", pass.Fset.Position(d.Pos), d.Message)
+	}
+	os.Exit(2)
+}
+
+// selfID hashes the running executable into a content ID for the
+// -V=full version line.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return "unknown"
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%x", sum[:12])
+}
+
+// parsePass parses the package's non-test files. Test files are
+// excluded: they may deliberately violate the invariants under test.
+func parsePass(importPath string, goFiles []string) (*Pass, error) {
+	pass := &Pass{Fset: token.NewFileSet(), ImportPath: importPath}
+	for _, f := range goFiles {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(pass.Fset, f, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pass.Files = append(pass.Files, file)
+	}
+	return pass, nil
+}
+
+// importName returns the file-local name under which path is imported,
+// or "" if the file does not import it.
+func importName(f *ast.File, path string) string {
+	for _, spec := range f.Imports {
+		p, err := strconv.Unquote(spec.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if spec.Name != nil {
+			return spec.Name.Name
+		}
+		return path[strings.LastIndexByte(path, '/')+1:]
+	}
+	return ""
+}
+
+// isPkgSel reports whether e is the selector pkg.name for the given
+// file-local package name.
+func isPkgSel(e ast.Expr, pkg, name string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == pkg
+}
+
+// usesIdent reports whether body mentions name as a plain identifier —
+// selector fields (x.name) and struct-literal keys don't count as uses.
+func usesIdent(body ast.Node, name string) bool {
+	skip := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			skip[n.Sel] = true
+		case *ast.KeyValueExpr:
+			if id, ok := n.Key.(*ast.Ident); ok {
+				skip[id] = true
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name && !skip[id] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

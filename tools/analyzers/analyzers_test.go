@@ -1,0 +1,192 @@
+package analyzers
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// runOn runs one analyzer over a single in-memory file and returns the
+// rendered diagnostics.
+func runOn(t *testing.T, a *Analyzer, importPath, src string) []string {
+	t.Helper()
+	pass := &Pass{Fset: token.NewFileSet(), ImportPath: importPath}
+	f, err := parser.ParseFile(pass.Fset, "src.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pass.Files = append(pass.Files, f)
+	a.Run(pass)
+	var out []string
+	for _, d := range pass.diags {
+		out = append(out, d.Message)
+	}
+	return out
+}
+
+func wantDiags(t *testing.T, got []string, substrs ...string) {
+	t.Helper()
+	if len(got) != len(substrs) {
+		t.Fatalf("got %d diagnostics %q, want %d", len(got), got, len(substrs))
+	}
+	for i, want := range substrs {
+		if !strings.Contains(got[i], want) {
+			t.Errorf("diagnostic %d = %q, want substring %q", i, got[i], want)
+		}
+	}
+}
+
+func TestCtxCheckFlagsUnusedAndUnnamed(t *testing.T) {
+	got := runOn(t, CtxCheck, "perfvar/x", `package x
+
+import "context"
+
+// Unused never touches ctx.
+func UnusedContext(ctx context.Context, n int) int { return n + 1 }
+
+// Unnamed can't possibly use it.
+func UnnamedContext(context.Context) {}
+
+// Blank is as good as unnamed.
+func BlankContext(_ context.Context) {}
+`)
+	wantDiags(t, got,
+		"UnusedContext never consults its context.Context parameter",
+		"UnnamedContext takes an unnamed context.Context",
+		"BlankContext takes an unnamed context.Context",
+	)
+}
+
+func TestCtxCheckAcceptsConsultingFuncs(t *testing.T) {
+	got := runOn(t, CtxCheck, "perfvar/x", `package x
+
+import (
+	"context"
+	"errors"
+)
+
+func RunContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return errors.New("done")
+}
+
+// Methods count too.
+type T struct{}
+
+func (T) WaitContext(ctx context.Context) { <-ctx.Done() }
+
+// Passing ctx along is consulting it.
+func ForwardContext(ctx context.Context) error { return RunContext(ctx) }
+
+// Unexported and non-suffix funcs may do as they please.
+func helperContext(ctx context.Context) {}
+func Run(ctx context.Context)           {}
+
+// Context alone (no prefix) is not the suffix convention.
+func Context(ctx context.Context) {}
+`)
+	wantDiags(t, got)
+}
+
+func TestCtxCheckMethodWithUnusedCtx(t *testing.T) {
+	got := runOn(t, CtxCheck, "perfvar/x", `package x
+
+import "context"
+
+type R struct{ n int }
+
+func (r *R) SolveContext(ctx context.Context) int { return r.n }
+`)
+	wantDiags(t, got, "SolveContext never consults")
+}
+
+func TestCtxCheckSelectorFieldIsNotAUse(t *testing.T) {
+	got := runOn(t, CtxCheck, "perfvar/x", `package x
+
+import "context"
+
+type box struct{ ctx int }
+
+// The field selector b.ctx must not count as using the parameter.
+func ShadowContext(ctx context.Context, b box) int { return b.ctx }
+`)
+	wantDiags(t, got, "ShadowContext never consults")
+}
+
+func TestCtxCheckAliasedImport(t *testing.T) {
+	got := runOn(t, CtxCheck, "perfvar/x", `package x
+
+import stdctx "context"
+
+func AliasContext(c stdctx.Context, n int) int { return n }
+`)
+	wantDiags(t, got, "AliasContext never consults")
+}
+
+func TestBoundedParamFlagsRawStrconvInServe(t *testing.T) {
+	src := `package serve
+
+import "strconv"
+
+func parseWidth(v string) (int, error) { return strconv.Atoi(v) }
+
+func parseDepth(v string) (int64, error) { return strconv.ParseInt(v, 10, 64) }
+
+func parseBins(v string) (uint64, error) { return strconv.ParseUint(v, 10, 64) }
+`
+	got := runOn(t, BoundedParam, "perfvar/internal/serve", src)
+	wantDiags(t, got,
+		"not strconv.Atoi",
+		"not strconv.ParseInt",
+		"not strconv.ParseUint",
+	)
+
+	// The same package recompiled for its test binary keeps the check.
+	got = runOn(t, BoundedParam, "perfvar/internal/serve [perfvar/internal/serve.test]", src)
+	wantDiags(t, got,
+		"not strconv.Atoi",
+		"not strconv.ParseInt",
+		"not strconv.ParseUint",
+	)
+}
+
+func TestBoundedParamAllowsChokepointAndOtherPackages(t *testing.T) {
+	got := runOn(t, BoundedParam, "perfvar/internal/serve", `package serve
+
+import "strconv"
+
+func boundedInt(v string, lo, hi int) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil || n < lo || n > hi {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Formatting is not parsing.
+func render(n int) string { return strconv.Itoa(n) }
+`)
+	wantDiags(t, got)
+
+	// Any other package may use strconv freely.
+	got = runOn(t, BoundedParam, "perfvar/internal/trace", `package trace
+
+import "strconv"
+
+func parse(v string) (int, error) { return strconv.Atoi(v) }
+`)
+	wantDiags(t, got)
+}
+
+func TestBoundedParamAliasedStrconv(t *testing.T) {
+	got := runOn(t, BoundedParam, "perfvar/internal/serve", `package serve
+
+import sc "strconv"
+
+func parse(v string) (int, error) { return sc.Atoi(v) }
+`)
+	wantDiags(t, got, "not strconv.Atoi")
+}

@@ -1,0 +1,55 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// serveImportPath is the one package whose request handlers must route
+// integer query parameters through boundedInt.
+const serveImportPath = "perfvar/internal/serve"
+
+// BoundedParam flags raw strconv integer parsing in internal/serve.
+// boundedInt is the package's single chokepoint for integer query
+// parameters: it rejects values outside an explicit [lo, hi] range, so
+// a hostile ?width=2000000000 can't size a render buffer. A handler
+// that calls strconv directly bypasses the range check and reopens the
+// unbounded-allocation hole.
+var BoundedParam = &Analyzer{
+	Name: "boundedparam",
+	Doc:  "internal/serve must parse integer query parameters via boundedInt, not raw strconv",
+	Run:  runBoundedParam,
+}
+
+func runBoundedParam(pass *Pass) {
+	// Test binaries recompile the package under the import path
+	// "perfvar/internal/serve [perfvar/internal/serve.test]".
+	base, _, _ := strings.Cut(pass.ImportPath, " ")
+	if base != serveImportPath {
+		return
+	}
+	for _, f := range pass.Files {
+		strconvPkg := importName(f, "strconv")
+		if strconvPkg == "" {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Name.Name == "boundedInt" {
+				continue // the chokepoint itself
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, fname := range []string{"Atoi", "ParseInt", "ParseUint"} {
+					if isPkgSel(call.Fun, strconvPkg, fname) {
+						pass.Reportf(call.Pos(),
+							"parse integer query parameters via boundedInt, not strconv.%s: raw parsing skips the range limits", fname)
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// CtxCheck flags exported ...Context functions that take a
+// context.Context but never consult it. The repo's convention is that
+// the Context suffix promises cancellation support (the suffixless
+// sibling wraps it with context.Background()); a func that ignores its
+// ctx silently breaks that promise for every caller.
+var CtxCheck = &Analyzer{
+	Name: "ctxcheck",
+	Doc:  "exported ...Context functions must consult their context.Context parameter",
+	Run:  runCtxCheck,
+}
+
+func runCtxCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		ctxPkg := importName(f, "context")
+		if ctxPkg == "" {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !wantsCtxCheck(fn) {
+				continue
+			}
+			names := ctxParamNames(fn, ctxPkg)
+			if names == nil || fn.Body == nil {
+				continue // no context.Context parameter, or no body to check
+			}
+			hasNamed, used := false, false
+			for _, n := range names {
+				if n == "" || n == "_" {
+					continue
+				}
+				hasNamed = true
+				if usesIdent(fn.Body, n) {
+					used = true
+					break
+				}
+			}
+			switch {
+			case !hasNamed:
+				pass.Reportf(fn.Name.Pos(),
+					"exported %s takes an unnamed context.Context: name it and honor cancellation, or drop the Context suffix", fn.Name.Name)
+			case !used:
+				pass.Reportf(fn.Name.Pos(),
+					"exported %s never consults its context.Context parameter: honor cancellation or drop the Context suffix", fn.Name.Name)
+			}
+		}
+	}
+}
+
+// wantsCtxCheck reports whether fn is an exported function or method
+// whose name carries the Context suffix.
+func wantsCtxCheck(fn *ast.FuncDecl) bool {
+	name := fn.Name.Name
+	return ast.IsExported(name) && len(name) > len("Context") &&
+		name[len(name)-len("Context"):] == "Context"
+}
+
+// ctxParamNames returns the names declared for context.Context
+// parameters of fn, or nil if it has none. An unnamed parameter yields
+// one "" entry.
+func ctxParamNames(fn *ast.FuncDecl, ctxPkg string) []string {
+	var names []string
+	has := false
+	for _, field := range fn.Type.Params.List {
+		if !isPkgSel(field.Type, ctxPkg, "Context") {
+			continue
+		}
+		has = true
+		if len(field.Names) == 0 {
+			names = append(names, "")
+			continue
+		}
+		for _, n := range field.Names {
+			names = append(names, n.Name)
+		}
+	}
+	if !has {
+		return nil
+	}
+	return names
+}
