@@ -18,7 +18,7 @@ race:
 # streaming-vs-materialized engine comparison, then distill them into
 # BENCH_pipeline.json, the benchmark record tracked across PRs.
 bench:
-	$(GO) test -run '^$$' -bench 'Fig|AnalyzeStream|LintStream' -benchmem -count 1 . | tee bench.out
+	$(GO) test -run '^$$' -bench 'Fig|AnalyzeStream|AnalyzeSynthetic|LintStream' -benchmem -count 1 . | tee bench.out
 	python3 scripts/bench_to_json.py bench.out > BENCH_pipeline.json
 
 lint:

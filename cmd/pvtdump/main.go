@@ -159,15 +159,17 @@ func loadRaw(path string) (*perfvar.Trace, error) {
 }
 
 // streamSummary prints the summary line (and optionally the definition
-// tables) by streaming the archive event-by-event: memory stays bounded
-// by the definitions, never the event count.
+// tables) by streaming the archive event-by-event: the count and the
+// span fold into one scan, so memory stays bounded by the definitions
+// and no byte is decoded twice. Directory archives stream their rank
+// files through the same tally.
 func streamSummary(path string, defs bool) error {
 	var (
 		events      int64
 		first, last trace.Time
 		spanned     bool
 	)
-	h, err := trace.StreamFile(path, func(rank trace.Rank, ev trace.Event) error {
+	tally := func(ev trace.Event) error {
 		events++
 		if !spanned || ev.Time < first {
 			first = ev.Time
@@ -177,9 +179,35 @@ func streamSummary(path string, defs bool) error {
 		}
 		spanned = true
 		return nil
-	})
+	}
+	f, err := os.Open(path)
 	if err != nil {
 		return err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	var h *trace.Header
+	if fi.IsDir() {
+		f.Close()
+		ds, err := trace.OpenDirRankStreams(path)
+		if err != nil {
+			return err
+		}
+		h = ds.Header()
+		for rank := 0; rank < ds.NumRanks(); rank++ {
+			if err := ds.StreamRank(rank, tally); err != nil {
+				return err
+			}
+		}
+	} else {
+		h, err = trace.Stream(f, func(_ trace.Rank, ev trace.Event) error { return tally(ev) })
+		f.Close()
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("trace %q: %d ranks, %d events, %d regions, %d metrics, span %s\n",
 		h.Name, len(h.Procs), events, len(h.Regions), len(h.Metrics),

@@ -6,6 +6,11 @@
 //	tracegen -workload fd4 -ranks 64 -o fd4.pvt
 //	tracegen -workload wrf -steps 100 -o wrf.pvt
 //	tracegen -workload fig3 -o toy.pvt
+//
+// The synthetic workload streams straight to disk without materializing
+// the trace, so it can emit archives far larger than RAM:
+//
+//	tracegen -workload synthetic -ranks 64 -steps 2000 -kernel 2000 -o big.pvt
 package main
 
 import (
@@ -20,14 +25,23 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "cosmospecs", "workload: cosmospecs, fd4, wrf, leak, fig2, fig3")
+		workload = flag.String("workload", "cosmospecs", "workload: cosmospecs, fd4, wrf, leak, fig2, fig3, synthetic")
 		out      = flag.String("o", "trace.pvt", "output archive path")
-		ranks    = flag.Int("ranks", 0, "override rank count (fd4 only; grid workloads use -grid)")
+		ranks    = flag.Int("ranks", 0, "override rank count (fd4, synthetic; grid workloads use -grid)")
 		grid     = flag.Int("grid", 0, "override square grid edge (cosmospecs, wrf)")
 		steps    = flag.Int("steps", 0, "override step/iteration count")
+		kernel   = flag.Int("kernel", 0, "override kernel calls per iteration (synthetic only)")
 		seed     = flag.Int64("seed", 0, "override random seed")
 	)
 	flag.Parse()
+
+	if *workload == "synthetic" {
+		if err := writeSynthetic(*out, *ranks, *steps, *kernel, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	tr, err := generate(*workload, *ranks, *grid, *steps, *seed)
 	if err != nil {
@@ -109,6 +123,49 @@ func generate(workload string, ranks, grid, steps int, seed int64) (*perfvar.Tra
 	default:
 		return nil, fmt.Errorf("unknown workload %q", workload)
 	}
+}
+
+// writeSynthetic streams the synthetic workload straight into the
+// archive: events are generated and encoded on the fly, so the output
+// size is bounded only by disk, never by memory.
+func writeSynthetic(out string, ranks, steps, kernel int, seed int64) error {
+	cfg := workloads.DefaultSynthetic()
+	if ranks > 0 {
+		cfg.Ranks = ranks
+		if cfg.SlowRank >= ranks {
+			cfg.SlowRank = ranks / 2
+		}
+	}
+	if steps > 0 {
+		cfg.Iterations = steps
+		if cfg.SlowIteration >= steps {
+			cfg.SlowIteration = steps / 2
+		}
+	}
+	if kernel > 0 {
+		cfg.KernelCalls = kernel
+	}
+	if seed != 0 {
+		cfg.Seed = uint64(seed)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := cfg.WriteArchive(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fi, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: workload synthetic, %d ranks, %d events, %d bytes\n",
+		out, cfg.Ranks, cfg.NumEvents(), fi.Size())
+	return nil
 }
 
 func fmtDur(ns trace.Duration) string {

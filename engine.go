@@ -16,7 +16,7 @@ import (
 
 // Engine values reported by Result.Engine.
 const (
-	// EngineStream marks a result computed by the streaming two-pass
+	// EngineStream marks a result computed by the single-pass streaming
 	// engine: no materialized trace backs it (Result.Trace is nil).
 	EngineStream = "stream"
 	// EngineMaterialized marks a result computed over an in-memory trace.
@@ -27,17 +27,25 @@ const (
 // canonical, context-taking entry point of the pipeline; Analyze and
 // AnalyzeContext are thin TraceSource wrappers over it.
 //
-// The engine makes two streaming passes over the source. Pass 1 feeds
-// each rank's events through a fused decode→replay accumulator
-// (callstack.StreamReplay), producing the flat profile for
-// dominant-function selection without materializing invocations. Pass 2
-// re-streams each rank through an incremental segmenter
-// (segment.StreamSegmenter) that emits segments with SOS-times directly,
-// folding the MPI-fraction timeline along the way. Decode buffers and
-// per-rank scratch are pooled, so steady-state allocation is
-// O(ranks × depth + segments), never O(events). Selection, segmentation,
-// statistics, and the report are byte-identical to the materialized
-// path's.
+// The engine makes a single streaming pass over the source. Each rank's
+// events feed a fused decode→replay accumulator (callstack.StreamReplay)
+// for the flat profile, a multi-region candidate segmenter
+// (segment.CandidateSet) that buffers segments for every possible
+// dominant function at once, and a recorder of the rank's maximal MPI
+// intervals for the MPI-fraction timeline. After the pass the dominant
+// function is selected from the merged profile, the winner's segments
+// are pulled from the candidate sets, the losers are discarded, and the
+// recorded intervals are binned over the now-known global span. Decode
+// buffers and per-rank scratch are pooled, so steady-state allocation
+// is O(ranks × depth + segments), never O(events).
+//
+// A second decode pass happens only as a fallback: when the winning
+// candidate was evicted because the per-rank segment buffer exceeded
+// Options.CandidateSegmentBudget, or when a fused lint run
+// (Options.Lint) segments at a different region than the engine under a
+// custom Options.SyncPrefixes classifier. Either way — one pass or two —
+// selection, segmentation, statistics, and the report are byte-identical
+// to the materialized path's.
 //
 // Result.Engine reports which path ran. For streaming sources
 // Result.Trace is nil, and operations that need the full event stream
@@ -55,22 +63,87 @@ func AnalyzeSource(ctx context.Context, src Source, opts Options) (*Result, erro
 	nranks := st.NumRanks()
 	nregions := len(h.Regions)
 
-	// Fused lint: the lint driver rides the same decode passes as the
+	// Fused lint: the lint driver rides the same decode pass as the
 	// pipeline, so Options.Lint costs no extra sweep over the source.
 	var lr *lint.StreamRun
 	if opts.Lint {
 		lr = lint.NewStreamRun(h, nranks, lint.Options{})
 	}
 
-	// Pass 1: fused decode→replay per rank → flat profile.
-	reps, err := parallel.MapCtx(ctx, nranks, func(rank int) (*callstack.StreamReplay, error) {
-		sr := callstack.NewStreamReplay(trace.Rank(rank), nregions)
-		feed := sr.Feed
-		if lr != nil {
-			feed = func(ev Event) error {
+	// Sync classification and the candidate-region mask depend only on
+	// the options and the definitions, so both are known before the pass.
+	// Candidates mirror what dominant selection can pick — user-paradigm,
+	// non-sync regions — plus any region a DominantFunction override
+	// names.
+	var cls segment.SyncClassifier
+	if len(opts.SyncPrefixes) > 0 {
+		cls = segment.NameSync(opts.SyncPrefixes)
+	}
+	syncMask := segment.SyncMask(h.Regions, cls)
+	track := make([]bool, nregions)
+	for i, r := range h.Regions {
+		if syncMask[i] {
+			continue
+		}
+		track[i] = r.Paradigm == trace.ParadigmUser ||
+			(opts.DominantFunction != "" && r.Name == opts.DominantFunction)
+	}
+
+	bins := opts.MPIFractionBins
+	if bins == 0 {
+		bins = 20
+	}
+	isMPI := make([]bool, nregions)
+	for i, r := range h.Regions {
+		isMPI[i] = r.Paradigm == trace.ParadigmMPI
+	}
+
+	// The single pass: decode each rank once, feeding replay, candidate
+	// segmentation, MPI-interval recording, and (optionally) lint.
+	type rankPass struct {
+		rep  *callstack.StreamReplay
+		cand *segment.CandidateSet
+		mpi  []trace.Time // maximal MPI intervals as (start, end) pairs
+	}
+	parts, err := parallel.MapCtx(ctx, nranks, func(rank int) (*rankPass, error) {
+		p := &rankPass{
+			rep:  callstack.NewStreamReplay(trace.Rank(rank), nregions),
+			cand: segment.NewCandidateSet(trace.Rank(rank), track, syncMask, opts.CandidateSegmentBudget),
+		}
+		// Maximal-interval tracking mirrors the materialized path's
+		// per-rank scan: an interval opens when MPI nesting depth leaves
+		// zero and closes when it returns.
+		mpiDepth := 0
+		var mpiStart trace.Time
+		feed := func(ev Event) error {
+			if lr != nil {
 				lr.FeedEvent(rank, ev)
-				return sr.Feed(ev)
 			}
+			// Replay first: it validates structure, so the consumers after
+			// it only ever see events of a well-formed stream.
+			if err := p.rep.Feed(ev); err != nil {
+				return err
+			}
+			p.cand.Feed(ev)
+			if bins > 0 {
+				switch ev.Kind {
+				case trace.KindEnter:
+					if ev.Region >= 0 && int(ev.Region) < len(isMPI) && isMPI[ev.Region] {
+						if mpiDepth == 0 {
+							mpiStart = ev.Time
+						}
+						mpiDepth++
+					}
+				case trace.KindLeave:
+					if ev.Region >= 0 && int(ev.Region) < len(isMPI) && isMPI[ev.Region] {
+						mpiDepth--
+						if mpiDepth == 0 {
+							p.mpi = append(p.mpi, mpiStart, ev.Time)
+						}
+					}
+				}
+			}
+			return nil
 		}
 		if err := st.StreamRank(rank, feed); err != nil {
 			return nil, err
@@ -78,10 +151,10 @@ func AnalyzeSource(ctx context.Context, src Source, opts Options) (*Result, erro
 		if lr != nil {
 			lr.EndRank(rank)
 		}
-		if err := sr.Finish(); err != nil {
+		if err := p.rep.Finish(); err != nil {
 			return nil, err
 		}
-		return sr, nil
+		return p, nil
 	})
 	if err != nil {
 		if ctx.Err() != nil {
@@ -93,6 +166,11 @@ func AnalyzeSource(ctx context.Context, src Source, opts Options) (*Result, erro
 		// Replay failures surface as selection errors, exactly as on the
 		// materialized path (dominant.SelectContext).
 		return nil, fmt.Errorf("dominant: %w", err)
+	}
+
+	reps := make([]*callstack.StreamReplay, nranks)
+	for rank, p := range parts {
+		reps[rank] = p.rep
 	}
 	prof := callstack.ProfileFromStreams(nregions, reps)
 	sel, err := dominant.SelectFromProfileDefs(h.Regions, nranks, prof, dominant.Options{Multiplier: opts.Multiplier})
@@ -114,16 +192,14 @@ func AnalyzeSource(ctx context.Context, src Source, opts Options) (*Result, erro
 		}
 	}
 
-	var cls segment.SyncClassifier
-	if len(opts.SyncPrefixes) > 0 {
-		cls = segment.NameSync(opts.SyncPrefixes)
-	}
-	syncMask, err := segment.Prepare(h.Regions, region, cls)
-	if err != nil {
+	// Prepare re-derives the mask already used during the pass; it runs
+	// for its validation (undefined or sync-classified region).
+	if _, err := segment.Prepare(h.Regions, region, cls); err != nil {
 		return nil, err
 	}
+	regionName := h.Regions[region].Name
 
-	// Trace metadata tallied during pass 1 — what the result retains in
+	// Trace metadata tallied during the pass — what the result retains in
 	// place of the trace itself.
 	var events int64
 	var first, last trace.Time
@@ -143,71 +219,88 @@ func AnalyzeSource(ctx context.Context, src Source, opts Options) (*Result, erro
 		spanned = true
 	}
 
-	bins := opts.MPIFractionBins
-	if bins == 0 {
-		bins = 20
-	}
-	isMPI := make([]bool, nregions)
-	for i, r := range h.Regions {
-		isMPI[i] = r.Paradigm == trace.ParadigmMPI
+	// Collect the winner's segments from the candidate sets. A rank that
+	// evicted the winner over budget forces the fallback pass.
+	perRank := make([][]Segment, nranks)
+	fallback := false
+	for rank, p := range parts {
+		segs, ok := p.cand.Segments(region)
+		if !ok {
+			fallback = true
+			break
+		}
+		perRank[rank] = segs
 	}
 
-	// The fused lint run segments at its own dominant selection; it needs
-	// a second look at the streams only when a lint analyzer consumes
-	// segmentation facts and the trace supports them.
+	// The fused lint run segments at its own dominant selection under the
+	// default classifier. When the engine's classifier is the default
+	// too, the lint region is itself a candidate, so its segments are
+	// already buffered — adopt them instead of re-streaming. Only a
+	// custom SyncPrefixes classifier (different masks) or an eviction
+	// leaves lint needing the second look at the streams.
 	lintSeg := lr != nil && lr.BeginSegments()
-
-	// Pass 2: re-stream each rank → segments + MPI-fraction bins.
-	regionName := h.Regions[region].Name
-	type rankPass2 struct {
-		segs []Segment
-		mpi  []int64
+	if lintSeg && cls == nil {
+		if lreg, ok := lr.SegmentTarget(); ok {
+			adopt := make([][]Segment, nranks)
+			adoptOK := true
+			for rank, p := range parts {
+				segs, ok := p.cand.Segments(lreg)
+				if !ok {
+					adoptOK = false
+					break
+				}
+				adopt[rank] = segs
+			}
+			if adoptOK {
+				lr.AdoptSegments(adopt)
+				lintSeg = false
+			}
+		}
 	}
-	parts, err := parallel.MapCtx(ctx, nranks, func(rank int) (rankPass2, error) {
-		seg := segment.NewStreamSegmenter(trace.Rank(rank), region, regionName, syncMask)
-		feed := seg.Feed
-		var bn *mpiBinner
-		if bins > 0 && last > first {
-			bn = newMPIBinner(first, last, bins, isMPI)
-			feed = func(ev Event) error {
-				bn.feed(ev)
-				return seg.Feed(ev)
+
+	// Fallback second pass: re-stream each rank through a dedicated
+	// segmenter (and the lint segmentation feed, when it still needs
+	// one). Reached only on candidate-budget overflow or a lint/engine
+	// classifier mismatch; results are byte-identical to the single-pass
+	// adoption.
+	if fallback || lintSeg {
+		res2, err := parallel.MapCtx(ctx, nranks, func(rank int) ([]Segment, error) {
+			var seg *segment.StreamSegmenter
+			if fallback {
+				seg = segment.NewStreamSegmenter(trace.Rank(rank), region, regionName, syncMask)
 			}
-		}
-		if lintSeg {
-			prev := feed
-			feed = func(ev Event) error {
-				lr.FeedSegment(rank, ev)
-				return prev(ev)
+			feed := func(ev Event) error {
+				if lintSeg {
+					lr.FeedSegment(rank, ev)
+				}
+				if seg != nil {
+					return seg.Feed(ev)
+				}
+				return nil
 			}
-		}
-		if err := st.StreamRank(rank, feed); err != nil {
-			return rankPass2{}, err
-		}
-		if lintSeg {
-			lr.EndSegmentRank(rank)
-		}
-		segs, err := seg.Finish()
+			if err := st.StreamRank(rank, feed); err != nil {
+				return nil, err
+			}
+			if lintSeg {
+				lr.EndSegmentRank(rank)
+			}
+			if seg == nil {
+				return nil, nil
+			}
+			return seg.Finish()
+		})
 		if err != nil {
-			return rankPass2{}, err
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, err
 		}
-		out := rankPass2{segs: segs}
-		if bn != nil {
-			out.mpi = bn.acc
+		if fallback {
+			perRank = res2
 		}
-		return out, nil
-	})
-	if err != nil {
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		return nil, err
 	}
 
-	m := &Matrix{Region: region, RegionName: regionName, PerRank: make([][]Segment, nranks)}
-	for rank := range parts {
-		m.PerRank[rank] = parts[rank].segs
-	}
+	m := &Matrix{Region: region, RegionName: regionName, PerRank: perRank}
 	a, err := imbalance.AnalyzeContext(ctx, m, imbalance.Options{
 		ZThreshold:   opts.ZThreshold,
 		TopK:         opts.TopK,
@@ -217,20 +310,24 @@ func AnalyzeSource(ctx context.Context, src Source, opts Options) (*Result, erro
 		return nil, err
 	}
 
+	// Bin the recorded MPI intervals now that the global span is known.
+	// Feeding rank-major through one integer accumulator matches the
+	// materialized path exactly: every addend is an exact int64, and
+	// integer addition is order-independent.
 	var frac []float64
 	if bins > 0 {
 		frac = make([]float64, bins)
 		if last > first {
-			total := make([]int64, bins)
+			bn := newMPIBinner(first, last, bins)
 			for _, p := range parts {
-				for b, v := range p.mpi {
-					total[b] += v
+				for i := 0; i+1 < len(p.mpi); i += 2 {
+					bn.addInterval(p.mpi[i], p.mpi[i+1])
 				}
 			}
 			binWidth := float64(last-first) / float64(bins)
 			denom := binWidth * float64(nranks)
 			for b := range frac {
-				frac[b] = float64(total[b]) / denom
+				frac[b] = float64(bn.acc[b]) / denom
 			}
 		}
 	}
@@ -260,48 +357,24 @@ func AnalyzeSource(ctx context.Context, src Source, opts Options) (*Result, erro
 	return res, nil
 }
 
-// mpiBinner accumulates, per time bin, the nanoseconds one rank spent
+// mpiBinner accumulates, per time bin, the nanoseconds the ranks spent
 // inside MPI regions — the streaming form of the per-rank scan in
 // imbalance.MPIFractionTimeline. It bins in integer nanoseconds with the
 // same truncating bin-boundary arithmetic; every addend the materialized
 // path sums in float64 is an exact integer, so the merged integer totals
 // convert to the same float64 fractions (exact up to 2^53 ns of
-// aggregate MPI time per bin, beyond any real trace).
+// aggregate MPI time per bin, beyond any real trace). The engine records
+// each rank's maximal MPI intervals during its single pass and feeds
+// them here once the global span is known.
 type mpiBinner struct {
 	first trace.Time
 	span  trace.Time
 	bins  int
-	isMPI []bool
 	acc   []int64
-	depth int
-	start trace.Time
 }
 
-func newMPIBinner(first, last trace.Time, bins int, isMPI []bool) *mpiBinner {
-	return &mpiBinner{first: first, span: last - first, bins: bins, isMPI: isMPI, acc: make([]int64, bins)}
-}
-
-func (m *mpiBinner) feed(ev Event) {
-	switch ev.Kind {
-	case trace.KindEnter:
-		if m.inMPI(ev.Region) {
-			if m.depth == 0 {
-				m.start = ev.Time
-			}
-			m.depth++
-		}
-	case trace.KindLeave:
-		if m.inMPI(ev.Region) {
-			m.depth--
-			if m.depth == 0 {
-				m.addInterval(m.start, ev.Time)
-			}
-		}
-	}
-}
-
-func (m *mpiBinner) inMPI(r RegionID) bool {
-	return r >= 0 && int(r) < len(m.isMPI) && m.isMPI[r]
+func newMPIBinner(first, last trace.Time, bins int) *mpiBinner {
+	return &mpiBinner{first: first, span: last - first, bins: bins, acc: make([]int64, bins)}
 }
 
 func (m *mpiBinner) addInterval(from, to trace.Time) {

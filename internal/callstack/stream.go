@@ -7,8 +7,8 @@ import (
 	"perfvar/internal/trace"
 )
 
-// Streaming replay: the fused decode→replay accumulator behind the
-// streaming analysis engine's first pass. Instead of materializing an
+// Streaming replay: the fused decode→replay accumulator inside the
+// streaming analysis engine's single pass. Instead of materializing an
 // Invocation slice per rank (48 bytes per call), a StreamReplay folds one
 // rank's event stream directly into that rank's flat-profile partial.
 // Memory is O(call depth + regions), independent of trace length, and the

@@ -1,0 +1,183 @@
+package segment
+
+import (
+	"perfvar/internal/trace"
+)
+
+// Candidate segmentation: the single-pass form of StreamSegmenter. The
+// streaming engine does not know the dominant function until every
+// rank's profile is merged, which used to force a second decode pass to
+// segment at the winner. A CandidateSet instead segments one rank's
+// stream at EVERY candidate region simultaneously during the first (and
+// only) pass, within a configurable memory budget; once the dominant
+// function is selected the winner's segments are handed to the matrix
+// and the losers are discarded. Only when the budget overflows — traces
+// whose candidate functions produce pathologically many segments — does
+// the engine fall back to the classic second pass.
+//
+// One stack walk serves all candidates. Each call-stack frame carries a
+// lazily propagated synchronization accumulator: when a sync-classified
+// frame is left, its wall-clock duration is credited to the frame below
+// it; when a non-sync frame is left, whatever it accumulated is both
+// recorded on its own segment (if it is a top-level candidate
+// invocation) and passed further down. A sync frame discards what it
+// accumulated from frames above, because its own duration already covers
+// those intervals. For any region R this reproduces exactly the maximal
+// sync intervals StreamSegmenter counts while inside R — the per-field
+// integer sums are identical, so adopting a CandidateSet's segments is
+// byte-identical to re-streaming through a StreamSegmenter.
+//
+// The CandidateSet performs no validation: the engine feeds it only
+// events that callstack.StreamReplay already accepted, and aborts the
+// analysis on the replay's error before the segments are consumed. A
+// structurally impossible transition (leave on an empty stack) only
+// poisons the set, forcing the fallback pass, which then surfaces the
+// materialized path's error.
+
+// DefaultCandidateBudget bounds, per rank, the segment records a
+// CandidateSet buffers across all candidate regions before it starts
+// evicting: 1<<16 records ≈ 3 MiB. Well-structured traces stay far
+// below it — the budget exists so adversarial traces degrade to a
+// second pass instead of to unbounded memory.
+const DefaultCandidateBudget = 1 << 16
+
+// candFrame is one open invocation on the candidate stack.
+type candFrame struct {
+	region   trace.RegionID
+	enter    trace.Time
+	syncAcc  trace.Duration // completed sync intervals directly above this frame
+	topLevel bool           // first open invocation of a tracked region
+}
+
+// CandidateSet segments one rank's event stream at every tracked region
+// at once. Feed events in stream order; after the stream ends, Segments
+// returns the completed segment list of any tracked region that stayed
+// within budget.
+type CandidateSet struct {
+	rank   trace.Rank
+	sync   []bool // per-region classifier verdicts (SyncMask)
+	track  []bool // regions whose segments are recorded
+	open   []int32
+	stack  []candFrame
+	segs   [][]Segment
+	stored int
+	budget int
+	broken bool
+}
+
+// NewCandidateSet returns a candidate segmenter for one rank. track
+// selects the regions whose segments are recorded (candidate dominant
+// functions); syncMask comes from SyncMask or Prepare and must classify
+// every tracked region as non-sync. budget caps the total buffered
+// segment records (<=0 means DefaultCandidateBudget).
+func NewCandidateSet(rank trace.Rank, track, syncMask []bool, budget int) *CandidateSet {
+	if budget <= 0 {
+		budget = DefaultCandidateBudget
+	}
+	// Eviction clears track entries, so every rank needs its own copy.
+	tr := make([]bool, len(track))
+	copy(tr, track)
+	return &CandidateSet{
+		rank:   rank,
+		sync:   syncMask,
+		track:  tr,
+		open:   make([]int32, len(syncMask)),
+		segs:   make([][]Segment, len(syncMask)),
+		budget: budget,
+	}
+}
+
+// Feed consumes one event. It never fails; see the package comment for
+// the validation contract.
+func (c *CandidateSet) Feed(ev trace.Event) {
+	switch ev.Kind {
+	case trace.KindEnter:
+		r := ev.Region
+		if r < 0 || int(r) >= len(c.open) {
+			c.broken = true
+			return
+		}
+		c.stack = append(c.stack, candFrame{
+			region:   r,
+			enter:    ev.Time,
+			topLevel: c.track[r] && c.open[r] == 0,
+		})
+		c.open[r]++
+	case trace.KindLeave:
+		n := len(c.stack)
+		if n == 0 {
+			c.broken = true
+			return
+		}
+		fr := &c.stack[n-1]
+		r := fr.region
+		if r != ev.Region {
+			c.broken = true
+			return
+		}
+		if c.sync[r] {
+			// The frame's own wall-clock interval subsumes any sync
+			// intervals completed inside it: credit the full duration
+			// below, discard what bubbled up.
+			if n > 1 {
+				c.stack[n-2].syncAcc += ev.Time - fr.enter
+			}
+		} else {
+			if fr.topLevel {
+				c.emit(r, fr.enter, ev.Time, fr.syncAcc)
+			}
+			if n > 1 {
+				c.stack[n-2].syncAcc += fr.syncAcc
+			}
+		}
+		c.open[r]--
+		c.stack = c.stack[:n-1]
+	}
+}
+
+func (c *CandidateSet) emit(r trace.RegionID, start, end trace.Time, sync trace.Duration) {
+	if !c.track[r] {
+		return
+	}
+	c.segs[r] = append(c.segs[r], Segment{
+		Rank:  c.rank,
+		Index: len(c.segs[r]),
+		Start: start,
+		End:   end,
+		Sync:  sync,
+	})
+	c.stored++
+	if c.stored > c.budget {
+		c.evict()
+	}
+}
+
+// evict drops the candidate with the most buffered segments — the
+// fine-grained region flooding the budget — and stops tracking it. If
+// that region later wins the dominant selection, the engine re-streams
+// it in a fallback pass.
+func (c *CandidateSet) evict() {
+	worst, worstLen := trace.RegionID(-1), 0
+	for r, s := range c.segs {
+		if len(s) > worstLen {
+			worst, worstLen = trace.RegionID(r), len(s)
+		}
+	}
+	if worst < 0 {
+		return
+	}
+	c.stored -= worstLen
+	c.segs[worst] = nil
+	c.track[worst] = false
+}
+
+// Segments returns the rank's completed segments for region r. ok is
+// false when the region was not tracked, was evicted over budget, or the
+// stream was structurally broken — the caller must then fall back to a
+// dedicated segmentation pass.
+func (c *CandidateSet) Segments(r trace.RegionID) ([]Segment, bool) {
+	if c.broken || r < 0 || int(r) >= len(c.track) || !c.track[r] {
+		return nil, false
+	}
+	return c.segs[r], true
+}

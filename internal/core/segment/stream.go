@@ -7,7 +7,8 @@ import (
 )
 
 // Streaming segmentation: the incremental form of Compute's per-rank
-// pass, used by the streaming analysis engine's second pass. A
+// pass, used by the streaming analysis engine's fallback pass (and by
+// the streaming lint runner's segmentation facts). A
 // StreamSegmenter consumes one rank's events and emits completed segments
 // with SOS-times; memory is O(completed segments), independent of event
 // count. The state machine and every error mirror computeRank exactly, so

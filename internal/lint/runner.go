@@ -28,7 +28,8 @@ type Options struct {
 // lint-local subset of perfvar.SourceStreams, which satisfies it
 // structurally. StreamRank may be called concurrently for different
 // ranks and more than once per rank (the run makes a second pass when
-// segmentation facts are needed).
+// segmentation facts are needed and no host engine adopted its
+// segments via AdoptSegments).
 type Streams interface {
 	// Header returns the trace definitions.
 	Header() *trace.Header

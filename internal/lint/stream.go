@@ -306,6 +306,32 @@ scanBroken:
 	}
 }
 
+// SegmentTarget reports the region a pending segmentation pass would
+// segment at (under the default synchronization classifier). ok is
+// false when no segmentation pass is pending — call after BeginSegments
+// returned true.
+func (r *StreamRun) SegmentTarget() (trace.RegionID, bool) {
+	if !r.barrierDone || r.segmenters == nil {
+		return 0, false
+	}
+	return r.segRegion, true
+}
+
+// AdoptSegments satisfies a pending segmentation pass with per-rank
+// segments computed elsewhere, sparing the re-stream through
+// FeedSegment/EndSegmentRank. The caller guarantees equivalence: the
+// segments must be exactly what streaming each rank through this run's
+// segmenters would produce — same region (SegmentTarget), default sync
+// classification, and streams whose structural validity the caller has
+// already established. The fused engine adopts its single-pass
+// candidate segments here when its own classifier matches lint's.
+func (r *StreamRun) AdoptSegments(perRank [][]segment.Segment) {
+	if r.segmenters == nil || len(perRank) != len(r.segRes) {
+		return
+	}
+	copy(r.segRes, perRank)
+}
+
 // FeedSegment consumes one event of the second streaming pass. It
 // returns false once the rank's segmenter failed — the caller may stop
 // feeding that rank early (or keep feeding; extra events are ignored).

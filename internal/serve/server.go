@@ -397,7 +397,7 @@ func (s *Server) compute(ctx context.Context, w http.ResponseWriter, key string,
 
 // pipeline returns the cached-or-computed perfvar.Result for an archive.
 // The bytes are analyzed straight from the archive: PVTR uploads run the
-// streaming two-pass engine without materializing the event streams,
+// single-pass streaming engine without materializing the event streams,
 // text archives fall back to the in-memory path. Result.Engine (and the
 // X-Perfvar-Engine response header) reports which one ran.
 func (s *Server) pipeline(ctx context.Context, w http.ResponseWriter, data []byte, p analysisParams) (*perfvar.Result, error) {

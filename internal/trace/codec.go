@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"io"
 	"math"
 )
@@ -53,73 +54,209 @@ func (e *eventEncoder) encode(ev Event) error {
 	return nil
 }
 
-// byteReader is what the decoder consumes: both *bufio.Reader (streaming
-// reads) and *bytes.Reader (in-memory block decoding of pre-scanned rank
-// blocks) satisfy it.
+// byteReader is what the definition parser consumes: both *bufio.Reader
+// (streaming reads) and *bytes.Reader (in-memory archives) satisfy it.
 type byteReader interface {
 	io.ByteReader
 	io.Reader
 }
 
+// maxEventEncodedLen bounds the encoded size of one event: one kind byte,
+// a 10-byte timestamp varint, and the largest payload (send/recv: three
+// varints). The decoder refills its window whenever fewer bytes remain,
+// so a whole event can always be decoded from one contiguous slice.
+const maxEventEncodedLen = 1 + binary.MaxVarintLen64 + 3*binary.MaxVarintLen64
+
+var (
+	errTruncated      = io.ErrUnexpectedEOF
+	errVarintOverflow = errors.New("varint overflows a 64-bit integer")
+)
+
+// eventDecoder decodes the event stream from an in-memory window,
+// refilling from an optional underlying reader. Working on a byte slice
+// keeps the per-event loop free of interface dispatch: varints are read
+// with binary.Uvarint on the window instead of byte-at-a-time
+// io.ByteReader calls, which is what makes single-pass streaming decode
+// competitive with (and faster than) materialized block decode.
+//
+// Two constructions share the struct: newSliceDecoder wraps a complete
+// in-memory block (refills never happen, decode is zero-copy), and
+// newStreamDecoder couples a reusable window buffer to an io.Reader for
+// blocks larger than memory.
 type eventDecoder struct {
-	br byteReader
-	t  Time
+	r       io.Reader // refill source; nil when buf holds the whole block
+	buf     []byte
+	pos     int
+	end     int
+	srcEOF  bool
+	readErr error // sticky non-EOF refill failure
+	base    int64 // absolute offset of buf[0] within the block
+	t       Time
 	// reference bounds for validation
 	nregions, nmetrics, nprocs uint64
 }
 
-func newEventDecoder(br byteReader, nregions, nmetrics, nprocs uint64) *eventDecoder {
-	return &eventDecoder{br: br, nregions: nregions, nmetrics: nmetrics, nprocs: nprocs}
+// newSliceDecoder decodes events straight out of data.
+func newSliceDecoder(data []byte, nregions, nmetrics, nprocs uint64) *eventDecoder {
+	return &eventDecoder{
+		buf: data, end: len(data), srcEOF: true,
+		nregions: nregions, nmetrics: nmetrics, nprocs: nprocs,
+	}
+}
+
+// newStreamDecoder decodes events from r through the window buf (which
+// must hold at least maxEventEncodedLen bytes; 64 KiB is typical).
+func newStreamDecoder(r io.Reader, buf []byte, nregions, nmetrics, nprocs uint64) *eventDecoder {
+	return &eventDecoder{
+		r: r, buf: buf,
+		nregions: nregions, nmetrics: nmetrics, nprocs: nprocs,
+	}
+}
+
+// offset returns the absolute byte offset of the next undecoded byte,
+// counted from the start of the event block — the location truncation
+// and corruption errors report.
+func (d *eventDecoder) offset() int64 { return d.base + int64(d.pos) }
+
+// refill slides the undecoded tail to the front of the window and reads
+// until the window is full or the source is exhausted.
+func (d *eventDecoder) refill() {
+	d.base += int64(d.pos)
+	n := copy(d.buf, d.buf[d.pos:d.end])
+	d.pos, d.end = 0, n
+	for d.end < len(d.buf) && !d.srcEOF && d.readErr == nil {
+		n, err := d.r.Read(d.buf[d.end:])
+		d.end += n
+		if err == io.EOF {
+			d.srcEOF = true
+		} else if err != nil {
+			d.readErr = err
+		}
+	}
+}
+
+// fail wraps a decode failure with the field name and byte offset.
+func (d *eventDecoder) fail(field string, err error) error {
+	if d.readErr != nil {
+		err = d.readErr
+	}
+	return formatf("event %s at byte %d: %v", field, d.offset(), err)
+}
+
+// uvarint reads one unsigned varint from the window. The caller has
+// ensured the window holds a full event or the end of the block, so a
+// short parse means a truncated stream, not a short buffer.
+func (d *eventDecoder) uvarint(field string) (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:d.end])
+	if n <= 0 {
+		if n < 0 {
+			return 0, d.fail(field, errVarintOverflow)
+		}
+		return 0, d.fail(field, errTruncated)
+	}
+	d.pos += n
+	return v, nil
+}
+
+// blockCount reads an inter-block uvarint (a rank's event count) through
+// the decode window and resets the timestamp base for the next block.
+// The error is raw (truncation or overflow), for the caller to wrap with
+// the rank it was parsing.
+func (d *eventDecoder) blockCount() (uint64, error) {
+	if d.end-d.pos < maxEventEncodedLen && !d.srcEOF && d.readErr == nil {
+		d.refill()
+	}
+	v, n := binary.Uvarint(d.buf[d.pos:d.end])
+	if n <= 0 {
+		if n < 0 {
+			return 0, errVarintOverflow
+		}
+		if d.readErr != nil {
+			return 0, d.readErr
+		}
+		return 0, errTruncated
+	}
+	d.pos += n
+	d.t = 0
+	return v, nil
+}
+
+// tail returns up to n trailing bytes (the end marker) from the window.
+func (d *eventDecoder) tail(n int) []byte {
+	if d.end-d.pos < n && !d.srcEOF && d.readErr == nil {
+		d.refill()
+	}
+	if d.end-d.pos < n {
+		n = d.end - d.pos
+	}
+	return d.buf[d.pos : d.pos+n]
 }
 
 // decode reads one event.
 func (d *eventDecoder) decode() (Event, error) {
-	kb, err := d.br.ReadByte()
-	if err != nil {
-		return Event{}, formatf("event kind: %v", err)
+	if d.end-d.pos < maxEventEncodedLen && !d.srcEOF && d.readErr == nil {
+		d.refill()
 	}
-	dt, err := binary.ReadUvarint(d.br)
+	if d.pos >= d.end {
+		return Event{}, d.fail("kind", errTruncated)
+	}
+	kb := d.buf[d.pos]
+	d.pos++
+	dt, err := d.uvarint("time")
 	if err != nil {
-		return Event{}, formatf("event time: %v", err)
+		return Event{}, err
 	}
 	d.t += Time(dt)
 	ev := Event{Time: d.t, Kind: EventKind(kb), Region: NoRegion, Metric: NoMetric, Peer: NoRank}
 	switch ev.Kind {
 	case KindEnter, KindLeave:
-		reg, err := binary.ReadUvarint(d.br)
-		if err != nil || reg >= d.nregions {
-			return Event{}, formatf("event region: n=%d err=%v", reg, err)
+		reg, err := d.uvarint("region")
+		if err != nil {
+			return Event{}, err
+		}
+		if reg >= d.nregions {
+			return Event{}, formatf("event region %d out of range at byte %d", reg, d.offset())
 		}
 		ev.Region = RegionID(reg)
 	case KindMetric:
-		mid, err := binary.ReadUvarint(d.br)
-		if err != nil || mid >= d.nmetrics {
-			return Event{}, formatf("event metric: n=%d err=%v", mid, err)
+		mid, err := d.uvarint("metric")
+		if err != nil {
+			return Event{}, err
+		}
+		if mid >= d.nmetrics {
+			return Event{}, formatf("event metric %d out of range at byte %d", mid, d.offset())
 		}
 		ev.Metric = MetricID(mid)
-		var bits uint64
-		if err := binary.Read(d.br, binary.LittleEndian, &bits); err != nil {
-			return Event{}, formatf("event value: %v", err)
+		if d.end-d.pos < 8 {
+			return Event{}, d.fail("value", errTruncated)
 		}
-		ev.Value = math.Float64frombits(bits)
+		ev.Value = math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.pos:]))
+		d.pos += 8
 	case KindSend, KindRecv:
-		peer, err := binary.ReadUvarint(d.br)
-		if err != nil || peer >= d.nprocs {
-			return Event{}, formatf("event peer: n=%d err=%v", peer, err)
+		peer, err := d.uvarint("peer")
+		if err != nil {
+			return Event{}, err
+		}
+		if peer >= d.nprocs {
+			return Event{}, formatf("event peer %d out of range at byte %d", peer, d.offset())
 		}
 		ev.Peer = Rank(peer)
-		tag, err := binary.ReadVarint(d.br)
-		if err != nil {
-			return Event{}, formatf("event tag: %v", err)
+		tag, n := binary.Varint(d.buf[d.pos:d.end])
+		if n <= 0 {
+			if n < 0 {
+				return Event{}, d.fail("tag", errVarintOverflow)
+			}
+			return Event{}, d.fail("tag", errTruncated)
 		}
+		d.pos += n
 		ev.Tag = int32(tag)
-		nbytes, err := binary.ReadUvarint(d.br)
+		nbytes, err := d.uvarint("bytes")
 		if err != nil {
-			return Event{}, formatf("event bytes: %v", err)
+			return Event{}, err
 		}
 		ev.Bytes = int64(nbytes)
 	default:
-		return Event{}, formatf("unknown event kind %d", kb)
+		return Event{}, formatf("unknown event kind %d at byte %d", kb, d.offset())
 	}
 	return ev, nil
 }
@@ -144,32 +281,32 @@ func skipEvents(data []byte, n uint64) (int, error) {
 	}
 	for i := uint64(0); i < n; i++ {
 		if off >= len(data) {
-			return 0, formatf("event %d: truncated", i)
+			return 0, formatf("event %d at byte %d: truncated", i, off)
 		}
 		kind := EventKind(data[off])
 		off++
 		if !skipVarint() { // delta timestamp
-			return 0, formatf("event %d: truncated time", i)
+			return 0, formatf("event %d at byte %d: truncated time", i, off)
 		}
 		switch kind {
 		case KindEnter, KindLeave:
 			if !skipVarint() {
-				return 0, formatf("event %d: truncated region", i)
+				return 0, formatf("event %d at byte %d: truncated region", i, off)
 			}
 		case KindMetric:
 			if !skipVarint() {
-				return 0, formatf("event %d: truncated metric", i)
+				return 0, formatf("event %d at byte %d: truncated metric", i, off)
 			}
 			if off+8 > len(data) {
-				return 0, formatf("event %d: truncated value", i)
+				return 0, formatf("event %d at byte %d: truncated value", i, off)
 			}
 			off += 8
 		case KindSend, KindRecv:
 			if !skipVarint() || !skipVarint() || !skipVarint() {
-				return 0, formatf("event %d: truncated message", i)
+				return 0, formatf("event %d at byte %d: truncated message", i, off)
 			}
 		default:
-			return 0, formatf("event %d: unknown event kind %d", i, kind)
+			return 0, formatf("event %d at byte %d: unknown event kind %d", i, off-1, kind)
 		}
 	}
 	return off, nil

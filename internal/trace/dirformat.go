@@ -240,7 +240,9 @@ func readRankFile(path string, rank int, tr *Trace) ([]Event, error) {
 	if nev > maxEvents {
 		return nil, formatf("%s: event count %d exceeds limit", path, nev)
 	}
-	dec := newEventDecoder(br, uint64(len(tr.Regions)), uint64(len(tr.Metrics)), uint64(len(tr.Procs)))
+	buf := windowPool.Get().(*[]byte)
+	defer windowPool.Put(buf)
+	dec := newStreamDecoder(br, *buf, uint64(len(tr.Regions)), uint64(len(tr.Metrics)), uint64(len(tr.Procs)))
 	// Cap the upfront allocation against absurd declared counts; append
 	// grows as real events actually decode.
 	evs := make([]Event, 0, min(nev, 1<<16))

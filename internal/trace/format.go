@@ -2,7 +2,6 @@ package trace
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -86,6 +85,35 @@ func formatf(format string, args ...any) error {
 
 // Write encodes tr to w in the PVTR binary format.
 func Write(w io.Writer, tr *Trace) error {
+	h := &Header{Name: tr.Name, Regions: tr.Regions, Metrics: tr.Metrics}
+	counts := make([]uint64, len(tr.Procs))
+	for i := range tr.Procs {
+		h.Procs = append(h.Procs, tr.Procs[i].Proc)
+		counts[i] = uint64(len(tr.Procs[i].Events))
+	}
+	return WriteFrom(w, h, counts, func(rank int, emit func(Event) error) error {
+		for _, ev := range tr.Procs[rank].Events {
+			if err := emit(ev); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// WriteFrom encodes a PVTR archive whose events are produced on demand:
+// the definitions come from h, rank r's block is declared counts[r]
+// events long, and gen is called once per rank to emit exactly that
+// many events (in non-decreasing time order) through emit. Nothing is
+// materialized — memory stays O(definitions) — so a deterministic
+// generator can write archives far larger than RAM
+// (workloads.SyntheticConfig.WriteArchive). gen must emit exactly the
+// declared count: the count prefixes the block, and a mismatch would
+// corrupt the framing, so WriteFrom rejects it.
+func WriteFrom(w io.Writer, h *Header, counts []uint64, gen func(rank int, emit func(Event) error) error) error {
+	if len(counts) != len(h.Procs) {
+		return formatf("WriteFrom: %d event counts for %d procs", len(counts), len(h.Procs))
+	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	var scratch [binary.MaxVarintLen64]byte
 
@@ -100,33 +128,44 @@ func Write(w io.Writer, tr *Trace) error {
 
 	bw.WriteString(formatMagic)
 	binary.Write(bw, binary.LittleEndian, uint32(formatVersion))
-	putString(tr.Name)
+	putString(h.Name)
 
-	putUvarint(uint64(len(tr.Regions)))
-	for _, r := range tr.Regions {
+	putUvarint(uint64(len(h.Regions)))
+	for _, r := range h.Regions {
 		putString(r.Name)
 		bw.WriteByte(byte(r.Paradigm))
 		bw.WriteByte(byte(r.Role))
 	}
-	putUvarint(uint64(len(tr.Metrics)))
-	for _, m := range tr.Metrics {
+	putUvarint(uint64(len(h.Metrics)))
+	for _, m := range h.Metrics {
 		putString(m.Name)
 		putString(m.Unit)
 		bw.WriteByte(byte(m.Mode))
 	}
-	putUvarint(uint64(len(tr.Procs)))
-	for i := range tr.Procs {
-		putString(tr.Procs[i].Proc.Name)
+	putUvarint(uint64(len(h.Procs)))
+	for i := range h.Procs {
+		putString(h.Procs[i].Name)
 	}
 
-	for i := range tr.Procs {
-		evs := tr.Procs[i].Events
-		putUvarint(uint64(len(evs)))
+	for rank := range h.Procs {
+		putUvarint(counts[rank])
 		enc := newEventEncoder(bw)
-		for _, ev := range evs {
-			if err := enc.encode(ev); err != nil {
-				return formatf("rank %d: %v", i, err)
+		var emitted uint64
+		emit := func(ev Event) error {
+			if emitted >= counts[rank] {
+				return formatf("rank %d: generator emitted more than the %d declared events", rank, counts[rank])
 			}
+			emitted++
+			if err := enc.encode(ev); err != nil {
+				return formatf("rank %d: %v", rank, err)
+			}
+			return nil
+		}
+		if err := gen(rank, emit); err != nil {
+			return err
+		}
+		if emitted != counts[rank] {
+			return formatf("rank %d: generator emitted %d of %d declared events", rank, emitted, counts[rank])
 		}
 	}
 	bw.WriteString(formatEnd)
@@ -294,7 +333,7 @@ func readArchive(r io.Reader) (*Trace, error) {
 		// Cap the upfront allocation: a corrupt header can declare an
 		// absurd count, but real events still have to frame byte by byte.
 		evs := make([]Event, 0, min(blk.nev, 1<<16))
-		dec := newEventDecoder(bytes.NewReader(blk.data), nregions, nmetrics, nprocs)
+		dec := newSliceDecoder(blk.data, nregions, nmetrics, nprocs)
 		for i := uint64(0); i < blk.nev; i++ {
 			ev, err := dec.decode()
 			if err != nil {

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"io"
@@ -18,11 +19,17 @@ import (
 // interface from OpenDirRankStreams, where the per-rank files provide the
 // framing for free. Memory is O(definitions + ranks), never O(events).
 
-// decodeBufPool recycles the bufio readers behind per-rank decoders, so a
-// two-pass analysis over many ranks reuses a handful of buffers instead
-// of allocating 64 KiB per StreamRank call.
+// decodeBufPool recycles the bufio readers behind header parses and
+// framing scans, so repeated opens reuse a handful of buffers.
 var decodeBufPool = sync.Pool{
 	New: func() any { return bufio.NewReaderSize(nil, 1<<16) },
+}
+
+// windowPool recycles the event-decoder windows behind per-rank stream
+// decodes (newStreamDecoder), so an analysis over many ranks reuses a
+// few 64 KiB buffers instead of allocating one per StreamRank call.
+var windowPool = sync.Pool{
+	New: func() any { b := make([]byte, 1<<16); return &b },
 }
 
 // rankSpan locates one rank's event block inside an archive.
@@ -33,17 +40,21 @@ type rankSpan struct {
 }
 
 // RankStreams provides independent per-rank event streams over a PVTR
-// archive backed by an io.ReaderAt (an open file or a bytes.Reader over
-// an upload). The framing scan runs once in OpenRankStreams; StreamRank
-// then decodes straight from the backing store.
+// archive backed by an io.ReaderAt (an open file) or a byte slice (an
+// upload already in memory). The framing scan runs once in
+// OpenRankStreams/OpenRankStreamsBytes; StreamRank then decodes straight
+// from the backing store — for in-memory archives without copying a
+// single event byte.
 type RankStreams struct {
 	header *Header
 	src    io.ReaderAt
+	data   []byte // non-nil when the archive is fully in memory
 	spans  []rankSpan
 }
 
 // countingReader tracks the absolute offset of a buffered sequential
-// reader, so the framing scan can record byte spans.
+// reader, so the framing scan can record byte spans and truncation
+// errors can report where the archive broke off.
 type countingReader struct {
 	br *bufio.Reader
 	n  int64
@@ -107,10 +118,13 @@ func skipEventsReader(br byteReader, n uint64) error {
 // OpenRankStreams scans the PVTR archive in src (size bytes long) and
 // returns per-rank stream handles. The scan parses the definitions and
 // walks the event framing once — no event is decoded or retained — and
-// verifies the end marker, so a structurally corrupt archive fails here
-// rather than mid-analysis.
+// verifies the end marker, so a structurally corrupt archive fails here,
+// locating the failure by rank and byte offset, rather than mid-analysis.
 func OpenRankStreams(src io.ReaderAt, size int64) (*RankStreams, error) {
-	cr := &countingReader{br: bufio.NewReaderSize(io.NewSectionReader(src, 0, size), 1<<16)}
+	br := decodeBufPool.Get().(*bufio.Reader)
+	br.Reset(io.NewSectionReader(src, 0, size))
+	defer decodeBufPool.Put(br)
+	cr := &countingReader{br: br}
 	h, err := readHeader(cr)
 	if err != nil {
 		return nil, err
@@ -119,22 +133,56 @@ func OpenRankStreams(src io.ReaderAt, size int64) (*RankStreams, error) {
 	for rank := range spans {
 		nev, err := binary.ReadUvarint(cr)
 		if err != nil || nev > maxEvents {
-			return nil, formatf("rank %d event count: n=%d err=%v", rank, nev, err)
+			return nil, formatf("rank %d event count at byte %d: n=%d err=%v", rank, cr.n, nev, err)
 		}
 		start := cr.n
 		if err := skipEventsReader(cr, nev); err != nil {
-			return nil, formatf("rank %d %v", rank, err)
+			return nil, formatf("rank %d at archive byte %d: %v", rank, cr.n, err)
 		}
 		spans[rank] = rankSpan{nev: nev, off: start, len: cr.n - start}
 	}
 	var marker [4]byte
 	if _, err := io.ReadFull(cr, marker[:]); err != nil {
-		return nil, formatf("reading end marker: %v", err)
+		return nil, formatf("reading end marker at byte %d: %v", cr.n, err)
 	}
 	if string(marker[:]) != formatEnd {
 		return nil, formatf("end marker %q, want %q", marker[:], formatEnd)
 	}
 	return &RankStreams{header: h, src: src, spans: spans}, nil
+}
+
+// OpenRankStreamsBytes is OpenRankStreams for an archive already in
+// memory. The framing scan runs directly over the byte slice, and
+// StreamRank later decodes each rank's block zero-copy — the fast path
+// behind uploaded-archive analysis.
+func OpenRankStreamsBytes(data []byte) (*RankStreams, error) {
+	r := bytes.NewReader(data)
+	h, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	off := int64(len(data)) - int64(r.Len())
+	spans := make([]rankSpan, len(h.Procs))
+	for rank := range spans {
+		nev, sz := binary.Uvarint(data[off:])
+		if sz <= 0 || nev > maxEvents {
+			return nil, formatf("rank %d event count at byte %d: n=%d truncated=%v", rank, off, nev, sz <= 0)
+		}
+		off += int64(sz)
+		blen, err := skipEvents(data[off:], nev)
+		if err != nil {
+			return nil, formatf("rank %d at archive byte %d: %v", rank, off, err)
+		}
+		spans[rank] = rankSpan{nev: nev, off: off, len: int64(blen)}
+		off += int64(blen)
+	}
+	if int64(len(data))-off < 4 {
+		return nil, formatf("reading end marker at byte %d: %v", off, io.ErrUnexpectedEOF)
+	}
+	if got := string(data[off : off+4]); got != formatEnd {
+		return nil, formatf("end marker %q, want %q", got, formatEnd)
+	}
+	return &RankStreams{header: h, data: data, spans: spans}, nil
 }
 
 // Header returns the archive's definitions.
@@ -152,14 +200,21 @@ func (rs *RankStreams) StreamRank(rank int, fn func(Event) error) error {
 		return formatf("rank %d out of range", rank)
 	}
 	sp := rs.spans[rank]
-	br := decodeBufPool.Get().(*bufio.Reader)
-	br.Reset(io.NewSectionReader(rs.src, sp.off, sp.len))
-	defer decodeBufPool.Put(br)
-	dec := newEventDecoder(br, uint64(len(rs.header.Regions)), uint64(len(rs.header.Metrics)), uint64(len(rs.header.Procs)))
+	nregions := uint64(len(rs.header.Regions))
+	nmetrics := uint64(len(rs.header.Metrics))
+	nprocs := uint64(len(rs.header.Procs))
+	var dec *eventDecoder
+	if rs.data != nil {
+		dec = newSliceDecoder(rs.data[sp.off:sp.off+sp.len], nregions, nmetrics, nprocs)
+	} else {
+		buf := windowPool.Get().(*[]byte)
+		defer windowPool.Put(buf)
+		dec = newStreamDecoder(io.NewSectionReader(rs.src, sp.off, sp.len), *buf, nregions, nmetrics, nprocs)
+	}
 	for i := uint64(0); i < sp.nev; i++ {
 		ev, err := dec.decode()
 		if err != nil {
-			return formatf("rank %d event %d: %v", rank, i, err)
+			return formatf("rank %d event %d (archive byte %d): %v", rank, i, sp.off+dec.offset(), err)
 		}
 		if err := fn(ev); err != nil {
 			if errors.Is(err, ErrStopStream) {
@@ -237,11 +292,13 @@ func (ds *DirStreams) StreamRank(rank int, fn func(Event) error) error {
 	if nev > maxEvents {
 		return formatf("%s: event count %d exceeds limit", path, nev)
 	}
-	dec := newEventDecoder(br, uint64(len(ds.header.Regions)), uint64(len(ds.header.Metrics)), uint64(len(ds.header.Procs)))
+	buf := windowPool.Get().(*[]byte)
+	defer windowPool.Put(buf)
+	dec := newStreamDecoder(br, *buf, uint64(len(ds.header.Regions)), uint64(len(ds.header.Metrics)), uint64(len(ds.header.Procs)))
 	for i := uint64(0); i < nev; i++ {
 		ev, err := dec.decode()
 		if err != nil {
-			return formatf("%s: event %d: %v", path, i, err)
+			return formatf("%s: rank %d event %d: %v", path, rank, i, err)
 		}
 		if err := fn(ev); err != nil {
 			if errors.Is(err, ErrStopStream) {

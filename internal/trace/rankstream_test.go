@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Truncated archives must fail the framing scan with the rank and the
+// byte offset where the archive broke off — a bare io.ErrUnexpectedEOF
+// with no location is useless against a multi-gigabyte upload.
+func TestOpenRankStreamsTruncatedLocatesFailure(t *testing.T) {
+	tr := validTwoRankTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Cut inside the last rank's event block (the end marker is 4 bytes,
+	// so -6 lands mid-event or mid-count of the final rank).
+	cut := good[:len(good)-6]
+	for _, open := range []struct {
+		name string
+		fn   func([]byte) (*RankStreams, error)
+	}{
+		{"reader", func(b []byte) (*RankStreams, error) {
+			return OpenRankStreams(bytes.NewReader(b), int64(len(b)))
+		}},
+		{"bytes", OpenRankStreamsBytes},
+	} {
+		_, err := open.fn(cut)
+		if err == nil {
+			t.Fatalf("%s: truncated archive accepted", open.name)
+		}
+		if !errors.Is(err, ErrFormat) {
+			t.Fatalf("%s: err = %v, want ErrFormat", open.name, err)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "rank 1") {
+			t.Fatalf("%s: error does not name the failing rank: %v", open.name, err)
+		}
+		if !strings.Contains(msg, "byte") {
+			t.Fatalf("%s: error does not locate the byte offset: %v", open.name, err)
+		}
+	}
+
+	// Cut inside the first rank's event count: rank 0 must be named.
+	hdrLen := headerLen(t, good)
+	_, err := OpenRankStreamsBytes(good[:hdrLen])
+	if err == nil || !strings.Contains(err.Error(), "rank 0") {
+		t.Fatalf("header-only archive: err = %v, want rank 0 failure", err)
+	}
+}
+
+// headerLen locates the end of the definition section: the offset
+// OpenRankStreamsBytes starts its framing scan at.
+func headerLen(t *testing.T, data []byte) int {
+	t.Helper()
+	r := bytes.NewReader(data)
+	if _, err := readHeader(r); err != nil {
+		t.Fatal(err)
+	}
+	return len(data) - r.Len()
+}
+
+// A decode failure during StreamRank (framing fine, payload corrupt)
+// reports rank, event index, and the absolute archive byte offset.
+func TestStreamRankDecodeErrorLocatesFailure(t *testing.T) {
+	tr := validTwoRankTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	rs, err := OpenRankStreamsBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the first event's kind byte of rank 1's block. The framing
+	// scan already ran over the pristine bytes, so the corruption is only
+	// seen by the per-event decoder.
+	off := rs.spans[1].off
+	orig := data[off]
+	data[off] = 0xEE
+	defer func() { data[off] = orig }()
+	err = rs.StreamRank(1, func(Event) error { return nil })
+	if err == nil {
+		t.Fatal("corrupt event accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "rank 1 event 0") || !strings.Contains(msg, "archive byte") {
+		t.Fatalf("error does not locate the failure: %v", err)
+	}
+}

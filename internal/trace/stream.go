@@ -139,12 +139,17 @@ func Stream(r io.Reader, fn StreamFunc) (*Header, error) {
 	nmetrics := uint64(len(h.Metrics))
 	nprocs := uint64(len(h.Procs))
 
+	// One windowed decoder spans all rank blocks: the inter-block event
+	// counts are parsed through the same window (blockCount), so the
+	// whole event section decodes without per-byte reader dispatch.
+	buf := windowPool.Get().(*[]byte)
+	defer windowPool.Put(buf)
+	dec := newStreamDecoder(br, *buf, nregions, nmetrics, nprocs)
 	for rank := uint64(0); rank < nprocs; rank++ {
-		nev, err := binary.ReadUvarint(br)
+		nev, err := dec.blockCount()
 		if err != nil || nev > maxEvents {
 			return nil, formatf("rank %d event count: n=%d err=%v", rank, nev, err)
 		}
-		dec := newEventDecoder(br, nregions, nmetrics, nprocs)
 		for i := uint64(0); i < nev; i++ {
 			ev, err := dec.decode()
 			if err != nil {
@@ -158,12 +163,12 @@ func Stream(r io.Reader, fn StreamFunc) (*Header, error) {
 			}
 		}
 	}
-	var marker [4]byte
-	if _, err := io.ReadFull(br, marker[:]); err != nil {
-		return nil, formatf("reading end marker: %v", err)
+	marker := dec.tail(4)
+	if len(marker) < 4 {
+		return nil, formatf("reading end marker: %v", io.ErrUnexpectedEOF)
 	}
-	if string(marker[:]) != formatEnd {
-		return nil, formatf("end marker %q, want %q", marker[:], formatEnd)
+	if string(marker) != formatEnd {
+		return nil, formatf("end marker %q, want %q", marker, formatEnd)
 	}
 	return h, nil
 }

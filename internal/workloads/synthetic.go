@@ -1,0 +1,191 @@
+package workloads
+
+import (
+	"fmt"
+	"io"
+
+	"perfvar/internal/trace"
+)
+
+// Synthetic streaming workload: a deterministic event generator whose
+// trace exists only as a function of (rank, position) — the tool for
+// exercising the streaming engine on archives far larger than RAM.
+// Unlike the sim-backed workloads (FD4, CosmoSpecs, WRF), nothing is
+// ever materialized: StreamRank emits one rank's events on demand,
+// resumably and concurrently, and Header/NumEvents are closed forms.
+// perfvar.SyntheticSource adapts it to the analysis engine, and
+// trace.WriteFrom turns it into a real PVTR archive of any size
+// (cmd/tracegen -workload synthetic).
+
+// Region ids of the synthetic workload, in Header order.
+const (
+	SynthMain    trace.RegionID = iota // whole-run bracket
+	SynthIter                          // outer iteration — the dominant function
+	SynthCompute                       // per-iteration compute phase
+	SynthKernel                        // fine-grained kernel calls inside compute
+	SynthMPI                           // MPI_Allreduce closing each iteration
+)
+
+// SyntheticConfig parameterizes the generator. Event count per rank is
+// 2 + Iterations × (6 + 2×KernelCalls): scale either knob to reach any
+// archive size. One (rank, iteration) pair runs its kernels SlowFactor×
+// long — the injected hotspot the analysis must find.
+type SyntheticConfig struct {
+	Ranks       int
+	Iterations  int
+	KernelCalls int // kernel invocations per iteration (fine-grained flood)
+
+	KernelCost trace.Duration // per-kernel-call baseline
+	MPICost    trace.Duration // per-iteration collective cost
+	Seed       uint64         // drives the deterministic jitter
+
+	SlowRank      int // hotspot location
+	SlowIteration int
+	SlowFactor    int // kernel-cost multiplier at the hotspot
+}
+
+// DefaultSynthetic returns a modest configuration (~5.8 M events,
+// a few hundred MB if materialized) with a hotspot on rank 5.
+func DefaultSynthetic() SyntheticConfig {
+	return SyntheticConfig{
+		Ranks:         32,
+		Iterations:    300,
+		KernelCalls:   300,
+		KernelCost:    20 * trace.Microsecond,
+		MPICost:       500 * trace.Microsecond,
+		Seed:          7,
+		SlowRank:      5,
+		SlowIteration: 150,
+		SlowFactor:    8,
+	}
+}
+
+func (c SyntheticConfig) validate() error {
+	if c.Ranks <= 0 || c.Iterations < 2 || c.KernelCalls <= 0 {
+		return fmt.Errorf("workloads: synthetic needs Ranks > 0 (%d), Iterations >= 2 (%d), KernelCalls > 0 (%d)",
+			c.Ranks, c.Iterations, c.KernelCalls)
+	}
+	if c.KernelCost <= 0 || c.MPICost <= 0 {
+		return fmt.Errorf("workloads: synthetic needs positive costs (kernel %d, mpi %d)", c.KernelCost, c.MPICost)
+	}
+	if c.SlowFactor < 1 {
+		return fmt.Errorf("workloads: SlowFactor %d < 1", c.SlowFactor)
+	}
+	return nil
+}
+
+// Header returns the archive definitions of the synthetic trace.
+func (c SyntheticConfig) Header() *trace.Header {
+	h := &trace.Header{
+		Name: "synthetic-stream",
+		Regions: []trace.Region{
+			{ID: SynthMain, Name: "main", Paradigm: trace.ParadigmUser, Role: trace.RoleFunction},
+			{ID: SynthIter, Name: "iteration", Paradigm: trace.ParadigmUser, Role: trace.RoleLoop},
+			{ID: SynthCompute, Name: "compute", Paradigm: trace.ParadigmUser, Role: trace.RoleFunction},
+			{ID: SynthKernel, Name: "kernel", Paradigm: trace.ParadigmUser, Role: trace.RoleFunction},
+			{ID: SynthMPI, Name: "MPI_Allreduce", Paradigm: trace.ParadigmMPI, Role: trace.RoleCollective},
+		},
+	}
+	for r := 0; r < c.Ranks; r++ {
+		h.Procs = append(h.Procs, trace.Process{Rank: trace.Rank(r), Name: fmt.Sprintf("rank %d", r)})
+	}
+	return h
+}
+
+// EventsPerRank returns the exact event count of every rank's stream.
+func (c SyntheticConfig) EventsPerRank() uint64 {
+	return 2 + uint64(c.Iterations)*(6+2*uint64(c.KernelCalls))
+}
+
+// NumEvents returns the total event count across all ranks.
+func (c SyntheticConfig) NumEvents() uint64 {
+	return uint64(c.Ranks) * c.EventsPerRank()
+}
+
+// mix is the splitmix64 finalizer: a cheap stateless hash turning
+// (seed, rank, iteration, call) into reproducible jitter.
+func mix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+func (c SyntheticConfig) jitter(rank, iter, call int, span trace.Duration) trace.Duration {
+	if span <= 0 {
+		return 0
+	}
+	h := mix(c.Seed ^ uint64(rank)<<40 ^ uint64(iter)<<16 ^ uint64(call))
+	return trace.Duration(h % uint64(span))
+}
+
+// StreamRank emits rank's events in stream order. The generator is a
+// pure function of the config: every call replays the identical stream,
+// and calls for different ranks may run concurrently. An error from fn
+// (including trace.ErrStopStream) aborts the stream and is returned
+// as-is.
+func (c SyntheticConfig) StreamRank(rank int, fn func(trace.Event) error) error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	if rank < 0 || rank >= c.Ranks {
+		return fmt.Errorf("workloads: synthetic rank %d out of range [0,%d)", rank, c.Ranks)
+	}
+	t := trace.Time(0)
+	if err := fn(trace.Enter(t, SynthMain)); err != nil {
+		return err
+	}
+	for iter := 0; iter < c.Iterations; iter++ {
+		if err := fn(trace.Enter(t, SynthIter)); err != nil {
+			return err
+		}
+		if err := fn(trace.Enter(t, SynthCompute)); err != nil {
+			return err
+		}
+		kcost := c.KernelCost
+		if rank == c.SlowRank && iter == c.SlowIteration {
+			kcost *= trace.Duration(c.SlowFactor)
+		}
+		for k := 0; k < c.KernelCalls; k++ {
+			if err := fn(trace.Enter(t, SynthKernel)); err != nil {
+				return err
+			}
+			t += trace.Time(kcost + c.jitter(rank, iter, k, c.KernelCost/8))
+			if err := fn(trace.Leave(t, SynthKernel)); err != nil {
+				return err
+			}
+		}
+		if err := fn(trace.Leave(t, SynthCompute)); err != nil {
+			return err
+		}
+		if err := fn(trace.Enter(t, SynthMPI)); err != nil {
+			return err
+		}
+		t += trace.Time(c.MPICost + c.jitter(rank, iter, -1, c.MPICost/8))
+		if err := fn(trace.Leave(t, SynthMPI)); err != nil {
+			return err
+		}
+		if err := fn(trace.Leave(t, SynthIter)); err != nil {
+			return err
+		}
+	}
+	return fn(trace.Leave(t, SynthMain))
+}
+
+// WriteArchive streams the whole synthetic trace into a PVTR archive
+// without materializing it — memory stays O(definitions) regardless of
+// the configured size.
+func (c SyntheticConfig) WriteArchive(w io.Writer) error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	counts := make([]uint64, c.Ranks)
+	for r := range counts {
+		counts[r] = c.EventsPerRank()
+	}
+	return trace.WriteFrom(w, c.Header(), counts, func(rank int, emit func(trace.Event) error) error {
+		return c.StreamRank(rank, emit)
+	})
+}

@@ -1,0 +1,126 @@
+package workloads
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"perfvar/internal/trace"
+)
+
+func smallSynthetic() SyntheticConfig {
+	cfg := DefaultSynthetic()
+	cfg.Ranks = 4
+	cfg.Iterations = 6
+	cfg.KernelCalls = 5
+	cfg.SlowRank = 1
+	cfg.SlowIteration = 3
+	return cfg
+}
+
+// The generator must be a pure function: repeated and concurrent
+// StreamRank calls replay identical streams, with the advertised count.
+func TestSyntheticDeterministic(t *testing.T) {
+	cfg := smallSynthetic()
+	collect := func(rank int) []trace.Event {
+		var evs []trace.Event
+		if err := cfg.StreamRank(rank, func(ev trace.Event) error {
+			evs = append(evs, ev)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return evs
+	}
+	for rank := 0; rank < cfg.Ranks; rank++ {
+		a, b := collect(rank), collect(rank)
+		if uint64(len(a)) != cfg.EventsPerRank() {
+			t.Fatalf("rank %d: %d events, want %d", rank, len(a), cfg.EventsPerRank())
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("rank %d: replay differs", rank)
+		}
+		for i := 1; i < len(a); i++ {
+			if a[i].Time < a[i-1].Time {
+				t.Fatalf("rank %d: time goes backwards at event %d", rank, i)
+			}
+		}
+	}
+	// The hotspot iteration must dominate every other one on its rank.
+	evs := collect(cfg.SlowRank)
+	var iterDur []trace.Duration
+	var start trace.Time
+	for _, ev := range evs {
+		if ev.Region != SynthIter {
+			continue
+		}
+		if ev.Kind == trace.KindEnter {
+			start = ev.Time
+		} else if ev.Kind == trace.KindLeave {
+			iterDur = append(iterDur, ev.Time-start)
+		}
+	}
+	if len(iterDur) != cfg.Iterations {
+		t.Fatalf("%d iteration segments, want %d", len(iterDur), cfg.Iterations)
+	}
+	for i, d := range iterDur {
+		if i != cfg.SlowIteration && d >= iterDur[cfg.SlowIteration] {
+			t.Fatalf("iteration %d (%d ns) not dominated by hotspot iteration %d (%d ns)",
+				i, d, cfg.SlowIteration, iterDur[cfg.SlowIteration])
+		}
+	}
+}
+
+// WriteArchive must produce a PVTR archive whose decoded events equal
+// the generator's streams — the bridge from the on-demand workload to
+// every archive-consuming tool.
+func TestSyntheticWriteArchiveRoundTrip(t *testing.T) {
+	cfg := smallSynthetic()
+	var buf bytes.Buffer
+	if err := cfg.WriteArchive(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("synthetic archive fails validation: %v", err)
+	}
+	if tr.NumRanks() != cfg.Ranks || uint64(tr.NumEvents()) != cfg.NumEvents() {
+		t.Fatalf("decoded %d ranks / %d events, want %d / %d",
+			tr.NumRanks(), tr.NumEvents(), cfg.Ranks, cfg.NumEvents())
+	}
+	for rank := 0; rank < cfg.Ranks; rank++ {
+		var evs []trace.Event
+		if err := cfg.StreamRank(rank, func(ev trace.Event) error {
+			evs = append(evs, ev)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(evs, tr.Procs[rank].Events) {
+			t.Fatalf("rank %d: archive events differ from generator", rank)
+		}
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	bad := DefaultSynthetic()
+	bad.Iterations = 1
+	if err := bad.StreamRank(0, func(trace.Event) error { return nil }); err == nil {
+		t.Error("Iterations=1 accepted")
+	}
+	if err := bad.WriteArchive(&bytes.Buffer{}); err == nil {
+		t.Error("WriteArchive accepted invalid config")
+	}
+	cfg := smallSynthetic()
+	if err := cfg.StreamRank(cfg.Ranks, func(trace.Event) error { return nil }); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	boom := errors.New("boom")
+	if err := cfg.StreamRank(0, func(trace.Event) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("callback error = %v, want boom", err)
+	}
+}

@@ -185,10 +185,17 @@ type Options struct {
 	// (gradual slowdown) would mask rank-relative outliers.
 	PerIteration bool
 	// Lint fuses a full lint run (all registered analyzers, default
-	// options) into the engine's streaming passes: the same decode that
+	// options) into the engine's streaming pass: the same decode that
 	// feeds the pipeline feeds the lint visitors, so enabling it costs no
 	// extra pass over the source. The outcome lands in Result.Lint.
 	Lint bool
+	// CandidateSegmentBudget caps, per rank, how many segment records the
+	// streaming engine's single pass may buffer across all candidate
+	// dominant functions before it evicts candidates and — should the
+	// eviction hit the eventual winner — falls back to a second decode
+	// pass (0 = segment.DefaultCandidateBudget, 1<<16 records ≈ 3 MiB per
+	// rank).
+	CandidateSegmentBudget int
 }
 
 // ErrNoTrace reports an operation that needs the full event stream on a

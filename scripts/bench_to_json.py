@@ -12,9 +12,10 @@ trajectory tracked across PRs.
 
 It also computes `stream_vs_materialized` for every family with both a
 `stream` and a `materialized` variant (BenchmarkAnalyzeStream): the
-stream/materialized ratio of B/op and ns/op. CI gates on the B/op ratio
-— the streaming engine must allocate at most half of what the
-materialized path does.
+stream/materialized ratio of B/op, ns/op, and allocs/op. CI gates on
+the B/op ratio (streaming must allocate at most half of what the
+materialized path does) and on the ns/op ratio (the single-pass
+streaming engine must be no slower than the materialized path).
 """
 
 import json
@@ -92,7 +93,7 @@ def stream_ratios(benchmarks):
         if not stream or not mat:
             continue
         ratios = {}
-        for unit in ("B/op", "ns/op"):
+        for unit in ("B/op", "ns/op", "allocs/op"):
             if mat.get(unit) and stream.get(unit) is not None:
                 ratios[unit] = round(stream[unit] / mat[unit], 4)
         if ratios:

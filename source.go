@@ -3,6 +3,7 @@ package perfvar
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -14,11 +15,12 @@ import (
 // pipeline: wrap an in-memory trace (TraceSource), stream an archive
 // from disk (FileSource) or from bytes already in memory
 // (ArchiveSource), or generate a synthetic workload on demand
-// (WorkloadSource), then run AnalyzeSource. Sources whose archive layout
-// supports per-rank framing — PVTR files and directory archives — are
-// analyzed by the streaming two-pass engine without ever materializing
-// the event streams; the rest go through the in-memory path. Either way
-// the results are byte-identical.
+// (WorkloadSource, SyntheticSource), then run AnalyzeSource. Sources
+// whose archive layout supports per-rank framing — PVTR files, directory
+// archives, and on-demand generators — are analyzed by the single-pass
+// streaming engine without ever materializing the event streams; the
+// rest go through the in-memory path. Either way the results are
+// byte-identical.
 type Source interface {
 	// Open prepares the source and returns its per-rank event streams.
 	// Each call returns an independent handle; Close releases it.
@@ -185,7 +187,7 @@ type archiveSource struct{ data []byte }
 
 func (s archiveSource) Open(ctx context.Context) (SourceStreams, error) {
 	if len(s.data) >= 4 && string(s.data[:4]) == "PVTR" {
-		rs, err := trace.OpenRankStreams(bytes.NewReader(s.data), int64(len(s.data)))
+		rs, err := trace.OpenRankStreamsBytes(s.data)
 		if err != nil {
 			return nil, err
 		}
@@ -196,6 +198,46 @@ func (s archiveSource) Open(ctx context.Context) (SourceStreams, error) {
 		return nil, err
 	}
 	return newTraceStreams(tr), nil
+}
+
+// SyntheticSource streams events produced on demand by gen — no archive
+// and no materialized trace ever exists, so the streaming engine can
+// analyze workloads of any size in O(ranks × depth + segments) memory.
+// h declares the definitions; gen feeds rank's events to fn in stream
+// order. gen must be resumable (every StreamRank call regenerates the
+// rank's stream from the start, and the engine may stream a rank more
+// than once) and safe for concurrent calls on different ranks — a pure
+// function of (rank, position), like workloads.SyntheticConfig, is the
+// canonical shape. Returning ErrStopStream from fn ends a stream early
+// without error.
+func SyntheticSource(h *TraceHeader, gen func(rank int, fn func(Event) error) error) Source {
+	return synthSource{h: h, gen: gen}
+}
+
+type synthSource struct {
+	h   *TraceHeader
+	gen func(int, func(Event) error) error
+}
+
+func (s synthSource) Open(ctx context.Context) (SourceStreams, error) {
+	return synthStreams(s), nil
+}
+
+type synthStreams synthSource
+
+func (s synthStreams) Header() *TraceHeader { return s.h }
+func (s synthStreams) NumRanks() int        { return len(s.h.Procs) }
+func (s synthStreams) Trace() *Trace        { return nil }
+func (s synthStreams) Close() error         { return nil }
+
+func (s synthStreams) StreamRank(rank int, fn func(Event) error) error {
+	if rank < 0 || rank >= len(s.h.Procs) {
+		return fmt.Errorf("perfvar: rank %d out of range", rank)
+	}
+	if err := s.gen(rank, fn); err != nil && !errors.Is(err, ErrStopStream) {
+		return err
+	}
+	return nil
 }
 
 // WorkloadSource wraps a trace generator (GenerateFD4 and friends, or

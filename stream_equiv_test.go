@@ -1,6 +1,6 @@
 package perfvar
 
-// Streaming-vs-materialized equivalence: the streaming two-pass engine
+// Streaming-vs-materialized equivalence: the single-pass streaming engine
 // must produce byte-identical results to the in-memory pipeline on every
 // archive layout and at every worker count. Each case round-trips a
 // workload through the PVTR file, directory-archive, and in-memory
