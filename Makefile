@@ -25,6 +25,7 @@ lint:
 	$(GO) vet ./...
 	$(GO) build -o perfvarvet ./tools/analyzers/cmd/perfvarvet
 	$(GO) vet -vettool=$(PWD)/perfvarvet ./...
+	$(GO) test -count=1 ./tools/analyzers/...
 	$(GO) run ./cmd/pvtlint testdata/traces/fig2.pvtt testdata/traces/fig3.pvtt
 
 fmt:

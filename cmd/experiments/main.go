@@ -225,13 +225,13 @@ func fig4(outDir string) error {
 	fmt.Printf("  SOS trend: +%s/iteration (r²=%.2f)\n",
 		vis.FormatDuration(res.Analysis.Trend.Slope), res.Analysis.Trend.R2)
 
-	wantHot := map[perfvar.Rank]bool{44: true, 45: true, 54: true, 55: true, 64: true, 65: true}
+	wantHot := []perfvar.Rank{44, 45, 54, 55, 64, 65}
 	gotHot := map[perfvar.Rank]bool{}
 	for _, r := range hot {
 		gotHot[r] = true
 	}
 	sameSet := len(gotHot) == len(wantHot)
-	for r := range wantHot {
+	for _, r := range wantHot {
 		if !gotHot[r] {
 			sameSet = false
 		}

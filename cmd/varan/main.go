@@ -55,12 +55,17 @@ func main() {
 		os.Exit(2)
 	}
 	if *stream {
-		for name, set := range map[string]bool{
-			"-clockfix": *clocks, "-causality": *causality,
-			"-breakdown": *breakdown, "-calltree": *calltree,
+		// Fixed order: the first conflicting flag named in the error
+		// must not depend on map iteration order.
+		for _, conflict := range []struct {
+			name string
+			set  bool
+		}{
+			{"-clockfix", *clocks}, {"-causality", *causality},
+			{"-breakdown", *breakdown}, {"-calltree", *calltree},
 		} {
-			if set {
-				fmt.Fprintf(os.Stderr, "varan: %s needs the full event stream and cannot combine with -stream\n", name)
+			if conflict.set {
+				fmt.Fprintf(os.Stderr, "varan: %s needs the full event stream and cannot combine with -stream\n", conflict.name)
 				os.Exit(2)
 			}
 		}

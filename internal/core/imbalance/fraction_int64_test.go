@@ -1,0 +1,55 @@
+package imbalance
+
+import (
+	"testing"
+
+	"perfvar/internal/trace"
+)
+
+// fullyMPITrace builds a 1-rank trace whose whole [0, n) span is MPI,
+// entered and left once per nanosecond — n separate 1 ns intervals.
+func fullyMPITrace(n int) *trace.Trace {
+	tr := trace.New("exact", 1)
+	mpi := tr.AddRegion("MPI_Allreduce", trace.ParadigmMPI, trace.RoleCollective)
+	for i := 0; i < n; i++ {
+		tr.Append(0, trace.Enter(trace.Time(i), mpi))
+		tr.Append(0, trace.Leave(trace.Time(i+1), mpi))
+	}
+	return tr
+}
+
+// TestParadigmFractionExactInt64 pins the int64-accumulation contract:
+// a span fully covered by MPI must report a fraction of exactly 1.0.
+// The pre-fix code folded float64(hi-lo)/denom per interval, and
+// 1.0/3 + 1.0/3 + 1.0/3 rounds to 0.9999999999999999 — the kind of
+// drift that breaks byte-identical reports between the engines.
+func TestParadigmFractionExactInt64(t *testing.T) {
+	tr := fullyMPITrace(3)
+	frac := ParadigmFractionTimeline(tr, trace.ParadigmMPI, 1)
+	if len(frac) != 1 || frac[0] != 1.0 {
+		t.Fatalf("timeline fraction = %v, want exactly [1]", frac)
+	}
+	if got := ParadigmFractionBetween(tr, trace.ParadigmMPI, 0, 3); got != 1.0 {
+		t.Fatalf("between fraction = %v, want exactly 1", got)
+	}
+}
+
+// TestParadigmFractionOrderIndependent checks that splitting the same
+// covered time across many intervals changes nothing: integer sums are
+// associative, so 1000 slivers must equal one solid block.
+func TestParadigmFractionOrderIndependent(t *testing.T) {
+	slivers := fullyMPITrace(1000)
+
+	solid := trace.New("solid", 1)
+	mpi := solid.AddRegion("MPI_Allreduce", trace.ParadigmMPI, trace.RoleCollective)
+	solid.Append(0, trace.Enter(0, mpi))
+	solid.Append(0, trace.Leave(1000, mpi))
+
+	a := ParadigmFractionTimeline(slivers, trace.ParadigmMPI, 7)
+	b := ParadigmFractionTimeline(solid, trace.ParadigmMPI, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("bin %d: slivers %v != solid %v", i, a[i], b[i])
+		}
+	}
+}

@@ -354,8 +354,13 @@ func ParadigmFractionTimeline(tr *trace.Trace, par trace.Paradigm, bins int) []f
 		return out
 	}
 	span := last - first
-	inPar := make([]float64, bins)
-	addInterval := func(acc []float64, from, to trace.Time) {
+	// Accumulate in int64 nanoseconds: every clipped interval is an
+	// exact integer, integer addition is order-independent, and the one
+	// float64 conversion below happens after the final sum — the same
+	// contract the streaming engine's mpiBinner keeps, which is what
+	// makes the two paths' fractions byte-identical.
+	inPar := make([]int64, bins)
+	addInterval := func(acc []int64, from, to trace.Time) {
 		if to <= from {
 			return
 		}
@@ -370,7 +375,7 @@ func ParadigmFractionTimeline(tr *trace.Trace, par trace.Paradigm, bins int) []f
 				hi = bEnd
 			}
 			if hi > lo {
-				acc[b] += float64(hi - lo)
+				acc[b] += int64(hi - lo)
 			}
 		}
 	}
@@ -399,7 +404,7 @@ func ParadigmFractionTimeline(tr *trace.Trace, par trace.Paradigm, bins int) []f
 	binWidth := float64(span) / float64(bins)
 	denom := binWidth * float64(tr.NumRanks())
 	for b := range out {
-		out[b] = inPar[b] / denom
+		out[b] = float64(inPar[b]) / denom
 	}
 	return out
 }
@@ -417,7 +422,8 @@ func ParadigmFractionBetween(tr *trace.Trace, par trace.Paradigm, from, to trace
 	if to <= from {
 		return 0
 	}
-	var inPar float64
+	// int64 until the final division, as in ParadigmFractionTimeline.
+	var inPar trace.Duration
 	clip := func(a, b trace.Time) trace.Duration {
 		if a < from {
 			a = from
@@ -446,11 +452,11 @@ func ParadigmFractionBetween(tr *trace.Trace, par trace.Paradigm, from, to trace
 				if tr.Region(ev.Region).Paradigm == par {
 					depth--
 					if depth == 0 {
-						inPar += float64(clip(start, ev.Time))
+						inPar += clip(start, ev.Time)
 					}
 				}
 			}
 		}
 	}
-	return inPar / (float64(to-from) * float64(tr.NumRanks()))
+	return float64(inPar) / (float64(to-from) * float64(tr.NumRanks()))
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"image"
 	"image/color"
+	"sort"
 
 	"perfvar/internal/core/segment"
 	"perfvar/internal/metric"
@@ -192,12 +193,22 @@ func Timeline(tr *trace.Trace, opts RenderOptions) *image.RGBA {
 				}
 			}
 		}
+		// Scan regions in sorted id order: the per-pixel argmax below
+		// breaks coverage ties by first-seen, so iterating the map
+		// directly would let the runtime's randomized order pick the
+		// winning color — the rendered PNG must be byte-identical
+		// across runs.
+		ids := make([]trace.RegionID, 0, len(weights))
+		for r := range weights {
+			ids = append(ids, r)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		y0, y1 := rows(rank)
 		for px := 0; px < plotW; px++ {
 			var best trace.RegionID = trace.NoRegion
 			bestW := 0.0
-			for r, w := range weights {
-				if w[px] > bestW {
+			for _, r := range ids {
+				if w := weights[r]; w[px] > bestW {
 					bestW = w[px]
 					best = r
 				}

@@ -1,0 +1,46 @@
+package vis
+
+import (
+	"bytes"
+	"testing"
+
+	"perfvar/internal/trace"
+)
+
+// TestTimelineTieBreakDeterministic pins the sorted-region argmax in
+// Timeline: when two regions cover a pixel column for exactly the same
+// time, the lower region id must win, every run. The pre-fix code
+// ranged the per-rank weights map directly, so the runtime's randomized
+// iteration order picked the winning color and the rendered PNG bytes
+// changed between otherwise identical invocations.
+func TestTimelineTieBreakDeterministic(t *testing.T) {
+	// One rank alternating a/b every nanosecond over [0, 100): at 50 px
+	// each 2 ns pixel column holds exactly 1 ns of each region.
+	tr := trace.New("tie", 1)
+	a := tr.AddRegion("alpha", trace.ParadigmUser, trace.RoleFunction)
+	b := tr.AddRegion("beta", trace.ParadigmUser, trace.RoleFunction)
+	for i := trace.Time(0); i < 100; i += 2 {
+		tr.Append(0, trace.Enter(i, a))
+		tr.Append(0, trace.Leave(i+1, a))
+		tr.Append(0, trace.Enter(i+1, b))
+		tr.Append(0, trace.Leave(i+2, b))
+	}
+	wantColor := RegionColor(tr, a)
+	if wantColor == RegionColor(tr, b) {
+		t.Fatal("test needs distinct palette colors for the two regions")
+	}
+
+	opts := RenderOptions{Width: 50, Height: 20}
+	ref := Timeline(tr, opts)
+	if got := ref.RGBAAt(25, 10); got != wantColor {
+		t.Fatalf("tie pixel = %v, want lower-id region color %v", got, wantColor)
+	}
+	// Re-render repeatedly: any surviving map-order dependence flips the
+	// tie with probability ~1/2 per render, so 20 rounds catch it.
+	for i := 0; i < 20; i++ {
+		img := Timeline(tr, opts)
+		if !bytes.Equal(img.Pix, ref.Pix) {
+			t.Fatalf("render %d differs from the first render", i)
+		}
+	}
+}

@@ -1,14 +1,32 @@
 // Package analyzers holds the repo-invariant static checks that go vet
-// runs over this repository via cmd/perfvarvet. The checks encode
-// conventions the code review keeps re-litigating:
+// runs over this repository via cmd/perfvarvet. The suite encodes the
+// streaming-engine contracts and review conventions that ordinary tests
+// only probe pointwise:
 //
+//   - eventretain: streamed trace.Event values alias pooled decode
+//     windows — visitors and fused consumers must copy the value, never
+//     retain &ev or accept *Event.
+//   - poolsafe: sync.Pool discipline — every Get is Put on all paths
+//     (unless the value escapes), no use after Put, no Put of an
+//     append-grown slice.
+//   - nsarith: report-path sums stay int64 nanoseconds (exact and
+//     order-independent) until the single final float64 division, and
+//     never accumulate in map iteration order.
+//   - detrange: a for-range over a map in an output-producing package
+//     must feed a sorted-keys step, or report/PNG bytes change per run.
 //   - ctxcheck: an exported function or method named ...Context exists
 //     only to honor cancellation — it must actually consult its
-//     context.Context parameter.
+//     context.Context parameter, including between per-rank loop
+//     iterations.
 //   - boundedparam: HTTP handlers in internal/serve must parse integer
 //     query parameters through boundedInt, which enforces range limits;
 //     raw strconv parsing reintroduces the unbounded-allocation requests
 //     boundedInt exists to stop.
+//
+// Every analyzer carries a positive (deliberate-bug) and negative
+// (sanctioned-idiom) fixture corpus under testdata/<name>/, exercised
+// by the want-comment harness in fixture_test.go; the meta-test there
+// rejects analyzers registered without both.
 //
 // The package is deliberately stdlib-only (go/ast + go/parser + the
 // go vet unitchecker wire protocol) so the repository keeps its
@@ -55,6 +73,21 @@ type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(*Pass)
+}
+
+// All returns the complete repo-invariant suite, sorted by name. Every
+// analyzer here must have positive and negative fixtures under
+// testdata/<name>/ — the meta-test enforces it — and must run clean
+// over the repository itself (CI gates `go vet -vettool=perfvarvet`).
+func All() []*Analyzer {
+	return []*Analyzer{
+		BoundedParam,
+		CtxCheck,
+		DetRange,
+		EventRetain,
+		NsArith,
+		PoolSafe,
+	}
 }
 
 // config mirrors the fields of the JSON task description cmd/go hands a

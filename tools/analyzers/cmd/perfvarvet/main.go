@@ -1,0 +1,17 @@
+// Perfvarvet is the repository's go vet tool: it bundles the
+// repo-invariant checks in tools/analyzers for use as
+//
+//	go build -o perfvarvet ./tools/analyzers/cmd/perfvarvet
+//	go vet -vettool=$PWD/perfvarvet ./...
+//
+// The registered suite is analyzers.All: the engine-contract checks
+// (eventretain, poolsafe, nsarith, detrange) plus the API-convention
+// checks (ctxcheck, boundedparam). CI runs it as a dedicated gate and
+// `make lint` runs the same locally; see .github/workflows/ci.yml.
+package main
+
+import "perfvar/tools/analyzers"
+
+func main() {
+	analyzers.Main(analyzers.All()...)
+}

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The exec tests drive perfvarvet through the real go vet unitchecker
+// protocol: a JSON cfg file on the command line, findings on stderr,
+// exit status 2 when anything fires, a facts file written either way.
+// The test binary doubles as the tool itself (TestMain re-exec trick),
+// so no separate build step is needed.
+
+const reexecEnv = "PERFVARVET_REEXEC_MAIN"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(reexecEnv) == "1" {
+		main()
+		os.Exit(0) // main returning without os.Exit means no findings
+	}
+	os.Exit(m.Run())
+}
+
+// runVet re-executes the test binary as perfvarvet with the given
+// arguments and returns combined output plus the exit code.
+func runVet(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), reexecEnv+"=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("re-exec failed: %v\n%s", err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+// vetCfg mirrors the cmd/go task description the tool consumes.
+type vetCfg struct {
+	ID         string
+	ImportPath string
+	GoFiles    []string
+	VetxOnly   bool
+	VetxOutput string
+}
+
+var importPathDirective = regexp.MustCompile(`//vet:importpath\s+(\S+)`)
+
+// corpusCfgs groups the fixture files under testdata by (directory,
+// declared import path) — the unit a cfg describes — and writes one cfg
+// file per group into dir. prefix selects pos or neg files.
+func corpusCfgs(t *testing.T, dir, prefix string) []string {
+	t.Helper()
+	testdata, err := filepath.Abs(filepath.Join("..", "..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers, err := os.ReadDir(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfgs []string
+	for _, a := range analyzers {
+		if !a.IsDir() {
+			continue
+		}
+		groups := map[string][]string{}
+		entries, err := os.ReadDir(filepath.Join(testdata, a.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !strings.HasPrefix(e.Name(), prefix) || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(testdata, a.Name(), e.Name())
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			importPath := "perfvar/fixture"
+			if m := importPathDirective.FindSubmatch(src); m != nil {
+				importPath = string(m[1])
+			}
+			groups[importPath] = append(groups[importPath], path)
+		}
+		paths := make([]string, 0, len(groups))
+		for p := range groups {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for i, importPath := range paths {
+			cfg := vetCfg{
+				ID:         a.Name(),
+				ImportPath: importPath,
+				GoFiles:    groups[importPath],
+				VetxOutput: filepath.Join(dir, a.Name()+prefix+".vetx"+string(rune('a'+i))),
+			}
+			data, err := json.Marshal(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, a.Name()+"-"+prefix+string(rune('a'+i))+".cfg")
+			if err := os.WriteFile(path, data, 0o666); err != nil {
+				t.Fatal(err)
+			}
+			cfgs = append(cfgs, path)
+		}
+	}
+	return cfgs
+}
+
+// TestProtocolHandshake covers the two query modes cmd/go uses before
+// ever handing the tool a package.
+func TestProtocolHandshake(t *testing.T) {
+	out, code := runVet(t, "-V=full")
+	if code != 0 || !strings.Contains(out, "buildID=") {
+		t.Fatalf("-V=full: exit %d, output %q", code, out)
+	}
+	out, code = runVet(t, "-flags")
+	if code != 0 || strings.TrimSpace(out) != "[]" {
+		t.Fatalf("-flags: exit %d, output %q", code, out)
+	}
+	out, code = runVet(t)
+	if code != 1 || !strings.Contains(out, "usage:") {
+		t.Fatalf("no args: exit %d, output %q", code, out)
+	}
+}
+
+// TestPositiveCorpusExitsNonZero is the gate the CI job relies on: run
+// over the deliberate-bug fixtures, the tool must report findings and
+// exit 2 for every positive package.
+func TestPositiveCorpusExitsNonZero(t *testing.T) {
+	dir := t.TempDir()
+	cfgs := corpusCfgs(t, dir, "pos")
+	if len(cfgs) == 0 {
+		t.Fatal("no positive fixture cfgs found")
+	}
+	for _, cfg := range cfgs {
+		out, code := runVet(t, cfg)
+		if code != 2 {
+			t.Errorf("%s: want exit 2, got %d (output %q)", filepath.Base(cfg), code, out)
+		}
+		if !strings.Contains(out, ".go:") {
+			t.Errorf("%s: findings missing file:line positions: %q", filepath.Base(cfg), out)
+		}
+	}
+}
+
+// TestNegativeCorpusExitsZero: the clean-idiom fixtures must pass the
+// whole suite silently, and the facts file must exist afterwards (cmd/go
+// requires it even when empty).
+func TestNegativeCorpusExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	cfgs := corpusCfgs(t, dir, "neg")
+	if len(cfgs) == 0 {
+		t.Fatal("no negative fixture cfgs found")
+	}
+	for _, cfg := range cfgs {
+		out, code := runVet(t, cfg)
+		if code != 0 || strings.TrimSpace(out) != "" {
+			t.Errorf("%s: want silent exit 0, got %d with output %q", filepath.Base(cfg), code, out)
+		}
+		data, err := os.ReadFile(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c vetCfg
+		if err := json.Unmarshal(data, &c); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := os.Stat(c.VetxOutput); err != nil {
+			t.Errorf("%s: facts file not written: %v", filepath.Base(cfg), err)
+		}
+	}
+}
+
+// TestVetxOnlySkipsAnalysis: when cmd/go only wants facts, the tool
+// must write them and stay quiet even over the positive corpus.
+func TestVetxOnlySkipsAnalysis(t *testing.T) {
+	dir := t.TempDir()
+	cfgs := corpusCfgs(t, dir, "pos")
+	if len(cfgs) == 0 {
+		t.Fatal("no positive fixture cfgs found")
+	}
+	data, err := os.ReadFile(cfgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c vetCfg
+	if err := json.Unmarshal(data, &c); err != nil {
+		t.Fatal(err)
+	}
+	c.VetxOnly = true
+	c.VetxOutput = filepath.Join(dir, "only.vetx")
+	out, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "only.cfg")
+	if err := os.WriteFile(path, out, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	got, code := runVet(t, path)
+	if code != 0 || strings.TrimSpace(got) != "" {
+		t.Fatalf("VetxOnly: want silent exit 0, got %d with output %q", code, got)
+	}
+	if _, err := os.Stat(c.VetxOutput); err != nil {
+		t.Fatalf("VetxOnly: facts file not written: %v", err)
+	}
+}

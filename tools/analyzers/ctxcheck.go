@@ -9,9 +9,18 @@ import (
 // the Context suffix promises cancellation support (the suffixless
 // sibling wraps it with context.Background()); a func that ignores its
 // ctx silently breaks that promise for every caller.
+//
+// It additionally flags per-rank loops inside ...Context functions that
+// never consult ctx between iterations: a loop over ranks scales with
+// the workload (10k+ ranks on large traces), so a cancelled request
+// keeps burning a full per-rank sweep before the function notices.
+// Loops whose body only does slice/map bookkeeping (append, len, copy,
+// ...) are exempt — checking ctx there would be noise — as are loops
+// inside function literals, which typically run under the parallel
+// package's own per-item cancellation checks.
 var CtxCheck = &Analyzer{
 	Name: "ctxcheck",
-	Doc:  "exported ...Context functions must consult their context.Context parameter",
+	Doc:  "exported ...Context functions must consult ctx, including between per-rank loop iterations",
 	Run:  runCtxCheck,
 }
 
@@ -48,9 +57,52 @@ func runCtxCheck(pass *Pass) {
 			case !used:
 				pass.Reportf(fn.Name.Pos(),
 					"exported %s never consults its context.Context parameter: honor cancellation or drop the Context suffix", fn.Name.Name)
+			default:
+				checkRankLoops(pass, fn, names)
 			}
 		}
 	}
+}
+
+// checkRankLoops reports per-rank loops in fn's own body (function
+// literals excluded) that do real per-iteration work without consulting
+// any of the named ctx parameters.
+func checkRankLoops(pass *Pass, fn *ast.FuncDecl, ctxNames []string) {
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+				if !mentionsRank(loop.Init) && !mentionsRank(loop.Cond) && !mentionsRank(loop.Post) {
+					return true
+				}
+			case *ast.RangeStmt:
+				body = loop.Body
+				if !mentionsRank(loop.X) && !mentionsRank(loop.Key) && !mentionsRank(loop.Value) {
+					return true
+				}
+			default:
+				return true
+			}
+			if !doesRealWork(body) {
+				return true
+			}
+			for _, ctx := range ctxNames {
+				if ctx != "" && ctx != "_" && usesIdent(body, ctx) {
+					return true
+				}
+			}
+			pass.Reportf(n.Pos(),
+				"per-rank loop in %s never consults ctx between iterations: check ctx.Err() so cancellation isn't deferred past the sweep", fn.Name.Name)
+			return true
+		})
+	}
+	walk(fn.Body)
 }
 
 // wantsCtxCheck reports whether fn is an exported function or method

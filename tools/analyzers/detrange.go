@@ -1,0 +1,62 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// detrangeScope lists the packages whose control flow ends in bytes a
+// user sees — JSON reports, rendered images, terminal output. Map
+// iteration order is deliberately randomized by the runtime, so any
+// map range on these paths must feed a sorted-keys step before order
+// can influence output.
+func detrangeScoped(importPath string) bool {
+	switch pkgBase(importPath) {
+	case "perfvar", "perfvar/internal/report", "perfvar/internal/vis", "perfvar/internal/serve":
+		return true
+	}
+	return strings.HasPrefix(pkgBase(importPath), "perfvar/cmd/")
+}
+
+// DetRange flags for-range over a map in report/output-producing
+// packages when the enclosing function never sorts. The accepted idiom
+// is: range the map to collect keys, sort them, then range the sorted
+// slice — a function that contains any sorting call is trusted to be
+// using it. A function that ranges a map and sorts nothing has no way
+// to produce deterministic output from that loop (argmax scans break
+// ties by iteration order, printed findings change position run to
+// run), which breaks the byte-identical-reports contract the engines
+// are tested against.
+var DetRange = &Analyzer{
+	Name: "detrange",
+	Doc:  "map ranges in output-producing packages must feed a sorted-keys path",
+	Run:  runDetRange,
+}
+
+func runDetRange(pass *Pass) {
+	if !detrangeScoped(pass.ImportPath) {
+		return
+	}
+	ix := buildMapIndex(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if callsSorter(fn) {
+				continue
+			}
+			locals := localMapNames(fn)
+			ast.Inspect(fn, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok || !ix.isMapExpr(locals, rng.X) {
+					return true
+				}
+				pass.Reportf(rng.Pos(),
+					"range over a map on an output path with no sorted-keys step in %s: collect the keys, sort, then iterate", fn.Name.Name)
+				return true
+			})
+		}
+	}
+}

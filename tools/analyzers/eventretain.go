@@ -1,0 +1,120 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// EventRetain guards the streaming engine's most fragile contract:
+// trace.Event values handed to StreamAnalyzer.VisitEvent implementations
+// and to the fused consumers of the single-pass engine (engine.go feed
+// closures, lint collectors, segment.CandidateSet.Feed) are decoded into
+// recycled, pooled 64 KiB windows. The event is valid only for the
+// duration of the call — taking its address and letting that pointer
+// outlive the visit aliases memory the decoder will overwrite, which is
+// silent data corruption rather than a crash. The analyzer flags
+//
+//   - taking the address of an event-typed parameter inside any
+//     function or closure that receives one, and
+//   - event-consumer signatures (VisitEvent, Feed, FeedEvent,
+//     FeedSegment) that accept *Event instead of Event.
+//
+// Copying the event (or individual fields) is always safe: Event is a
+// plain value struct, and assignment snapshots it.
+var EventRetain = &Analyzer{
+	Name: "eventretain",
+	Doc:  "streamed trace.Event values must not be retained by address beyond the visit",
+	Run:  runEventRetain,
+}
+
+// eventConsumerNames are the method names of the streaming protocol; a
+// pointer-typed event parameter on one of these is flagged even before
+// any address is taken.
+var eventConsumerNames = map[string]bool{
+	"VisitEvent": true, "Feed": true, "FeedEvent": true, "FeedSegment": true, "feed": true,
+}
+
+func runEventRetain(pass *Pass) {
+	base := pkgBase(pass.ImportPath)
+	for _, f := range pass.Files {
+		traceName := importName(f, "perfvar/internal/trace")
+		rootName := importName(f, "perfvar")
+		bare := base == "perfvar/internal/trace" || base == "perfvar"
+		isEvent := func(t ast.Expr) bool {
+			switch t := t.(type) {
+			case *ast.Ident:
+				return bare && t.Name == "Event"
+			case *ast.SelectorExpr:
+				if t.Sel.Name != "Event" {
+					return false
+				}
+				id, ok := t.X.(*ast.Ident)
+				return ok && ((traceName != "" && id.Name == traceName) ||
+					(rootName != "" && id.Name == rootName))
+			}
+			return false
+		}
+		funcBodies(f, func(name string, isLit bool, ft *ast.FuncType, body *ast.BlockStmt) {
+			if ft.Params == nil {
+				return
+			}
+			var evNames []string
+			for _, field := range ft.Params.List {
+				if star, ok := field.Type.(*ast.StarExpr); ok && isEvent(star.X) {
+					if eventConsumerNames[name] || isLit {
+						pass.Reportf(field.Pos(),
+							"event consumer %s takes *Event: streamed events alias the pooled decode window, pass Event by value", name)
+					}
+					continue
+				}
+				if !isEvent(field.Type) {
+					continue
+				}
+				for _, n := range field.Names {
+					if n.Name != "" && n.Name != "_" {
+						evNames = append(evNames, n.Name)
+					}
+				}
+			}
+			if len(evNames) == 0 {
+				return
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				// Report &ev only where this function's own parameter is
+				// addressed; nested literals with their own event
+				// parameter are visited separately by funcBodies.
+				if lit, ok := n.(*ast.FuncLit); ok && hasEventParam(lit.Type, isEvent) {
+					return false
+				}
+				un, ok := n.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					return true
+				}
+				id, ok := un.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				for _, ev := range evNames {
+					if id.Name == ev {
+						pass.Reportf(un.Pos(),
+							"&%s retains a streamed event past the visit: the decode window is pooled and recycled, copy the value instead", ev)
+					}
+				}
+				return true
+			})
+		})
+	}
+}
+
+// hasEventParam reports whether ft declares a by-value event parameter.
+func hasEventParam(ft *ast.FuncType, isEvent func(ast.Expr) bool) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isEvent(field.Type) {
+			return true
+		}
+	}
+	return false
+}

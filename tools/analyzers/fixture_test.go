@@ -1,0 +1,247 @@
+package analyzers
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The fixture harness: want-comment-style analyzer tests over the files
+// in testdata/<analyzer>/, in the spirit of
+// golang.org/x/tools/go/analysis/analysistest but stdlib-only.
+//
+// Conventions:
+//
+//   - testdata/<name>/ holds the fixtures of the analyzer registered
+//     under <name> in All().
+//   - Files whose base name starts with "pos" must produce diagnostics;
+//     files starting with "neg" must stay silent — for the WHOLE suite,
+//     not just their own analyzer, so the negative corpus can gate
+//     perfvarvet end to end.
+//   - A line expecting diagnostics carries `// want "substr" ...`; each
+//     quoted string must be a substring of exactly one diagnostic
+//     reported on that line, and every diagnostic must be claimed by a
+//     want.
+//   - A leading `//vet:importpath <path>` comment sets the package path
+//     the fixture pretends to be, for path-scoped analyzers.
+
+var wantRe = regexp.MustCompile(`//\s*want\s+((?:"[^"]*"\s*)+)`)
+var importPathRe = regexp.MustCompile(`//vet:importpath\s+(\S+)`)
+
+// fixtureWants extracts line -> expected substrings from the source.
+func fixtureWants(src string) map[int][]string {
+	wants := map[int][]string{}
+	for i, line := range strings.Split(src, "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, q := range regexp.MustCompile(`"([^"]*)"`).FindAllStringSubmatch(m[1], -1) {
+			wants[i+1] = append(wants[i+1], q[1])
+		}
+	}
+	return wants
+}
+
+// fixtureImportPath returns the //vet:importpath directive, or a default.
+func fixtureImportPath(src string) string {
+	if m := importPathRe.FindStringSubmatch(src); m != nil {
+		return m[1]
+	}
+	return "perfvar/fixture"
+}
+
+// runFixtureFile runs the given analyzers over one fixture file and
+// returns diagnostics as line -> messages.
+func runFixtureFile(t *testing.T, as []*Analyzer, path string) map[int][]string {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	pass := &Pass{Fset: token.NewFileSet(), ImportPath: fixtureImportPath(string(src))}
+	f, err := parser.ParseFile(pass.Fset, path, src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing fixture %s: %v", path, err)
+	}
+	pass.Files = append(pass.Files, f)
+	for _, a := range as {
+		a.Run(pass)
+	}
+	got := map[int][]string{}
+	for _, d := range pass.diags {
+		line := pass.Fset.Position(d.Pos).Line
+		got[line] = append(got[line], d.Message)
+	}
+	return got
+}
+
+// checkFixture compares diagnostics against the want comments.
+func checkFixture(t *testing.T, path string, got map[int][]string) {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	wants := fixtureWants(string(src))
+	lines := map[int]bool{}
+	for l := range got {
+		lines[l] = true
+	}
+	for l := range wants {
+		lines[l] = true
+	}
+	ordered := make([]int, 0, len(lines))
+	for l := range lines {
+		ordered = append(ordered, l)
+	}
+	sort.Ints(ordered)
+	for _, line := range ordered {
+		diags := append([]string(nil), got[line]...)
+		for _, want := range wants[line] {
+			matched := -1
+			for i, d := range diags {
+				if strings.Contains(d, want) {
+					matched = i
+					break
+				}
+			}
+			if matched < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %q)", path, line, want, diags)
+				continue
+			}
+			diags = append(diags[:matched], diags[matched+1:]...)
+		}
+		for _, d := range diags {
+			t.Errorf("%s:%d: unexpected diagnostic %q", path, line, d)
+		}
+	}
+}
+
+// fixtureFiles lists the fixture files of one analyzer directory.
+func fixtureFiles(t *testing.T, name string) (pos, neg []string) {
+	t.Helper()
+	dir := filepath.Join("testdata", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analyzer %s has no fixture directory %s: %v", name, dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		switch {
+		case strings.HasPrefix(e.Name(), "pos"):
+			pos = append(pos, path)
+		case strings.HasPrefix(e.Name(), "neg"):
+			neg = append(neg, path)
+		default:
+			t.Errorf("%s: fixture files must start with pos or neg", path)
+		}
+	}
+	return pos, neg
+}
+
+// TestFixtures runs every analyzer over its own fixture corpus and
+// checks the want comments both ways.
+func TestFixtures(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			pos, neg := fixtureFiles(t, a.Name)
+			for _, path := range append(append([]string(nil), pos...), neg...) {
+				checkFixture(t, path, runFixtureFile(t, []*Analyzer{a}, path))
+			}
+		})
+	}
+}
+
+// TestEveryAnalyzerHasFixtures is the meta-test: each registered
+// analyzer must prove it fires (a positive fixture with at least one
+// want) and that it knows when to stay silent (a negative fixture with
+// none), so no analyzer can join the suite untested.
+func TestEveryAnalyzerHasFixtures(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			pos, neg := fixtureFiles(t, a.Name)
+			if len(pos) == 0 {
+				t.Fatalf("analyzer %s has no positive fixture (testdata/%s/pos*.go)", a.Name, a.Name)
+			}
+			if len(neg) == 0 {
+				t.Fatalf("analyzer %s has no negative fixture (testdata/%s/neg*.go)", a.Name, a.Name)
+			}
+			for _, path := range pos {
+				src, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(fixtureWants(string(src))) == 0 {
+					t.Errorf("%s: positive fixture declares no want comments", path)
+				}
+			}
+			for _, path := range neg {
+				src, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(fixtureWants(string(src))) != 0 {
+					t.Errorf("%s: negative fixture must not declare want comments", path)
+				}
+			}
+		})
+	}
+}
+
+// TestNegativeCorpusCleanUnderFullSuite runs ALL analyzers over every
+// negative fixture: the files perfvarvet must accept cannot trip any
+// other analyzer either, or the CI negative gate would be vacuous.
+func TestNegativeCorpusCleanUnderFullSuite(t *testing.T) {
+	for _, a := range All() {
+		_, neg := fixtureFiles(t, a.Name)
+		for _, path := range neg {
+			if got := runFixtureFile(t, All(), path); len(got) != 0 {
+				t.Errorf("%s: negative fixture trips the full suite: %v", path, got)
+			}
+		}
+	}
+}
+
+// TestPositiveCorpusFiresPerAnalyzer asserts each analyzer's positive
+// fixtures actually produce at least one diagnostic from that analyzer
+// alone — the other half of the perfvarvet exit-code gate.
+func TestPositiveCorpusFiresPerAnalyzer(t *testing.T) {
+	for _, a := range All() {
+		pos, _ := fixtureFiles(t, a.Name)
+		fired := 0
+		for _, path := range pos {
+			fired += len(runFixtureFile(t, []*Analyzer{a}, path))
+		}
+		if fired == 0 {
+			t.Errorf("analyzer %s: positive corpus produced no diagnostics", a.Name)
+		}
+	}
+}
+
+// TestFixtureDirsMatchRegistry flags stray fixture directories whose
+// analyzer is not registered — usually a renamed or removed check whose
+// corpus would otherwise rot silently.
+func TestFixtureDirsMatchRegistry(t *testing.T) {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() && !known[e.Name()] {
+			t.Errorf("testdata/%s exists but no analyzer %q is registered", e.Name(), e.Name())
+		}
+	}
+}

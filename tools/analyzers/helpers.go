@@ -1,0 +1,290 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Shared syntactic helpers for the repo-invariant analyzers. Everything
+// here is deliberately type-information-free: the suite runs under the
+// unitchecker protocol without export data, so analyzers reason about
+// the parse tree plus package-wide name indexes built from it.
+
+// pkgBase strips the test-variant suffix cmd/go appends when a package
+// is recompiled for its test binary ("p [p.test]" -> "p").
+func pkgBase(importPath string) string {
+	base, _, _ := strings.Cut(importPath, " ")
+	return base
+}
+
+// funcBodies visits every function in f — declarations and literals —
+// calling visit with the enclosing declaration name ("" for literals
+// outside a declaration), the function type, and the body.
+func funcBodies(f *ast.File, visit func(name string, isLit bool, ft *ast.FuncType, body *ast.BlockStmt)) {
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if fn.Body != nil {
+			visit(fn.Name.Name, false, fn.Type, fn.Body)
+		}
+		ast.Inspect(fn, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit.Body != nil {
+				visit(fn.Name.Name, true, lit.Type, lit.Body)
+			}
+			return true
+		})
+	}
+}
+
+// callsSorter reports whether fn contains any call that establishes a
+// deterministic order: the sort and slices packages, or a local helper
+// whose name mentions sorting (sortSlice, sortNames, ...).
+func callsSorter(fn ast.Node) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch f := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := f.X.(*ast.Ident); ok && (id.Name == "sort" || id.Name == "slices") {
+				found = true
+			}
+			if strings.Contains(strings.ToLower(f.Sel.Name), "sort") {
+				found = true
+			}
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(f.Name), "sort") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isMapType reports whether t is syntactically a map type.
+func isMapType(t ast.Expr) bool {
+	for {
+		switch tt := t.(type) {
+		case *ast.ParenExpr:
+			t = tt.X
+		case *ast.MapType:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// mapIndex records, package-wide, the names that denote map values:
+// package-level vars of map type and struct fields of map type. Locals
+// are resolved per function by localMapNames.
+type mapIndex struct {
+	pkgVars map[string]bool
+	fields  map[string]bool
+}
+
+// buildMapIndex scans every file of the pass once.
+func buildMapIndex(pass *Pass) *mapIndex {
+	ix := &mapIndex{pkgVars: map[string]bool{}, fields: map[string]bool{}}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch sp := spec.(type) {
+				case *ast.ValueSpec:
+					mapped := sp.Type != nil && isMapType(sp.Type)
+					if !mapped {
+						for _, v := range sp.Values {
+							if cl, ok := v.(*ast.CompositeLit); ok && isMapType(cl.Type) {
+								mapped = true
+							}
+							if isMakeMap(v) {
+								mapped = true
+							}
+						}
+					}
+					if mapped && gd.Tok == token.VAR {
+						for _, n := range sp.Names {
+							ix.pkgVars[n.Name] = true
+						}
+					}
+				case *ast.TypeSpec:
+					st, ok := sp.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						if !isMapType(field.Type) {
+							continue
+						}
+						for _, n := range field.Names {
+							ix.fields[n.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// isMakeMap reports whether e is make(map[...]...., ...).
+func isMakeMap(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "make" && isMapType(call.Args[0])
+}
+
+// localMapNames collects identifiers bound to map values inside fn:
+// definitions from make(map...) or map literals, var declarations of
+// map type, and parameters of map type (including closure parameters).
+func localMapNames(fn ast.Node) map[string]bool {
+	names := map[string]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if !isMapType(field.Type) {
+				continue
+			}
+			for _, n := range field.Names {
+				names[n.Name] = true
+			}
+		}
+	}
+	switch n := fn.(type) {
+	case *ast.FuncDecl:
+		addFields(n.Type.Params)
+	case *ast.FuncLit:
+		addFields(n.Type.Params)
+	}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			addFields(n.Type.Params)
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				rhs := n.Rhs[i]
+				if isMakeMap(rhs) {
+					names[id.Name] = true
+				}
+				if cl, ok := rhs.(*ast.CompositeLit); ok && isMapType(cl.Type) {
+					names[id.Name] = true
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				sp, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				mapped := sp.Type != nil && isMapType(sp.Type)
+				for _, v := range sp.Values {
+					if isMakeMap(v) {
+						mapped = true
+					}
+					if cl, ok := v.(*ast.CompositeLit); ok && isMapType(cl.Type) {
+						mapped = true
+					}
+				}
+				if mapped {
+					for _, nm := range sp.Names {
+						names[nm.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return names
+}
+
+// isMapExpr reports whether e denotes a map value, given the package
+// index and the map-typed locals of the enclosing function.
+func (ix *mapIndex) isMapExpr(locals map[string]bool, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return locals[e.Name] || ix.pkgVars[e.Name]
+	case *ast.SelectorExpr:
+		return ix.fields[e.Sel.Name]
+	case *ast.CompositeLit:
+		return isMapType(e.Type)
+	case *ast.CallExpr:
+		return isMakeMap(e)
+	case *ast.ParenExpr:
+		return ix.isMapExpr(locals, e.X)
+	}
+	return false
+}
+
+// mentionsRank reports whether the expression tree mentions per-rank
+// iteration: an identifier containing "rank" (any case), the Procs
+// event-stream slices, or a NumRanks call.
+func mentionsRank(n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			low := strings.ToLower(n.Name)
+			if strings.Contains(low, "rank") || low == "procs" {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "NumRanks" || n.Sel.Name == "Procs" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// builtinFuncs are the calls a loop body may make and still count as
+// trivial for the ctxcheck per-rank-loop rule.
+var builtinFuncs = map[string]bool{
+	"append": true, "len": true, "cap": true, "copy": true, "make": true,
+	"delete": true, "min": true, "max": true, "new": true, "clear": true,
+}
+
+// doesRealWork reports whether a loop body performs per-iteration work
+// beyond slice/map bookkeeping: any non-builtin call or a nested loop.
+func doesRealWork(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && builtinFuncs[id.Name] {
+				return true
+			}
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,366 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// PoolSafe enforces the repo's sync.Pool discipline. The streaming
+// engine leans on pooled buffers (decode windows, bufio readers, op
+// scratch, aggregation maps) for its O(ranks×depth) allocation bound,
+// and every pool bug is invisible until load: a leaked Get quietly
+// reverts to per-call allocation, a use-after-Put races with whichever
+// goroutine got the buffer next, and a Put of an append-grown slice
+// poisons the pool with ever-larger (or, worse, shared) backing arrays.
+// Three checks, all per function over package-level sync.Pool vars:
+//
+//   - every Get bound to a local must be matched by a Put of that value
+//     (usually deferred) unless the value escapes the function — is
+//     returned, stored into a field/element, or handed to a goroutine;
+//   - a value must not be used after a non-deferred Put released it;
+//   - a value reassigned via x = append(x, ...) must not be Put back:
+//     append may have replaced the backing array, so the pool would
+//     recycle the wrong (or an unbounded) buffer.
+var PoolSafe = &Analyzer{
+	Name: "poolsafe",
+	Doc:  "sync.Pool values must be Put on every path, never used after Put, never Put after append",
+	Run:  runPoolSafe,
+}
+
+func runPoolSafe(pass *Pass) {
+	pools := poolVarNames(pass)
+	if len(pools) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkMissingPut(pass, pools, fn)
+			checkUseAfterPut(pass, pools, fn.Body, map[string]token.Pos{})
+			checkPutAfterAppend(pass, pools, fn)
+		}
+	}
+}
+
+// poolVarNames collects the package-level variables declared as
+// sync.Pool (typed or via composite literal), across all files.
+func poolVarNames(pass *Pass) map[string]bool {
+	pools := map[string]bool{}
+	for _, f := range pass.Files {
+		syncName := importName(f, "sync")
+		if syncName == "" {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				sp, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				isPool := sp.Type != nil && isPkgSel(sp.Type, syncName, "Pool")
+				for _, v := range sp.Values {
+					if cl, ok := v.(*ast.CompositeLit); ok && isPkgSel(cl.Type, syncName, "Pool") {
+						isPool = true
+					}
+				}
+				if isPool {
+					for _, n := range sp.Names {
+						pools[n.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return pools
+}
+
+// poolCall returns the pool variable name when call is pool.Get or
+// pool.Put for a known pool.
+func poolCall(pools map[string]bool, call *ast.CallExpr, method string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || !pools[id.Name] {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// containsPoolGet returns the pool name of the first Get call inside e.
+func containsPoolGet(pools map[string]bool, e ast.Expr) (string, token.Pos, bool) {
+	var name string
+	var pos token.Pos
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if p, ok := poolCall(pools, call, "Get"); ok {
+			name, pos, found = p, call.Pos(), true
+		}
+		return !found
+	})
+	return name, pos, found
+}
+
+// exprMentionsAny reports whether n mentions any name in set as a plain
+// identifier.
+func exprMentionsAny(n ast.Node, set map[string]bool) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && set[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkMissingPut flags Get results bound to locals that are neither
+// Put back nor allowed to escape the function.
+func checkMissingPut(pass *Pass, pools map[string]bool, fn *ast.FuncDecl) {
+	type binding struct {
+		pool    string
+		pos     token.Pos
+		aliases map[string]bool
+		put     bool
+		escaped bool
+	}
+	var bindings []*binding
+
+	// Collect bindings: a local identifier defined (or assigned) from an
+	// expression containing pool.Get. Assignments into fields or index
+	// expressions transfer ownership to a structure and are exempt.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != len(as.Lhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			pool, pos, ok := containsPoolGet(pools, rhs)
+			if !ok {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+				bindings = append(bindings, &binding{
+					pool: pool, pos: pos, aliases: map[string]bool{id.Name: true},
+				})
+			}
+			// Non-identifier LHS (field, element): ownership moved into a
+			// structure whose lifecycle the pool discipline can't see.
+		}
+		return true
+	})
+	if len(bindings) == 0 {
+		return
+	}
+
+	// Resolve each binding: grow the alias set through derived locals,
+	// then look for a Put or an escape anywhere in the function
+	// (including deferred closures — the usual defer pool.Put form).
+	for _, b := range bindings {
+		for grew := true; grew; {
+			grew = false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || as.Tok != token.DEFINE {
+					return true
+				}
+				for i, lhs := range as.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || b.aliases[id.Name] || i >= len(as.Rhs) {
+						continue
+					}
+					if exprMentionsAny(as.Rhs[i], b.aliases) {
+						b.aliases[id.Name] = true
+						grew = true
+					}
+				}
+				return true
+			})
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if p, ok := poolCall(pools, n, "Put"); ok && p == b.pool {
+					for _, arg := range n.Args {
+						if exprMentionsAny(arg, b.aliases) {
+							b.put = true
+						}
+					}
+				}
+			case *ast.ReturnStmt:
+				if exprMentionsAny(n, b.aliases) {
+					b.escaped = true
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					switch lhs.(type) {
+					case *ast.SelectorExpr, *ast.IndexExpr:
+						if i < len(n.Rhs) && exprMentionsAny(n.Rhs[i], b.aliases) {
+							b.escaped = true
+						}
+						if len(n.Rhs) == 1 && len(n.Lhs) > 1 && exprMentionsAny(n.Rhs[0], b.aliases) {
+							b.escaped = true
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if exprMentionsAny(n.Value, b.aliases) {
+					b.escaped = true
+				}
+			case *ast.GoStmt:
+				if exprMentionsAny(n.Call, b.aliases) {
+					b.escaped = true
+				}
+			}
+			return !(b.put && b.escaped)
+		})
+		if !b.put && !b.escaped {
+			pass.Reportf(b.pos,
+				"%s.Get without a matching Put on this path: defer %s.Put or hand the value off explicitly", b.pool, b.pool)
+		}
+	}
+}
+
+// checkUseAfterPut walks one statement list in order, marking values
+// dead at a non-deferred pool.Put and flagging later uses in the same
+// or nested blocks. dead maps a released identifier to its Put position.
+func checkUseAfterPut(pass *Pass, pools map[string]bool, block *ast.BlockStmt, dead map[string]token.Pos) {
+	for _, stmt := range block.List {
+		// A use of a dead value anywhere in this statement is a bug —
+		// unless the statement rebinds it first (handled below).
+		if len(dead) > 0 {
+			for name := range dead {
+				one := map[string]bool{name: true}
+				if rebinds(stmt, name) {
+					delete(dead, name)
+					continue
+				}
+				if exprMentionsAny(stmt, one) {
+					pass.Reportf(stmt.Pos(),
+						"use of %s after it was Put back: the pool may have handed it to another goroutine", name)
+					delete(dead, name) // report once per release
+				}
+			}
+		}
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if _, ok := poolCall(pools, call, "Put"); ok {
+					for _, arg := range call.Args {
+						if name, ok := putTarget(arg); ok {
+							dead[name] = call.Pos()
+						}
+					}
+				}
+			}
+		case *ast.BlockStmt:
+			checkUseAfterPut(pass, pools, s, dead)
+		case *ast.IfStmt:
+			checkUseAfterPut(pass, pools, s.Body, copyDead(dead))
+			if els, ok := s.Else.(*ast.BlockStmt); ok {
+				checkUseAfterPut(pass, pools, els, copyDead(dead))
+			}
+		case *ast.ForStmt:
+			checkUseAfterPut(pass, pools, s.Body, copyDead(dead))
+		case *ast.RangeStmt:
+			checkUseAfterPut(pass, pools, s.Body, copyDead(dead))
+		}
+	}
+}
+
+// putTarget extracts the identifier released by a Put argument: x or &x.
+func putTarget(arg ast.Expr) (string, bool) {
+	if un, ok := arg.(*ast.UnaryExpr); ok && un.Op == token.AND {
+		arg = un.X
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// rebinds reports whether stmt assigns name a fresh value.
+func rebinds(stmt ast.Stmt, name string) bool {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func copyDead(dead map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(dead))
+	for k, v := range dead {
+		out[k] = v
+	}
+	return out
+}
+
+// checkPutAfterAppend flags pool.Put(x) (or Put(&x)) when the function
+// reassigned x through append: the backing array may have been replaced,
+// so the pool would recycle a buffer the pool's consumers never sized.
+func checkPutAfterAppend(pass *Pass, pools map[string]bool, fn *ast.FuncDecl) {
+	appended := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			call, ok := as.Rhs[i].(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				continue
+			}
+			if fid, ok := call.Fun.(*ast.Ident); ok && fid.Name == "append" {
+				if first, ok := call.Args[0].(*ast.Ident); ok && first.Name == id.Name {
+					appended[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(appended) == 0 {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := poolCall(pools, call, "Put"); !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if name, ok := putTarget(arg); ok && appended[name] {
+				pass.Reportf(call.Pos(),
+					"Put of %s after append may recycle a reallocated buffer: Put the original slice (reslice to length 0) instead", name)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,29 @@
+//vet:importpath perfvar/internal/serve
+package serve
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// boundedInt is the chokepoint itself: the one place in the package
+// allowed to call strconv on a query parameter, because it clamps the
+// result to an explicit range.
+func boundedInt(r *http.Request, key string, def, lo, hi int) int {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < lo || v > hi {
+		return def
+	}
+	return v
+}
+
+// handleRender routes every integer parameter through boundedInt;
+// formatting integers out (Itoa) is not parsing and stays allowed.
+func handleRender(w http.ResponseWriter, r *http.Request) {
+	width := boundedInt(r, "width", 900, 64, 4096)
+	w.Header().Set("X-Width", strconv.Itoa(width))
+}

@@ -1,0 +1,19 @@
+//vet:importpath perfvar/internal/serve
+package serve
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// handleHeatmap parses its integer query parameters raw, bypassing the
+// boundedInt chokepoint and its [lo, hi] range enforcement.
+func handleHeatmap(w http.ResponseWriter, r *http.Request) {
+	width, _ := strconv.Atoi(r.URL.Query().Get("width"))             // want "via boundedInt, not strconv.Atoi"
+	bins, _ := strconv.ParseInt(r.URL.Query().Get("bins"), 10, 64)   // want "via boundedInt, not strconv.ParseInt"
+	depth, _ := strconv.ParseUint(r.URL.Query().Get("depth"), 10, 8) // want "via boundedInt, not strconv.ParseUint"
+	_ = width
+	_ = bins
+	_ = depth
+	_ = w
+}

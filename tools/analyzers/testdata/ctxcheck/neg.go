@@ -1,0 +1,59 @@
+//vet:importpath perfvar/internal/sweep
+package sweep
+
+import "context"
+
+// AnalyzeContext checks ctx between per-rank iterations — the pattern
+// the analyzer asks for.
+func AnalyzeContext(ctx context.Context, ranks []int) ([]int64, error) {
+	out := make([]int64, 0, len(ranks))
+	for _, r := range ranks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out = append(out, weigh(r))
+	}
+	return out, nil
+}
+
+// CollectContext's rank loop is pure slice bookkeeping; demanding a
+// ctx check per append would be noise.
+func CollectContext(ctx context.Context, ranks []int) []int {
+	if ctx.Err() != nil {
+		return nil
+	}
+	out := make([]int, 0, len(ranks))
+	for _, r := range ranks {
+		out = append(out, r)
+	}
+	return out
+}
+
+// FanContext pushes the rank loop into a goroutine closure; loops in
+// function literals run under the caller's own cancellation scheme and
+// are exempt.
+func FanContext(ctx context.Context, ranks []int) {
+	if ctx.Err() != nil {
+		return
+	}
+	done := make(chan struct{})
+	go func() {
+		for _, r := range ranks {
+			weigh(r)
+		}
+		close(done)
+	}()
+	<-done
+}
+
+// ParseContext loops over files, not ranks: the per-rank rule does not
+// apply, the up-front ctx consult satisfies the base check.
+func ParseContext(ctx context.Context, files []string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, f := range files {
+		parse(f)
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+//vet:importpath perfvar/internal/sweep
+package sweep
+
+import "context"
+
+// LoadContext promises cancellation in its name but never looks at ctx.
+func LoadContext(ctx context.Context, path string) ([]byte, error) { // want "never consults its context.Context parameter"
+	return read(path)
+}
+
+// FlushContext discards the context at the parameter list already.
+func FlushContext(_ context.Context) error { // want "takes an unnamed context.Context"
+	return nil
+}
+
+// ReduceContext consults ctx once up front, then runs the whole
+// per-rank sweep without ever checking again — on a 10k-rank trace a
+// cancelled request still pays for the full loop.
+func ReduceContext(ctx context.Context, ranks []int) int64 {
+	if ctx.Err() != nil {
+		return 0
+	}
+	var total int64
+	for _, r := range ranks { // want "per-rank loop in ReduceContext never consults ctx"
+		total += weigh(r)
+	}
+	return total
+}

@@ -1,0 +1,48 @@
+//vet:importpath perfvar/internal/report
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// writeSorted is the accepted idiom: range the map only to collect
+// keys, sort them, then iterate the sorted slice.
+func writeSorted(w io.Writer, totals map[string]int64) error {
+	names := make([]string, 0, len(totals))
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, totals[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeViaHelper delegates ordering to a helper whose name says so; a
+// function that calls any sorter is trusted.
+func writeViaHelper(w io.Writer, totals map[string]int64) {
+	for _, name := range sortKeys(totals) {
+		fmt.Fprintln(w, name, totals[name])
+	}
+}
+
+func sortKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// writeRows ranges a slice: slice order is already deterministic.
+func writeRows(w io.Writer, rows []string) {
+	for _, row := range rows {
+		fmt.Fprintln(w, row)
+	}
+}

@@ -1,0 +1,30 @@
+//vet:importpath perfvar/internal/report
+package report
+
+import (
+	"fmt"
+	"io"
+)
+
+// writeRegions prints findings in map iteration order: their position
+// in the report changes run to run.
+func writeRegions(w io.Writer, totals map[string]int64) error {
+	for name, total := range totals { // want "range over a map on an output path with no sorted-keys step"
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, total); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hottest is an argmax over a map: ties break by iteration order, so
+// two equally-hot regions make the report nondeterministic.
+func hottest(weights map[int]float64) int {
+	best := -1
+	for r, v := range weights { // want "range over a map on an output path with no sorted-keys step"
+		if best < 0 || v > weights[best] {
+			best = r
+		}
+	}
+	return best
+}

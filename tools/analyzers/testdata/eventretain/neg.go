@@ -1,0 +1,40 @@
+//vet:importpath perfvar/internal/lint
+package lint
+
+import "perfvar/internal/trace"
+
+// copier does what the contract asks: Event is a plain value struct,
+// so copying it (whole or per field) snapshots it safely.
+type copier struct {
+	events []trace.Event
+	last   trace.Event
+}
+
+func (c *copier) VisitEvent(ev trace.Event) error {
+	c.events = append(c.events, ev)
+	c.last = ev
+	return nil
+}
+
+// Feed by value is the correct streaming-protocol signature.
+func (c *copier) Feed(ev trace.Event) {
+	_ = ev.Time
+}
+
+// fused shows a nested literal with its own event parameter: the inner
+// shadowing ev must not be attributed to the outer one.
+func fused() func(trace.Event) error {
+	return func(ev trace.Event) error {
+		inner := func(ev trace.Event) error {
+			return check(ev)
+		}
+		return inner(ev)
+	}
+}
+
+// snapshot takes the address of a fresh copy, not of the streamed
+// parameter — the copy has ordinary lifetime and is safe to retain.
+func snapshot(ev trace.Event) *trace.Event {
+	c := ev
+	return &c
+}

@@ -1,0 +1,42 @@
+//vet:importpath perfvar/internal/lint
+package lint
+
+import "perfvar/internal/trace"
+
+// pendingVisitor is the PR-7-era double-decode hazard in miniature: it
+// buffers streamed events by address across visits, while the decoder
+// recycles the pooled 64 KiB window those pointers alias.
+type pendingVisitor struct {
+	pending []*trace.Event
+}
+
+func (v *pendingVisitor) VisitEvent(ev trace.Event) error {
+	v.pending = append(v.pending, &ev) // want "&ev retains a streamed event past the visit"
+	return nil
+}
+
+// pointerSink declares the streaming protocol with a pointer-typed
+// event — callers would hand it window-aliased memory.
+type pointerSink struct{}
+
+func (pointerSink) FeedEvent(ev *trace.Event) error { // want "takes *Event"
+	_ = ev
+	return nil
+}
+
+// candidateSet mirrors segment.CandidateSet with the same mistake.
+type candidateSet struct{}
+
+func (c *candidateSet) Feed(ev *trace.Event) {} // want "takes *Event"
+
+// fuseFeeds mirrors the engine's fused feed closure, stashing the
+// event's address into captured state that outlives the call.
+func fuseFeeds() func(trace.Event) error {
+	var last *trace.Event
+	feed := func(ev trace.Event) error {
+		last = &ev // want "&ev retains a streamed event past the visit"
+		return nil
+	}
+	_ = last
+	return feed
+}

@@ -1,0 +1,32 @@
+//vet:importpath perfvar/internal/trace
+package trace
+
+// Inside the trace package itself (and the root package, which aliases
+// it) the event type is the bare identifier Event.
+
+type Event struct {
+	Time int64
+	Kind uint8
+}
+
+type replayMirror struct {
+	held *Event
+}
+
+func (r *replayMirror) VisitEvent(ev Event) error {
+	r.held = &ev // want "&ev retains a streamed event past the visit"
+	return nil
+}
+
+func streamRank(events []Event) error {
+	visit := func(ev *Event) error { // want "takes *Event"
+		_ = ev.Time
+		return nil
+	}
+	for i := range events {
+		if err := visit(&events[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+//vet:importpath perfvar/internal/core/imbalance
+package imbalance
+
+import "sort"
+
+// fractionTimelineFixed is the sanctioned shape: accumulate int64
+// nanoseconds (exact and order-independent), convert to float64 once,
+// at the final division.
+func fractionTimelineFixed(lo, hi []int64, bins int) []float64 {
+	acc := make([]int64, bins)
+	for b := 0; b < bins; b++ {
+		for i := range lo {
+			acc[b] += hi[i] - lo[i]
+		}
+	}
+	frac := make([]float64, bins)
+	denom := float64(len(lo))
+	for b, v := range acc {
+		frac[b] = float64(v) / denom
+	}
+	return frac
+}
+
+// totalSorted folds over sorted keys, so the sum order (and thus any
+// float arithmetic downstream) is deterministic.
+func totalSorted(w map[int]int64) int64 {
+	keys := make([]int, 0, len(w))
+	for k := range w {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum int64
+	for _, k := range keys {
+		sum += w[k]
+	}
+	return sum
+}

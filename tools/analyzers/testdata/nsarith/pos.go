@@ -1,0 +1,26 @@
+//vet:importpath perfvar/internal/core/imbalance
+package imbalance
+
+// fractionTimeline folds float64-converted durations inside the loop:
+// the total now depends on addition order and on rounding once a
+// partial sum crosses 2^53, which breaks the byte-identical-reports
+// contract between the engines.
+func fractionTimeline(lo, hi []int64, bins int) []float64 {
+	frac := make([]float64, bins)
+	for b := 0; b < bins; b++ {
+		for i := range lo {
+			frac[b] += float64(hi[i]-lo[i]) / float64(bins) // want "float64 conversion folded into a loop accumulator"
+		}
+	}
+	return frac
+}
+
+// totalWeight folds in map iteration order, which the runtime
+// randomizes per run.
+func totalWeight(w map[int]int64) int64 {
+	var sum int64
+	for _, v := range w {
+		sum += v // want "accumulation in map iteration order"
+	}
+	return sum
+}

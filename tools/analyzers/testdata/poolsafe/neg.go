@@ -1,0 +1,51 @@
+//vet:importpath perfvar/internal/callstack
+package callstack
+
+import "sync"
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+type scratch struct {
+	ops []byte
+}
+
+type runner struct {
+	sc *scratch
+}
+
+// deferred is the canonical shape: Get, defer Put, work.
+func deferred() {
+	s := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s)
+	s.ops = s.ops[:0]
+}
+
+// deferredClosure resets inside a deferred closure before the Put —
+// the Put is still credited, and the append targets a field, not the
+// pooled identifier itself.
+func deferredClosure() {
+	s := scratchPool.Get().(*scratch)
+	defer func() {
+		s.ops = s.ops[:0]
+		scratchPool.Put(s)
+	}()
+	s.ops = append(s.ops, 1)
+}
+
+// acquire/release split ownership across methods: storing the Get
+// result into a field transfers ownership to the struct's lifecycle,
+// which the per-function discipline cannot (and must not) track.
+func (r *runner) acquire() {
+	r.sc = scratchPool.Get().(*scratch)
+}
+
+func (r *runner) release() {
+	scratchPool.Put(r.sc)
+	r.sc = nil
+}
+
+// borrow escapes by returning the value: the caller owns the Put.
+func borrow() *scratch {
+	s := scratchPool.Get().(*scratch)
+	return s
+}

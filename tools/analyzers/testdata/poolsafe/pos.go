@@ -1,0 +1,30 @@
+//vet:importpath perfvar/internal/callstack
+package callstack
+
+import "sync"
+
+var winPool = sync.Pool{New: func() any { return make([]byte, 64<<10) }}
+
+// leakWindow takes a pooled buffer and never returns it: the pool
+// silently degrades to per-call allocation.
+func leakWindow() {
+	buf := winPool.Get().([]byte) // want "winPool.Get without a matching Put"
+	buf[0] = 1
+}
+
+// useAfterRelease touches the buffer after handing it back: another
+// goroutine may already own it.
+func useAfterRelease() {
+	s := winPool.Get().([]byte)
+	s[0] = 1
+	winPool.Put(s)
+	s[1] = 2 // want "use of s after it was Put back"
+}
+
+// putGrown returns an append-grown slice: append may have swapped the
+// backing array, so the pool recycles a buffer nobody sized.
+func putGrown() {
+	ops := winPool.Get().([]byte)
+	ops = append(ops, 1)
+	winPool.Put(ops) // want "Put of ops after append may recycle a reallocated buffer"
+}
