@@ -39,18 +39,31 @@ func main() {
 		maxUpload = flag.Int64("max-upload", 64<<20, "largest accepted trace archive in bytes")
 		timeout   = flag.Duration("timeout", 60*time.Second, "per-request analysis deadline")
 		cacheN    = flag.Int("cache", 128, "result-cache capacity in entries")
-		cacheB    = flag.Int64("cache-bytes", 512<<20, "result-cache byte budget (approximate, source-archive bytes per entry)")
+		cacheB    = flag.Int64("cache-bytes", 512<<20, "result-cache byte budget (approximate, actual stored bytes per entry)")
+		storeDir  = flag.String("store-dir", "", "disk result-store directory; analyses and project baselines survive restarts (empty: memory only)")
+		storeB    = flag.Int64("store-bytes", 4<<30, "disk result-store byte budget (LRU garbage collection beyond it)")
+		sosBudget = flag.Float64("sos-budget-pct", 10, "default regression budget: project runs whose total SOS-time exceeds the baseline by more than this percentage fail")
 		jobs      = flag.Int("j", 0, "analysis-pool worker cap (0: one per CPU)")
 		verbose   = flag.Bool("v", false, "log at debug level")
 	)
 	flag.Parse()
-	if err := run(*addr, *traces, *maxUpload, *timeout, *cacheN, *cacheB, *jobs, *verbose); err != nil {
+	cfg := serve.Config{
+		TraceDir:       *traces,
+		MaxUploadBytes: *maxUpload,
+		RequestTimeout: *timeout,
+		CacheEntries:   *cacheN,
+		CacheBytes:     *cacheB,
+		StoreDir:       *storeDir,
+		StoreBytes:     *storeB,
+		SOSBudgetPct:   *sosBudget,
+	}
+	if err := run(*addr, cfg, *jobs, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "perfvard:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, traces string, maxUpload int64, timeout time.Duration, cacheN int, cacheB int64, jobs int, verbose bool) error {
+func run(addr string, cfg serve.Config, jobs int, verbose bool) error {
 	if jobs > 0 {
 		parallel.SetJobs(jobs)
 	}
@@ -60,14 +73,8 @@ func run(addr, traces string, maxUpload int64, timeout time.Duration, cacheN int
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	srv, err := serve.New(serve.Config{
-		TraceDir:       traces,
-		MaxUploadBytes: maxUpload,
-		RequestTimeout: timeout,
-		CacheEntries:   cacheN,
-		CacheBytes:     cacheB,
-		Logger:         logger,
-	})
+	cfg.Logger = logger
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -83,8 +90,9 @@ func run(addr, traces string, maxUpload int64, timeout time.Duration, cacheN int
 	if err != nil {
 		return err
 	}
-	logger.Info("perfvard listening", "addr", ln.Addr().String(), "traces", traces,
-		"workers", parallel.Jobs(), "cache_entries", cacheN, "cache_bytes", cacheB)
+	logger.Info("perfvard listening", "addr", ln.Addr().String(), "traces", cfg.TraceDir,
+		"workers", parallel.Jobs(), "cache_entries", cfg.CacheEntries,
+		"cache_bytes", cfg.CacheBytes, "store_dir", cfg.StoreDir)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
@@ -102,7 +110,7 @@ func run(addr, traces string, maxUpload int64, timeout time.Duration, cacheN int
 	// Graceful drain: stop accepting, let in-flight analyses finish
 	// within one request-timeout, then cancel whatever is left via
 	// srv.Close (deferred).
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), timeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.RequestTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)

@@ -5,14 +5,25 @@
 //
 //	pvtdiff -a before.pvt -b after.pvt
 //	pvtdiff -a before.pvt -b after.pvt -dominant timestep -top 5
+//
+// With -json the comparison is emitted as the same RunDelta document the
+// perfvard run-history API returns, and -budget adds a pass/fail verdict
+// (exit status 1 on fail) — the offline twin of
+// POST /api/v1/projects/{name}/runs for CI pipelines without a daemon:
+//
+//	pvtdiff -a baseline.pvt -b candidate.pvt -json -budget 10 | jq .verdict
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"perfvar"
+	"perfvar/internal/baseline"
+	"perfvar/internal/compare"
 	"perfvar/internal/vis"
 )
 
@@ -23,6 +34,8 @@ func main() {
 		dominant = flag.String("dominant", "", "force this dominant function in both runs")
 		top      = flag.Int("top", 5, "show the top-N improved/regressed iterations")
 		out      = flag.String("o", "", "write a stacked comparison heatmap (shared color scale) to this PNG")
+		asJSON   = flag.Bool("json", false, "emit the RunDelta JSON document instead of text")
+		budget   = flag.Float64("budget", 0, "SOS regression budget in percent; adds a pass/fail verdict and exits 1 on fail (implies -json)")
 	)
 	flag.Parse()
 	if *pathA == "" || *pathB == "" {
@@ -30,9 +43,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *budget < 0 || math.IsNaN(*budget) || math.IsInf(*budget, 0) {
+		fatal(fmt.Errorf("-budget %g: want a non-negative finite percentage", *budget))
+	}
 
 	resA := analyze(*pathA, *dominant)
 	resB := analyze(*pathB, *dominant)
+
+	if *asJSON || *budget > 0 {
+		emitJSON(resA, resB, *budget)
+		return
+	}
 	fmt.Printf("A: %s  (%d ranks, dominant %q, %d iterations)\n",
 		*pathA, resA.Trace.NumRanks(), resA.Matrix.RegionName, resA.Matrix.Iterations())
 	fmt.Printf("B: %s  (%d ranks, dominant %q, %d iterations)\n\n",
@@ -85,6 +106,46 @@ func main() {
 		}
 		fmt.Printf("\ncomparison heatmap written to %s\n", *out)
 	}
+}
+
+// emitJSON prints the RunDelta document (A as baseline, B as candidate).
+// With a positive budget it carries a verdict and a failing delta exits 1,
+// so a CI step can gate on the exit status alone.
+func emitJSON(resA, resB *perfvar.Result, budget float64) {
+	base, run := summarize(resA), summarize(resB)
+	delta := compare.Delta(base, run)
+	doc := map[string]any{
+		"baseline": base,
+		"run":      run,
+		"delta":    delta,
+	}
+	verdict := ""
+	if budget > 0 {
+		verdict = "pass"
+		if delta.SOSDeltaPct > budget {
+			verdict = "fail"
+		}
+		doc["budget_pct"] = budget
+		doc["verdict"] = verdict
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+	if verdict == "fail" {
+		os.Exit(1)
+	}
+}
+
+// summarize digests one analyzed run for the delta computation, the same
+// way perfvard's run-history endpoints do.
+func summarize(res *perfvar.Result) compare.RunSummary {
+	profiles, err := baseline.RankProfiles(res.Trace)
+	if err != nil {
+		fatal(err)
+	}
+	return compare.Summarize(res.Matrix, baseline.MPIFraction(res.Trace, profiles))
 }
 
 func analyze(path, dominant string) *perfvar.Result {

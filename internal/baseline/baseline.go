@@ -13,6 +13,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 
 	"perfvar/internal/callstack"
@@ -31,14 +32,25 @@ type RankProfile struct {
 	Total float64
 }
 
-// RankProfiles computes the flat per-rank profiles of tr.
+// RankProfiles computes the flat per-rank profiles of tr. It is the
+// ctx-free wrapper over RankProfilesContext.
 func RankProfiles(tr *trace.Trace) ([]RankProfile, error) {
+	return RankProfilesContext(context.Background(), tr)
+}
+
+// RankProfilesContext is RankProfiles observing ctx between ranks: a
+// cancelled request stops the per-rank aggregation instead of finishing
+// the whole trace.
+func RankProfilesContext(ctx context.Context, tr *trace.Trace) ([]RankProfile, error) {
 	all, err := callstack.ReplayAll(tr)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]RankProfile, tr.NumRanks())
 	for rank, invs := range all {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rp := RankProfile{
 			Rank:              trace.Rank(rank),
 			ExclusiveByRegion: make([]float64, len(tr.Regions)),
@@ -51,6 +63,26 @@ func RankProfiles(tr *trace.Trace) ([]RankProfile, error) {
 		out[rank] = rp
 	}
 	return out, nil
+}
+
+// MPIFraction returns the fraction of total exclusive time the profiled
+// ranks spend in MPI regions, in [0, 1] (0 when the profiles are empty).
+// It is the run-wide communication share the run-history API tracks
+// between a project's runs.
+func MPIFraction(tr *trace.Trace, profiles []RankProfile) float64 {
+	var mpi, total float64
+	for _, rp := range profiles {
+		for id, v := range rp.ExclusiveByRegion {
+			if tr.Region(trace.RegionID(id)).Paradigm == trace.ParadigmMPI {
+				mpi += v
+			}
+		}
+		total += rp.Total
+	}
+	if total <= 0 {
+		return 0
+	}
+	return mpi / total
 }
 
 // SlowestByProfile returns the rank with the highest total exclusive time

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"perfvar/internal/core/segment"
@@ -179,5 +180,42 @@ func TestRepresentativesHideTransientHotspot(t *testing.T) {
 	}
 	if len(reps) >= len(profiles) {
 		t.Fatalf("clustering did not reduce: %d reps of %d ranks", len(reps), len(profiles))
+	}
+}
+
+// TestRankProfilesContext covers the ctx-observing variant and the MPI
+// fraction derived from the flat profiles.
+func TestRankProfilesContext(t *testing.T) {
+	tr, _ := fig3Matrix(t)
+
+	profiles, err := RankProfilesContext(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := RankProfiles(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != len(plain) {
+		t.Fatalf("len = %d, want %d", len(profiles), len(plain))
+	}
+	for i := range profiles {
+		if profiles[i].Total != plain[i].Total {
+			t.Fatalf("rank %d total %g != %g", i, profiles[i].Total, plain[i].Total)
+		}
+	}
+
+	frac := MPIFraction(tr, profiles)
+	if frac <= 0 || frac >= 1 {
+		t.Fatalf("MPIFraction = %g, want in (0, 1): Fig. 3 has both compute and barrier time", frac)
+	}
+	if MPIFraction(tr, nil) != 0 {
+		t.Fatal("MPIFraction of empty profiles != 0")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RankProfilesContext(ctx, tr); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

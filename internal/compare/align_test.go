@@ -1,0 +1,181 @@
+package compare
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refAlignSeries is the original full-matrix O(n·m) float64
+// implementation, kept verbatim as the property-test oracle for the
+// rolling-rows rewrite.
+func refAlignSeries(a, b []float64, gapPenalty float64) ([]Pair, float64) {
+	n, m := len(a), len(b)
+	dp := make([][]float64, n+1)
+	for i := range dp {
+		dp[i] = make([]float64, m+1)
+	}
+	for i := 1; i <= n; i++ {
+		dp[i][0] = float64(i) * gapPenalty
+	}
+	for j := 1; j <= m; j++ {
+		dp[0][j] = float64(j) * gapPenalty
+	}
+	cost := func(x, y float64) float64 {
+		s := math.Abs(x) + math.Abs(y)
+		if s == 0 {
+			return 0
+		}
+		return math.Abs(x-y) / s
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			match := dp[i-1][j-1] + cost(a[i-1], b[j-1])
+			gapA := dp[i-1][j] + gapPenalty
+			gapB := dp[i][j-1] + gapPenalty
+			dp[i][j] = math.Min(match, math.Min(gapA, gapB))
+		}
+	}
+	var rev []Pair
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && dp[i][j] == dp[i-1][j-1]+cost(a[i-1], b[j-1]):
+			rev = append(rev, Pair{A: i - 1, B: j - 1})
+			i, j = i-1, j-1
+		case i > 0 && dp[i][j] == dp[i-1][j]+gapPenalty:
+			rev = append(rev, Pair{A: i - 1, B: GapIndex})
+			i--
+		default:
+			rev = append(rev, Pair{A: GapIndex, B: j - 1})
+			j--
+		}
+	}
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev, dp[n][m]
+}
+
+// TestAlignSeriesMatchesReference drives the rolling-rows implementation
+// against the original full-matrix oracle on random series of varied
+// shapes, including empty sides, equal values (cost ties), zeros, and
+// duplicated runs that force tie-heavy tracebacks.
+func TestAlignSeriesMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	genSeries := func(n int) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			switch rng.Intn(4) {
+			case 0:
+				s[i] = 0 // zero values exercise the 0/0 cost branch
+			case 1:
+				s[i] = 100 // repeated constants force DP ties
+			default:
+				s[i] = rng.Float64() * 1000
+			}
+		}
+		return s
+	}
+	for trial := 0; trial < 200; trial++ {
+		n, m := rng.Intn(40), rng.Intn(40)
+		a, b := genSeries(n), genSeries(m)
+		gap := []float64{0, 0.25, 0.5, 1.0}[rng.Intn(4)]
+
+		wantPairs, wantCost := refAlignSeries(a, b, gap)
+		gotPairs, gotCost, err := AlignSeriesContext(context.Background(), a, b, gap)
+		if err != nil {
+			t.Fatalf("trial %d: unexpected error %v", trial, err)
+		}
+		if gotCost != wantCost {
+			t.Fatalf("trial %d (n=%d m=%d gap=%g): cost %g, reference %g",
+				trial, n, m, gap, gotCost, wantCost)
+		}
+		if len(gotPairs) != len(wantPairs) {
+			t.Fatalf("trial %d (n=%d m=%d gap=%g): %d pairs, reference %d",
+				trial, n, m, gap, len(gotPairs), len(wantPairs))
+		}
+		for k := range gotPairs {
+			if gotPairs[k] != wantPairs[k] {
+				t.Fatalf("trial %d (n=%d m=%d gap=%g): pair %d = %+v, reference %+v",
+					trial, n, m, gap, k, gotPairs[k], wantPairs[k])
+			}
+		}
+	}
+}
+
+func TestAlignSeriesEdgeShapes(t *testing.T) {
+	// Both empty: no pairs, zero cost.
+	pairs, cost := AlignSeries(nil, nil, 0.5)
+	if len(pairs) != 0 || cost != 0 {
+		t.Fatalf("empty/empty: pairs=%v cost=%g", pairs, cost)
+	}
+	// One side empty: all gaps, cost = len × penalty.
+	pairs, cost = AlignSeries(nil, []float64{1, 2, 3}, 0.5)
+	if len(pairs) != 3 || cost != 1.5 {
+		t.Fatalf("empty/3: pairs=%v cost=%g", pairs, cost)
+	}
+	for i, p := range pairs {
+		if p.A != GapIndex || p.B != i {
+			t.Fatalf("empty/3 pair %d = %+v", i, p)
+		}
+	}
+	pairs, cost = AlignSeries([]float64{1, 2}, nil, 0.25)
+	if len(pairs) != 2 || cost != 0.5 {
+		t.Fatalf("2/empty: pairs=%v cost=%g", pairs, cost)
+	}
+}
+
+func TestAlignSeriesContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := []float64{1, 2, 3}
+	if _, _, err := AlignSeriesContext(ctx, a, a, 0.5); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDeltaQuantifiesRegression(t *testing.T) {
+	base := RunSummary{
+		Iterations:  4,
+		IterMeanSOS: []float64{100, 100, 100, 100},
+		TotalSOS:    400,
+		MPIFraction: 0.2,
+	}
+	run := RunSummary{
+		Iterations:  4,
+		IterMeanSOS: []float64{100, 150, 100, 100},
+		TotalSOS:    450,
+		MPIFraction: 0.25,
+	}
+	d, err := DeltaContext(context.Background(), base, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Matched != 4 {
+		t.Fatalf("Matched = %d, want 4", d.Matched)
+	}
+	if got, want := d.SOSDeltaPct, 12.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SOSDeltaPct = %g, want %g", got, want)
+	}
+	if got, want := d.MaxIterDeltaPct, 50.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MaxIterDeltaPct = %g, want %g", got, want)
+	}
+	if got, want := d.MPIFractionDelta, 0.05; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MPIFractionDelta = %g, want %g", got, want)
+	}
+
+	// Identical runs: zero everywhere.
+	d = Delta(base, base)
+	if d.SOSDeltaPct != 0 || d.MaxIterDeltaPct != 0 || d.MPIFractionDelta != 0 || d.Matched != 4 {
+		t.Fatalf("self-delta not zero: %+v", d)
+	}
+
+	// Cancelled ctx propagates.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DeltaContext(ctx, base, run); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -12,6 +12,7 @@
 package compare
 
 import (
+	"context"
 	"math"
 
 	"perfvar/internal/core/segment"
@@ -26,24 +27,37 @@ type Pair struct {
 	A, B int
 }
 
+// Backpointer codes of the alignment DP, packed 2 bits per cell: a byte
+// of the traceback matrix holds 4 cells. The order encodes the
+// traceback tie-break of the original full-matrix implementation —
+// match beats gapA beats gapB at equal cost — so alignments are
+// byte-identical to it.
+const (
+	ptrMatch = 0 // diagonal: a[i-1] aligned with b[j-1]
+	ptrGapA  = 1 // up: a[i-1] unmatched
+	ptrGapB  = 2 // left: b[j-1] unmatched
+)
+
 // AlignSeries computes a global alignment of two numeric series using
 // dynamic programming. Matching cost is the relative difference
 // |a−b|/(a+b) (0 for equal values, →1 for disparate ones); gaps cost
 // gapPenalty each. It returns the aligned pairs in order and the total
-// cost (lower = more similar).
+// cost (lower = more similar). It is the ctx-free wrapper over
+// AlignSeriesContext.
 func AlignSeries(a, b []float64, gapPenalty float64) ([]Pair, float64) {
+	pairs, cost, _ := AlignSeriesContext(context.Background(), a, b, gapPenalty)
+	return pairs, cost
+}
+
+// AlignSeriesContext is AlignSeries observing ctx between DP rows.
+//
+// The DP keeps only two rolling float64 rows plus a 2-bit-per-cell
+// backpointer matrix for the traceback — O(min-side) floats and n·m/4
+// bytes instead of the full (n+1)·(m+1) float64 matrix. Two 10k-point
+// series align in ~25 MiB instead of ~800 MiB, which matters because
+// perfvard exposes alignment on an unauthenticated request path.
+func AlignSeriesContext(ctx context.Context, a, b []float64, gapPenalty float64) ([]Pair, float64, error) {
 	n, m := len(a), len(b)
-	// dp[i][j]: minimal cost aligning a[:i] with b[:j].
-	dp := make([][]float64, n+1)
-	for i := range dp {
-		dp[i] = make([]float64, m+1)
-	}
-	for i := 1; i <= n; i++ {
-		dp[i][0] = float64(i) * gapPenalty
-	}
-	for j := 1; j <= m; j++ {
-		dp[0][j] = float64(j) * gapPenalty
-	}
 	cost := func(x, y float64) float64 {
 		s := math.Abs(x) + math.Abs(y)
 		if s == 0 {
@@ -51,34 +65,87 @@ func AlignSeries(a, b []float64, gapPenalty float64) ([]Pair, float64) {
 		}
 		return math.Abs(x-y) / s
 	}
-	for i := 1; i <= n; i++ {
-		for j := 1; j <= m; j++ {
-			match := dp[i-1][j-1] + cost(a[i-1], b[j-1])
-			gapA := dp[i-1][j] + gapPenalty
-			gapB := dp[i][j-1] + gapPenalty
-			dp[i][j] = math.Min(match, math.Min(gapA, gapB))
-		}
+
+	// ptrs holds the backpointer of cell (i, j), i in 1..n, j in 1..m.
+	// Border cells need none: traceback on the borders is forced.
+	ptrs := make([]byte, (n*m+3)/4)
+	setPtr := func(i, j int, p byte) {
+		idx := (i-1)*m + (j - 1)
+		ptrs[idx/4] |= p << uint((idx%4)*2)
 	}
-	// Traceback.
+	getPtr := func(i, j int) byte {
+		idx := (i-1)*m + (j - 1)
+		return (ptrs[idx/4] >> uint((idx%4)*2)) & 3
+	}
+
+	// prev and cur are DP rows i-1 and i; cell j holds the minimal cost
+	// of aligning a[:i] with b[:j].
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = float64(j) * gapPenalty
+	}
+	for i := 1; i <= n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		cur[0] = float64(i) * gapPenalty
+		ai := a[i-1]
+		for j := 1; j <= m; j++ {
+			match := prev[j-1] + cost(ai, b[j-1])
+			gapA := prev[j] + gapPenalty
+			gapB := cur[j-1] + gapPenalty
+			// Tie order mirrors the traceback preference of the original
+			// implementation: match wins whenever it attains the minimum,
+			// then gapA, then gapB.
+			switch {
+			case match <= gapA && match <= gapB:
+				cur[j] = match
+				setPtr(i, j, ptrMatch)
+			case gapA <= gapB:
+				cur[j] = gapA
+				setPtr(i, j, ptrGapA)
+			default:
+				cur[j] = gapB
+				setPtr(i, j, ptrGapB)
+			}
+		}
+		prev, cur = cur, prev
+	}
+	total := prev[m] // prev holds row n after the final swap
+	if n == 0 {
+		total = float64(m) * gapPenalty
+	}
+
+	// Traceback over the packed pointers; borders are forced gaps.
 	var rev []Pair
 	i, j := n, m
 	for i > 0 || j > 0 {
 		switch {
-		case i > 0 && j > 0 && dp[i][j] == dp[i-1][j-1]+cost(a[i-1], b[j-1]):
-			rev = append(rev, Pair{A: i - 1, B: j - 1})
-			i, j = i-1, j-1
-		case i > 0 && dp[i][j] == dp[i-1][j]+gapPenalty:
+		case i == 0:
+			rev = append(rev, Pair{A: GapIndex, B: j - 1})
+			j--
+		case j == 0:
 			rev = append(rev, Pair{A: i - 1, B: GapIndex})
 			i--
 		default:
-			rev = append(rev, Pair{A: GapIndex, B: j - 1})
-			j--
+			switch getPtr(i, j) {
+			case ptrMatch:
+				rev = append(rev, Pair{A: i - 1, B: j - 1})
+				i, j = i-1, j-1
+			case ptrGapA:
+				rev = append(rev, Pair{A: i - 1, B: GapIndex})
+				i--
+			default:
+				rev = append(rev, Pair{A: GapIndex, B: j - 1})
+				j--
+			}
 		}
 	}
 	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
 		rev[l], rev[r] = rev[r], rev[l]
 	}
-	return rev, dp[n][m]
+	return rev, total, nil
 }
 
 // IterationDelta compares one aligned iteration pair.
@@ -127,36 +194,10 @@ func iterStats(m *segment.Matrix) (means, imbalances []float64, total float64) {
 
 // Compare aligns and compares two segment matrices (two runs of the same
 // or a modified application). A gap penalty of 0.5 works well for
-// SOS-time series; Compare uses that default.
+// SOS-time series; Compare uses that default. It is the ctx-free wrapper
+// over CompareContext.
 func Compare(a, b *segment.Matrix) *Comparison {
-	meansA, imbA, totalA := iterStats(a)
-	meansB, imbB, totalB := iterStats(b)
-	pairs, cost := AlignSeries(meansA, meansB, 0.5)
-
-	c := &Comparison{
-		AlignmentCost:  cost,
-		MeanImbalanceA: stats.Mean(imbA),
-		MeanImbalanceB: stats.Mean(imbB),
-	}
-	if totalB > 0 {
-		c.SpeedupTotal = totalA / totalB
-	}
-	for _, p := range pairs {
-		d := IterationDelta{IterA: p.A, IterB: p.B}
-		if p.A != GapIndex {
-			d.MeanSOSA = meansA[p.A]
-			d.ImbalanceA = imbA[p.A]
-		}
-		if p.B != GapIndex {
-			d.MeanSOSB = meansB[p.B]
-			d.ImbalanceB = imbB[p.B]
-		}
-		if p.A != GapIndex && p.B != GapIndex && d.MeanSOSA > 0 {
-			d.Ratio = d.MeanSOSB / d.MeanSOSA
-			c.Matched++
-		}
-		c.Deltas = append(c.Deltas, d)
-	}
+	c, _ := CompareContext(context.Background(), a, b)
 	return c
 }
 

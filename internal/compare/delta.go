@@ -1,0 +1,158 @@
+package compare
+
+import (
+	"context"
+	"math"
+
+	"perfvar/internal/core/segment"
+	"perfvar/internal/stats"
+)
+
+// RunSummary is the JSON-stable digest of one analyzed run that the
+// run-history API persists per project: everything needed to compare a
+// later run against it without re-opening the original trace. Field
+// names are part of the perfvard HTTP API; do not rename.
+type RunSummary struct {
+	// Iterations and Ranks give the segment matrix's shape.
+	Iterations int `json:"iterations"`
+	Ranks      int `json:"ranks"`
+	// IterMeanSOS is the per-iteration mean SOS-time across ranks (ns) —
+	// the series runs are aligned on.
+	IterMeanSOS []float64 `json:"iter_mean_sos_ns"`
+	// TotalSOS is the run's summed SOS-time (ns).
+	TotalSOS float64 `json:"total_sos_ns"`
+	// MeanImbalance is the mean per-iteration max/mean imbalance factor.
+	MeanImbalance float64 `json:"mean_imbalance"`
+	// MPIFraction is the run-wide fraction of exclusive time spent in
+	// MPI regions, in [0, 1].
+	MPIFraction float64 `json:"mpi_fraction"`
+}
+
+// Summarize digests a segment matrix (plus the externally computed MPI
+// fraction) into a RunSummary.
+func Summarize(m *segment.Matrix, mpiFraction float64) RunSummary {
+	means, imb, total := iterStats(m)
+	return RunSummary{
+		Iterations:    m.Iterations(),
+		Ranks:         len(m.PerRank),
+		IterMeanSOS:   means,
+		TotalSOS:      total,
+		MeanImbalance: stats.Mean(imb),
+		MPIFraction:   mpiFraction,
+	}
+}
+
+// IterationSOSDelta compares one aligned iteration pair of a run against
+// its project baseline. Either index may be GapIndex for unmatched
+// iterations.
+type IterationSOSDelta struct {
+	BaselineIter int     `json:"baseline_iter"`
+	RunIter      int     `json:"run_iter"`
+	BaselineSOS  float64 `json:"baseline_mean_sos_ns"`
+	RunSOS       float64 `json:"run_mean_sos_ns"`
+	// DeltaPct is 100·(run − baseline)/baseline, 0 when undefined
+	// (gap rows or a zero baseline).
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+// RunDelta quantifies one run against its project baseline. It is the
+// regression-budget payload of POST /api/v1/projects/{name}/runs.
+type RunDelta struct {
+	// AlignmentCost is the total iteration-alignment cost (lower = more
+	// similar runs).
+	AlignmentCost float64 `json:"alignment_cost"`
+	// Matched counts iteration pairs aligned without a gap.
+	Matched int `json:"matched"`
+	// SOSDeltaPct is the total-SOS change in percent: positive means the
+	// run is slower than the baseline. This is the number verdicts are
+	// judged against.
+	SOSDeltaPct float64 `json:"sos_delta_pct"`
+	// MaxIterDeltaPct is the worst matched per-iteration DeltaPct.
+	MaxIterDeltaPct float64 `json:"max_iter_delta_pct"`
+	// MPIFractionDelta is run MPI fraction minus baseline MPI fraction
+	// (absolute, in [−1, 1]).
+	MPIFractionDelta float64 `json:"mpi_fraction_delta"`
+	// Iterations holds one entry per aligned pair, gaps included.
+	Iterations []IterationSOSDelta `json:"iterations"`
+}
+
+// Delta is the ctx-free wrapper over DeltaContext.
+func Delta(baseline, run RunSummary) *RunDelta {
+	d, _ := DeltaContext(context.Background(), baseline, run)
+	return d
+}
+
+// DeltaContext aligns run against baseline iteration-by-iteration and
+// quantifies the regression. The alignment observes ctx between DP rows.
+func DeltaContext(ctx context.Context, baseline, run RunSummary) (*RunDelta, error) {
+	pairs, cost, err := AlignSeriesContext(ctx, baseline.IterMeanSOS, run.IterMeanSOS, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	d := &RunDelta{
+		AlignmentCost:    cost,
+		MPIFractionDelta: run.MPIFraction - baseline.MPIFraction,
+		MaxIterDeltaPct:  math.Inf(-1),
+	}
+	if baseline.TotalSOS > 0 {
+		d.SOSDeltaPct = 100 * (run.TotalSOS - baseline.TotalSOS) / baseline.TotalSOS
+	}
+	for _, p := range pairs {
+		it := IterationSOSDelta{BaselineIter: p.A, RunIter: p.B}
+		if p.A != GapIndex {
+			it.BaselineSOS = baseline.IterMeanSOS[p.A]
+		}
+		if p.B != GapIndex {
+			it.RunSOS = run.IterMeanSOS[p.B]
+		}
+		if p.A != GapIndex && p.B != GapIndex && it.BaselineSOS > 0 {
+			it.DeltaPct = 100 * (it.RunSOS - it.BaselineSOS) / it.BaselineSOS
+			d.Matched++
+			if it.DeltaPct > d.MaxIterDeltaPct {
+				d.MaxIterDeltaPct = it.DeltaPct
+			}
+		}
+		d.Iterations = append(d.Iterations, it)
+	}
+	if d.Matched == 0 {
+		d.MaxIterDeltaPct = 0
+	}
+	return d, nil
+}
+
+// CompareContext is Compare observing ctx: the iteration alignment —
+// the O(n·m) part — checks ctx between DP rows.
+func CompareContext(ctx context.Context, a, b *segment.Matrix) (*Comparison, error) {
+	meansA, imbA, totalA := iterStats(a)
+	meansB, imbB, totalB := iterStats(b)
+	pairs, cost, err := AlignSeriesContext(ctx, meansA, meansB, 0.5)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Comparison{
+		AlignmentCost:  cost,
+		MeanImbalanceA: stats.Mean(imbA),
+		MeanImbalanceB: stats.Mean(imbB),
+	}
+	if totalB > 0 {
+		c.SpeedupTotal = totalA / totalB
+	}
+	for _, p := range pairs {
+		d := IterationDelta{IterA: p.A, IterB: p.B}
+		if p.A != GapIndex {
+			d.MeanSOSA = meansA[p.A]
+			d.ImbalanceA = imbA[p.A]
+		}
+		if p.B != GapIndex {
+			d.MeanSOSB = meansB[p.B]
+			d.ImbalanceB = imbB[p.B]
+		}
+		if p.A != GapIndex && p.B != GapIndex && d.MeanSOSA > 0 {
+			d.Ratio = d.MeanSOSB / d.MeanSOSA
+			c.Matched++
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	return c, nil
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"perfvar/internal/parallel"
+	"perfvar/internal/store"
 )
 
 // latencyBucketBounds are the upper bounds (seconds) of the cumulative
@@ -28,6 +29,7 @@ type metrics struct {
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+	diskHits    atomic.Int64 // answered from the disk tier (promoted to memory)
 
 	computed      atomic.Int64 // analyses actually executed
 	dedupedShared atomic.Int64 // requests that joined an in-flight analysis
@@ -56,11 +58,12 @@ func (m *metrics) observeRequest(status int, d time.Duration) {
 }
 
 // hitRatio returns the fraction of lookups that were answered without a
-// fresh computation: cache hits plus singleflight joins over all
-// lookups, or 0 before any lookup. A join reuses in-flight work just as
-// a hit reuses finished work, so both count as cache effectiveness.
+// fresh computation: memory hits, disk hits, and singleflight joins over
+// all lookups, or 0 before any lookup. A join reuses in-flight work and
+// a disk hit reuses persisted work, just as a memory hit reuses resident
+// work — all three count as cache effectiveness.
 func (m *metrics) hitRatio() float64 {
-	reused := m.cacheHits.Load() + m.dedupedShared.Load()
+	reused := m.cacheHits.Load() + m.diskHits.Load() + m.dedupedShared.Load()
 	total := reused + m.cacheMisses.Load()
 	if total == 0 {
 		return 0
@@ -68,8 +71,9 @@ func (m *metrics) hitRatio() float64 {
 	return float64(reused) / float64(total)
 }
 
-// writeTo renders the exposition. cache supplies entry/eviction gauges.
-func (m *metrics) writeTo(w io.Writer, cache *lruCache) {
+// writeTo renders the exposition. cache supplies entry/eviction gauges;
+// st, when non-nil, supplies the disk-tier gauges.
+func (m *metrics) writeTo(w io.Writer, cache *lruCache, st *store.Store) {
 	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
 
 	p("# HELP perfvard_requests_total Completed HTTP requests by status class.\n")
@@ -101,18 +105,40 @@ func (m *metrics) writeTo(w io.Writer, cache *lruCache) {
 	p("# HELP perfvard_cache_misses_total Result-cache misses (fresh computations only; singleflight joins are counted as shared, not missed).\n")
 	p("# TYPE perfvard_cache_misses_total counter\n")
 	p("perfvard_cache_misses_total %d\n", m.cacheMisses.Load())
+	p("# HELP perfvard_cache_disk_hits_total Lookups answered from the disk store (promoted to the memory tier).\n")
+	p("# TYPE perfvard_cache_disk_hits_total counter\n")
+	p("perfvard_cache_disk_hits_total %d\n", m.diskHits.Load())
 	p("# HELP perfvard_cache_hit_ratio Hits plus singleflight joins over lookups since start.\n")
 	p("# TYPE perfvard_cache_hit_ratio gauge\n")
 	p("perfvard_cache_hit_ratio %g\n", m.hitRatio())
 	p("# HELP perfvard_cache_entries Entries resident in the result cache.\n")
 	p("# TYPE perfvard_cache_entries gauge\n")
 	p("perfvard_cache_entries %d\n", entries)
-	p("# HELP perfvard_cache_bytes Approximate bytes resident in the result cache (source-archive length per entry).\n")
+	p("# HELP perfvard_cache_bytes Approximate bytes resident in the result cache (actual stored-value size per entry; source-archive length for opaque kinds).\n")
 	p("# TYPE perfvard_cache_bytes gauge\n")
 	p("perfvard_cache_bytes %d\n", bytes)
 	p("# HELP perfvard_cache_evictions_total LRU evictions.\n")
 	p("# TYPE perfvard_cache_evictions_total counter\n")
 	p("perfvard_cache_evictions_total %d\n", evictions)
+
+	if st != nil {
+		entries, bytes, gcs, orphans, corrupt := st.Stats()
+		p("# HELP perfvard_store_entries Entries resident in the disk store.\n")
+		p("# TYPE perfvard_store_entries gauge\n")
+		p("perfvard_store_entries %d\n", entries)
+		p("# HELP perfvard_store_bytes Bytes resident in the disk store (envelopes included).\n")
+		p("# TYPE perfvard_store_bytes gauge\n")
+		p("perfvard_store_bytes %d\n", bytes)
+		p("# HELP perfvard_store_gc_evictions_total Disk-store entries garbage-collected to meet the byte budget.\n")
+		p("# TYPE perfvard_store_gc_evictions_total counter\n")
+		p("perfvard_store_gc_evictions_total %d\n", gcs)
+		p("# HELP perfvard_store_orphans_removed_total Orphan temp files from interrupted writes removed at startup.\n")
+		p("# TYPE perfvard_store_orphans_removed_total counter\n")
+		p("perfvard_store_orphans_removed_total %d\n", orphans)
+		p("# HELP perfvard_store_corrupt_dropped_total Entries dropped for corrupt or version-mismatched envelopes.\n")
+		p("# TYPE perfvard_store_corrupt_dropped_total counter\n")
+		p("perfvard_store_corrupt_dropped_total %d\n", corrupt)
+	}
 
 	p("# HELP perfvard_analyses_computed_total Pipeline executions (cache and singleflight misses).\n")
 	p("# TYPE perfvard_analyses_computed_total counter\n")

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"perfvar/internal/trace"
+	"perfvar/internal/workloads"
+)
+
+// do sends a request with a body and returns the recorder.
+func do(h http.Handler, method, url string, body []byte) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(method, url, bytes.NewReader(body)))
+	return rec
+}
+
+// slowTrace produces an FD4 run whose compute steps take longer than
+// genTrace's — a genuine SOS regression against it, same shape.
+func slowTrace(t *testing.T, ranks, iterations int) []byte {
+	t.Helper()
+	cfg := workloads.DefaultFD4()
+	cfg.Ranks = ranks
+	cfg.Iterations = iterations
+	cfg.InterruptRank = ranks / 2
+	cfg.InterruptIteration = iterations / 2
+	cfg.SpecsCost *= 2
+	cfg.CosmoCost *= 2
+	tr, err := workloads.FD4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func decodeJSON(t *testing.T, rec *httptest.ResponseRecorder) map[string]any {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("bad JSON (%v): %s", err, rec.Body.String())
+	}
+	return m
+}
+
+func TestProjectLifecycle(t *testing.T) {
+	data := genTrace(t, 8, 4)
+	s := newTestServer(t, Config{}, "", nil)
+	h := s.Handler()
+
+	// Register with a per-project budget override.
+	rec := do(h, "PUT", "/api/v1/projects/cosmo?budget=5", data)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("PUT: %d %s", rec.Code, rec.Body.String())
+	}
+	put := decodeJSON(t, rec)
+	if put["budget_pct"].(float64) != 5 {
+		t.Fatalf("budget_pct = %v, want 5", put["budget_pct"])
+	}
+	baselineIters := put["baseline"].(map[string]any)["iterations"].(float64)
+	if baselineIters != 4 {
+		t.Fatalf("baseline iterations = %v, want 4", baselineIters)
+	}
+
+	// The identical trace is within any budget: pass, zero delta.
+	rec = do(h, "POST", "/api/v1/projects/cosmo/runs", data)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST runs: %d %s", rec.Code, rec.Body.String())
+	}
+	run := decodeJSON(t, rec)
+	if run["verdict"] != "pass" {
+		t.Fatalf("verdict = %v, want pass: %s", run["verdict"], rec.Body.String())
+	}
+	delta := run["delta"].(map[string]any)
+	if pct := delta["sos_delta_pct"].(float64); pct != 0 {
+		t.Fatalf("identical run sos_delta_pct = %v, want 0", pct)
+	}
+	if matched := delta["matched"].(float64); matched != 4 {
+		t.Fatalf("matched = %v, want 4", matched)
+	}
+	iters := delta["iterations"].([]any)
+	if len(iters) != 4 {
+		t.Fatalf("per-iteration deltas = %d entries, want 4", len(iters))
+	}
+
+	// GET shows the archived run.
+	rec = get(h, "/api/v1/projects/cosmo")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET: %d %s", rec.Code, rec.Body.String())
+	}
+	got := decodeJSON(t, rec)
+	if runs := got["runs"].([]any); len(runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(runs))
+	}
+
+	// List includes it.
+	rec = get(h, "/api/v1/projects")
+	list := decodeJSON(t, rec)["projects"].([]any)
+	if len(list) != 1 || list[0].(map[string]any)["name"] != "cosmo" {
+		t.Fatalf("list = %v", list)
+	}
+
+	// Delete, then everything 404s.
+	if rec = do(h, "DELETE", "/api/v1/projects/cosmo", nil); rec.Code != http.StatusNoContent {
+		t.Fatalf("DELETE: %d", rec.Code)
+	}
+	if rec = get(h, "/api/v1/projects/cosmo"); rec.Code != http.StatusNotFound {
+		t.Fatalf("GET after delete: %d", rec.Code)
+	}
+	if rec = do(h, "POST", "/api/v1/projects/cosmo/runs", data); rec.Code != http.StatusNotFound {
+		t.Fatalf("POST after delete: %d", rec.Code)
+	}
+}
+
+// TestProjectRunVerdictFailsOverBudget registers a baseline and posts a
+// genuinely slower run: the verdict must flip to fail with a positive
+// SOS delta.
+func TestProjectRunVerdictFailsOverBudget(t *testing.T) {
+	base := genTrace(t, 8, 4)
+	slow := slowTrace(t, 8, 4)
+	s := newTestServer(t, Config{SOSBudgetPct: 10}, "", nil)
+	h := s.Handler()
+
+	if rec := do(h, "PUT", "/api/v1/projects/ci", base); rec.Code != http.StatusCreated {
+		t.Fatalf("PUT: %d %s", rec.Code, rec.Body.String())
+	}
+	rec := do(h, "POST", "/api/v1/projects/ci/runs", slow)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST: %d %s", rec.Code, rec.Body.String())
+	}
+	run := decodeJSON(t, rec)
+	if run["verdict"] != "fail" {
+		t.Fatalf("verdict = %v, want fail: %s", run["verdict"], rec.Body.String())
+	}
+	if pct := run["delta"].(map[string]any)["sos_delta_pct"].(float64); pct <= 10 {
+		t.Fatalf("sos_delta_pct = %v, want > 10 (2× step time)", pct)
+	}
+}
+
+// TestProjectSurvivesRestart pins the durability contract of the
+// registry: a project registered by one daemon is served — and judges
+// runs — after a restart over the same store.
+func TestProjectSurvivesRestart(t *testing.T) {
+	data := genTrace(t, 8, 4)
+	storeDir := t.TempDir()
+	cfg := Config{StoreDir: storeDir}
+
+	s1 := newTestServer(t, cfg, "", nil)
+	if rec := do(s1.Handler(), "PUT", "/api/v1/projects/persist?budget=7", data); rec.Code != http.StatusCreated {
+		t.Fatalf("PUT: %d %s", rec.Code, rec.Body.String())
+	}
+	s1.Close()
+
+	s2 := newTestServer(t, cfg, "", nil)
+	h := s2.Handler()
+	rec := get(h, "/api/v1/projects/persist")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET after restart: %d %s", rec.Code, rec.Body.String())
+	}
+	got := decodeJSON(t, rec)
+	if got["budget_pct"].(float64) != 7 {
+		t.Fatalf("budget_pct after restart = %v, want 7", got["budget_pct"])
+	}
+	rec = do(h, "POST", "/api/v1/projects/persist/runs", data)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST after restart: %d %s", rec.Code, rec.Body.String())
+	}
+	if run := decodeJSON(t, rec); run["verdict"] != "pass" {
+		t.Fatalf("verdict after restart = %v, want pass", run["verdict"])
+	}
+}
+
+func TestProjectValidation(t *testing.T) {
+	data := genTrace(t, 8, 4)
+	s := newTestServer(t, Config{}, "", nil)
+	h := s.Handler()
+
+	for _, tc := range []struct {
+		method, url string
+		body        []byte
+		want        int
+	}{
+		{"PUT", "/api/v1/projects/" + "bad%2Fname", data, http.StatusBadRequest},
+		{"PUT", "/api/v1/projects/.hidden", data, http.StatusBadRequest},
+		{"PUT", "/api/v1/projects/" + strings.Repeat("a", 80), data, http.StatusBadRequest},
+		{"PUT", "/api/v1/projects/ok?budget=NaN", data, http.StatusBadRequest},
+		{"PUT", "/api/v1/projects/ok?budget=-3", data, http.StatusBadRequest},
+		{"PUT", "/api/v1/projects/ok", nil, http.StatusBadRequest},
+		{"POST", "/api/v1/projects/nosuch/runs", data, http.StatusNotFound},
+		{"GET", "/api/v1/projects/nosuch", nil, http.StatusNotFound},
+		{"DELETE", "/api/v1/projects/nosuch", nil, http.StatusNotFound},
+	} {
+		rec := do(h, tc.method, tc.url, tc.body)
+		if rec.Code != tc.want {
+			t.Errorf("%s %s: %d, want %d (%s)", tc.method, tc.url, rec.Code, tc.want, rec.Body.String())
+		}
+	}
+}

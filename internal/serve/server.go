@@ -39,6 +39,7 @@ import (
 	"perfvar"
 	"perfvar/internal/callstack"
 	"perfvar/internal/lint"
+	"perfvar/internal/store"
 	"perfvar/internal/trace"
 	"perfvar/internal/vis"
 )
@@ -58,9 +59,23 @@ type Config struct {
 	// CacheEntries is the LRU result-cache capacity (default 128).
 	CacheEntries int
 	// CacheBytes bounds the result cache's approximate memory, measured
-	// in source-archive bytes per entry (default 512 MiB). Entries are
-	// evicted LRU-first when either bound is exceeded.
+	// at each entry's actual stored size (rendered views exactly, results
+	// by their retained structures; source-archive length only as the
+	// fallback for opaque kinds; default 512 MiB). Entries are evicted
+	// LRU-first when either bound is exceeded.
 	CacheBytes int64
+	// StoreDir, when set, roots the disk result store: computed pipeline
+	// results and rendered views are persisted there and survive daemon
+	// restarts (served with X-Perfvar-Cache: disk). Empty disables the
+	// disk tier.
+	StoreDir string
+	// StoreBytes bounds the disk store (default 4 GiB). Least-recently-
+	// used entries are garbage-collected beyond it.
+	StoreBytes int64
+	// SOSBudgetPct is the default regression budget for project run
+	// verdicts: a run whose total SOS-time exceeds its baseline's by more
+	// than this percentage fails (default 10; projects may override).
+	SOSBudgetPct float64
 	// Logger receives structured request logs; nil discards them.
 	Logger *slog.Logger
 }
@@ -78,6 +93,12 @@ func (c Config) withDefaults() Config {
 	if c.CacheBytes <= 0 {
 		c.CacheBytes = 512 << 20
 	}
+	if c.StoreBytes <= 0 {
+		c.StoreBytes = 4 << 30
+	}
+	if c.SOSBudgetPct <= 0 {
+		c.SOSBudgetPct = 10
+	}
 	if c.Logger == nil {
 		// go 1.22 compatible discard logger (slog.DiscardHandler is 1.24+).
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
@@ -88,12 +109,14 @@ func (c Config) withDefaults() Config {
 // Server is the perfvard HTTP daemon core. Create with New, mount via
 // Handler, and Close when done to cancel any still-running analyses.
 type Server struct {
-	cfg    Config
-	mux    *http.ServeMux
-	cache  *lruCache
-	flight *flightGroup
-	met    *metrics
-	log    *slog.Logger
+	cfg      Config
+	mux      *http.ServeMux
+	cache    *lruCache
+	flight   *flightGroup
+	store    *store.Store // disk tier; nil when Config.StoreDir is empty
+	projects *projectRegistry
+	met      *metrics
+	log      *slog.Logger
 
 	// base is the root context of all computations; Close cancels it so
 	// in-flight analyses stop claiming pool workers after shutdown.
@@ -124,6 +147,15 @@ func New(cfg Config) (*Server, error) {
 		base:       base,
 		cancelBase: cancel,
 	}
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir, cfg.StoreBytes)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.store = st
+	}
+	s.projects = newProjectRegistry(s.store, cfg.Logger)
 	s.routes()
 	return s, nil
 }
@@ -149,11 +181,17 @@ func (s *Server) routes() {
 	})
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		s.met.writeTo(w, s.cache)
+		s.met.writeTo(w, s.cache, s.store)
 	})
 	s.mux.HandleFunc("GET /api/v1/traces", s.handleList)
 	s.mux.HandleFunc("GET /api/v1/traces/{name}/{view}", s.handleTraceView)
 	s.mux.HandleFunc("POST /api/v1/analyze", s.handleUpload)
+
+	s.mux.HandleFunc("GET /api/v1/projects", s.handleProjectList)
+	s.mux.HandleFunc("PUT /api/v1/projects/{name}", s.handleProjectPut)
+	s.mux.HandleFunc("GET /api/v1/projects/{name}", s.handleProjectGet)
+	s.mux.HandleFunc("DELETE /api/v1/projects/{name}", s.handleProjectDelete)
+	s.mux.HandleFunc("POST /api/v1/projects/{name}/runs", s.handleProjectRun)
 
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -360,15 +398,43 @@ func cacheKey(sum [sha256.Size]byte, kind, optsKey string) string {
 	return fmt.Sprintf("%x|%s|%s", sum, kind, optsKey)
 }
 
-// compute resolves key through cache → singleflight → fn, recording
-// metrics and tagging w with X-Perfvar-Cache: hit, miss, or shared.
-// size is the byte charge for caching the result (the source archive
-// length — a lower bound on what the decoded result retains).
-func (s *Server) compute(ctx context.Context, w http.ResponseWriter, key string, size int64, fn func(ctx context.Context) (any, error)) (any, error) {
+// setCacheHeader tags the response with the cache tier that answered.
+// w is nil for inner lookups (a view rendering resolving its pipeline
+// result), whose tier must not overwrite the outer request's tag.
+func setCacheHeader(w http.ResponseWriter, state string) {
+	if w != nil {
+		w.Header().Set("X-Perfvar-Cache", state)
+	}
+}
+
+// compute resolves key through the memory tier → disk tier →
+// singleflight → fn, recording metrics and tagging w with
+// X-Perfvar-Cache: hit, disk, miss, or shared. size is the source
+// archive length, used as the fallback cache charge for kinds whose
+// stored size is unknowable (see valueBytes). codec, when non-nil,
+// admits the kind to the disk store: a disk hit is decoded and promoted
+// into the memory tier, and fresh computations are persisted after
+// caching.
+func (s *Server) compute(ctx context.Context, w http.ResponseWriter, key string, size int64, codec *diskCodec, fn func(ctx context.Context) (any, error)) (any, error) {
 	if v, ok := s.cache.get(key); ok {
 		s.met.cacheHits.Add(1)
-		w.Header().Set("X-Perfvar-Cache", "hit")
+		setCacheHeader(w, "hit")
 		return v, nil
+	}
+	if s.store != nil && codec != nil {
+		if data, ok := s.store.Get(key); ok {
+			v, err := codec.decode(data)
+			if err == nil {
+				s.met.diskHits.Add(1)
+				s.cache.put(key, v, valueBytes(v, size))
+				setCacheHeader(w, "disk")
+				return v, nil
+			}
+			// Undecodable under the current build (stale gob shape):
+			// drop it and recompute rather than erroring the request.
+			s.log.Warn("disk entry undecodable, dropping", "key", key, "err", err)
+			s.store.Delete(key)
+		}
 	}
 	v, err, shared := s.flight.do(ctx, key,
 		func() (context.Context, context.CancelFunc) {
@@ -378,7 +444,16 @@ func (s *Server) compute(ctx context.Context, w http.ResponseWriter, key string,
 			s.met.computed.Add(1)
 			v, err := fn(cctx)
 			if err == nil {
-				s.cache.put(key, v, size)
+				s.cache.put(key, v, valueBytes(v, size))
+				if s.store != nil && codec != nil {
+					if data, encErr := codec.encode(v); encErr == nil {
+						if putErr := s.store.Put(key, data); putErr != nil {
+							s.log.Warn("disk store put failed", "key", key, "err", putErr)
+						}
+					} else {
+						s.log.Warn("disk store encode failed", "key", key, "err", encErr)
+					}
+				}
 			}
 			return v, err
 		})
@@ -387,10 +462,10 @@ func (s *Server) compute(ctx context.Context, w http.ResponseWriter, key string,
 	// when concurrency is highest.
 	if shared {
 		s.met.dedupedShared.Add(1)
-		w.Header().Set("X-Perfvar-Cache", "shared")
+		setCacheHeader(w, "shared")
 	} else {
 		s.met.cacheMisses.Add(1)
-		w.Header().Set("X-Perfvar-Cache", "miss")
+		setCacheHeader(w, "miss")
 	}
 	return v, err
 }
@@ -399,7 +474,10 @@ func (s *Server) compute(ctx context.Context, w http.ResponseWriter, key string,
 // The bytes are analyzed straight from the archive: PVTR uploads run the
 // single-pass streaming engine without materializing the event streams,
 // text archives fall back to the in-memory path. Result.Engine (and the
-// X-Perfvar-Engine response header) reports which one ran.
+// X-Perfvar-Engine response header) reports which one ran. Results are
+// persisted to the disk tier when one is configured, so a restarted
+// daemon serves them without re-running the pipeline (w may be nil for
+// inner lookups that must not tag the response).
 func (s *Server) pipeline(ctx context.Context, w http.ResponseWriter, data []byte, p analysisParams) (*perfvar.Result, error) {
 	// Uploads are bounded by MaxBytesReader; directory-served archives
 	// arrive here unbounded, so the decoder's byte cap applies to both.
@@ -407,7 +485,7 @@ func (s *Server) pipeline(ctx context.Context, w http.ResponseWriter, data []byt
 		return nil, fmt.Errorf("%w: archive exceeds %d bytes", trace.ErrTooLarge, s.cfg.MaxUploadBytes)
 	}
 	sum := sha256.Sum256(data)
-	v, err := s.compute(ctx, w, cacheKey(sum, "pipeline", p.key), int64(len(data)), func(cctx context.Context) (any, error) {
+	v, err := s.compute(ctx, w, cacheKey(sum, "pipeline", p.key), int64(len(data)), resultCodec, func(cctx context.Context) (any, error) {
 		return perfvar.AnalyzeSource(cctx, perfvar.ArchiveSource(data), p.opts)
 	})
 	if err != nil {
@@ -552,6 +630,33 @@ func (s *Server) serveView(w http.ResponseWriter, r *http.Request, data []byte, 
 		return
 	}
 
+	if renderViews[view] {
+		// Rendered views cache their final bytes under a view-level key
+		// (render parameters included), charged at actual size — large
+		// renderings no longer ride the budget at archive length. The
+		// pipeline result resolves through its own cache entry inside
+		// the miss path (w nil: the inner tier must not retag the
+		// response), so other views over the same archive stay warm.
+		sum := sha256.Sum256(data)
+		vkey := cacheKey(sum, "view:"+view, p.key+"|"+renderKey(o, hbins))
+		v, err := s.compute(ctx, w, vkey, int64(len(data)), blobCodec, func(cctx context.Context) (any, error) {
+			res, err := s.pipeline(cctx, nil, data, p)
+			if err != nil {
+				return nil, err
+			}
+			return renderBlob(res, view, o, hbins)
+		})
+		if err != nil {
+			s.httpError(w, r, err)
+			return
+		}
+		blob := v.(viewBlob)
+		w.Header().Set("X-Perfvar-Engine", blob.Engine)
+		w.Header().Set("Content-Type", blob.ContentType)
+		w.Write(blob.Body)
+		return
+	}
+
 	res, err := s.pipeline(ctx, w, data, p)
 	if err != nil {
 		s.httpError(w, r, err)
@@ -570,12 +675,13 @@ func (s *Server) serveView(w http.ResponseWriter, r *http.Request, data []byte, 
 		w.Write(buf.Bytes())
 	case "causality":
 		sum := sha256.Sum256(data)
-		v, err := s.compute(ctx, w, cacheKey(sum, "causality", p.key), int64(len(data)), func(cctx context.Context) (any, error) {
+		v, err := s.compute(ctx, w, cacheKey(sum, "causality", p.key), int64(len(data)), nil, func(cctx context.Context) (any, error) {
 			cres := res
 			if cres.Trace == nil {
-				// The pipeline streamed the archive, so no event streams
-				// survive for the dependency-graph build — materialize the
-				// trace just for this view.
+				// The pipeline streamed the archive (or restored the
+				// result from disk), so no event streams survive for the
+				// dependency-graph build — materialize the trace just for
+				// this view.
 				tr, err := trace.ReadAnyLimit(bytes.NewReader(data), s.cfg.MaxUploadBytes)
 				if err != nil {
 					return nil, err
@@ -591,32 +697,6 @@ func (s *Server) serveView(w http.ResponseWriter, r *http.Request, data []byte, 
 			return
 		}
 		writeJSON(w, v)
-	case "heatmap.png", "heatmap.svg", "byindex.png":
-		var img *vis.Image
-		if view == "byindex.png" {
-			img = res.HeatmapByIndex(o)
-		} else {
-			img = res.Heatmap(o)
-		}
-		if strings.HasSuffix(view, ".svg") {
-			w.Header().Set("Content-Type", "image/svg+xml")
-			vis.WriteSVG(w, img)
-			return
-		}
-		w.Header().Set("Content-Type", "image/png")
-		vis.WritePNG(w, img)
-	case "histogram.png":
-		w.Header().Set("Content-Type", "image/png")
-		vis.WritePNG(w, res.Histogram(hbins, o))
-	case "report.html":
-		o.Labels = true
-		var buf bytes.Buffer
-		if err := res.Report().WriteHTML(&buf, res.Heatmap(o)); err != nil {
-			s.httpError(w, r, err)
-			return
-		}
-		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		w.Write(buf.Bytes())
 	}
 }
 
@@ -624,7 +704,7 @@ func (s *Server) serveView(w http.ResponseWriter, r *http.Request, data []byte, 
 // and exclusive times) — the profiler-style companion view.
 func (s *Server) serveProfile(ctx context.Context, w http.ResponseWriter, r *http.Request, data []byte) {
 	sum := sha256.Sum256(data)
-	v, err := s.compute(ctx, w, cacheKey(sum, "profile", ""), int64(len(data)), func(cctx context.Context) (any, error) {
+	v, err := s.compute(ctx, w, cacheKey(sum, "profile", ""), int64(len(data)), nil, func(cctx context.Context) (any, error) {
 		tr, err := trace.ReadAnyLimit(bytes.NewReader(data), s.cfg.MaxUploadBytes)
 		if err != nil {
 			return nil, err
@@ -700,7 +780,7 @@ func (s *Server) serveLint(ctx context.Context, w http.ResponseWriter, r *http.R
 		return
 	}
 	sum := sha256.Sum256(data)
-	v, err := s.compute(ctx, w, cacheKey(sum, "lint", ""), int64(len(data)), func(cctx context.Context) (any, error) {
+	v, err := s.compute(ctx, w, cacheKey(sum, "lint", ""), int64(len(data)), nil, func(cctx context.Context) (any, error) {
 		st, err := perfvar.ArchiveSource(data).Open(cctx)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"perfvar"
+	"perfvar/internal/vis"
+)
+
+// The result cache is two-tiered: the in-memory LRU (cache.go) is the
+// hot tier, and the disk store (internal/store), when configured, is
+// the durable tier underneath. Lookups fall through memory → disk →
+// singleflight compute; a disk hit is decoded, promoted into memory,
+// and tagged X-Perfvar-Cache: disk. Only kinds with a diskCodec are
+// persisted — pipeline results (the expensive computation) and rendered
+// view bytes. Profile, lint, and causality values stay memory-only:
+// they are cheap to recompute relative to their serialization
+// complexity.
+
+// diskCodec (de)serializes one kind of cached value for the disk tier.
+// A nil codec keeps the kind memory-only.
+type diskCodec struct {
+	encode func(v any) ([]byte, error)
+	decode func(data []byte) (any, error)
+}
+
+// resultCodec persists *perfvar.Result values via their gob envelope.
+var resultCodec = &diskCodec{
+	encode: func(v any) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := v.(*perfvar.Result).EncodeStored(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	},
+	decode: func(data []byte) (any, error) {
+		return perfvar.DecodeStoredResult(bytes.NewReader(data))
+	},
+}
+
+// viewBlob is a fully rendered representation — PNG/SVG image bytes or
+// an HTML report — cached (and persisted) as-is so repeated fetches of
+// an expensive rendering cost one memcpy, and a restarted daemon serves
+// it straight from disk.
+type viewBlob struct {
+	ContentType string
+	Engine      string
+	Body        []byte
+}
+
+// blobCodec persists rendered views via gob.
+var blobCodec = &diskCodec{
+	encode: func(v any) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(v.(viewBlob)); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	},
+	decode: func(data []byte) (any, error) {
+		var b viewBlob
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&b); err != nil {
+			return nil, err
+		}
+		return b, nil
+	},
+}
+
+// renderBlob produces the rendered representation of view from an
+// analysis result. The returned blob is what gets cached: its byte
+// length — not the source archive's — is the entry's cache charge.
+func renderBlob(res *perfvar.Result, view string, o vis.RenderOptions, hbins int) (viewBlob, error) {
+	var buf bytes.Buffer
+	var contentType string
+	switch view {
+	case "heatmap.png":
+		contentType = "image/png"
+		vis.WritePNG(&buf, res.Heatmap(o))
+	case "heatmap.svg":
+		contentType = "image/svg+xml"
+		vis.WriteSVG(&buf, res.Heatmap(o))
+	case "byindex.png":
+		contentType = "image/png"
+		vis.WritePNG(&buf, res.HeatmapByIndex(o))
+	case "histogram.png":
+		contentType = "image/png"
+		vis.WritePNG(&buf, res.Histogram(hbins, o))
+	case "report.html":
+		contentType = "text/html; charset=utf-8"
+		o.Labels = true
+		if err := res.Report().WriteHTML(&buf, res.Heatmap(o)); err != nil {
+			return viewBlob{}, err
+		}
+	default:
+		return viewBlob{}, fmt.Errorf("serve: %q is not a renderable view", view)
+	}
+	return viewBlob{ContentType: contentType, Engine: res.Engine, Body: buf.Bytes()}, nil
+}
+
+// renderKey canonicalizes the render parameters for view-level cache
+// keys. Analysis options are keyed separately (analysisParams.key).
+func renderKey(o vis.RenderOptions, hbins int) string {
+	return fmt.Sprintf("w=%d;h=%d;l=%t;hb=%d", o.Width, o.Height, o.Labels, hbins)
+}
+
+// Approximate per-element residency of a cached analysis result, used
+// by resultBytes. Slightly generous is fine: the budget is a guardrail,
+// not an accounting ledger.
+const (
+	segmentBytes   = 48 // segment.Segment + slice overhead amortized
+	hotspotBytes   = 64
+	rankStatBytes  = 48
+	iterStatBytes  = 48
+	resultOverhead = 4096
+)
+
+// valueBytes is the cache charge of a value: the actual stored size
+// where it is knowable (rendered blobs exactly, results by summing
+// their retained structures), falling back to the source archive's
+// length only for opaque kinds. Charging rendered values at archive
+// length was the old behavior — a 100 KiB trace rendering a multi-MiB
+// PNG was charged at 100 KiB, so the "512 MiB" budget could be blown
+// several-fold by entries the ledger barely saw.
+func valueBytes(v any, archiveLen int64) int64 {
+	switch t := v.(type) {
+	case viewBlob:
+		return int64(len(t.Body)+len(t.ContentType)+len(t.Engine)) + 64
+	case *perfvar.Result:
+		return resultBytes(t, archiveLen)
+	case []byte:
+		return int64(len(t)) + 24
+	}
+	return archiveLen
+}
+
+// resultBytes estimates a result's residency: the segment matrix and
+// analysis summaries it retains, plus the archive bytes — a result
+// always pins those too, either as the materialized trace's event
+// streams (lower-bounded by archive length) or as the retained
+// re-streamable source (the upload bytes themselves).
+func resultBytes(res *perfvar.Result, archiveLen int64) int64 {
+	n := int64(resultOverhead) + archiveLen
+	if res.Matrix != nil {
+		for _, row := range res.Matrix.PerRank {
+			n += int64(len(row)) * segmentBytes
+		}
+	}
+	if res.Analysis != nil {
+		n += int64(len(res.Analysis.Hotspots)) * hotspotBytes
+		n += int64(len(res.Analysis.Ranks)) * rankStatBytes
+		n += int64(len(res.Analysis.Iterations)) * iterStatBytes
+	}
+	n += int64(len(res.MPIFraction)) * 8
+	return n
+}

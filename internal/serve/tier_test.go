@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"perfvar/internal/vis"
+)
+
+// TestDiskTierSurvivesRestart is the tentpole's acceptance test: results
+// computed by one daemon are served by its successor over the same
+// -store-dir without re-running the pipeline, tagged X-Perfvar-Cache:
+// disk.
+func TestDiskTierSurvivesRestart(t *testing.T) {
+	data := genTrace(t, 8, 4)
+	traceDir := t.TempDir()
+	storeDir := t.TempDir()
+	cfg := Config{TraceDir: traceDir, StoreDir: storeDir}
+
+	s1 := newTestServer(t, cfg, "run.pvt", data)
+	h1 := s1.Handler()
+	analysis1 := get(h1, "/api/v1/traces/run.pvt/analysis")
+	if analysis1.Code != http.StatusOK {
+		t.Fatalf("first analysis: %d %s", analysis1.Code, analysis1.Body.String())
+	}
+	if got := analysis1.Header().Get("X-Perfvar-Cache"); got != "miss" {
+		t.Fatalf("first analysis cache = %q, want miss", got)
+	}
+	png1 := get(h1, "/api/v1/traces/run.pvt/heatmap.png?width=400&height=300")
+	if png1.Code != http.StatusOK {
+		t.Fatalf("first heatmap: %d %s", png1.Code, png1.Body.String())
+	}
+	s1.Close()
+
+	// A fresh Server over the same store: its memory cache is empty, so
+	// the only way to answer without computing is the disk tier.
+	s2 := newTestServer(t, cfg, "", nil)
+	h2 := s2.Handler()
+	analysis2 := get(h2, "/api/v1/traces/run.pvt/analysis")
+	if analysis2.Code != http.StatusOK {
+		t.Fatalf("restart analysis: %d %s", analysis2.Code, analysis2.Body.String())
+	}
+	if got := analysis2.Header().Get("X-Perfvar-Cache"); got != "disk" {
+		t.Fatalf("restart analysis cache = %q, want disk", got)
+	}
+	if !bytes.Equal(analysis1.Body.Bytes(), analysis2.Body.Bytes()) {
+		t.Fatal("restart analysis body differs from the original computation")
+	}
+	png2 := get(h2, "/api/v1/traces/run.pvt/heatmap.png?width=400&height=300")
+	if got := png2.Header().Get("X-Perfvar-Cache"); got != "disk" {
+		t.Fatalf("restart heatmap cache = %q, want disk", got)
+	}
+	if !bytes.Equal(png1.Body.Bytes(), png2.Body.Bytes()) {
+		t.Fatal("restart heatmap bytes differ from the original rendering")
+	}
+	if _, _, computed := s2.Metrics(); computed != 0 {
+		t.Fatalf("restarted server computed %d analyses, want 0 (everything from disk)", computed)
+	}
+
+	// The disk hit promoted the entries: the next fetch is a memory hit.
+	if got := get(h2, "/api/v1/traces/run.pvt/analysis").Header().Get("X-Perfvar-Cache"); got != "hit" {
+		t.Fatalf("post-promotion cache = %q, want hit", got)
+	}
+}
+
+// TestNoStoreDirKeepsMemoryOnlySemantics pins the default configuration:
+// without a store, a restart recomputes (miss, not disk).
+func TestNoStoreDirKeepsMemoryOnlySemantics(t *testing.T) {
+	data := genTrace(t, 8, 4)
+	traceDir := t.TempDir()
+	cfg := Config{TraceDir: traceDir}
+	s1 := newTestServer(t, cfg, "run.pvt", data)
+	if got := get(s1.Handler(), "/api/v1/traces/run.pvt/analysis").Header().Get("X-Perfvar-Cache"); got != "miss" {
+		t.Fatalf("cache = %q, want miss", got)
+	}
+	s1.Close()
+	s2 := newTestServer(t, cfg, "", nil)
+	if got := get(s2.Handler(), "/api/v1/traces/run.pvt/analysis").Header().Get("X-Perfvar-Cache"); got != "miss" {
+		t.Fatalf("restart cache = %q, want miss (no store configured)", got)
+	}
+}
+
+// TestValueBytesChargesStoredSize pins the cache-accounting fix: a
+// rendered blob is charged at its own byte size, not the (possibly tiny)
+// source archive's.
+func TestValueBytesChargesStoredSize(t *testing.T) {
+	blob := viewBlob{ContentType: "image/png", Body: make([]byte, 1<<20)}
+	if got := valueBytes(blob, 100); got < 1<<20 {
+		t.Fatalf("viewBlob charge = %d, want ≥ %d (its body size)", got, 1<<20)
+	}
+	if got := valueBytes([]byte("abc"), 999); got != 3+24 {
+		t.Fatalf("[]byte charge = %d, want 27", got)
+	}
+	// Opaque kinds still fall back to the archive length.
+	if got := valueBytes(struct{ X int }{}, 4096); got != 4096 {
+		t.Fatalf("opaque charge = %d, want archive length 4096", got)
+	}
+}
+
+// TestCacheByteBudgetHoldsUnderOversizedViews is the regression test for
+// the byte-budget bug: rendered views far larger than their source
+// archive must not blow perfvard_cache_bytes past the configured budget.
+func TestCacheByteBudgetHoldsUnderOversizedViews(t *testing.T) {
+	data := genTrace(t, 16, 8)
+	const budget = 256 << 10 // far below the renderings this test requests
+	s := newTestServer(t, Config{CacheBytes: budget}, "run.pvt", data)
+	h := s.Handler()
+
+	// Several large renderings of the same small archive. Under the old
+	// accounting each entry was charged at len(archive), so all of them
+	// stayed resident while their real bytes ran multiples past budget.
+	for _, url := range []string{
+		"/api/v1/traces/run.pvt/heatmap.svg?width=2000&height=1500",
+		"/api/v1/traces/run.pvt/heatmap.svg?width=3000&height=2000",
+		"/api/v1/traces/run.pvt/report.html?width=1600&height=1200",
+		"/api/v1/traces/run.pvt/heatmap.png?width=2500&height=1800",
+		"/api/v1/traces/run.pvt/byindex.png?width=2500&height=1800",
+	} {
+		rec := get(h, url)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: %d %s", url, rec.Code, rec.Body.String())
+		}
+		if _, bytes, _ := s.cache.stats(); bytes > budget {
+			t.Fatalf("after %s: cache holds %d bytes, budget %d", url, bytes, budget)
+		}
+	}
+
+	// Sanity: at least one of those renderings really is bigger than the
+	// whole source archive, i.e. the old accounting would undercharge.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/v1/traces/run.pvt/heatmap.svg?width=3000&height=2000", nil))
+	if rec.Body.Len() <= len(data) {
+		t.Fatalf("rendered view (%d bytes) not larger than archive (%d): test premise broken",
+			rec.Body.Len(), len(data))
+	}
+}
+
+// TestRenderBlobRejectsUnknownView keeps renderBlob total over the
+// renderViews set.
+func TestRenderBlobRejectsUnknownView(t *testing.T) {
+	if _, err := renderBlob(nil, "nonsense.gif", vis.RenderOptions{}, 0); err == nil {
+		t.Fatal("renderBlob accepted an unknown view")
+	}
+}

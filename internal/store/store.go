@@ -1,0 +1,411 @@
+// Package store is perfvard's disk tier: a content-addressed key/value
+// store of serialized analysis results that survives daemon restarts.
+// It sits under the in-memory LRU (the hot tier) — a restarted daemon
+// answers previously computed requests from disk instead of re-running
+// the pipeline.
+//
+// Durability protocol: every value is written to a temporary file in
+// the store directory, fsync'd, atomically renamed onto its final name,
+// and the directory is fsync'd — a crash at any point leaves either the
+// old entry, the new entry, or an orphan temp file, never a torn one.
+// Orphans and entries with corrupt or version-mismatched envelopes are
+// dropped by the startup scan. The store is bounded by a byte budget
+// like the memory tier: when a put pushes it over, least-recently-used
+// entries are garbage-collected until it fits.
+//
+// On-disk format (one file per entry, named by the SHA-256 of the key):
+//
+//	magic "PVST" | version byte | uvarint key length | key bytes |
+//	SHA-256 of payload (32 bytes) | payload
+//
+// The embedded key lets the startup scan rebuild the key index without
+// a separate manifest, and the payload checksum turns silent disk
+// corruption into a clean cache miss.
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Envelope constants. Bumping envelopeVersion invalidates every
+// existing entry at startup — old files are dropped by the scan, never
+// misread.
+const (
+	envelopeMagic   = "PVST"
+	envelopeVersion = 1
+
+	// entrySuffix names committed entries; temp files carry tmpPattern
+	// infixes and are never read as entries.
+	entrySuffix = ".pve"
+	tmpPattern  = ".tmp-*"
+
+	// maxKeyLen bounds the embedded key, defending the startup scan
+	// against a corrupt length prefix asking for a huge allocation.
+	maxKeyLen = 4096
+)
+
+var errEnvelope = errors.New("store: bad envelope")
+
+// Store is a disk-backed content-addressed byte store with a byte
+// budget and LRU garbage collection. Safe for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	dir      string
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+
+	gcEvictions    int64
+	orphansRemoved int64
+	corruptDropped int64
+
+	// failBeforeRename, when non-nil, runs after the temp file is
+	// written and fsync'd but before the atomic rename — the crash
+	// window the durability protocol must survive. Returning an error
+	// aborts the put leaving the orphan temp behind, exactly like a
+	// process kill at that instant. Test hook only.
+	failBeforeRename func() error
+}
+
+type entry struct {
+	key  string
+	file string // basename inside dir
+	size int64  // file size on disk (envelope included)
+}
+
+// Open creates or reopens the store rooted at dir, bounded by maxBytes
+// (<= 0 selects 4 GiB). It scans the directory: orphan temp files from
+// interrupted puts are removed, entries with corrupt or
+// version-mismatched envelopes are dropped, and surviving entries are
+// indexed oldest-first so the next GC evicts stalest data. The scan
+// reads only envelope headers, not payloads.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if maxBytes <= 0 {
+		maxBytes = 4 << 30
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// scan rebuilds the index from the directory contents.
+func (s *Store) scan() error {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	type found struct {
+		entry
+		mtime int64
+	}
+	var all []found
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		path := filepath.Join(s.dir, name)
+		if !strings.HasSuffix(name, entrySuffix) {
+			// Anything else in the directory is an orphan temp file from
+			// an interrupted put (or foreign junk): remove it.
+			if err := os.Remove(path); err == nil {
+				s.orphansRemoved++
+			}
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			continue
+		}
+		key, err := readEnvelopeKey(path)
+		if err != nil || fileNameForKey(key) != name {
+			// Unreadable, version-mismatched, or mislabeled entry: a
+			// stale format or corruption — drop it rather than serve it.
+			if err := os.Remove(path); err == nil {
+				s.corruptDropped++
+			}
+			continue
+		}
+		all = append(all, found{entry{key: key, file: name, size: fi.Size()}, fi.ModTime().UnixNano()})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].mtime < all[j].mtime })
+	for _, f := range all {
+		// Oldest first: PushFront leaves the newest at the front, so GC
+		// (which evicts from the back) drops the stalest entries first.
+		e := f.entry
+		s.entries[e.key] = s.ll.PushFront(&entry{key: e.key, file: e.file, size: e.size})
+		s.bytes += e.size
+	}
+	s.gcLocked()
+	return nil
+}
+
+// fileNameForKey is the content address on disk: keys may contain
+// arbitrary bytes (option strings, project names), so the file takes
+// the hex SHA-256 of the key and the envelope embeds the key itself.
+func fileNameForKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + entrySuffix
+}
+
+// readEnvelopeKey reads just enough of path to recover the embedded key,
+// verifying magic and version. Payload bytes are not read.
+func readEnvelopeKey(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	hdr := make([]byte, len(envelopeMagic)+1+binary.MaxVarintLen64)
+	n, err := f.Read(hdr)
+	if err != nil && err != io.EOF {
+		return "", err
+	}
+	hdr = hdr[:n]
+	if len(hdr) < len(envelopeMagic)+2 || string(hdr[:len(envelopeMagic)]) != envelopeMagic {
+		return "", errEnvelope
+	}
+	if hdr[len(envelopeMagic)] != envelopeVersion {
+		return "", fmt.Errorf("%w: version %d, want %d", errEnvelope, hdr[len(envelopeMagic)], envelopeVersion)
+	}
+	keyLen, vn := binary.Uvarint(hdr[len(envelopeMagic)+1:])
+	if vn <= 0 || keyLen > maxKeyLen {
+		return "", errEnvelope
+	}
+	key := make([]byte, keyLen)
+	if _, err := f.ReadAt(key, int64(len(envelopeMagic)+1+vn)); err != nil {
+		return "", errEnvelope
+	}
+	return string(key), nil
+}
+
+// encodeEnvelope frames payload under key.
+func encodeEnvelope(key string, payload []byte) []byte {
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(key)))
+	sum := sha256.Sum256(payload)
+	out := make([]byte, 0, len(envelopeMagic)+1+n+len(key)+len(sum)+len(payload))
+	out = append(out, envelopeMagic...)
+	out = append(out, envelopeVersion)
+	out = append(out, lenBuf[:n]...)
+	out = append(out, key...)
+	out = append(out, sum[:]...)
+	out = append(out, payload...)
+	return out
+}
+
+// decodeEnvelope verifies data's framing against key and returns the
+// payload. The payload checksum makes silent corruption a miss.
+func decodeEnvelope(key string, data []byte) ([]byte, error) {
+	if len(data) < len(envelopeMagic)+2 || string(data[:len(envelopeMagic)]) != envelopeMagic {
+		return nil, errEnvelope
+	}
+	if data[len(envelopeMagic)] != envelopeVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", errEnvelope, data[len(envelopeMagic)], envelopeVersion)
+	}
+	rest := data[len(envelopeMagic)+1:]
+	keyLen, n := binary.Uvarint(rest)
+	if n <= 0 || keyLen > maxKeyLen || uint64(len(rest)-n) < keyLen+sha256.Size {
+		return nil, errEnvelope
+	}
+	rest = rest[n:]
+	if string(rest[:keyLen]) != key {
+		return nil, fmt.Errorf("%w: key mismatch", errEnvelope)
+	}
+	rest = rest[keyLen:]
+	var want [sha256.Size]byte
+	copy(want[:], rest[:sha256.Size])
+	payload := rest[sha256.Size:]
+	if sha256.Sum256(payload) != want {
+		return nil, fmt.Errorf("%w: payload checksum mismatch", errEnvelope)
+	}
+	return payload, nil
+}
+
+// Get returns the payload stored under key. A corrupt entry is removed
+// and reported as a miss, never as an error — the caller recomputes.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	el, ok := s.entries[key]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	path := filepath.Join(s.dir, e.file)
+	s.ll.MoveToFront(el)
+	s.mu.Unlock()
+
+	data, err := os.ReadFile(path)
+	if err == nil {
+		if payload, derr := decodeEnvelope(key, data); derr == nil {
+			return payload, true
+		}
+	}
+	// Vanished or corrupt underneath us: drop the index entry.
+	s.mu.Lock()
+	if el2, ok := s.entries[key]; ok && el2 == el {
+		s.removeLocked(el)
+		s.corruptDropped++
+	}
+	s.mu.Unlock()
+	os.Remove(path)
+	return nil, false
+}
+
+// Put durably stores payload under key, replacing any existing entry,
+// then garbage-collects down to the byte budget. A payload whose
+// envelope alone exceeds the budget is not stored (same policy as the
+// memory tier: pinning it would evict everything else).
+func (s *Store) Put(key string, payload []byte) error {
+	if len(key) > maxKeyLen {
+		return fmt.Errorf("store: key exceeds %d bytes", maxKeyLen)
+	}
+	framed := encodeEnvelope(key, payload)
+	if int64(len(framed)) > s.maxBytes {
+		return nil
+	}
+	name := fileNameForKey(key)
+
+	tmp, err := os.CreateTemp(s.dir, name+tmpPattern)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(framed); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.failBeforeRename != nil {
+		// Simulated crash: the fsync'd temp file stays behind, exactly
+		// as a process kill here would leave it.
+		if err := s.failBeforeRename(); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmpName, filepath.Join(s.dir, name)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	syncDir(s.dir)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		e := el.Value.(*entry)
+		s.bytes += int64(len(framed)) - e.size
+		e.size = int64(len(framed))
+		s.ll.MoveToFront(el)
+	} else {
+		s.entries[key] = s.ll.PushFront(&entry{key: key, file: name, size: int64(len(framed))})
+		s.bytes += int64(len(framed))
+	}
+	s.gcLocked()
+	return nil
+}
+
+// Delete removes the entry stored under key, if any.
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	el, ok := s.entries[key]
+	var file string
+	if ok {
+		file = el.Value.(*entry).file
+		s.removeLocked(el)
+	}
+	s.mu.Unlock()
+	if ok {
+		os.Remove(filepath.Join(s.dir, file))
+	}
+}
+
+// Keys returns every stored key with the given prefix, sorted. The
+// registry scan at daemon startup uses this to reload named projects.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for k := range s.entries {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// removeLocked unlinks el from the index (not from disk).
+func (s *Store) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	s.ll.Remove(el)
+	delete(s.entries, e.key)
+	s.bytes -= e.size
+}
+
+// gcLocked evicts least-recently-used entries until the byte budget is
+// met. Files are removed after index bookkeeping; a crash between the
+// two leaves a file the next startup scan re-indexes (and re-GCs) —
+// never a dangling index entry.
+func (s *Store) gcLocked() {
+	for s.bytes > s.maxBytes {
+		oldest := s.ll.Back()
+		if oldest == nil {
+			return
+		}
+		e := oldest.Value.(*entry)
+		s.removeLocked(oldest)
+		os.Remove(filepath.Join(s.dir, e.file))
+		s.gcEvictions++
+	}
+}
+
+// Stats reports the store's size and maintenance counters: resident
+// entries and bytes, GC evictions, orphan temp files removed at
+// startup, and corrupt entries dropped (startup scan + reads).
+func (s *Store) Stats() (entries int, bytes, gcEvictions, orphansRemoved, corruptDropped int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len(), s.bytes, s.gcEvictions, s.orphansRemoved, s.corruptDropped
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss. Best effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,280 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(dir, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	keys := []string{
+		"plain",
+		"with|pipes;and=weird,chars d=specs_microphysics",
+		strings.Repeat("long", 256),
+	}
+	for i, key := range keys {
+		want := bytes.Repeat([]byte{byte(i + 1)}, 100+i)
+		if err := s.Put(key, want); err != nil {
+			t.Fatalf("Put(%q): %v", key, err)
+		}
+		got, ok := s.Get(key)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("Get(%q) = %v, ok=%v; want stored payload", key, got, ok)
+		}
+	}
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("Get(absent) reported a hit")
+	}
+	if n, _, _, _, _ := s.Stats(); n != len(keys) {
+		t.Fatalf("entries = %d, want %d", n, len(keys))
+	}
+}
+
+func TestReopenServesExistingEntries(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	if err := s.Put("persist-me", []byte("survives restart")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, 0)
+	got, ok := s2.Get("persist-me")
+	if !ok || string(got) != "survives restart" {
+		t.Fatalf("after reopen: Get = %q, ok=%v", got, ok)
+	}
+}
+
+func TestOverwriteReplacesAndAccounts(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	if err := s.Put("k", bytes.Repeat([]byte{1}, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	_, before, _, _, _ := s.Stats()
+	if err := s.Put("k", []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k")
+	if !ok || string(got) != "tiny" {
+		t.Fatalf("Get after overwrite = %q, ok=%v", got, ok)
+	}
+	n, after, _, _, _ := s.Stats()
+	if n != 1 || after >= before {
+		t.Fatalf("entries=%d bytes=%d (was %d): overwrite must not leak bytes", n, after, before)
+	}
+}
+
+// TestCrashMidWriteLeavesStoreConsistent is the durability contract:
+// a put killed after the temp write but before the atomic rename leaves
+// an orphan temp file; a restart must ignore it, keep serving the
+// surviving entries, and remove the orphan.
+func TestCrashMidWriteLeavesStoreConsistent(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	if err := s.Put("survivor", []byte("old data")); err != nil {
+		t.Fatal(err)
+	}
+
+	crash := errors.New("simulated crash before rename")
+	s.failBeforeRename = func() error { return crash }
+	if err := s.Put("victim", []byte("never committed")); err != crash {
+		t.Fatalf("Put under crash injection = %v, want the injected error", err)
+	}
+	s.failBeforeRename = nil
+
+	// The interrupted put must have left its temp file behind (that is
+	// the crash being simulated) and no committed entry.
+	orphans := 0
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if strings.Contains(de.Name(), ".tmp-") {
+			orphans++
+		}
+	}
+	if orphans != 1 {
+		t.Fatalf("found %d orphan temp files after simulated crash, want 1", orphans)
+	}
+
+	// Restart: the orphan is ignored as an entry and removed by the scan.
+	s2 := mustOpen(t, dir, 0)
+	if _, ok := s2.Get("victim"); ok {
+		t.Fatal("interrupted put is visible after restart")
+	}
+	got, ok := s2.Get("survivor")
+	if !ok || string(got) != "old data" {
+		t.Fatalf("surviving entry lost after crash+restart: %q, ok=%v", got, ok)
+	}
+	_, _, _, removed, _ := s2.Stats()
+	if removed != 1 {
+		t.Fatalf("orphansRemoved = %d, want 1", removed)
+	}
+	des, err = os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if strings.Contains(de.Name(), ".tmp-") {
+			t.Fatalf("orphan %s still on disk after restart scan", de.Name())
+		}
+	}
+}
+
+func TestCorruptEntryIsDroppedNotServed(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	if err := s.Put("k", []byte("good payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fileNameForKey("k"))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff // flip a payload byte under the checksum
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not removed")
+	}
+	_, _, _, _, dropped := s.Stats()
+	if dropped != 1 {
+		t.Fatalf("corruptDropped = %d, want 1", dropped)
+	}
+}
+
+func TestVersionMismatchDroppedAtStartup(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fileNameForKey("k"))
+	data, _ := os.ReadFile(path)
+	data[len(envelopeMagic)] = envelopeVersion + 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, 0)
+	if _, ok := s2.Get("k"); ok {
+		t.Fatal("future-versioned entry served")
+	}
+	_, _, _, _, dropped := s2.Stats()
+	if dropped != 1 {
+		t.Fatalf("corruptDropped = %d, want 1", dropped)
+	}
+}
+
+func TestByteBudgetGC(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte{7}, 1024)
+	// Budget fits roughly 4 entries (envelope overhead included).
+	s := mustOpen(t, dir, 4*1500)
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%02d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, b, evicted, _, _ := s.Stats()
+	if b > 4*1500 {
+		t.Fatalf("bytes = %d over budget %d", b, 4*1500)
+	}
+	if evicted == 0 {
+		t.Fatal("no GC evictions despite overflow")
+	}
+	// The most recently put keys must have survived; the oldest gone.
+	if _, ok := s.Get("k09"); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	if _, ok := s.Get("k00"); ok {
+		t.Fatal("oldest entry survived GC")
+	}
+	// Disk agrees with the index.
+	des, _ := os.ReadDir(dir)
+	if len(des) != n {
+		t.Fatalf("disk has %d files, index has %d entries", len(des), n)
+	}
+
+	// A reopened store enforces the budget on what it finds.
+	s2 := mustOpen(t, dir, 2*1500)
+	if _, b, _, _, _ := s2.Stats(); b > 2*1500 {
+		t.Fatalf("reopen with smaller budget left %d bytes resident", b)
+	}
+}
+
+func TestOversizedValueNotStored(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 512)
+	if err := s.Put("huge", bytes.Repeat([]byte{1}, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("huge"); ok {
+		t.Fatal("over-budget value was stored")
+	}
+	if n, _, _, _, _ := s.Stats(); n != 0 {
+		t.Fatal("over-budget value left an index entry")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 64<<10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%16)
+				want := []byte(key + " payload")
+				if err := s.Put(key, want); err != nil {
+					t.Errorf("Put(%q): %v", key, err)
+					return
+				}
+				if got, ok := s.Get(key); ok && !bytes.Equal(got, want) {
+					t.Errorf("Get(%q) = %q, want %q", key, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < 16; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if got, ok := s.Get(key); !ok || !bytes.Equal(got, []byte(key+" payload")) {
+			t.Fatalf("after concurrency: Get(%q) = %q, ok=%v", key, got, ok)
+		}
+	}
+}
+
+func TestKeysPrefix(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	for _, k := range []string{"project:b", "project:a", "result:x"} {
+		if err := s.Put(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Keys("project:")
+	if len(got) != 2 || got[0] != "project:a" || got[1] != "project:b" {
+		t.Fatalf("Keys(project:) = %v", got)
+	}
+}
