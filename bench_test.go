@@ -439,7 +439,7 @@ func BenchmarkOnlineDetection(b *testing.B) {
 	var alerts []online.Alert
 	var seen int
 	for i := 0; i < b.N; i++ {
-		a, err := online.New(tr.NumRanks(), tr.Regions, dom.ID, nil, online.Options{})
+		a, err := online.Config{Ranks: tr.NumRanks(), Regions: tr.Regions, Dominant: dom.ID}.NewAnalyzer()
 		if err != nil {
 			b.Fatal(err)
 		}

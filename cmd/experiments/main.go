@@ -461,7 +461,7 @@ func ablations(string) error {
 	// D: in-situ (online) detection — the workflow the paper calls
 	// feasible but could not implement in its measurement suite.
 	dom, _ := ftr.RegionByName("iteration")
-	oa, err := online.New(ftr.NumRanks(), ftr.Regions, dom.ID, nil, online.Options{})
+	oa, err := online.Config{Ranks: ftr.NumRanks(), Regions: ftr.Regions, Dominant: dom.ID}.NewAnalyzer()
 	if err != nil {
 		return err
 	}

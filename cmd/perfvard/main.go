@@ -7,7 +7,9 @@
 // PNG, SVG, or a self-contained HTML report. Identical requests are
 // deduplicated in flight and answered from a content-addressed LRU
 // cache; /metrics exposes Prometheus-style counters and /debug/pprof
-// live profiles.
+// live profiles. Live runs stream in through the session API
+// (POST /api/v1/sessions, then frames, alerts, DELETE to finalize) and
+// land in the same cache as offline uploads of the same bytes.
 //
 //	perfvard -addr :7117 -traces testdata/traces
 //	curl localhost:7117/api/v1/traces/fig3_heatmap.pvt/analysis
@@ -45,17 +47,26 @@ func main() {
 		sosBudget = flag.Float64("sos-budget-pct", 10, "default regression budget: project runs whose total SOS-time exceeds the baseline by more than this percentage fail")
 		jobs      = flag.Int("j", 0, "analysis-pool worker cap (0: one per CPU)")
 		verbose   = flag.Bool("v", false, "log at debug level")
+
+		sessionDir = flag.String("session-dir", "", "live-session spool directory (empty: a temp directory removed on exit)")
+		sessions   = flag.Int("max-sessions", 64, "most live ingestion sessions open at once")
+		sessionB   = flag.Int64("session-bytes", 0, "per-session event-payload budget in bytes (0: same as -max-upload)")
+		frameB     = flag.Int64("frame-bytes", 4<<20, "largest accepted single event frame in bytes")
 	)
 	flag.Parse()
 	cfg := serve.Config{
-		TraceDir:       *traces,
-		MaxUploadBytes: *maxUpload,
-		RequestTimeout: *timeout,
-		CacheEntries:   *cacheN,
-		CacheBytes:     *cacheB,
-		StoreDir:       *storeDir,
-		StoreBytes:     *storeB,
-		SOSBudgetPct:   *sosBudget,
+		TraceDir:        *traces,
+		MaxUploadBytes:  *maxUpload,
+		RequestTimeout:  *timeout,
+		CacheEntries:    *cacheN,
+		CacheBytes:      *cacheB,
+		StoreDir:        *storeDir,
+		StoreBytes:      *storeB,
+		SOSBudgetPct:    *sosBudget,
+		SessionDir:      *sessionDir,
+		MaxSessions:     *sessions,
+		MaxSessionBytes: *sessionB,
+		MaxFrameBytes:   *frameB,
 	}
 	if err := run(*addr, cfg, *jobs, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "perfvard:", err)

@@ -32,8 +32,21 @@ func main() {
 		steps    = flag.Int("steps", 0, "override step/iteration count")
 		kernel   = flag.Int("kernel", 0, "override kernel calls per iteration (synthetic only)")
 		seed     = flag.Int64("seed", 0, "override random seed")
+
+		live     = flag.String("live", "", "replay into a running perfvard at this base URL instead of writing an archive")
+		pace     = flag.Float64("pace", 0, "live replay speed as a multiple of virtual time (0: as fast as possible)")
+		batch    = flag.Int("live-batch", 256, "events per frame in live replay")
+		dominant = flag.String("live-dominant", "", "dominant function for the live session (default: the workload's loop region)")
 	)
 	flag.Parse()
+
+	if *live != "" {
+		if err := runLive(*live, *workload, *ranks, *grid, *steps, *kernel, *seed, *pace, *batch, *dominant); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *workload == "synthetic" {
 		if err := writeSynthetic(*out, *ranks, *steps, *kernel, *seed); err != nil {
@@ -125,10 +138,9 @@ func generate(workload string, ranks, grid, steps int, seed int64) (*perfvar.Tra
 	}
 }
 
-// writeSynthetic streams the synthetic workload straight into the
-// archive: events are generated and encoded on the fly, so the output
-// size is bounded only by disk, never by memory.
-func writeSynthetic(out string, ranks, steps, kernel int, seed int64) error {
+// buildSyntheticCfg applies the flag overrides to the default synthetic
+// workload, keeping the straggler inside the run.
+func buildSyntheticCfg(ranks, steps, kernel int, seed int64) workloads.SyntheticConfig {
 	cfg := workloads.DefaultSynthetic()
 	if ranks > 0 {
 		cfg.Ranks = ranks
@@ -148,6 +160,14 @@ func writeSynthetic(out string, ranks, steps, kernel int, seed int64) error {
 	if seed != 0 {
 		cfg.Seed = uint64(seed)
 	}
+	return cfg
+}
+
+// writeSynthetic streams the synthetic workload straight into the
+// archive: events are generated and encoded on the fly, so the output
+// size is bounded only by disk, never by memory.
+func writeSynthetic(out string, ranks, steps, kernel int, seed int64) error {
+	cfg := buildSyntheticCfg(ranks, steps, kernel, seed)
 	f, err := os.Create(out)
 	if err != nil {
 		return err

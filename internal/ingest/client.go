@@ -1,0 +1,139 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// APIError is the decoded JSON error envelope of a failed session call.
+type APIError struct {
+	Status  int    // HTTP status
+	Code    string // machine-readable error code
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("ingest: server returned %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Client drives the session API of one perfvard instance — the feeder
+// side of live ingestion, used by tracegen's replay mode and by tests.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:7117".
+	Base string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes either the success body into out or
+// the error envelope into an *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType string, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		apiErr := &APIError{Status: resp.StatusCode}
+		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+			apiErr.Code = env.Error.Code
+			apiErr.Message = env.Error.Message
+		} else {
+			apiErr.Code = "unknown"
+			apiErr.Message = string(data)
+		}
+		return apiErr
+	}
+	switch dst := out.(type) {
+	case nil:
+	case *[]byte:
+		*dst = data
+	default:
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("ingest: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// Create opens a session.
+func (c *Client) Create(ctx context.Context, req CreateRequest) (*CreateResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var out CreateResponse
+	if err := c.do(ctx, http.MethodPost, "/api/v1/sessions", body, "application/json", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PushFrames posts a batch of length-prefixed frames (built with
+// trace.AppendFrame) and returns the server's receipt.
+func (c *Client) PushFrames(ctx context.Context, session string, frames []byte) (*Receipt, error) {
+	var out Receipt
+	err := c.do(ctx, http.MethodPost, "/api/v1/sessions/"+session+"/frames", frames, "application/octet-stream", &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Alerts polls the session's alert log from cursor.
+func (c *Client) Alerts(ctx context.Context, session string, cursor int) (*AlertsResponse, error) {
+	var out AlertsResponse
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/v1/sessions/%s/alerts?cursor=%d", session, cursor), nil, "", &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Finalize seals the session and returns the analysis report JSON the
+// server computed from the assembled archive.
+func (c *Client) Finalize(ctx context.Context, session string) ([]byte, error) {
+	var out []byte
+	err := c.do(ctx, http.MethodDelete, "/api/v1/sessions/"+session, nil, "", &out)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Discard seals and deletes the session without analyzing it.
+func (c *Client) Discard(ctx context.Context, session string) error {
+	return c.do(ctx, http.MethodDelete, "/api/v1/sessions/"+session+"?discard=1", nil, "", nil)
+}

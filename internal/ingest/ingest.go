@@ -1,0 +1,563 @@
+package ingest
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"perfvar"
+	"perfvar/internal/core/segment"
+	"perfvar/internal/online"
+	"perfvar/internal/trace"
+)
+
+// Session-API errors. ErrOverBudget wraps trace.ErrTooLarge so the
+// server's existing error mapping serves it as 413.
+var (
+	ErrUnknownSession = errors.New("ingest: unknown session")
+	ErrFinalized      = errors.New("ingest: session already finalized")
+	ErrOutOfOrder     = errors.New("ingest: frame out of time order")
+	ErrSessionLimit   = errors.New("ingest: too many open sessions")
+	ErrBadFrame       = errors.New("ingest: malformed frame")
+	ErrSpec           = errors.New("ingest: invalid session spec")
+	ErrOverBudget     = fmt.Errorf("ingest: session event budget exhausted: %w", trace.ErrTooLarge)
+)
+
+// maxSessionRanks bounds the declared rank count of one session.
+const maxSessionRanks = 1 << 16
+
+// tombstoneCap bounds how many finalized/discarded sessions are kept
+// around (so late pollers still see alerts and feeds get 409, not 404).
+const tombstoneCap = 256
+
+// Config tunes the session manager.
+type Config struct {
+	// SpoolDir is where open sessions spool their per-rank event files.
+	// Empty means a temporary directory owned (and removed) by the
+	// manager.
+	SpoolDir string
+	// MaxSessions bounds concurrently open sessions (default 64).
+	MaxSessions int
+	// MaxFrameBytes bounds one frame's payload (default 4 MiB).
+	MaxFrameBytes int64
+	// MaxSessionBytes bounds a session's cumulative payload bytes
+	// (default 64 MiB) — the spool, and therefore the finalized archive,
+	// cannot grow past it.
+	MaxSessionBytes int64
+	// Logger receives session lifecycle events; nil discards them.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxFrameBytes == 0 {
+		c.MaxFrameBytes = 4 << 20
+	}
+	if c.MaxSessionBytes == 0 {
+		c.MaxSessionBytes = 64 << 20
+	}
+	if c.Logger == nil {
+		// go 1.22 compatible discard logger (slog.DiscardHandler is 1.24+).
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+	}
+	return c
+}
+
+// Stats is a snapshot of the manager's counters, for metrics exposition.
+type Stats struct {
+	Open      int
+	Opened    uint64
+	Finalized uint64
+	Discarded uint64
+	Frames    uint64
+	Events    uint64
+	Bytes     uint64
+	Alerts    uint64
+}
+
+// Manager owns the live sessions of one server.
+type Manager struct {
+	cfg     Config
+	ownsDir bool
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	seq      uint64 // creation order, for tombstone pruning
+
+	opened    atomic.Uint64
+	finalized atomic.Uint64
+	discarded atomic.Uint64
+	frames    atomic.Uint64
+	events    atomic.Uint64
+	bytes     atomic.Uint64
+	alerts    atomic.Uint64
+}
+
+// NewManager builds a session manager; the spool directory is created
+// now so Create never races over it.
+func NewManager(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	owns := false
+	if cfg.SpoolDir == "" {
+		dir, err := os.MkdirTemp("", "perfvar-sessions-*")
+		if err != nil {
+			return nil, err
+		}
+		cfg.SpoolDir = dir
+		owns = true
+	} else if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Manager{cfg: cfg, ownsDir: owns, sessions: make(map[string]*Session)}, nil
+}
+
+// Config returns the manager's resolved configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Create opens a session for req. The request is validated whole —
+// rank count, region/metric definitions, dominant function, policy —
+// before any state is allocated.
+func (m *Manager) Create(req CreateRequest) (*Session, error) {
+	if req.Ranks < 1 || req.Ranks > maxSessionRanks {
+		return nil, fmt.Errorf("%w: ranks = %d, want [1,%d]", ErrSpec, req.Ranks, maxSessionRanks)
+	}
+	if len(req.Regions) == 0 {
+		return nil, fmt.Errorf("%w: no regions declared", ErrSpec)
+	}
+	if req.Policy.Consecutive < 0 {
+		return nil, fmt.Errorf("%w: consecutive = %d", ErrSpec, req.Policy.Consecutive)
+	}
+	h, err := req.header()
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Session{m: m, header: h, name: req.Name, state: stateOpen}
+	s.consecutive = req.Policy.Consecutive
+	if s.consecutive == 0 {
+		s.consecutive = 1
+	}
+	s.lastSeen = make([]int64, req.Ranks)
+	s.started = make([]bool, req.Ranks)
+	s.streak = make([]int, req.Ranks)
+	s.episode = make([]bool, req.Ranks)
+	an, err := online.Config{
+		Ranks:        req.Ranks,
+		Regions:      h.Regions,
+		DominantName: req.Dominant,
+		Options: online.Options{
+			ZThreshold:      req.Policy.ZThreshold,
+			Warmup:          req.Policy.Warmup,
+			ReservoirSize:   req.Policy.ReservoirSize,
+			MinRelDeviation: req.Policy.MinRelDeviation,
+		},
+		OnSegment: s.onSegment,
+	}.NewAnalyzer()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	s.an = an
+
+	var idBuf [8]byte
+	if _, err := rand.Read(idBuf[:]); err != nil {
+		return nil, err
+	}
+	s.id = hex.EncodeToString(idBuf[:])
+
+	m.mu.Lock()
+	open := 0
+	for _, other := range m.sessions {
+		if other.State() == "open" {
+			open++
+		}
+	}
+	if open >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d open", ErrSessionLimit, open)
+	}
+	m.seq++
+	s.seq = m.seq
+	m.sessions[s.id] = s
+	m.pruneTombstonesLocked()
+	m.mu.Unlock()
+
+	live, err := perfvar.NewLiveSource(h, filepath.Join(m.cfg.SpoolDir, "session-"+s.id))
+	if err != nil {
+		m.mu.Lock()
+		delete(m.sessions, s.id)
+		m.mu.Unlock()
+		return nil, err
+	}
+	s.live = live
+	m.opened.Add(1)
+	m.cfg.Logger.Info("session created", "session", s.id, "name", req.Name, "ranks", req.Ranks, "dominant", req.Dominant)
+	return s, nil
+}
+
+// pruneTombstonesLocked evicts the oldest finalized/discarded sessions
+// beyond tombstoneCap. Caller holds m.mu.
+func (m *Manager) pruneTombstonesLocked() {
+	var tombs []*Session
+	for _, s := range m.sessions {
+		if st := s.State(); st != "open" {
+			tombs = append(tombs, s)
+		}
+	}
+	if len(tombs) <= tombstoneCap {
+		return
+	}
+	sort.Slice(tombs, func(i, j int) bool { return tombs[i].seq < tombs[j].seq })
+	for _, s := range tombs[:len(tombs)-tombstoneCap] {
+		delete(m.sessions, s.id)
+	}
+}
+
+// Get resolves a session id.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.Lock()
+	s := m.sessions[id]
+	m.mu.Unlock()
+	if s == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	return s, nil
+}
+
+// List snapshots every known session, sorted by id for deterministic
+// output.
+func (m *Manager) List() []SessionInfo {
+	m.mu.Lock()
+	infos := make([]SessionInfo, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		infos = append(infos, s.Info())
+	}
+	m.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Session < infos[j].Session })
+	return infos
+}
+
+// OpenSessions snapshots the sessions still accepting frames — the
+// drain set on shutdown — sorted by id.
+func (m *Manager) OpenSessions() []*Session {
+	m.mu.Lock()
+	var open []*Session
+	for _, s := range m.sessions {
+		if s.State() == "open" {
+			open = append(open, s)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(open, func(i, j int) bool { return open[i].id < open[j].id })
+	return open
+}
+
+// Stats snapshots the manager's counters.
+func (m *Manager) Stats() Stats {
+	open := 0
+	m.mu.Lock()
+	for _, s := range m.sessions {
+		if s.State() == "open" {
+			open++
+		}
+	}
+	m.mu.Unlock()
+	return Stats{
+		Open:      open,
+		Opened:    m.opened.Load(),
+		Finalized: m.finalized.Load(),
+		Discarded: m.discarded.Load(),
+		Frames:    m.frames.Load(),
+		Events:    m.events.Load(),
+		Bytes:     m.bytes.Load(),
+		Alerts:    m.alerts.Load(),
+	}
+}
+
+// Close discards every open session and removes the spool directory if
+// the manager owns it. Finalize-on-shutdown is the server's job (it can
+// run the analysis pipeline); Close is the last resort.
+func (m *Manager) Close() error {
+	for _, s := range m.OpenSessions() {
+		s.Discard()
+	}
+	if m.ownsDir {
+		return os.RemoveAll(m.cfg.SpoolDir)
+	}
+	return nil
+}
+
+type sessionState int
+
+const (
+	stateOpen sessionState = iota
+	stateFinalized
+	stateDiscarded
+)
+
+func (st sessionState) String() string {
+	switch st {
+	case stateOpen:
+		return "open"
+	case stateFinalized:
+		return "finalized"
+	case stateDiscarded:
+		return "discarded"
+	}
+	return "unknown"
+}
+
+// Session is one live ingestion stream: a LiveSource spooling the
+// events plus an online analyzer segmenting them as they arrive. All
+// feeding serializes through the session mutex — the analyzer is not
+// concurrency-safe, and events are tiny compared to HTTP framing.
+type Session struct {
+	m      *Manager
+	id     string
+	name   string
+	seq    uint64
+	header *trace.Header
+
+	mu      sync.Mutex
+	state   sessionState
+	failure error // sticky: the first feed error poisons the session
+	live    *perfvar.LiveSource
+	an      *online.Analyzer
+
+	lastSeen []int64 // per-rank time floor (ns)
+	started  []bool
+	frames   uint64
+	events   uint64
+	bytes    uint64
+
+	// Alerting: per-rank consecutive-deviation streaks; one Alert per
+	// episode (streak reaching the policy's Consecutive).
+	consecutive int
+	streak      []int
+	episode     []bool
+	alertLog    []Alert
+}
+
+// ID returns the session id.
+func (s *Session) ID() string { return s.id }
+
+// Header returns the session's declared definitions.
+func (s *Session) Header() *trace.Header { return s.header }
+
+// State returns "open", "finalized" or "discarded".
+func (s *Session) State() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state.String()
+}
+
+// onSegment is the analyzer's per-segment observer. It runs inside
+// FeedFrame's critical section (the analyzer is only fed under s.mu),
+// so it must not take the session lock itself.
+func (s *Session) onSegment(seg segment.Segment, z float64, scored, alerted bool) {
+	rank := int(seg.Rank)
+	if !alerted {
+		s.streak[rank] = 0
+		s.episode[rank] = false
+		return
+	}
+	s.streak[rank]++
+	if s.streak[rank] < s.consecutive || s.episode[rank] {
+		return
+	}
+	s.episode[rank] = true
+	// json.Marshal rejects infinities; an infinite robust z-score (MAD 0)
+	// clamps to the largest finite score.
+	score := z
+	if math.IsInf(score, 1) {
+		score = math.MaxFloat64
+	} else if math.IsInf(score, -1) {
+		score = -math.MaxFloat64
+	}
+	s.alertLog = append(s.alertLog, Alert{
+		ID:           len(s.alertLog),
+		Rank:         rank,
+		SegmentIndex: seg.Index,
+		StartNS:      seg.Start,
+		EndNS:        seg.End,
+		SOSNS:        seg.Inclusive() - seg.Sync,
+		Score:        score,
+		Streak:       s.streak[rank],
+		SeenSegments: s.an.SeenSegments(),
+	})
+	s.m.alerts.Add(1)
+	s.m.cfg.Logger.Info("session alert", "session", s.id, "rank", rank, "segment", seg.Index, "score", score, "streak", s.streak[rank])
+}
+
+// FeedFrame ingests one decoded frame: count events for rank encoded in
+// payload (the body of a frame as split by trace.DecodeFrame). Frames
+// are atomic — a frame that fails validation leaves no trace in the
+// session — but a mid-frame analyzer or spool failure poisons the
+// session (sticky failure) because partial state may have been
+// recorded.
+func (s *Session) FeedFrame(rank trace.Rank, count uint64, payload []byte) error {
+	// Decode outside the lock: pure CPU over immutable definitions.
+	evs := make([]trace.Event, 0, min(count, uint64(len(payload)/3+1)))
+	err := trace.DecodeFrameEvents(payload, count, len(s.header.Regions), len(s.header.Metrics), len(s.header.Procs), func(ev trace.Event) error {
+		evs = append(evs, ev)
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrBadFrame, err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case stateFinalized, stateDiscarded:
+		return fmt.Errorf("%w (%s)", ErrFinalized, s.state)
+	}
+	if s.failure != nil {
+		return s.failure
+	}
+	if rank < 0 || int(rank) >= len(s.lastSeen) {
+		return fmt.Errorf("%w: rank %d of %d", ErrBadFrame, rank, len(s.lastSeen))
+	}
+	if s.bytes+uint64(len(payload)) > uint64(s.m.cfg.MaxSessionBytes) {
+		return fmt.Errorf("%w (%d of %d bytes used)", ErrOverBudget, s.bytes, s.m.cfg.MaxSessionBytes)
+	}
+	if len(evs) > 0 && s.started[rank] && evs[0].Time < s.lastSeen[rank] {
+		return fmt.Errorf("%w: rank %d frame starts at %d, already at %d", ErrOutOfOrder, rank, evs[0].Time, s.lastSeen[rank])
+	}
+
+	// Spool first (the batch is validated whole by LiveSource), then
+	// analyze. Within-frame time order is structural: frame deltas are
+	// unsigned, so a decoded frame cannot regress.
+	if err := s.live.Push(int(rank), evs...); err != nil {
+		s.failure = fmt.Errorf("ingest: session poisoned: %w", err)
+		return s.failure
+	}
+	for _, ev := range evs {
+		if _, err := s.an.Feed(rank, ev); err != nil {
+			s.failure = fmt.Errorf("ingest: session poisoned: %w", err)
+			return s.failure
+		}
+	}
+	if len(evs) > 0 {
+		s.lastSeen[rank] = evs[len(evs)-1].Time
+		s.started[rank] = true
+	}
+	s.frames++
+	s.events += uint64(len(evs))
+	s.bytes += uint64(len(payload))
+	s.m.frames.Add(1)
+	s.m.events.Add(uint64(len(evs)))
+	s.m.bytes.Add(uint64(len(payload)))
+	return nil
+}
+
+// Receipt snapshots the session's cumulative totals.
+func (s *Session) Receipt() Receipt {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Receipt{
+		Session:      s.id,
+		Frames:       s.frames,
+		Events:       s.events,
+		Bytes:        s.bytes,
+		Alerts:       len(s.alertLog),
+		SeenSegments: s.an.SeenSegments(),
+	}
+}
+
+// Alerts returns the alert log from cursor on, plus the cursor to
+// resume from. Polling a finalized session still works: the log is
+// retained with the tombstone.
+func (s *Session) Alerts(cursor int) AlertsResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor > len(s.alertLog) {
+		cursor = len(s.alertLog)
+	}
+	out := make([]Alert, len(s.alertLog)-cursor)
+	copy(out, s.alertLog[cursor:])
+	return AlertsResponse{
+		Session:      s.id,
+		State:        s.state.String(),
+		NextCursor:   len(s.alertLog),
+		SeenSegments: s.an.SeenSegments(),
+		Alerts:       out,
+	}
+}
+
+// Info snapshots the session for the list endpoint.
+func (s *Session) Info() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionInfo{
+		Session:      s.id,
+		Name:         s.name,
+		State:        s.state.String(),
+		Ranks:        len(s.header.Procs),
+		Frames:       s.frames,
+		Events:       s.events,
+		Bytes:        s.bytes,
+		Alerts:       len(s.alertLog),
+		SeenSegments: s.an.SeenSegments(),
+	}
+}
+
+// FinalizeArchive seals the session and returns its events as a single
+// PVTR archive — byte-identical to writing the same trace offline, so
+// the server's content-addressed cache treats a finalized session and
+// an upload of the same run as one artifact. The spool is removed; the
+// session stays registered as a tombstone (alerts remain pollable,
+// further feeds fail with ErrFinalized).
+func (s *Session) FinalizeArchive() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case stateFinalized, stateDiscarded:
+		return nil, fmt.Errorf("%w (%s)", ErrFinalized, s.state)
+	}
+	if s.failure != nil {
+		return nil, s.failure
+	}
+	if err := s.live.Finish(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := s.live.WriteArchive(&buf); err != nil {
+		return nil, err
+	}
+	if err := s.live.Remove(); err != nil {
+		return nil, err
+	}
+	s.state = stateFinalized
+	s.m.finalized.Add(1)
+	s.m.cfg.Logger.Info("session finalized", "session", s.id, "events", s.events, "bytes", buf.Len(), "alerts", len(s.alertLog))
+	return buf.Bytes(), nil
+}
+
+// Discard seals and deletes the session's spool without analyzing it.
+// Idempotent; discarding a finalized session is a no-op.
+func (s *Session) Discard() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != stateOpen {
+		return
+	}
+	s.live.Remove()
+	s.state = stateDiscarded
+	s.m.discarded.Add(1)
+	s.m.cfg.Logger.Info("session discarded", "session", s.id, "events", s.events)
+}

@@ -1,0 +1,232 @@
+// Package ingest manages live in-situ analysis sessions: a measurement
+// layer creates a session declaring the run's definitions, streams
+// per-rank event frames while the application runs, polls for
+// threshold alerts, and finalizes the session into an ordinary PVTR
+// archive — byte-identical to an offline upload of the same run, so the
+// finalized result shares content-addressed cache entries with it.
+//
+// The wire types in this file are the session API's JSON vocabulary,
+// shared by the server handlers and the Client.
+package ingest
+
+import (
+	"fmt"
+
+	"perfvar/internal/trace"
+)
+
+// RegionSpec declares one region definition on the wire. Paradigm and
+// role use the lower-case names of the trace enums ("user", "mpi",
+// "openmp", "io", "system"; "function", "loop", "barrier", "collective",
+// "p2p", "wait", "io", "init"); empty means user/function.
+type RegionSpec struct {
+	Name     string `json:"name"`
+	Paradigm string `json:"paradigm,omitempty"`
+	Role     string `json:"role,omitempty"`
+}
+
+// MetricSpec declares one metric definition on the wire. Mode is
+// "accumulated" (default) or "absolute".
+type MetricSpec struct {
+	Name string `json:"name"`
+	Unit string `json:"unit,omitempty"`
+	Mode string `json:"mode,omitempty"`
+}
+
+// PolicySpec tunes the session's online detector and alerting. Zero
+// values take the online package defaults; Consecutive is the number of
+// consecutive deviating segments on one rank needed to raise an alert
+// (default 1). MinRelDeviation follows the pointer semantics of
+// online.Options: absent keeps the 5% default, 0 alerts on any excess,
+// negative disables the gate.
+type PolicySpec struct {
+	ZThreshold      float64  `json:"z_threshold,omitempty"`
+	Consecutive     int      `json:"consecutive,omitempty"`
+	Warmup          int      `json:"warmup,omitempty"`
+	ReservoirSize   int      `json:"reservoir,omitempty"`
+	MinRelDeviation *float64 `json:"min_rel_deviation,omitempty"`
+}
+
+// CreateRequest opens a session: the run's definitions plus the
+// detection policy — everything a measurement layer knows before the
+// first event.
+type CreateRequest struct {
+	Name    string       `json:"name"`
+	Ranks   int          `json:"ranks"`
+	Regions []RegionSpec `json:"regions"`
+	Metrics []MetricSpec `json:"metrics,omitempty"`
+	// Procs optionally names the processing elements; empty means
+	// "Process <rank>", and the length must otherwise equal Ranks.
+	Procs    []string   `json:"procs,omitempty"`
+	Dominant string     `json:"dominant"`
+	Policy   PolicySpec `json:"policy"`
+}
+
+// RequestFromHeader builds a create request declaring h's definitions —
+// the bridge for feeders that already hold a trace header (tracegen's
+// replay mode, tests replaying a materialized trace).
+func RequestFromHeader(h *trace.Header, dominant string, policy PolicySpec) CreateRequest {
+	req := CreateRequest{
+		Name:     h.Name,
+		Ranks:    len(h.Procs),
+		Dominant: dominant,
+		Policy:   policy,
+	}
+	for _, r := range h.Regions {
+		req.Regions = append(req.Regions, RegionSpec{Name: r.Name, Paradigm: r.Paradigm.String(), Role: r.Role.String()})
+	}
+	for _, m := range h.Metrics {
+		req.Metrics = append(req.Metrics, MetricSpec{Name: m.Name, Unit: m.Unit, Mode: m.Mode.String()})
+	}
+	for i := range h.Procs {
+		req.Procs = append(req.Procs, h.Procs[i].Name)
+	}
+	return req
+}
+
+// CreateResponse returns the session id and the server's frame limits.
+type CreateResponse struct {
+	Session         string `json:"session"`
+	FrameFormat     int    `json:"frame_format"`
+	MaxFrameBytes   int64  `json:"max_frame_bytes"`
+	MaxSessionBytes int64  `json:"max_session_bytes"`
+}
+
+// Receipt acknowledges a frame batch: cumulative session totals, so a
+// feeder can cross-check what the server has accepted.
+type Receipt struct {
+	Session      string `json:"session"`
+	Frames       uint64 `json:"frames"`
+	Events       uint64 `json:"events"`
+	Bytes        uint64 `json:"bytes"`
+	Alerts       int    `json:"alerts"`
+	SeenSegments int    `json:"seen_segments"`
+}
+
+// Alert is one raised threshold episode: rank Rank's dominant-function
+// invocations deviated (robust z-score above the policy threshold) for
+// Streak consecutive segments. One alert is raised per episode — the
+// streak must fall back below the threshold before the rank can alert
+// again.
+type Alert struct {
+	ID           int     `json:"id"`
+	Rank         int     `json:"rank"`
+	SegmentIndex int     `json:"segment"`
+	StartNS      int64   `json:"start_ns"`
+	EndNS        int64   `json:"end_ns"`
+	SOSNS        int64   `json:"sos_ns"`
+	Score        float64 `json:"score"`
+	Streak       int     `json:"streak"`
+	SeenSegments int     `json:"seen_segments"`
+}
+
+// AlertsResponse is one poll of a session's alert log from a cursor:
+// alerts [cursor, NextCursor) plus enough state to resume polling.
+type AlertsResponse struct {
+	Session      string  `json:"session"`
+	State        string  `json:"state"`
+	NextCursor   int     `json:"next_cursor"`
+	SeenSegments int     `json:"seen_segments"`
+	Alerts       []Alert `json:"alerts"`
+}
+
+// SessionInfo is one row of the session list.
+type SessionInfo struct {
+	Session      string `json:"session"`
+	Name         string `json:"name"`
+	State        string `json:"state"`
+	Ranks        int    `json:"ranks"`
+	Frames       uint64 `json:"frames"`
+	Events       uint64 `json:"events"`
+	Bytes        uint64 `json:"bytes"`
+	Alerts       int    `json:"alerts"`
+	SeenSegments int    `json:"seen_segments"`
+}
+
+func parseParadigm(s string) (trace.Paradigm, error) {
+	switch s {
+	case "", "user":
+		return trace.ParadigmUser, nil
+	case "mpi":
+		return trace.ParadigmMPI, nil
+	case "openmp":
+		return trace.ParadigmOpenMP, nil
+	case "io":
+		return trace.ParadigmIO, nil
+	case "system":
+		return trace.ParadigmSystem, nil
+	}
+	return 0, fmt.Errorf("%w: unknown paradigm %q", ErrSpec, s)
+}
+
+func parseRole(s string) (trace.RegionRole, error) {
+	switch s {
+	case "", "function":
+		return trace.RoleFunction, nil
+	case "loop":
+		return trace.RoleLoop, nil
+	case "barrier":
+		return trace.RoleBarrier, nil
+	case "collective":
+		return trace.RoleCollective, nil
+	case "p2p":
+		return trace.RolePointToPoint, nil
+	case "wait":
+		return trace.RoleWait, nil
+	case "io":
+		return trace.RoleFileIO, nil
+	case "init":
+		return trace.RoleInitFinalize, nil
+	}
+	return 0, fmt.Errorf("%w: unknown region role %q", ErrSpec, s)
+}
+
+func parseMode(s string) (trace.MetricMode, error) {
+	switch s {
+	case "", "accumulated":
+		return trace.MetricAccumulated, nil
+	case "absolute":
+		return trace.MetricAbsolute, nil
+	}
+	return 0, fmt.Errorf("%w: unknown metric mode %q", ErrSpec, s)
+}
+
+// header materializes the request's definitions as a trace header.
+func (r CreateRequest) header() (*trace.Header, error) {
+	h := &trace.Header{Name: r.Name}
+	for i, rs := range r.Regions {
+		p, err := parseParadigm(rs.Paradigm)
+		if err != nil {
+			return nil, err
+		}
+		role, err := parseRole(rs.Role)
+		if err != nil {
+			return nil, err
+		}
+		if rs.Name == "" {
+			return nil, fmt.Errorf("%w: region %d has no name", ErrSpec, i)
+		}
+		h.Regions = append(h.Regions, trace.Region{ID: trace.RegionID(i), Name: rs.Name, Paradigm: p, Role: role})
+	}
+	for i, ms := range r.Metrics {
+		mode, err := parseMode(ms.Mode)
+		if err != nil {
+			return nil, err
+		}
+		if ms.Name == "" {
+			return nil, fmt.Errorf("%w: metric %d has no name", ErrSpec, i)
+		}
+		h.Metrics = append(h.Metrics, trace.Metric{ID: trace.MetricID(i), Name: ms.Name, Unit: ms.Unit, Mode: mode})
+	}
+	if len(r.Procs) != 0 && len(r.Procs) != r.Ranks {
+		return nil, fmt.Errorf("%w: %d proc names for %d ranks", ErrSpec, len(r.Procs), r.Ranks)
+	}
+	for i := 0; i < r.Ranks; i++ {
+		name := fmt.Sprintf("Process %d", i)
+		if len(r.Procs) != 0 {
+			name = r.Procs[i]
+		}
+		h.Procs = append(h.Procs, trace.Process{Rank: trace.Rank(i), Name: name})
+	}
+	return h, nil
+}

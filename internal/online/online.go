@@ -38,9 +38,13 @@ type Options struct {
 	// ZThreshold is the robust z-score cutoff (default 3.5).
 	ZThreshold float64
 	// MinRelDeviation is the minimal relative excess over the running
-	// median (default 5 %, negative disables), mirroring the offline
-	// analysis.
-	MinRelDeviation float64
+	// median a segment must show to alert, mirroring the offline
+	// analysis. nil applies the default (5 %); RelDeviation(v) with
+	// v >= 0 requires exactly v — including zero, which only the pointer
+	// form can express; any negative value disables the gate entirely.
+	// LegacyMinRelDeviation converts values that used the pre-pointer
+	// sentinel encoding.
+	MinRelDeviation *float64
 	// Warmup is the number of segments to observe before alerting
 	// (default 32): the estimator needs a baseline first.
 	Warmup int
@@ -49,15 +53,25 @@ type Options struct {
 	ReservoirSize int
 }
 
+// RelDeviation returns a pointer to v, for setting
+// Options.MinRelDeviation inline.
+func RelDeviation(v float64) *float64 { return &v }
+
+// LegacyMinRelDeviation converts the historical MinRelDeviation sentinel
+// encoding — 0 meant "default 5 %", negative meant "disable" — into the
+// pointer form. New code should set Options.MinRelDeviation directly;
+// this shim exists for callers migrating stored configuration that used
+// the old float semantics.
+func LegacyMinRelDeviation(v float64) *float64 {
+	if v == 0 {
+		return nil
+	}
+	return RelDeviation(v)
+}
+
 func (o Options) withDefaults() Options {
 	if o.ZThreshold == 0 {
 		o.ZThreshold = 3.5
-	}
-	if o.MinRelDeviation == 0 {
-		o.MinRelDeviation = 0.05
-	}
-	if o.MinRelDeviation < 0 {
-		o.MinRelDeviation = 0
 	}
 	if o.Warmup == 0 {
 		o.Warmup = 32
@@ -66,6 +80,18 @@ func (o Options) withDefaults() Options {
 		o.ReservoirSize = 1024
 	}
 	return o
+}
+
+// resolveMinRel maps Options.MinRelDeviation onto the analyzer's gate:
+// the required excess and whether the gate applies at all.
+func resolveMinRel(p *float64) (minRel float64, enabled bool) {
+	if p == nil {
+		return 0.05, true
+	}
+	if *p < 0 {
+		return 0, false
+	}
+	return *p, true
 }
 
 // Config assembles everything NewAnalyzer needs. The dominant function
@@ -88,9 +114,18 @@ type Config struct {
 	Classifier segment.SyncClassifier
 	// Options tune the detector thresholds.
 	Options Options
+	// OnSegment, when non-nil, observes every completed segment: its
+	// robust z-score z against the statistics known at completion time
+	// (scored is false — and z meaningless — while the estimator is
+	// still warming up) and whether the segment raised an alert. Called
+	// synchronously from Feed, so a session layer can track
+	// consecutive-deviation streaks without a second segmentation pass.
+	OnSegment func(seg segment.Segment, z float64, scored, alerted bool)
 }
 
-// NewAnalyzer builds the streaming detector described by c.
+// NewAnalyzer builds the streaming detector described by c. This is the
+// canonical constructor: every knob, including the per-segment observer,
+// is a named field.
 func (c Config) NewAnalyzer() (*Analyzer, error) {
 	dom := c.Dominant
 	if c.DominantName != "" {
@@ -105,7 +140,27 @@ func (c Config) NewAnalyzer() (*Analyzer, error) {
 			return nil, fmt.Errorf("online: region %q not among the definitions", c.DominantName)
 		}
 	}
-	return New(c.Ranks, c.Regions, dom, c.Classifier, c.Options)
+	if c.Ranks <= 0 {
+		return nil, fmt.Errorf("online: nranks = %d", c.Ranks)
+	}
+	if dom < 0 || int(dom) >= len(c.Regions) {
+		return nil, fmt.Errorf("online: dominant region %d undefined", dom)
+	}
+	cls := c.Classifier
+	if cls == nil {
+		cls = segment.DefaultSync
+	}
+	a := &Analyzer{
+		opts:      c.Options.withDefaults(),
+		region:    dom,
+		regions:   c.Regions,
+		cls:       cls,
+		ranks:     make([]rankState, c.Ranks),
+		rngState:  0x9e3779b97f4a7c15,
+		onSegment: c.OnSegment,
+	}
+	a.minRel, a.minRelOn = resolveMinRel(c.Options.MinRelDeviation)
+	return a, nil
 }
 
 // rankState is the per-rank segment state machine (the incremental
@@ -123,15 +178,22 @@ type rankState struct {
 // Analyzer is the streaming detector. Not safe for concurrent use; a
 // daemon feeding multiple ranks serializes through it (events are tiny).
 type Analyzer struct {
-	opts     Options
-	region   trace.RegionID
-	regions  []trace.Region
-	cls      segment.SyncClassifier
-	ranks    []rankState
-	resv     []float64
-	seen     int
-	rngState uint64
-	alerts   []Alert
+	opts      Options
+	region    trace.RegionID
+	regions   []trace.Region
+	cls       segment.SyncClassifier
+	ranks     []rankState
+	resv      []float64
+	seen      int
+	rngState  uint64
+	alerts    []Alert
+	onSegment func(seg segment.Segment, z float64, scored, alerted bool)
+
+	// minRel/minRelOn are Options.MinRelDeviation resolved once at
+	// construction: the required relative excess and whether the gate
+	// applies at all.
+	minRel   float64
+	minRelOn bool
 
 	// Cached robust statistics, refreshed lazily: recomputing the median
 	// and MAD of the reservoir on every completion would dominate the
@@ -143,27 +205,13 @@ type Analyzer struct {
 
 // New builds an analyzer for nranks ranks that segments at the given
 // dominant region. The region table supplies paradigm/role information
-// for the classifier (nil classifier means segment.DefaultSync). The
-// dominant function is typically known from a previous run or from a
-// short profiling prefix.
+// for the classifier (nil classifier means segment.DefaultSync).
+//
+// Deprecated: use Config.NewAnalyzer, which names every knob and also
+// carries the ones a positional signature cannot grow (DominantName,
+// OnSegment). New remains as a thin wrapper for existing callers.
 func New(nranks int, regions []trace.Region, dominant trace.RegionID, cls segment.SyncClassifier, opts Options) (*Analyzer, error) {
-	if nranks <= 0 {
-		return nil, fmt.Errorf("online: nranks = %d", nranks)
-	}
-	if dominant < 0 || int(dominant) >= len(regions) {
-		return nil, fmt.Errorf("online: dominant region %d undefined", dominant)
-	}
-	if cls == nil {
-		cls = segment.DefaultSync
-	}
-	return &Analyzer{
-		opts:     opts.withDefaults(),
-		region:   dominant,
-		regions:  regions,
-		cls:      cls,
-		ranks:    make([]rankState, nranks),
-		rngState: 0x9e3779b97f4a7c15,
-	}, nil
+	return Config{Ranks: nranks, Regions: regions, Dominant: dominant, Classifier: cls, Options: opts}.NewAnalyzer()
 }
 
 // Feed consumes one event of rank. Events of the same rank must arrive in
@@ -245,6 +293,8 @@ func (a *Analyzer) complete(seg segment.Segment) *Alert {
 	a.seen++
 
 	var alert *Alert
+	var z float64
+	scored := false
 	if a.seen > a.opts.Warmup && len(a.resv) >= 2 {
 		// Refresh the cached statistics at most every 16 completions.
 		if a.statsAt == 0 || a.seen-a.statsAt >= 16 {
@@ -252,8 +302,9 @@ func (a *Analyzer) complete(seg segment.Segment) *Alert {
 			a.cachedMAD = stats.MAD(a.resv)
 			a.statsAt = a.seen
 		}
-		z := stats.RobustZ(sos, a.cachedMed, a.cachedMAD)
-		if z > a.opts.ZThreshold && sos >= a.cachedMed*(1+a.opts.MinRelDeviation) {
+		z = stats.RobustZ(sos, a.cachedMed, a.cachedMAD)
+		scored = true
+		if z > a.opts.ZThreshold && (!a.minRelOn || sos >= a.cachedMed*(1+a.minRel)) {
 			alert = &Alert{Segment: seg, Score: z, SeenSegments: a.seen}
 			a.alerts = append(a.alerts, *alert)
 		}
@@ -264,6 +315,9 @@ func (a *Analyzer) complete(seg segment.Segment) *Alert {
 		a.resv = append(a.resv, sos)
 	} else if j := a.nextRand() % uint64(a.seen); int(j) < len(a.resv) {
 		a.resv[j] = sos
+	}
+	if a.onSegment != nil {
+		a.onSegment(seg, z, scored, alert != nil)
 	}
 	return alert
 }

@@ -29,7 +29,7 @@ func fd4Fixture(t *testing.T) (*trace.Trace, workloads.FD4Config, trace.RegionID
 
 func TestOnlineDetectsInterruption(t *testing.T) {
 	tr, cfg, dom := fd4Fixture(t)
-	a, err := New(tr.NumRanks(), tr.Regions, dom, nil, Options{})
+	a, err := Config{Ranks: tr.NumRanks(), Regions: tr.Regions, Dominant: dom}.NewAnalyzer()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestOnlineQuietOnBalancedRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	r, _ := tr.RegionByName("iteration")
-	a, err := New(tr.NumRanks(), tr.Regions, r.ID, nil, Options{})
+	a, err := Config{Ranks: tr.NumRanks(), Regions: tr.Regions, Dominant: r.ID}.NewAnalyzer()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestOnlineMatchesOfflineSegments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := New(tr.NumRanks(), tr.Regions, dom, nil, Options{Warmup: 1 << 30})
+	a, err := Config{Ranks: tr.NumRanks(), Regions: tr.Regions, Dominant: dom, Options: Options{Warmup: 1 << 30}}.NewAnalyzer()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestOnlineAgreesWithOfflineHotspot(t *testing.T) {
 		t.Fatal(err)
 	}
 	off := imbalance.Analyze(m, imbalance.Options{})
-	a, err := New(tr.NumRanks(), tr.Regions, dom, nil, Options{})
+	a, err := Config{Ranks: tr.NumRanks(), Regions: tr.Regions, Dominant: dom}.NewAnalyzer()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,6 +163,8 @@ func TestOnlineAgreesWithOfflineHotspot(t *testing.T) {
 	_ = cfg
 }
 
+// TestOnlineErrors exercises the deprecated positional constructor on
+// purpose: New must keep validating exactly as Config.NewAnalyzer does.
 func TestOnlineErrors(t *testing.T) {
 	regions := []trace.Region{{ID: 0, Name: "f", Paradigm: trace.ParadigmUser}}
 	if _, err := New(0, regions, 0, nil, Options{}); err == nil {
@@ -200,7 +202,7 @@ func TestOnlineWarmupSuppressesEarlyAlerts(t *testing.T) {
 	// Two ranks, the very first segment is huge: without warmup it would
 	// alert; with warmup it must not (no baseline yet).
 	regions := []trace.Region{{ID: 0, Name: "f", Paradigm: trace.ParadigmUser}}
-	a, err := New(1, regions, 0, nil, Options{Warmup: 10})
+	a, err := Config{Ranks: 1, Regions: regions, Options: Options{Warmup: 10}}.NewAnalyzer()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +236,7 @@ func TestReservoirReplacement(t *testing.T) {
 	// A tiny reservoir forces algorithm-R replacements; detection must
 	// still work afterwards.
 	regions := []trace.Region{{ID: 0, Name: "f", Paradigm: trace.ParadigmUser}}
-	a, err := New(1, regions, 0, nil, Options{Warmup: 4, ReservoirSize: 8})
+	a, err := Config{Ranks: 1, Regions: regions, Options: Options{Warmup: 4, ReservoirSize: 8}}.NewAnalyzer()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,5 +310,182 @@ func TestConfigNewAnalyzer(t *testing.T) {
 	}
 	if _, err := (Config{Ranks: 4, Regions: tr.Regions, Dominant: trace.RegionID(len(tr.Regions))}).NewAnalyzer(); err == nil {
 		t.Fatal("out-of-range Dominant accepted")
+	}
+}
+
+// TestDeprecatedNewMatchesConfig pins the wrapper: the positional
+// constructor must build an analyzer equivalent to the Config form.
+func TestDeprecatedNewMatchesConfig(t *testing.T) {
+	tr, _, dom := fd4Fixture(t)
+	old, err := New(tr.NumRanks(), tr.Regions, dom, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Config{Ranks: tr.NumRanks(), Regions: tr.Regions, Dominant: dom}.NewAnalyzer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := old.FeedTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := cfg.FeedTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1) != len(a2) || len(a1) == 0 {
+		t.Fatalf("wrapper and Config disagree: %d vs %d alerts", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("alert %d differs: %+v vs %+v", i, a1[i], a2[i])
+		}
+	}
+}
+
+// feedUniformThenCandidate drives one rank through n identical segments
+// (building a zero-MAD baseline) and then one candidate segment of the
+// given duration, returning the candidate's alert (or nil).
+func feedUniformThenCandidate(t *testing.T, opts Options, n int, base, candidate trace.Duration) *Alert {
+	t.Helper()
+	regions := []trace.Region{{ID: 0, Name: "f", Paradigm: trace.ParadigmUser}}
+	a, err := Config{Ranks: 1, Regions: regions, Options: opts}.NewAnalyzer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := trace.Time(0)
+	feed := func(d trace.Duration) *Alert {
+		if _, err := a.Feed(0, trace.Enter(now, 0)); err != nil {
+			t.Fatal(err)
+		}
+		now += d
+		al, err := a.Feed(0, trace.Leave(now, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return al
+	}
+	for i := 0; i < n; i++ {
+		if al := feed(base); al != nil {
+			t.Fatalf("baseline segment %d alerted: %+v", i, al)
+		}
+	}
+	return feed(candidate)
+}
+
+// TestMinRelDeviationSemantics pins the three behaviors of the pointer
+// redesign. A uniform baseline has MAD 0, so any excess over the median
+// scores z = +Inf — the alert decision then rests entirely on the
+// relative-deviation gate, which makes the three settings observable:
+// nil keeps the 5 % default, RelDeviation(0) demands any excess at all
+// (the value the old sentinel encoding could not express), and a
+// negative value disables the gate.
+func TestMinRelDeviationSemantics(t *testing.T) {
+	const n, base = 40, 1000
+	small := trace.Duration(base * 101 / 100) // +1 %: below the 5 % default
+	large := trace.Duration(base * 110 / 100) // +10 %: above it
+
+	cases := []struct {
+		name          string
+		minRel        *float64
+		alertsAtSmall bool
+		alertsAtLarge bool
+	}{
+		{"nil applies the 5% default", nil, false, true},
+		{"explicit zero alerts on any excess", RelDeviation(0), true, true},
+		{"negative disables the gate", RelDeviation(-1), true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Options{Warmup: 4, MinRelDeviation: tc.minRel}
+			if got := feedUniformThenCandidate(t, opts, n, base, small) != nil; got != tc.alertsAtSmall {
+				t.Errorf("+1%% candidate: alerted=%v, want %v", got, tc.alertsAtSmall)
+			}
+			if got := feedUniformThenCandidate(t, opts, n, base, large) != nil; got != tc.alertsAtLarge {
+				t.Errorf("+10%% candidate: alerted=%v, want %v", got, tc.alertsAtLarge)
+			}
+		})
+	}
+}
+
+func TestLegacyMinRelDeviationShim(t *testing.T) {
+	if LegacyMinRelDeviation(0) != nil {
+		t.Error("legacy 0 must map to nil (default)")
+	}
+	if p := LegacyMinRelDeviation(-1); p == nil || *p >= 0 {
+		t.Errorf("legacy negative must stay negative (disable): %v", p)
+	}
+	if p := LegacyMinRelDeviation(0.1); p == nil || *p != 0.1 {
+		t.Errorf("legacy positive must pass through: %v", p)
+	}
+	// Behavioral: the shim of the old sentinels matches the old gate.
+	const n, base = 40, 1000
+	small := trace.Duration(base * 101 / 100)
+	if al := feedUniformThenCandidate(t, Options{Warmup: 4, MinRelDeviation: LegacyMinRelDeviation(0)}, n, base, small); al != nil {
+		t.Error("legacy 0 (default 5%) alerted on +1% excess")
+	}
+	if al := feedUniformThenCandidate(t, Options{Warmup: 4, MinRelDeviation: LegacyMinRelDeviation(-1)}, n, base, small); al == nil {
+		t.Error("legacy negative (disabled gate) missed +1% excess")
+	}
+}
+
+// TestOnSegmentHook pins the per-segment observer: every completion is
+// observed exactly once, warmup completions arrive unscored, and the
+// alerted flag matches what Feed returns.
+func TestOnSegmentHook(t *testing.T) {
+	regions := []trace.Region{{ID: 0, Name: "f", Paradigm: trace.ParadigmUser}}
+	type obs struct {
+		seg             segment.Segment
+		scored, alerted bool
+	}
+	var seen []obs
+	a, err := Config{
+		Ranks:   2,
+		Regions: regions,
+		Options: Options{Warmup: 6},
+		OnSegment: func(seg segment.Segment, z float64, scored, alerted bool) {
+			seen = append(seen, obs{seg, scored, alerted})
+		},
+	}.NewAnalyzer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := trace.Time(0)
+	feed := func(rank trace.Rank, d trace.Duration) *Alert {
+		if _, err := a.Feed(rank, trace.Enter(now, 0)); err != nil {
+			t.Fatal(err)
+		}
+		now += d
+		al, err := a.Feed(rank, trace.Leave(now, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return al
+	}
+	alerted := 0
+	for i := 0; i < 20; i++ {
+		d := trace.Duration(1000 + i%5)
+		if i == 15 {
+			d = 1_000_000
+		}
+		if al := feed(trace.Rank(i%2), d); al != nil {
+			alerted++
+			if !seen[len(seen)-1].alerted {
+				t.Fatalf("completion %d: Feed alerted but hook says not", i)
+			}
+		} else if seen[len(seen)-1].alerted {
+			t.Fatalf("completion %d: hook alerted but Feed did not", i)
+		}
+	}
+	if len(seen) != a.SeenSegments() || len(seen) != 20 {
+		t.Fatalf("hook observed %d completions, analyzer saw %d", len(seen), a.SeenSegments())
+	}
+	if alerted == 0 {
+		t.Fatal("outlier never alerted")
+	}
+	for i, o := range seen {
+		if wantScored := i >= 6; o.scored != wantScored {
+			t.Fatalf("completion %d: scored=%v, want %v", i, o.scored, wantScored)
+		}
 	}
 }

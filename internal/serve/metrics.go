@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"perfvar/internal/ingest"
 	"perfvar/internal/parallel"
 	"perfvar/internal/store"
 )
@@ -72,8 +73,9 @@ func (m *metrics) hitRatio() float64 {
 }
 
 // writeTo renders the exposition. cache supplies entry/eviction gauges;
-// st, when non-nil, supplies the disk-tier gauges.
-func (m *metrics) writeTo(w io.Writer, cache *lruCache, st *store.Store) {
+// st, when non-nil, supplies the disk-tier gauges; sessions supplies the
+// live-ingestion gauges and counters.
+func (m *metrics) writeTo(w io.Writer, cache *lruCache, st *store.Store, sessions *ingest.Manager) {
 	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
 
 	p("# HELP perfvard_requests_total Completed HTTP requests by status class.\n")
@@ -152,6 +154,34 @@ func (m *metrics) writeTo(w io.Writer, cache *lruCache, st *store.Store) {
 	p("# HELP perfvard_uploads_rejected_size_total Uploads rejected for exceeding the byte limit.\n")
 	p("# TYPE perfvard_uploads_rejected_size_total counter\n")
 	p("perfvard_uploads_rejected_size_total %d\n", m.rejectedSize.Load())
+
+	if sessions != nil {
+		st := sessions.Stats()
+		p("# HELP perfvard_sessions_open Live ingestion sessions currently accepting frames.\n")
+		p("# TYPE perfvard_sessions_open gauge\n")
+		p("perfvard_sessions_open %d\n", st.Open)
+		p("# HELP perfvard_sessions_opened_total Live sessions created since start.\n")
+		p("# TYPE perfvard_sessions_opened_total counter\n")
+		p("perfvard_sessions_opened_total %d\n", st.Opened)
+		p("# HELP perfvard_sessions_finalized_total Live sessions sealed into archives.\n")
+		p("# TYPE perfvard_sessions_finalized_total counter\n")
+		p("perfvard_sessions_finalized_total %d\n", st.Finalized)
+		p("# HELP perfvard_sessions_discarded_total Live sessions discarded unanalyzed.\n")
+		p("# TYPE perfvard_sessions_discarded_total counter\n")
+		p("perfvard_sessions_discarded_total %d\n", st.Discarded)
+		p("# HELP perfvard_session_frames_total Event frames accepted across all live sessions.\n")
+		p("# TYPE perfvard_session_frames_total counter\n")
+		p("perfvard_session_frames_total %d\n", st.Frames)
+		p("# HELP perfvard_session_events_total Events ingested across all live sessions.\n")
+		p("# TYPE perfvard_session_events_total counter\n")
+		p("perfvard_session_events_total %d\n", st.Events)
+		p("# HELP perfvard_session_bytes_total Frame payload bytes ingested across all live sessions.\n")
+		p("# TYPE perfvard_session_bytes_total counter\n")
+		p("perfvard_session_bytes_total %d\n", st.Bytes)
+		p("# HELP perfvard_session_alerts_total Threshold alerts raised across all live sessions.\n")
+		p("# TYPE perfvard_session_alerts_total counter\n")
+		p("perfvard_session_alerts_total %d\n", st.Alerts)
+	}
 
 	p("# HELP perfvard_pool_workers_busy Analysis-pool workers executing a work item right now.\n")
 	p("# TYPE perfvard_pool_workers_busy gauge\n")

@@ -38,6 +38,7 @@ import (
 
 	"perfvar"
 	"perfvar/internal/callstack"
+	"perfvar/internal/ingest"
 	"perfvar/internal/lint"
 	"perfvar/internal/store"
 	"perfvar/internal/trace"
@@ -76,6 +77,17 @@ type Config struct {
 	// verdicts: a run whose total SOS-time exceeds its baseline's by more
 	// than this percentage fails (default 10; projects may override).
 	SOSBudgetPct float64
+	// SessionDir roots live-session spools (per-rank event files of open
+	// sessions). Empty means a temporary directory removed on Close.
+	SessionDir string
+	// MaxSessions bounds concurrently open live sessions (default 64).
+	MaxSessions int
+	// MaxFrameBytes bounds one live frame's payload (default 4 MiB).
+	MaxFrameBytes int64
+	// MaxSessionBytes bounds a live session's cumulative payload bytes.
+	// Defaults to MaxUploadBytes, so every finalizable session yields an
+	// archive the analysis pipeline accepts.
+	MaxSessionBytes int64
 	// Logger receives structured request logs; nil discards them.
 	Logger *slog.Logger
 }
@@ -99,6 +111,15 @@ func (c Config) withDefaults() Config {
 	if c.SOSBudgetPct <= 0 {
 		c.SOSBudgetPct = 10
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = 4 << 20
+	}
+	if c.MaxSessionBytes <= 0 {
+		c.MaxSessionBytes = c.MaxUploadBytes
+	}
 	if c.Logger == nil {
 		// go 1.22 compatible discard logger (slog.DiscardHandler is 1.24+).
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
@@ -115,6 +136,7 @@ type Server struct {
 	flight   *flightGroup
 	store    *store.Store // disk tier; nil when Config.StoreDir is empty
 	projects *projectRegistry
+	sessions *ingest.Manager
 	met      *metrics
 	log      *slog.Logger
 
@@ -156,13 +178,32 @@ func New(cfg Config) (*Server, error) {
 		s.store = st
 	}
 	s.projects = newProjectRegistry(s.store, cfg.Logger)
+	mgr, err := ingest.NewManager(ingest.Config{
+		SpoolDir:        cfg.SessionDir,
+		MaxSessions:     cfg.MaxSessions,
+		MaxFrameBytes:   cfg.MaxFrameBytes,
+		MaxSessionBytes: cfg.MaxSessionBytes,
+		Logger:          cfg.Logger,
+	})
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	s.sessions = mgr
 	s.routes()
 	return s, nil
 }
 
-// Close cancels the server's base context, stopping any analyses still
-// running after shutdown.
-func (s *Server) Close() { s.cancelBase() }
+// Close drains live ingestion — every still-open session is finalized
+// and run through the analysis pipeline, so its result lands in the
+// cache (and the disk store, when configured) exactly as a graceful
+// DELETE would have left it — then cancels the server's base context,
+// stopping any analyses still running after shutdown.
+func (s *Server) Close() {
+	s.drainSessions()
+	s.cancelBase()
+	s.sessions.Close()
+}
 
 // Handler returns the daemon's root handler with logging and metrics
 // middleware applied.
@@ -181,11 +222,18 @@ func (s *Server) routes() {
 	})
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		s.met.writeTo(w, s.cache, s.store)
+		s.met.writeTo(w, s.cache, s.store, s.sessions)
 	})
 	s.mux.HandleFunc("GET /api/v1/traces", s.handleList)
 	s.mux.HandleFunc("GET /api/v1/traces/{name}/{view}", s.handleTraceView)
 	s.mux.HandleFunc("POST /api/v1/analyze", s.handleUpload)
+
+	s.mux.HandleFunc("POST /api/v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /api/v1/sessions", s.handleSessionList)
+	s.mux.HandleFunc("GET /api/v1/sessions/{id}", s.handleSessionGet)
+	s.mux.HandleFunc("POST /api/v1/sessions/{id}/frames", s.handleSessionFrames)
+	s.mux.HandleFunc("GET /api/v1/sessions/{id}/alerts", s.handleSessionAlerts)
+	s.mux.HandleFunc("DELETE /api/v1/sessions/{id}", s.handleSessionFinalize)
 
 	s.mux.HandleFunc("GET /api/v1/projects", s.handleProjectList)
 	s.mux.HandleFunc("PUT /api/v1/projects/{name}", s.handleProjectPut)
@@ -269,6 +317,18 @@ func (s *Server) httpError(w http.ResponseWriter, r *http.Request, err error) {
 		status, code = http.StatusServiceUnavailable, "shutdown"
 	case errors.Is(err, context.DeadlineExceeded):
 		status, code = http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, ingest.ErrUnknownSession):
+		status, code = http.StatusNotFound, "unknown_session"
+	case errors.Is(err, ingest.ErrFinalized):
+		status, code = http.StatusConflict, "finalized"
+	case errors.Is(err, ingest.ErrOutOfOrder):
+		status, code = http.StatusUnprocessableEntity, "out_of_order"
+	case errors.Is(err, ingest.ErrSessionLimit):
+		status, code = http.StatusTooManyRequests, "session_limit"
+	case errors.Is(err, ingest.ErrBadFrame):
+		status, code = http.StatusBadRequest, "bad_frame"
+	case errors.Is(err, ingest.ErrSpec):
+		status, code = http.StatusBadRequest, "bad_param"
 	case errors.Is(err, trace.ErrTooLarge):
 		s.met.rejectedSize.Add(1)
 		status, code = http.StatusRequestEntityTooLarge, "too_large"
@@ -365,11 +425,26 @@ func parseAnalysisParams(r *http.Request) (analysisParams, error) {
 	if err != nil {
 		return analysisParams{}, err
 	}
-	p.key = fmt.Sprintf("d=%s;m=%d;z=%g;k=%d;b=%d;pi=%t;sp=%s",
-		p.opts.DominantFunction, p.opts.Multiplier, p.opts.ZThreshold,
-		p.opts.TopK, p.opts.MPIFractionBins, p.opts.PerIteration,
-		strings.Join(p.opts.SyncPrefixes, ","))
+	p.key = paramsKey(p.opts)
 	return p, nil
+}
+
+// paramsKey canonicalizes analysis options into the cache-key fragment
+// shared by every path that analyzes with them — query-driven requests
+// and the shutdown drain must produce the same key for the same options,
+// or a drained session's result would never be found again.
+func paramsKey(opts perfvar.Options) string {
+	return fmt.Sprintf("d=%s;m=%d;z=%g;k=%d;b=%d;pi=%t;sp=%s",
+		opts.DominantFunction, opts.Multiplier, opts.ZThreshold,
+		opts.TopK, opts.MPIFractionBins, opts.PerIteration,
+		strings.Join(opts.SyncPrefixes, ","))
+}
+
+// defaultAnalysisParams are the options an un-parameterized request
+// gets — what the shutdown drain analyzes finalized sessions under.
+func defaultAnalysisParams() analysisParams {
+	var opts perfvar.Options
+	return analysisParams{opts: opts, key: paramsKey(opts)}
 }
 
 func parseRenderOptions(r *http.Request) (vis.RenderOptions, error) {

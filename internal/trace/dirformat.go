@@ -56,6 +56,23 @@ func WriteDir(dir string, tr *Trace) error {
 	return nil
 }
 
+// WriteAnchor writes dir's anchor file (created if needed) from h's
+// definitions — the measurement-time sibling of WriteDir for archives
+// built incrementally through RankWriter, whose events do not exist yet
+// when the definitions are known.
+func WriteAnchor(dir string, h *Header) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tr := New(h.Name, len(h.Procs))
+	tr.Regions = h.Regions
+	tr.Metrics = h.Metrics
+	for i := range h.Procs {
+		tr.Procs[i].Proc = h.Procs[i]
+	}
+	return writeAnchor(filepath.Join(dir, anchorName), tr)
+}
+
 func writeAnchor(path string, tr *Trace) error {
 	f, err := os.Create(path)
 	if err != nil {

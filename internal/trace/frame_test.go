@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func frameEvents() []Event {
+	return []Event{
+		Enter(100, 0),
+		Enter(100, 1),
+		Sample(150, 0, 2.5),
+		Send(160, 1, 7, 4096),
+		Recv(170, 1, 7, 4096),
+		Leave(200, 1),
+		Leave(260, 0),
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	evs := frameEvents()
+	var buf []byte
+	var err error
+	// Two frames back to back, different ranks, sharing one buffer.
+	buf, err = AppendFrame(buf, 3, evs[:4])
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	buf, err = AppendFrame(buf, 0, evs[4:])
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+
+	rank, count, payload, rest, err := DecodeFrame(buf, 0)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if rank != 3 || count != 4 {
+		t.Fatalf("frame 1: rank=%d count=%d, want 3, 4", rank, count)
+	}
+	var got []Event
+	if err := DecodeFrameEvents(payload, count, 2, 1, 4, func(ev Event) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("DecodeFrameEvents: %v", err)
+	}
+	for i, ev := range got {
+		if ev != evs[i] {
+			t.Errorf("frame 1 event %d: got %+v, want %+v", i, ev, evs[i])
+		}
+	}
+
+	rank, count, payload, rest, err = DecodeFrame(rest, 0)
+	if err != nil {
+		t.Fatalf("DecodeFrame 2: %v", err)
+	}
+	if rank != 0 || count != 3 || len(rest) != 0 {
+		t.Fatalf("frame 2: rank=%d count=%d rest=%d, want 0, 3, 0", rank, count, len(rest))
+	}
+	got = got[:0]
+	if err := DecodeFrameEvents(payload, count, 2, 1, 4, func(ev Event) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("DecodeFrameEvents 2: %v", err)
+	}
+	for i, ev := range got {
+		if ev != evs[4+i] {
+			t.Errorf("frame 2 event %d: got %+v, want %+v", i, ev, evs[4+i])
+		}
+	}
+}
+
+// Each frame resets the delta base, so the first event's delta is its
+// absolute timestamp and frames decode independently of one another.
+func TestFrameDeltaBaseResets(t *testing.T) {
+	f1, err := AppendFrame(nil, 0, []Event{Enter(1000, 0), Leave(2000, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := AppendFrame(nil, 0, []Event{Enter(3000, 0), Leave(4000, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode the second frame alone — no state from the first needed.
+	_, count, payload, _, err := DecodeFrame(f2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var times []Time
+	if err := DecodeFrameEvents(payload, count, 1, 0, 1, func(ev Event) error {
+		times = append(times, ev.Time)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if times[0] != 3000 || times[1] != 4000 {
+		t.Fatalf("second frame decoded times %v, want [3000 4000]", times)
+	}
+	_ = f1
+}
+
+func TestFrameUnsortedRejectedAtEncode(t *testing.T) {
+	if _, err := AppendFrame(nil, 0, []Event{Enter(200, 0), Leave(100, 0)}); !errors.Is(err, ErrFormat) {
+		t.Fatalf("unsorted batch: got %v, want ErrFormat", err)
+	}
+}
+
+func TestFrameOversizeRejectedBeforeDecode(t *testing.T) {
+	evs := make([]Event, 0, 256)
+	tm := Time(0)
+	for i := 0; i < 256; i++ {
+		tm += 10
+		evs = append(evs, Enter(tm, 0))
+	}
+	buf, err := AppendFrame(nil, 0, evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := DecodeFrame(buf, 16); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize frame: got %v, want ErrTooLarge", err)
+	}
+	if _, _, _, _, err := DecodeFrame(buf, 1<<20); err != nil {
+		t.Fatalf("frame under the limit rejected: %v", err)
+	}
+}
+
+func TestFrameMalformed(t *testing.T) {
+	good, err := AppendFrame(nil, 1, frameEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "rank"},
+		{"truncated payload", good[:len(good)-3], "truncated"},
+		{"declared count too high", append([]byte{0, 200, 3}, 1, 2, 3), "declares"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, _, _, err := DecodeFrame(tc.data, 0)
+			if !errors.Is(err, ErrFormat) {
+				t.Fatalf("got %v, want ErrFormat", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFrameEventsValidateAndConsume(t *testing.T) {
+	buf, err := AppendFrame(nil, 0, []Event{Enter(10, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, count, payload, _, err := DecodeFrame(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Region 5 is out of range for a 2-region table.
+	if err := DecodeFrameEvents(payload, count, 2, 0, 1, func(Event) error { return nil }); !errors.Is(err, ErrFormat) {
+		t.Fatalf("out-of-range region: got %v, want ErrFormat", err)
+	}
+	// Undeclared trailing bytes must not slip through.
+	if err := DecodeFrameEvents(append(payload, 0), count, 6, 0, 1, func(Event) error { return nil }); !errors.Is(err, ErrFormat) {
+		t.Fatalf("trailing bytes: got %v, want ErrFormat", err)
+	}
+}

@@ -1,0 +1,230 @@
+package perfvar
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"perfvar/internal/trace"
+)
+
+// Live-ingestion errors.
+var (
+	// ErrLiveOutOfOrder reports a Push whose events are not in
+	// non-decreasing time order for their rank. The batch is rejected
+	// whole; nothing was recorded.
+	ErrLiveOutOfOrder = errors.New("perfvar: live push out of time order")
+	// ErrLiveFinished reports a Push after Finish.
+	ErrLiveFinished = errors.New("perfvar: live source already finished")
+	// ErrLiveNotFinished reports an Open or WriteArchive before Finish.
+	ErrLiveNotFinished = errors.New("perfvar: live source not finished")
+)
+
+// LiveSource adapts push-based measurement to the Source API: events
+// arrive rank by rank while the application still runs, are spooled to a
+// directory archive (anchor + per-rank files) as they come, and — once
+// Finish seals the stream — the source opens as repeatable per-rank
+// streams that the single-pass engine analyzes without materializing a
+// trace. Memory stays O(ranks): one buffered writer per rank, never the
+// events themselves.
+//
+// Push calls for different ranks may run concurrently; per-rank streams
+// must each be in non-decreasing time order. The spool directory is the
+// durable representation — a crashed producer leaves a directory archive
+// readable up to the last flushed event.
+type LiveSource struct {
+	h   *trace.Header
+	dir string
+
+	mu       sync.RWMutex // finished flips once, under the write lock
+	finished bool
+
+	ranks []liveRank
+}
+
+type liveRank struct {
+	mu      sync.Mutex
+	w       *trace.RankWriter
+	last    trace.Time
+	count   uint64
+	started bool
+}
+
+// NewLiveSource creates a live source spooling into dir (created if
+// needed). h declares the run's definitions up front — names, regions,
+// metrics and the full process list — exactly the information a
+// measurement layer has before the first event. The anchor file and one
+// writer per rank are created eagerly, so a Push never pays setup cost.
+func NewLiveSource(h *TraceHeader, dir string) (*LiveSource, error) {
+	if h == nil || len(h.Procs) == 0 {
+		return nil, fmt.Errorf("perfvar: live source needs at least one process")
+	}
+	if err := trace.WriteAnchor(dir, h); err != nil {
+		return nil, err
+	}
+	ls := &LiveSource{h: h, dir: dir, ranks: make([]liveRank, len(h.Procs))}
+	for i := range ls.ranks {
+		w, err := trace.NewRankWriter(dir, i)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				ls.ranks[j].w.Close()
+			}
+			return nil, err
+		}
+		ls.ranks[i].w = w
+	}
+	return ls, nil
+}
+
+// Header returns the definitions the source was created with.
+func (ls *LiveSource) Header() *TraceHeader { return ls.h }
+
+// Push appends a batch of events to rank's stream. The whole batch is
+// validated first — time order against the rank's last event and within
+// the batch, and region/metric/peer ids against the header — and
+// rejected atomically on any failure, so a bad batch never leaves a
+// half-written spool. Concurrent Push calls on different ranks are safe;
+// calls on the same rank serialize.
+func (ls *LiveSource) Push(rank int, evs ...Event) error {
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	if ls.finished {
+		return ErrLiveFinished
+	}
+	if rank < 0 || rank >= len(ls.ranks) {
+		return fmt.Errorf("perfvar: live push rank %d out of range [0,%d)", rank, len(ls.ranks))
+	}
+	if len(evs) == 0 {
+		return nil
+	}
+	r := &ls.ranks[rank]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	last := r.last
+	for i, ev := range evs {
+		if (i > 0 || r.started) && ev.Time < last {
+			return fmt.Errorf("%w: rank %d event at %d after %d", ErrLiveOutOfOrder, rank, ev.Time, last)
+		}
+		last = ev.Time
+		if err := ls.checkEvent(rank, ev); err != nil {
+			return err
+		}
+	}
+	for _, ev := range evs {
+		if err := r.w.Write(ev); err != nil {
+			return err
+		}
+	}
+	r.last = last
+	r.count += uint64(len(evs))
+	r.started = true
+	return nil
+}
+
+// checkEvent validates an event's ids against the header's definitions.
+func (ls *LiveSource) checkEvent(rank int, ev Event) error {
+	switch ev.Kind {
+	case trace.KindEnter, trace.KindLeave:
+		if int(ev.Region) >= len(ls.h.Regions) || ev.Region < 0 {
+			return fmt.Errorf("%w: rank %d: region %d of %d undefined", trace.ErrFormat, rank, ev.Region, len(ls.h.Regions))
+		}
+	case trace.KindMetric:
+		if int(ev.Metric) >= len(ls.h.Metrics) || ev.Metric < 0 {
+			return fmt.Errorf("%w: rank %d: metric %d of %d undefined", trace.ErrFormat, rank, ev.Metric, len(ls.h.Metrics))
+		}
+	case trace.KindSend, trace.KindRecv:
+		if int(ev.Peer) >= len(ls.h.Procs) || ev.Peer < 0 {
+			return fmt.Errorf("%w: rank %d: peer %d of %d undefined", trace.ErrFormat, rank, ev.Peer, len(ls.h.Procs))
+		}
+	default:
+		return fmt.Errorf("%w: rank %d: unknown event kind %d", trace.ErrFormat, rank, ev.Kind)
+	}
+	return nil
+}
+
+// Finish seals the stream: per-rank files are flushed and their event
+// counts patched, after which the source opens as a normal directory
+// archive. Finish is idempotent; pushes after it fail with
+// ErrLiveFinished.
+func (ls *LiveSource) Finish() error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.finished {
+		return nil
+	}
+	ls.finished = true
+	var first error
+	for i := range ls.ranks {
+		if err := ls.ranks[i].w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Finished reports whether the stream has been sealed.
+func (ls *LiveSource) Finished() bool {
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	return ls.finished
+}
+
+// Counts returns a snapshot of per-rank event counts pushed so far.
+func (ls *LiveSource) Counts() []uint64 {
+	counts := make([]uint64, len(ls.ranks))
+	for i := range ls.ranks {
+		ls.ranks[i].mu.Lock()
+		counts[i] = ls.ranks[i].count
+		ls.ranks[i].mu.Unlock()
+	}
+	return counts
+}
+
+// Open returns the sealed source's per-rank streams — the Source
+// contract. It fails with ErrLiveNotFinished while pushes may still
+// arrive: repeatable streams require the back-patched counts Finish
+// writes.
+func (ls *LiveSource) Open(ctx context.Context) (SourceStreams, error) {
+	if !ls.Finished() {
+		return nil, ErrLiveNotFinished
+	}
+	ds, err := trace.OpenDirRankStreams(ls.dir)
+	if err != nil {
+		return nil, err
+	}
+	return &archiveStreams{str: ds}, nil
+}
+
+// WriteArchive encodes the sealed source as a single PVTR archive —
+// byte-identical to writing the same trace with WriteTrace, so a
+// finalized live session shares content-addressed cache entries with an
+// offline upload of the same run. Memory stays O(definitions).
+func (ls *LiveSource) WriteArchive(w io.Writer) error {
+	if !ls.Finished() {
+		return ErrLiveNotFinished
+	}
+	ds, err := trace.OpenDirRankStreams(ls.dir)
+	if err != nil {
+		return err
+	}
+	return trace.WriteFrom(w, ls.h, ls.Counts(), func(rank int, emit func(Event) error) error {
+		return ds.StreamRank(rank, emit)
+	})
+}
+
+// Remove deletes the spool directory. The source is unusable afterwards.
+func (ls *LiveSource) Remove() error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if !ls.finished {
+		// Seal first so buffered writers release their files.
+		ls.finished = true
+		for i := range ls.ranks {
+			ls.ranks[i].w.Close()
+		}
+	}
+	return os.RemoveAll(ls.dir)
+}

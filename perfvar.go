@@ -523,6 +523,11 @@ func SaveSVG(path string, img *vis.Image) error { return vis.SaveSVG(path, img) 
 // ANSI renders an image for a truecolor terminal, cols characters wide.
 func ANSI(img *vis.Image, cols int) string { return vis.ANSI(img, cols) }
 
+// RelDeviation sets OnlineOptions.MinRelDeviation to exactly v: zero
+// alerts on any excess over the median, negative disables the gate.
+// A nil field keeps the 5% default.
+func RelDeviation(v float64) *float64 { return online.RelDeviation(v) }
+
 // NewOnlineAnalyzer builds an in-situ hotspot detector: events are fed as
 // they occur (per rank in time order) and alerts fire the moment a
 // completed dominant-function invocation deviates — no trace file needed.
